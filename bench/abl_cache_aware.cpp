@@ -1,0 +1,66 @@
+// Ablation A3 — cache-aware scheduling vs FIFO (paper Section 4.2).
+//
+// NeST's gray-box model of the buffer cache lets the transfer manager
+// serve predicted-resident files first, approximating shortest-job-first:
+// client response time improves and disk contention drops. This bench runs
+// a mixed hot/cold GET workload under both schedulers.
+#include <cstdio>
+#include <string>
+
+#include "sim/engine.h"
+#include "sim/platform.h"
+#include "simnest/workload.h"
+
+using namespace nest;
+using namespace nest::simnest;
+
+namespace {
+
+WorkloadResult run(const std::string& scheduler) {
+  sim::Engine eng;
+  SimHost host(eng, sim::PlatformProfile::linux2_2());
+  SimNestConfig cfg;
+  cfg.tm.scheduler = scheduler;
+  cfg.tm.adaptive = false;
+  cfg.tm.cache_model_bytes = host.platform().cache_bytes;
+  // Fewer service slots than clients: requests queue at the transfer
+  // manager, which is where scheduling policy acts.
+  cfg.service_slots = 2;
+  SimNest server(host, cfg);
+  WorkloadSpec spec;
+  spec.duration = 60 * kSecond;
+  // Hot population: 6 clients hitting small cached files.
+  spec.groups.push_back(ClientGroup{.server = &server,
+                                    .protocol = "http",
+                                    .clients = 6,
+                                    .file_size = 1'000'000,
+                                    .cached = true,
+                                    .files_per_client = 1});
+  // Cold population: 2 clients dragging big uncached files off the disk.
+  spec.groups.push_back(ClientGroup{.server = &server,
+                                    .protocol = "chirp",
+                                    .clients = 2,
+                                    .file_size = 40'000'000,
+                                    .cached = false,
+                                    .files_per_client = 6});
+  return run_get_workload(eng, spec);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A3: cache-aware scheduling vs FIFO\n");
+  std::printf("(6 hot 1 MB clients + 2 cold 40 MB clients, Linux profile)\n\n");
+  std::printf("  %-12s  %10s  %22s  %20s\n", "scheduler", "total MB/s",
+              "hot mean latency (ms)", "hot requests done");
+  for (const std::string sched : {"fifo", "cache-aware"}) {
+    const WorkloadResult r = run(sched);
+    std::printf("  %-12s  %10.1f  %22.1f  %20lld\n", sched.c_str(),
+                r.total_mbps, r.class_latency_ms.at("http"),
+                static_cast<long long>(r.completed_requests));
+  }
+  std::printf(
+      "\nExpectation: cache-aware serves resident (hot) requests first,\n"
+      "cutting their response time without hurting total throughput.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation A4 — kernel-quota lots vs NeST-managed lot enforcement.
+//
+// Paper Section 7.4: lots via the kernel quota mechanism cost up to ~50%
+// of write bandwidth but let clients bypass NeST and still respect the
+// guarantee; the authors were "investigating whether the additional
+// complexity of implementing lots by directly monitoring write operations
+// within NeST is worth the performance improvement." NeST-managed
+// enforcement (a user-level ledger) costs essentially nothing at the disk
+// but only meters traffic that flows through NeST.
+#include <cstdio>
+
+#include "sim/engine.h"
+#include "sim/platform.h"
+#include "simnest/simnest.h"
+
+using namespace nest;
+using namespace nest::simnest;
+
+namespace {
+
+double run_write(std::int64_t size, bool kernel_quota) {
+  sim::Engine eng;
+  SimHost host(eng, sim::PlatformProfile::linux2_2());
+  // NeST-managed enforcement = the ledger meters bytes in user space; the
+  // simulated disk sees no quota traffic. Kernel enforcement = quota
+  // bookkeeping on every flush.
+  host.store().set_quota_enabled(kernel_quota);
+  SimNestConfig cfg;
+  cfg.tm.adaptive = false;
+  SimNest server(host, cfg);
+  Nanos done = 0;
+  sim::spawn([](sim::Engine& e, SimNest& s, std::int64_t sz,
+                Nanos& out) -> sim::Co<void> {
+    co_await s.client_put(ProtocolBehavior::chirp(), "/stream", sz);
+    out = e.now();
+  }(eng, server, size, done));
+  eng.run();
+  return mb_per_sec(size, done);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A4: lot enforcement mechanism\n");
+  std::printf("(sequential write stream, Linux profile)\n\n");
+  std::printf("  %-10s  %16s  %16s  %9s\n", "write size", "kernel quota",
+              "nest-managed", "penalty");
+  for (const std::int64_t mb : {20, 60, 100, 200}) {
+    const double kernel = run_write(mb * 1'000'000, true);
+    const double managed = run_write(mb * 1'000'000, false);
+    std::printf("  %6lld MB  %11.1f MB/s  %11.1f MB/s  %8.0f%%\n",
+                static_cast<long long>(mb), kernel, managed,
+                managed > 0 ? 100.0 * (managed - kernel) / managed : 0.0);
+  }
+  std::printf(
+      "\nTrade-off: NeST-managed enforcement recovers the quota write\n"
+      "penalty entirely, but only meters I/O that passes through NeST —\n"
+      "direct local-filesystem writes would evade the guarantee, which is\n"
+      "exactly the compatibility the paper kept kernel quotas for.\n");
+  return 0;
+}

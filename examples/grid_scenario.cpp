@@ -1,0 +1,152 @@
+// "NeST in the Grid" — the paper's Figure 2 scenario, end to end on real
+// sockets:
+//
+//   A user's input data lives on a NeST in Madison. A global execution
+//   manager discovers (via ClassAd matchmaking) that the Argonne site has
+//   both cycles and storage, reserves space there with a Chirp lot (step 2),
+//   stages the input with a GridFTP third-party transfer (step 3), runs
+//   jobs that read input and write output over NFS (step 4), moves the
+//   output home with GridFTP (step 5), and finally terminates the lot
+//   (step 6).
+#include <cstdio>
+
+#include "client/chirp_client.h"
+#include "client/ftp_client.h"
+#include "client/nfs_client.h"
+#include "discovery/collector.h"
+#include "server/nest_server.h"
+
+using namespace nest;
+
+namespace {
+
+std::unique_ptr<server::NestServer> start_site(const std::string& name) {
+  server::NestServerOptions opts;
+  opts.capacity = 100'000'000;
+  opts.name = name;
+  auto server = server::NestServer::start(opts);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                 server.error().to_string().c_str());
+    std::exit(1);
+  }
+  (*server)->gsi().add_user("alice", "alice-secret", {"physics"});
+  return std::move(server.value());
+}
+
+}  // namespace
+
+int main() {
+  // Two NeST appliances: the user's home site and the compute site.
+  auto madison = start_site("nest@madison");
+  auto argonne = start_site("nest@argonne");
+  std::printf("sites up: madison (gridftp=%u) argonne (gridftp=%u)\n",
+              madison->gridftp_port(), argonne->gridftp_port());
+
+  // The user's input data is permanently stored at the home site.
+  auto home = client::ChirpClient::connect("127.0.0.1",
+                                           madison->chirp_port(), "alice",
+                                           "alice-secret");
+  const std::string input(1'000'000, 'i');
+  home->mkdir("/alice").ok();
+  home->put("/alice/input.dat", input).ok();
+  std::printf("input staged at madison: /alice/input.dat (%zu bytes)\n",
+              input.size());
+
+  // Both dispatchers publish availability ads — resource AND data
+  // (paper Section 2.1) — into the discovery system.
+  discovery::Collector collector(RealClock::instance());
+  madison->dispatcher().publish_once(collector);
+  argonne->dispatcher().publish_once(collector);
+
+  // Step 0: the manager locates the input by its advertised data
+  // availability rather than by configuration.
+  auto locate = classad::ClassAd::parse(
+      "[ Requirements = member(\"/alice/input.dat\", other.Files); ]");
+  const auto sources = collector.match(*locate);
+  if (sources.empty()) {
+    std::fprintf(stderr, "input not found anywhere\n");
+    return 1;
+  }
+  std::printf("step 0: discovery locates /alice/input.dat at '%s'\n",
+              sources.front().c_str());
+
+  // Step 1: the user submits jobs; the execution manager matchmakes a
+  // storage ad with enough guaranteed-free space.
+  auto query = classad::ClassAd::parse(
+      "[ Type = \"Job\"; NeedSpace = 10000000; "
+      "Requirements = other.Type == \"Storage\" && "
+      "other.AvailableLotSpace >= NeedSpace && "
+      "other.Name != \"nest@madison\"; "
+      "Rank = other.AvailableLotSpace; ]");
+  const auto matches = collector.match(*query);
+  if (matches.empty()) {
+    std::fprintf(stderr, "no storage site matched\n");
+    return 1;
+  }
+  std::printf("step 1: matchmaker selected '%s' for execution\n",
+              matches.front().c_str());
+
+  // Step 2: reserve space at the compute site with a Chirp lot.
+  auto remote = client::ChirpClient::connect("127.0.0.1",
+                                             argonne->chirp_port(), "alice",
+                                             "alice-secret");
+  auto lot = remote->lot_create(10'000'000, /*seconds=*/3600);
+  remote->mkdir("/scratch").ok();
+  // Jobs will access the scratch space over NFS (anonymous), so open it up.
+  remote->acl_set("/scratch",
+                  "[ Principal = \"system:anyuser\"; Rights = \"rwlid\"; ]")
+      .ok();
+  std::printf("step 2: lot %llu reserved at argonne (10 MB, 1 h)\n",
+              static_cast<unsigned long long>(lot.value()));
+
+  // Step 3: GridFTP third-party transfer madison -> argonne. The manager
+  // holds both control connections; data flows site to site directly.
+  auto src = client::FtpClient::connect(
+      "127.0.0.1", madison->gridftp_port(),
+      client::FtpClient::GsiIdentity{"alice", "alice-secret"});
+  auto dst = client::FtpClient::connect(
+      "127.0.0.1", argonne->gridftp_port(),
+      client::FtpClient::GsiIdentity{"alice", "alice-secret"});
+  auto addr = dst->pasv();
+  src->port(addr->first, addr->second).ok();
+  dst->begin("STOR", "/scratch/input.dat").ok();
+  src->begin("RETR", "/alice/input.dat").ok();
+  src->finish().ok();
+  dst->finish().ok();
+  std::printf("step 3: staged input to argonne via third-party GridFTP\n");
+
+  // Step 4: jobs run at Argonne and access the NeST via NFS, like any
+  // local filesystem.
+  auto nfs = client::NfsClient::connect("127.0.0.1", argonne->nfs_port());
+  auto scratch = nfs->mount("/scratch");
+  auto job_input = nfs->read_file(*scratch, "input.dat");
+  std::printf("step 4: job read %zu input bytes over NFS\n",
+              job_input->size());
+  // The "computation": summarize the input.
+  const std::string output =
+      "processed " + std::to_string(job_input->size()) + " bytes\n";
+  nfs->write_file(*scratch, "output.dat", output).ok();
+  std::printf("step 4: job wrote output.dat over NFS\n");
+
+  // Step 5: move the output home, again via third-party GridFTP
+  // (argonne -> madison this time).
+  auto home_addr = src->pasv();  // madison listens
+  dst->port(home_addr->first, home_addr->second).ok();
+  src->begin("STOR", "/alice/output.dat").ok();
+  dst->begin("RETR", "/scratch/output.dat").ok();
+  dst->finish().ok();
+  src->finish().ok();
+  std::printf("step 5: output returned to madison\n");
+
+  // Step 6: terminate the lot; the user is told results are home.
+  remote->lot_terminate(*lot).ok();
+  auto final_output = home->get("/alice/output.dat");
+  std::printf("step 6: lot terminated; /alice/output.dat at madison: %s",
+              final_output->c_str());
+
+  madison->stop();
+  argonne->stop();
+  std::printf("scenario complete\n");
+  return 0;
+}

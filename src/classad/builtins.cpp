@@ -1,0 +1,190 @@
+// Builtin ClassAd functions. The subset here covers what Condor-era ads and
+// NeST's access-control / discovery ads use: string manipulation, numeric
+// coercion and rounding, list membership, and undefined/error probes.
+#include <algorithm>
+#include <cmath>
+#include <regex>
+
+#include "classad/expr.h"
+#include "common/string_util.h"
+
+namespace nest::classad {
+namespace {
+
+bool want(const std::vector<Value>& args, std::size_t n) {
+  return args.size() == n;
+}
+
+Value to_int(const Value& v) {
+  switch (v.type()) {
+    case ValueType::integer: return v;
+    case ValueType::real:
+      return Value::integer(static_cast<std::int64_t>(v.as_real()));
+    case ValueType::boolean: return Value::integer(v.as_bool() ? 1 : 0);
+    case ValueType::string: {
+      const auto n = parse_int(v.as_string());
+      return n ? Value::integer(*n) : Value::error();
+    }
+    default: return Value::error();
+  }
+}
+
+Value to_real(const Value& v) {
+  switch (v.type()) {
+    case ValueType::integer:
+      return Value::real(static_cast<double>(v.as_int()));
+    case ValueType::real: return v;
+    case ValueType::boolean: return Value::real(v.as_bool() ? 1.0 : 0.0);
+    case ValueType::string:
+      try {
+        return Value::real(std::stod(v.as_string()));
+      } catch (...) {
+        return Value::error();
+      }
+    default: return Value::error();
+  }
+}
+
+Value to_str(const Value& v) {
+  if (v.type() == ValueType::string) return v;
+  if (v.is_undefined() || v.is_error()) return v;
+  if (v.type() == ValueType::boolean)
+    return Value::string(v.as_bool() ? "true" : "false");
+  if (v.type() == ValueType::integer)
+    return Value::string(std::to_string(v.as_int()));
+  if (v.type() == ValueType::real) {
+    Value s = v;
+    std::string text = s.to_string();
+    return Value::string(std::move(text));
+  }
+  return Value::error();
+}
+
+}  // namespace
+
+Value call_builtin(const std::string& name, const std::vector<Value>& args) {
+  // Probes evaluate even on ERROR arguments.
+  if (name == "isundefined") {
+    if (!want(args, 1)) return Value::error();
+    return Value::boolean(args[0].is_undefined());
+  }
+  if (name == "iserror") {
+    if (!want(args, 1)) return Value::error();
+    return Value::boolean(args[0].is_error());
+  }
+  if (name == "isstring") {
+    if (!want(args, 1)) return Value::error();
+    return Value::boolean(args[0].type() == ValueType::string);
+  }
+  if (name == "isinteger") {
+    if (!want(args, 1)) return Value::error();
+    return Value::boolean(args[0].type() == ValueType::integer);
+  }
+
+  // Everything else propagates UNDEFINED/ERROR from any argument.
+  for (const auto& a : args) {
+    if (a.is_error()) return Value::error();
+    if (a.is_undefined()) return Value::undefined();
+  }
+
+  if (name == "strcat") {
+    std::string out;
+    for (const auto& a : args) {
+      const Value s = to_str(a);
+      if (s.type() != ValueType::string) return Value::error();
+      out += s.as_string();
+    }
+    return Value::string(std::move(out));
+  }
+  if (name == "substr") {
+    if (args.size() != 2 && args.size() != 3) return Value::error();
+    if (args[0].type() != ValueType::string ||
+        args[1].type() != ValueType::integer)
+      return Value::error();
+    const std::string& s = args[0].as_string();
+    std::int64_t off = args[1].as_int();
+    if (off < 0) off = std::max<std::int64_t>(0, off + std::ssize(s));
+    if (off > std::ssize(s)) off = std::ssize(s);
+    std::int64_t len = std::ssize(s) - off;
+    if (args.size() == 3) {
+      if (args[2].type() != ValueType::integer) return Value::error();
+      len = std::min(len, args[2].as_int());
+      if (len < 0) len = 0;
+    }
+    return Value::string(s.substr(static_cast<std::size_t>(off),
+                                  static_cast<std::size_t>(len)));
+  }
+  if (name == "size" || name == "strlen") {
+    if (!want(args, 1)) return Value::error();
+    if (args[0].type() == ValueType::string)
+      return Value::integer(std::ssize(args[0].as_string()));
+    if (args[0].type() == ValueType::list)
+      return Value::integer(std::ssize(*args[0].as_list()));
+    return Value::error();
+  }
+  if (name == "toupper" || name == "tolower") {
+    if (!want(args, 1) || args[0].type() != ValueType::string)
+      return Value::error();
+    std::string out = args[0].as_string();
+    std::transform(out.begin(), out.end(), out.begin(), [&](unsigned char c) {
+      return static_cast<char>(name == "toupper" ? std::toupper(c)
+                                                 : std::tolower(c));
+    });
+    return Value::string(std::move(out));
+  }
+  if (name == "member") {
+    if (!want(args, 2) || args[1].type() != ValueType::list)
+      return Value::error();
+    for (const auto& e : *args[1].as_list())
+      if (e.same_as(args[0])) return Value::boolean(true);
+    return Value::boolean(false);
+  }
+  if (name == "regexp") {
+    if (!want(args, 2) || args[0].type() != ValueType::string ||
+        args[1].type() != ValueType::string)
+      return Value::error();
+    try {
+      const std::regex re(args[0].as_string(), std::regex::extended);
+      return Value::boolean(std::regex_search(args[1].as_string(), re));
+    } catch (const std::regex_error&) {
+      return Value::error();
+    }
+  }
+  if (name == "int") return want(args, 1) ? to_int(args[0]) : Value::error();
+  if (name == "real") return want(args, 1) ? to_real(args[0]) : Value::error();
+  if (name == "string")
+    return want(args, 1) ? to_str(args[0]) : Value::error();
+  if (name == "floor" || name == "ceiling" || name == "round") {
+    if (!want(args, 1) || !args[0].is_number()) return Value::error();
+    const double x = args[0].number();
+    double r = 0.0;
+    if (name == "floor") r = std::floor(x);
+    else if (name == "ceiling") r = std::ceil(x);
+    else r = std::round(x);
+    return Value::integer(static_cast<std::int64_t>(r));
+  }
+  if (name == "abs") {
+    if (!want(args, 1)) return Value::error();
+    if (args[0].type() == ValueType::integer)
+      return Value::integer(std::abs(args[0].as_int()));
+    if (args[0].type() == ValueType::real)
+      return Value::real(std::fabs(args[0].as_real()));
+    return Value::error();
+  }
+  if (name == "min" || name == "max") {
+    if (args.empty()) return Value::error();
+    double best = args[0].number();
+    bool all_int = true;
+    for (const auto& a : args) {
+      if (!a.is_number()) return Value::error();
+      all_int = all_int && a.type() == ValueType::integer;
+      const double x = a.number();
+      if (name == "min" ? (x < best) : (x > best)) best = x;
+    }
+    return all_int ? Value::integer(static_cast<std::int64_t>(best))
+                   : Value::real(best);
+  }
+  return Value::error();  // unknown function
+}
+
+}  // namespace nest::classad

@@ -1,0 +1,118 @@
+#include "classad/classad.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace nest::classad {
+
+void ClassAd::insert(const std::string& name, ExprPtr expr) {
+  const std::string key = to_lower(name);
+  auto [it, inserted] = attrs_.try_emplace(key);
+  if (inserted) it->second.order = next_order_++;
+  it->second.original_name = name;
+  it->second.expr = std::move(expr);
+}
+
+void ClassAd::insert(const std::string& name, Value v) {
+  insert(name, ExprPtr(std::make_shared<Literal>(std::move(v))));
+}
+
+Status ClassAd::insert_expr(const std::string& name,
+                            std::string_view expr_text) {
+  auto e = parse_expr(expr_text);
+  if (!e) return e.error();
+  insert(name, std::move(e.value()));
+  return {};
+}
+
+bool ClassAd::erase(const std::string& name) {
+  return attrs_.erase(to_lower(name)) != 0;
+}
+
+bool ClassAd::has(const std::string& name) const {
+  return attrs_.count(to_lower(name)) != 0;
+}
+
+ExprPtr ClassAd::lookup(const std::string& name) const {
+  const auto it = attrs_.find(to_lower(name));
+  return it == attrs_.end() ? nullptr : it->second.expr;
+}
+
+Value ClassAd::eval(const std::string& name, const ClassAd* other) const {
+  const ExprPtr e = lookup(name);
+  if (!e) return Value::undefined();
+  EvalContext ctx;
+  ctx.self = this;
+  ctx.other = other;
+  return e->eval(ctx);
+}
+
+std::optional<std::int64_t> ClassAd::eval_int(const std::string& name,
+                                              const ClassAd* other) const {
+  const Value v = eval(name, other);
+  if (v.type() == ValueType::integer) return v.as_int();
+  if (v.type() == ValueType::real)
+    return static_cast<std::int64_t>(v.as_real());
+  return std::nullopt;
+}
+
+std::optional<double> ClassAd::eval_real(const std::string& name,
+                                         const ClassAd* other) const {
+  const Value v = eval(name, other);
+  if (v.is_number()) return v.number();
+  return std::nullopt;
+}
+
+std::optional<bool> ClassAd::eval_bool(const std::string& name,
+                                       const ClassAd* other) const {
+  const Value v = eval(name, other);
+  if (v.type() == ValueType::boolean) return v.as_bool();
+  if (v.type() == ValueType::integer) return v.as_int() != 0;
+  return std::nullopt;
+}
+
+std::optional<std::string> ClassAd::eval_string(const std::string& name,
+                                                const ClassAd* other) const {
+  const Value v = eval(name, other);
+  if (v.type() == ValueType::string) return v.as_string();
+  return std::nullopt;
+}
+
+std::vector<std::string> ClassAd::attribute_names() const {
+  std::vector<const Slot*> slots;
+  slots.reserve(attrs_.size());
+  for (const auto& [key, slot] : attrs_) slots.push_back(&slot);
+  std::sort(slots.begin(), slots.end(),
+            [](const Slot* a, const Slot* b) { return a->order < b->order; });
+  std::vector<std::string> names;
+  names.reserve(slots.size());
+  for (const Slot* s : slots) names.push_back(s->original_name);
+  return names;
+}
+
+std::string ClassAd::to_string() const {
+  std::string out = "[ ";
+  for (const auto& name : attribute_names()) {
+    const ExprPtr e = lookup(name);
+    out += name + " = " + e->to_string() + "; ";
+  }
+  out += "]";
+  return out;
+}
+
+bool match(const ClassAd& a, const ClassAd& b) {
+  // An ad without Requirements accepts anything (vacuous truth), matching
+  // old-ClassAd matchmaker behaviour.
+  auto ok = [](const ClassAd& self, const ClassAd& other) {
+    if (!self.has("Requirements")) return true;
+    return self.eval_bool("Requirements", &other).value_or(false);
+  };
+  return ok(a, b) && ok(b, a);
+}
+
+double rank(const ClassAd& a, const ClassAd& b) {
+  return a.eval_real("Rank", &b).value_or(0.0);
+}
+
+}  // namespace nest::classad

@@ -1,0 +1,76 @@
+// The ClassAd record type and two-way matchmaking.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classad/expr.h"
+#include "common/result.h"
+
+namespace nest::classad {
+
+// A ClassAd: an attribute -> expression record. Attribute names are
+// case-insensitive (stored lower-cased, original spelling retained for
+// printing), per ClassAd convention.
+class ClassAd {
+ public:
+  ClassAd() = default;
+
+  // Parse a full ad: "[ a = 1; b = other.x > 2; ]".
+  static Result<ClassAd> parse(std::string_view text);
+
+  void insert(const std::string& name, ExprPtr expr);
+  void insert(const std::string& name, Value v);
+  Status insert_expr(const std::string& name, std::string_view expr_text);
+
+  bool erase(const std::string& name);
+  bool has(const std::string& name) const;
+  std::size_t size() const { return attrs_.size(); }
+
+  ExprPtr lookup(const std::string& name) const;
+
+  // Evaluate an attribute in this ad's scope (optionally with a match
+  // candidate reachable via TARGET./OTHER.).
+  Value eval(const std::string& name, const ClassAd* other = nullptr) const;
+
+  // Evaluate and coerce; nullopt when missing/UNDEFINED/ERROR or wrong type.
+  std::optional<std::int64_t> eval_int(const std::string& name,
+                                       const ClassAd* other = nullptr) const;
+  std::optional<double> eval_real(const std::string& name,
+                                  const ClassAd* other = nullptr) const;
+  std::optional<bool> eval_bool(const std::string& name,
+                                const ClassAd* other = nullptr) const;
+  std::optional<std::string> eval_string(
+      const std::string& name, const ClassAd* other = nullptr) const;
+
+  std::string to_string() const;
+
+  // Attribute names in insertion order (original spelling).
+  std::vector<std::string> attribute_names() const;
+
+ private:
+  friend class AttrRef;
+
+  struct Slot {
+    std::string original_name;
+    ExprPtr expr;
+    std::size_t order = 0;
+  };
+  std::map<std::string, Slot> attrs_;  // keyed by lower-cased name
+  std::size_t next_order_ = 0;
+};
+
+// Symmetric matchmaking as in Condor: both ads' Requirements must evaluate
+// to true against each other.
+bool match(const ClassAd& a, const ClassAd& b);
+
+// Evaluate a's Rank with b as the candidate; UNDEFINED ranks as 0.
+double rank(const ClassAd& a, const ClassAd& b);
+
+// Parse a standalone expression.
+Result<ExprPtr> parse_expr(std::string_view text);
+
+}  // namespace nest::classad

@@ -1,0 +1,294 @@
+#include "classad/expr.h"
+
+#include <cmath>
+
+#include "classad/classad.h"
+#include "common/string_util.h"
+
+namespace nest::classad {
+namespace {
+
+// ClassAd three-valued logic for &&/||: false&&X == false, true||X == true,
+// even when X is UNDEFINED; otherwise UNDEFINED/ERROR propagate.
+Value logical_and_v(const Value& a, const Value& b) {
+  auto truth = [](const Value& v) -> int {  // 0 false, 1 true, -1 other
+    if (v.type() == ValueType::boolean) return v.as_bool() ? 1 : 0;
+    if (v.type() == ValueType::integer) return v.as_int() != 0 ? 1 : 0;
+    return -1;
+  };
+  const int ta = truth(a);
+  const int tb = truth(b);
+  if (a.is_error() || b.is_error()) {
+    // false && error is still false per lazy semantics
+    if (ta == 0 || tb == 0) return Value::boolean(false);
+    return Value::error();
+  }
+  if (ta == 0 || tb == 0) return Value::boolean(false);
+  if (ta == 1 && tb == 1) return Value::boolean(true);
+  return Value::undefined();
+}
+
+Value logical_or_v(const Value& a, const Value& b) {
+  auto truth = [](const Value& v) -> int {
+    if (v.type() == ValueType::boolean) return v.as_bool() ? 1 : 0;
+    if (v.type() == ValueType::integer) return v.as_int() != 0 ? 1 : 0;
+    return -1;
+  };
+  const int ta = truth(a);
+  const int tb = truth(b);
+  if (a.is_error() || b.is_error()) {
+    if (ta == 1 || tb == 1) return Value::boolean(true);
+    return Value::error();
+  }
+  if (ta == 1 || tb == 1) return Value::boolean(true);
+  if (ta == 0 && tb == 0) return Value::boolean(false);
+  return Value::undefined();
+}
+
+// Comparison: numbers compare numerically, strings case-insensitively
+// (ClassAd convention), booleans as false<true.
+Value compare(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_error() || b.is_error()) return Value::error();
+  if (a.is_undefined() || b.is_undefined()) return Value::undefined();
+  int cmp = 0;
+  if (a.is_number() && b.is_number()) {
+    const double x = a.number();
+    const double y = b.number();
+    cmp = (x < y) ? -1 : (x > y) ? 1 : 0;
+  } else if (a.type() == ValueType::string && b.type() == ValueType::string) {
+    const std::string x = to_lower(a.as_string());
+    const std::string y = to_lower(b.as_string());
+    cmp = (x < y) ? -1 : (x > y) ? 1 : 0;
+  } else if (a.type() == ValueType::boolean &&
+             b.type() == ValueType::boolean) {
+    cmp = static_cast<int>(a.as_bool()) - static_cast<int>(b.as_bool());
+  } else {
+    return Value::error();  // incomparable types
+  }
+  switch (op) {
+    case BinaryOp::eq: return Value::boolean(cmp == 0);
+    case BinaryOp::ne: return Value::boolean(cmp != 0);
+    case BinaryOp::lt: return Value::boolean(cmp < 0);
+    case BinaryOp::le: return Value::boolean(cmp <= 0);
+    case BinaryOp::gt: return Value::boolean(cmp > 0);
+    case BinaryOp::ge: return Value::boolean(cmp >= 0);
+    default: return Value::error();
+  }
+}
+
+Value arithmetic(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_error() || b.is_error()) return Value::error();
+  if (a.is_undefined() || b.is_undefined()) return Value::undefined();
+  // String concatenation via '+'.
+  if (op == BinaryOp::add && a.type() == ValueType::string &&
+      b.type() == ValueType::string) {
+    return Value::string(a.as_string() + b.as_string());
+  }
+  if (!a.is_number() || !b.is_number()) return Value::error();
+  const bool both_int = a.type() == ValueType::integer &&
+                        b.type() == ValueType::integer;
+  if (both_int) {
+    const std::int64_t x = a.as_int();
+    const std::int64_t y = b.as_int();
+    switch (op) {
+      case BinaryOp::add: return Value::integer(x + y);
+      case BinaryOp::sub: return Value::integer(x - y);
+      case BinaryOp::mul: return Value::integer(x * y);
+      case BinaryOp::div:
+        return y == 0 ? Value::error() : Value::integer(x / y);
+      case BinaryOp::mod:
+        return y == 0 ? Value::error() : Value::integer(x % y);
+      default: return Value::error();
+    }
+  }
+  const double x = a.number();
+  const double y = b.number();
+  switch (op) {
+    case BinaryOp::add: return Value::real(x + y);
+    case BinaryOp::sub: return Value::real(x - y);
+    case BinaryOp::mul: return Value::real(x * y);
+    case BinaryOp::div: return y == 0.0 ? Value::error() : Value::real(x / y);
+    case BinaryOp::mod:
+      return y == 0.0 ? Value::error() : Value::real(std::fmod(x, y));
+    default: return Value::error();
+  }
+}
+
+const char* binop_text(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::logical_or: return "||";
+    case BinaryOp::logical_and: return "&&";
+    case BinaryOp::eq: return "==";
+    case BinaryOp::ne: return "!=";
+    case BinaryOp::lt: return "<";
+    case BinaryOp::le: return "<=";
+    case BinaryOp::gt: return ">";
+    case BinaryOp::ge: return ">=";
+    case BinaryOp::add: return "+";
+    case BinaryOp::sub: return "-";
+    case BinaryOp::mul: return "*";
+    case BinaryOp::div: return "/";
+    case BinaryOp::mod: return "%";
+    case BinaryOp::is: return "=?=";
+    case BinaryOp::isnt: return "=!=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Value AttrRef::eval(EvalContext& ctx) const {
+  if (ctx.depth >= EvalContext::kMaxDepth) return Value::error();
+  const ClassAd* scope_ad = nullptr;
+  switch (scope_) {
+    case Scope::plain:
+    case Scope::self:
+      scope_ad = ctx.self;
+      break;
+    case Scope::other:
+      scope_ad = ctx.other;
+      break;
+  }
+  if (scope_ad == nullptr) return Value::undefined();
+  ExprPtr e = scope_ad->lookup(name_);
+  if (!e && scope_ == Scope::plain && ctx.other != nullptr) {
+    // Plain references fall back to the match candidate, matching Condor's
+    // old-ClassAd lookup behaviour that the paper-era code relied on.
+    scope_ad = ctx.other;
+    e = scope_ad->lookup(name_);
+  }
+  if (!e) return Value::undefined();
+  EvalContext sub;
+  // Attribute lookups re-root 'self' in the ad that defines the attribute,
+  // flipping self/other when we crossed into the candidate ad.
+  sub.self = scope_ad;
+  sub.other = (scope_ad == ctx.self) ? ctx.other : ctx.self;
+  sub.depth = ctx.depth + 1;
+  return e->eval(sub);
+}
+
+std::string AttrRef::to_string() const {
+  switch (scope_) {
+    case Scope::plain: return name_;
+    case Scope::self: return "MY." + name_;
+    case Scope::other: return "TARGET." + name_;
+  }
+  return name_;
+}
+
+Value Unary::eval(EvalContext& ctx) const {
+  const Value v = operand_->eval(ctx);
+  if (v.is_error()) return Value::error();
+  if (v.is_undefined()) return Value::undefined();
+  switch (op_) {
+    case UnaryOp::negate:
+      if (v.type() == ValueType::integer) return Value::integer(-v.as_int());
+      if (v.type() == ValueType::real) return Value::real(-v.as_real());
+      return Value::error();
+    case UnaryOp::logical_not:
+      if (v.type() == ValueType::boolean) return Value::boolean(!v.as_bool());
+      if (v.type() == ValueType::integer)
+        return Value::boolean(v.as_int() == 0);
+      return Value::error();
+  }
+  return Value::error();
+}
+
+std::string Unary::to_string() const {
+  return std::string(op_ == UnaryOp::negate ? "-" : "!") + "(" +
+         operand_->to_string() + ")";
+}
+
+Value Binary::eval(EvalContext& ctx) const {
+  if (op_ == BinaryOp::logical_and || op_ == BinaryOp::logical_or) {
+    const Value a = lhs_->eval(ctx);
+    // Short-circuit on determinate outcomes.
+    if (a.type() == ValueType::boolean) {
+      if (op_ == BinaryOp::logical_and && !a.as_bool())
+        return Value::boolean(false);
+      if (op_ == BinaryOp::logical_or && a.as_bool())
+        return Value::boolean(true);
+    }
+    const Value b = rhs_->eval(ctx);
+    return op_ == BinaryOp::logical_and ? logical_and_v(a, b)
+                                        : logical_or_v(a, b);
+  }
+  const Value a = lhs_->eval(ctx);
+  const Value b = rhs_->eval(ctx);
+  switch (op_) {
+    case BinaryOp::is:
+      return Value::boolean(a.same_as(b));
+    case BinaryOp::isnt:
+      return Value::boolean(!a.same_as(b));
+    case BinaryOp::eq:
+    case BinaryOp::ne:
+    case BinaryOp::lt:
+    case BinaryOp::le:
+    case BinaryOp::gt:
+    case BinaryOp::ge:
+      return compare(op_, a, b);
+    default:
+      return arithmetic(op_, a, b);
+  }
+}
+
+std::string Binary::to_string() const {
+  return "(" + lhs_->to_string() + " " + binop_text(op_) + " " +
+         rhs_->to_string() + ")";
+}
+
+Value Ternary::eval(EvalContext& ctx) const {
+  const Value c = cond_->eval(ctx);
+  if (c.is_error()) return Value::error();
+  if (c.is_undefined()) return Value::undefined();
+  bool taken = false;
+  if (c.type() == ValueType::boolean) {
+    taken = c.as_bool();
+  } else if (c.type() == ValueType::integer) {
+    taken = c.as_int() != 0;
+  } else {
+    return Value::error();
+  }
+  return taken ? then_->eval(ctx) : else_->eval(ctx);
+}
+
+std::string Ternary::to_string() const {
+  return "(" + cond_->to_string() + " ? " + then_->to_string() + " : " +
+         else_->to_string() + ")";
+}
+
+Value FuncCall::eval(EvalContext& ctx) const {
+  std::vector<Value> args;
+  args.reserve(args_.size());
+  for (const auto& a : args_) args.push_back(a->eval(ctx));
+  return call_builtin(to_lower(name_), args);
+}
+
+std::string FuncCall::to_string() const {
+  std::string out = name_ + "(";
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (i) out += ", ";
+    out += args_[i]->to_string();
+  }
+  out += ")";
+  return out;
+}
+
+Value ListLiteral::eval(EvalContext& ctx) const {
+  auto list = std::make_shared<std::vector<Value>>();
+  list->reserve(elems_.size());
+  for (const auto& e : elems_) list->push_back(e->eval(ctx));
+  return Value::list(std::move(list));
+}
+
+std::string ListLiteral::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < elems_.size(); ++i) {
+    if (i) out += ", ";
+    out += elems_[i]->to_string();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace nest::classad

@@ -1,0 +1,145 @@
+// ClassAd expression trees and evaluation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classad/value.h"
+
+namespace nest::classad {
+
+class ClassAd;
+
+// Evaluation environment. 'self' is the ad the expression lives in; 'other'
+// is the candidate ad during matchmaking (reachable via OTHER./TARGET.).
+struct EvalContext {
+  const ClassAd* self = nullptr;
+  const ClassAd* other = nullptr;
+  int depth = 0;  // recursion guard against self-referential ads
+
+  static constexpr int kMaxDepth = 64;
+};
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  virtual Value eval(EvalContext& ctx) const = 0;
+  virtual std::string to_string() const = 0;
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Literal final : public Expr {
+ public:
+  explicit Literal(Value v) : v_(std::move(v)) {}
+  Value eval(EvalContext&) const override { return v_; }
+  std::string to_string() const override { return v_.to_string(); }
+
+ private:
+  Value v_;
+};
+
+enum class Scope { plain, self, other };
+
+// Attribute reference: NAME, MY.NAME / SELF.NAME, TARGET.NAME / OTHER.NAME.
+class AttrRef final : public Expr {
+ public:
+  AttrRef(Scope scope, std::string name)
+      : scope_(scope), name_(std::move(name)) {}
+  Value eval(EvalContext& ctx) const override;
+  std::string to_string() const override;
+  const std::string& name() const { return name_; }
+  Scope scope() const { return scope_; }
+
+ private:
+  Scope scope_;
+  std::string name_;
+};
+
+enum class UnaryOp { negate, logical_not };
+
+class Unary final : public Expr {
+ public:
+  Unary(UnaryOp op, ExprPtr operand) : op_(op), operand_(std::move(operand)) {}
+  Value eval(EvalContext& ctx) const override;
+  std::string to_string() const override;
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+enum class BinaryOp {
+  logical_or,
+  logical_and,
+  eq,
+  ne,
+  lt,
+  le,
+  gt,
+  ge,
+  add,
+  sub,
+  mul,
+  div,
+  mod,
+  is,    // =?= strict equality (never UNDEFINED)
+  isnt,  // =!=
+};
+
+class Binary final : public Expr {
+ public:
+  Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  Value eval(EvalContext& ctx) const override;
+  std::string to_string() const override;
+
+ private:
+  BinaryOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class Ternary final : public Expr {
+ public:
+  Ternary(ExprPtr cond, ExprPtr then_e, ExprPtr else_e)
+      : cond_(std::move(cond)),
+        then_(std::move(then_e)),
+        else_(std::move(else_e)) {}
+  Value eval(EvalContext& ctx) const override;
+  std::string to_string() const override;
+
+ private:
+  ExprPtr cond_;
+  ExprPtr then_;
+  ExprPtr else_;
+};
+
+class FuncCall final : public Expr {
+ public:
+  FuncCall(std::string name, std::vector<ExprPtr> args)
+      : name_(std::move(name)), args_(std::move(args)) {}
+  Value eval(EvalContext& ctx) const override;
+  std::string to_string() const override;
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+};
+
+class ListLiteral final : public Expr {
+ public:
+  explicit ListLiteral(std::vector<ExprPtr> elems) : elems_(std::move(elems)) {}
+  Value eval(EvalContext& ctx) const override;
+  std::string to_string() const override;
+
+ private:
+  std::vector<ExprPtr> elems_;
+};
+
+// Builtin function dispatch; returns ERROR for unknown functions.
+Value call_builtin(const std::string& lower_name,
+                   const std::vector<Value>& args);
+
+}  // namespace nest::classad

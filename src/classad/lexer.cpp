@@ -1,0 +1,207 @@
+#include "classad/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace nest::classad {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+Error lex_error(std::size_t pos, const std::string& what) {
+  return Error{Errc::invalid_argument,
+               "classad lex error at " + std::to_string(pos) + ": " + what};
+}
+
+}  // namespace
+
+Result<std::vector<Token>> lex(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  auto push = [&](TokKind k, std::size_t pos) {
+    Token t;
+    t.kind = k;
+    t.pos = pos;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {  // line comment
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    const std::size_t pos = i;
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && ident_char(text[i])) ++i;
+      Token t;
+      t.kind = TokKind::identifier;
+      t.text = std::string(text.substr(start, i - start));
+      t.pos = pos;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      bool is_real = false;
+      if (i < n && text[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        is_real = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      }
+      if (i < n && (text[i] == 'e' || text[i] == 'E')) {
+        std::size_t save = i;
+        ++i;
+        if (i < n && (text[i] == '+' || text[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) {
+          is_real = true;
+          while (i < n && std::isdigit(static_cast<unsigned char>(text[i])))
+            ++i;
+        } else {
+          i = save;  // not an exponent after all
+        }
+      }
+      Token t;
+      t.pos = pos;
+      const std::string_view num = text.substr(start, i - start);
+      if (is_real) {
+        t.kind = TokKind::real;
+        t.real_value = std::stod(std::string(num));
+      } else {
+        t.kind = TokKind::integer;
+        std::from_chars(num.data(), num.data() + num.size(), t.int_value);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string body;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n) {
+          const char esc = text[i + 1];
+          switch (esc) {
+            case 'n': body.push_back('\n'); break;
+            case 't': body.push_back('\t'); break;
+            case '\\': body.push_back('\\'); break;
+            case '"': body.push_back('"'); break;
+            default: body.push_back(esc); break;
+          }
+          i += 2;
+          continue;
+        }
+        if (text[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        body.push_back(text[i]);
+        ++i;
+      }
+      if (!closed) return lex_error(pos, "unterminated string");
+      Token t;
+      t.kind = TokKind::string;
+      t.text = std::move(body);
+      t.pos = pos;
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '[': push(TokKind::lbracket, pos); ++i; break;
+      case ']': push(TokKind::rbracket, pos); ++i; break;
+      case '{': push(TokKind::lbrace, pos); ++i; break;
+      case '}': push(TokKind::rbrace, pos); ++i; break;
+      case '(': push(TokKind::lparen, pos); ++i; break;
+      case ')': push(TokKind::rparen, pos); ++i; break;
+      case ';': push(TokKind::semicolon, pos); ++i; break;
+      case ',': push(TokKind::comma, pos); ++i; break;
+      case '.': push(TokKind::dot, pos); ++i; break;
+      case '+': push(TokKind::plus, pos); ++i; break;
+      case '-': push(TokKind::minus, pos); ++i; break;
+      case '*': push(TokKind::star, pos); ++i; break;
+      case '/': push(TokKind::slash, pos); ++i; break;
+      case '%': push(TokKind::percent, pos); ++i; break;
+      case '?': push(TokKind::question, pos); ++i; break;
+      case ':': push(TokKind::colon, pos); ++i; break;
+      case '<':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokKind::le, pos);
+          i += 2;
+        } else {
+          push(TokKind::lt, pos);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokKind::ge, pos);
+          i += 2;
+        } else {
+          push(TokKind::gt, pos);
+          ++i;
+        }
+        break;
+      case '=':
+        if (i + 2 < n && text[i + 1] == '?' && text[i + 2] == '=') {
+          push(TokKind::meta_eq, pos);
+          i += 3;
+        } else if (i + 2 < n && text[i + 1] == '!' && text[i + 2] == '=') {
+          push(TokKind::meta_ne, pos);
+          i += 3;
+        } else if (i + 1 < n && text[i + 1] == '=') {
+          push(TokKind::eq, pos);
+          i += 2;
+        } else {
+          push(TokKind::assign, pos);
+          ++i;
+        }
+        break;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokKind::ne, pos);
+          i += 2;
+        } else {
+          push(TokKind::bang, pos);
+          ++i;
+        }
+        break;
+      case '&':
+        if (i + 1 < n && text[i + 1] == '&') {
+          push(TokKind::logical_and, pos);
+          i += 2;
+        } else {
+          return lex_error(pos, "single '&'");
+        }
+        break;
+      case '|':
+        if (i + 1 < n && text[i + 1] == '|') {
+          push(TokKind::logical_or, pos);
+          i += 2;
+        } else {
+          return lex_error(pos, "single '|'");
+        }
+        break;
+      default:
+        return lex_error(pos, std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(TokKind::end, n);
+  return out;
+}
+
+}  // namespace nest::classad

@@ -1,0 +1,59 @@
+// Tokenizer for the ClassAd expression language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace nest::classad {
+
+enum class TokKind {
+  end,
+  identifier,   // also carries keywords true/false/undefined/error/is/isnt
+  integer,
+  real,
+  string,
+  lbracket,     // [
+  rbracket,     // ]
+  lbrace,       // {
+  rbrace,       // }
+  lparen,
+  rparen,
+  semicolon,
+  comma,
+  dot,
+  assign,       // =
+  plus,
+  minus,
+  star,
+  slash,
+  percent,
+  lt,
+  le,
+  gt,
+  ge,
+  eq,           // ==
+  ne,           // !=
+  meta_eq,      // =?=
+  meta_ne,      // =!=
+  logical_and,  // &&
+  logical_or,   // ||
+  bang,         // !
+  question,
+  colon,
+};
+
+struct Token {
+  TokKind kind = TokKind::end;
+  std::string text;        // identifier spelling or string body (unescaped)
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+  std::size_t pos = 0;     // byte offset, for error messages
+};
+
+Result<std::vector<Token>> lex(std::string_view text);
+
+}  // namespace nest::classad

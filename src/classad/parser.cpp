@@ -1,0 +1,309 @@
+// Recursive-descent parser for ClassAd expressions and ads.
+//
+// Grammar (precedence low to high):
+//   expr     := ternary
+//   ternary  := or ('?' expr ':' expr)?
+//   or       := and ('||' and)*
+//   and      := meta ('&&' meta)*
+//   meta     := cmp (('=?=' | '=!=') cmp)*
+//   cmp      := sum (('=='|'!='|'<'|'<='|'>'|'>=') sum)*
+//   sum      := term (('+'|'-') term)*
+//   term     := unary (('*'|'/'|'%') unary)*
+//   unary    := ('-'|'!'|'+')* postfix
+//   postfix  := primary ('.' IDENT)*        -- scope selection
+//   primary  := literal | IDENT | IDENT '(' args ')' | '(' expr ')'
+//             | '{' exprs '}' | '[' ad ']'
+#include "classad/classad.h"
+#include "classad/lexer.h"
+#include "common/string_util.h"
+
+namespace nest::classad {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<ExprPtr> parse_expression() {
+    auto e = expr();
+    if (!e) return e;
+    if (!at(TokKind::end)) return fail("trailing input after expression");
+    return e;
+  }
+
+  Result<ClassAd> parse_ad() {
+    if (!accept(TokKind::lbracket)) return fail_ad("expected '['");
+    auto ad = ad_body();
+    if (!ad) return ad;
+    if (!at(TokKind::end)) return fail_ad("trailing input after ']'");
+    return ad;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(TokKind k) const { return cur().kind == k; }
+  bool accept(TokKind k) {
+    if (!at(k)) return false;
+    ++pos_;
+    return true;
+  }
+  Error error(const std::string& what) const {
+    return Error{Errc::invalid_argument,
+                 "classad parse error at " + std::to_string(cur().pos) + ": " +
+                     what};
+  }
+  Result<ExprPtr> fail(const std::string& what) const { return error(what); }
+  Result<ClassAd> fail_ad(const std::string& what) const {
+    return error(what);
+  }
+
+  // Parses attribute list up to and including the closing ']'.
+  Result<ClassAd> ad_body() {
+    ClassAd ad;
+    while (!at(TokKind::rbracket)) {
+      if (!at(TokKind::identifier)) return fail_ad("expected attribute name");
+      std::string name = cur().text;
+      ++pos_;
+      if (!accept(TokKind::assign)) return fail_ad("expected '='");
+      auto e = expr();
+      if (!e) return e.error();
+      ad.insert(name, std::move(e.value()));
+      if (!accept(TokKind::semicolon)) break;  // trailing ';' optional
+    }
+    if (!accept(TokKind::rbracket)) return fail_ad("expected ']'");
+    return ad;
+  }
+
+  Result<ExprPtr> expr() { return ternary(); }
+
+  Result<ExprPtr> ternary() {
+    auto c = logical_or();
+    if (!c) return c;
+    if (!accept(TokKind::question)) return c;
+    auto t = expr();
+    if (!t) return t;
+    if (!accept(TokKind::colon)) return fail("expected ':' in ternary");
+    auto f = expr();
+    if (!f) return f;
+    return ExprPtr(std::make_shared<Ternary>(std::move(c.value()),
+                                             std::move(t.value()),
+                                             std::move(f.value())));
+  }
+
+  Result<ExprPtr> logical_or() {
+    auto lhs = logical_and();
+    if (!lhs) return lhs;
+    while (accept(TokKind::logical_or)) {
+      auto rhs = logical_and();
+      if (!rhs) return rhs;
+      lhs = ExprPtr(std::make_shared<Binary>(BinaryOp::logical_or,
+                                             std::move(lhs.value()),
+                                             std::move(rhs.value())));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> logical_and() {
+    auto lhs = meta();
+    if (!lhs) return lhs;
+    while (accept(TokKind::logical_and)) {
+      auto rhs = meta();
+      if (!rhs) return rhs;
+      lhs = ExprPtr(std::make_shared<Binary>(BinaryOp::logical_and,
+                                             std::move(lhs.value()),
+                                             std::move(rhs.value())));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> meta() {
+    auto lhs = cmp();
+    if (!lhs) return lhs;
+    while (at(TokKind::meta_eq) || at(TokKind::meta_ne)) {
+      const BinaryOp op =
+          at(TokKind::meta_eq) ? BinaryOp::is : BinaryOp::isnt;
+      ++pos_;
+      auto rhs = cmp();
+      if (!rhs) return rhs;
+      lhs = ExprPtr(std::make_shared<Binary>(op, std::move(lhs.value()),
+                                             std::move(rhs.value())));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> cmp() {
+    auto lhs = sum();
+    if (!lhs) return lhs;
+    while (true) {
+      BinaryOp op;
+      if (at(TokKind::eq)) op = BinaryOp::eq;
+      else if (at(TokKind::ne)) op = BinaryOp::ne;
+      else if (at(TokKind::lt)) op = BinaryOp::lt;
+      else if (at(TokKind::le)) op = BinaryOp::le;
+      else if (at(TokKind::gt)) op = BinaryOp::gt;
+      else if (at(TokKind::ge)) op = BinaryOp::ge;
+      else break;
+      ++pos_;
+      auto rhs = sum();
+      if (!rhs) return rhs;
+      lhs = ExprPtr(std::make_shared<Binary>(op, std::move(lhs.value()),
+                                             std::move(rhs.value())));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> sum() {
+    auto lhs = term();
+    if (!lhs) return lhs;
+    while (at(TokKind::plus) || at(TokKind::minus)) {
+      const BinaryOp op = at(TokKind::plus) ? BinaryOp::add : BinaryOp::sub;
+      ++pos_;
+      auto rhs = term();
+      if (!rhs) return rhs;
+      lhs = ExprPtr(std::make_shared<Binary>(op, std::move(lhs.value()),
+                                             std::move(rhs.value())));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> term() {
+    auto lhs = unary();
+    if (!lhs) return lhs;
+    while (at(TokKind::star) || at(TokKind::slash) || at(TokKind::percent)) {
+      BinaryOp op = BinaryOp::mul;
+      if (at(TokKind::slash)) op = BinaryOp::div;
+      else if (at(TokKind::percent)) op = BinaryOp::mod;
+      ++pos_;
+      auto rhs = unary();
+      if (!rhs) return rhs;
+      lhs = ExprPtr(std::make_shared<Binary>(op, std::move(lhs.value()),
+                                             std::move(rhs.value())));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> unary() {
+    if (accept(TokKind::minus)) {
+      auto e = unary();
+      if (!e) return e;
+      return ExprPtr(
+          std::make_shared<Unary>(UnaryOp::negate, std::move(e.value())));
+    }
+    if (accept(TokKind::bang)) {
+      auto e = unary();
+      if (!e) return e;
+      return ExprPtr(
+          std::make_shared<Unary>(UnaryOp::logical_not, std::move(e.value())));
+    }
+    if (accept(TokKind::plus)) return unary();  // unary plus is identity
+    return primary();
+  }
+
+  Result<ExprPtr> primary() {
+    const Token& t = cur();
+    switch (t.kind) {
+      case TokKind::integer:
+        ++pos_;
+        return ExprPtr(std::make_shared<Literal>(Value::integer(t.int_value)));
+      case TokKind::real:
+        ++pos_;
+        return ExprPtr(std::make_shared<Literal>(Value::real(t.real_value)));
+      case TokKind::string:
+        ++pos_;
+        return ExprPtr(std::make_shared<Literal>(Value::string(t.text)));
+      case TokKind::lparen: {
+        ++pos_;
+        auto e = expr();
+        if (!e) return e;
+        if (!accept(TokKind::rparen)) return fail("expected ')'");
+        return e;
+      }
+      case TokKind::lbrace: {
+        ++pos_;
+        std::vector<ExprPtr> elems;
+        if (!at(TokKind::rbrace)) {
+          while (true) {
+            auto e = expr();
+            if (!e) return e;
+            elems.push_back(std::move(e.value()));
+            if (!accept(TokKind::comma)) break;
+          }
+        }
+        if (!accept(TokKind::rbrace)) return fail("expected '}'");
+        return ExprPtr(std::make_shared<ListLiteral>(std::move(elems)));
+      }
+      case TokKind::lbracket: {
+        ++pos_;
+        auto ad = ad_body();
+        if (!ad) return ad.error();
+        auto boxed = std::make_shared<ClassAd>(std::move(ad.value()));
+        return ExprPtr(std::make_shared<Literal>(Value::ad(std::move(boxed))));
+      }
+      case TokKind::identifier: {
+        const std::string lower = to_lower(t.text);
+        ++pos_;
+        if (lower == "true")
+          return ExprPtr(std::make_shared<Literal>(Value::boolean(true)));
+        if (lower == "false")
+          return ExprPtr(std::make_shared<Literal>(Value::boolean(false)));
+        if (lower == "undefined")
+          return ExprPtr(std::make_shared<Literal>(Value::undefined()));
+        if (lower == "error")
+          return ExprPtr(std::make_shared<Literal>(Value::error()));
+        // Scoped reference: MY.x / SELF.x / TARGET.x / OTHER.x
+        if ((lower == "my" || lower == "self" || lower == "target" ||
+             lower == "other") &&
+            at(TokKind::dot)) {
+          ++pos_;
+          if (!at(TokKind::identifier))
+            return fail("expected attribute after scope");
+          const std::string attr = cur().text;
+          ++pos_;
+          const Scope scope = (lower == "my" || lower == "self")
+                                  ? Scope::self
+                                  : Scope::other;
+          return ExprPtr(std::make_shared<AttrRef>(scope, attr));
+        }
+        // Function call
+        if (accept(TokKind::lparen)) {
+          std::vector<ExprPtr> args;
+          if (!at(TokKind::rparen)) {
+            while (true) {
+              auto e = expr();
+              if (!e) return e;
+              args.push_back(std::move(e.value()));
+              if (!accept(TokKind::comma)) break;
+            }
+          }
+          if (!accept(TokKind::rparen))
+            return fail("expected ')' after arguments");
+          return ExprPtr(std::make_shared<FuncCall>(t.text, std::move(args)));
+        }
+        return ExprPtr(std::make_shared<AttrRef>(Scope::plain, t.text));
+      }
+      default:
+        return fail("unexpected token");
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> parse_expr(std::string_view text) {
+  auto toks = lex(text);
+  if (!toks) return toks.error();
+  Parser p(std::move(toks.value()));
+  return p.parse_expression();
+}
+
+Result<ClassAd> ClassAd::parse(std::string_view text) {
+  auto toks = lex(text);
+  if (!toks) return toks.error();
+  Parser p(std::move(toks.value()));
+  return p.parse_ad();
+}
+
+}  // namespace nest::classad

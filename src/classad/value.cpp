@@ -1,0 +1,83 @@
+#include "classad/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "classad/classad.h"
+
+namespace nest::classad {
+
+std::string quote_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c); break;
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Value::to_string() const {
+  switch (type()) {
+    case ValueType::undefined: return "undefined";
+    case ValueType::error: return "error";
+    case ValueType::boolean: return as_bool() ? "true" : "false";
+    case ValueType::integer: return std::to_string(as_int());
+    case ValueType::real: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%g", as_real());
+      // Ensure reals round-trip as reals.
+      std::string s = buf;
+      if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+      return s;
+    }
+    case ValueType::string: return quote_string(as_string());
+    case ValueType::list: {
+      std::string out = "{";
+      const auto& elems = *as_list();
+      for (std::size_t i = 0; i < elems.size(); ++i) {
+        if (i) out += ", ";
+        out += elems[i].to_string();
+      }
+      out += "}";
+      return out;
+    }
+    case ValueType::classad: return as_ad()->to_string();
+  }
+  return "error";
+}
+
+bool Value::same_as(const Value& o) const {
+  if (type() != o.type()) {
+    // ints and reals with equal numeric value compare equal structurally
+    if (is_number() && o.is_number()) return number() == o.number();
+    return false;
+  }
+  switch (type()) {
+    case ValueType::undefined:
+    case ValueType::error:
+      return true;
+    case ValueType::boolean: return as_bool() == o.as_bool();
+    case ValueType::integer: return as_int() == o.as_int();
+    case ValueType::real: return as_real() == o.as_real();
+    case ValueType::string: return as_string() == o.as_string();
+    case ValueType::list: {
+      const auto& a = *as_list();
+      const auto& b = *o.as_list();
+      if (a.size() != b.size()) return false;
+      for (std::size_t i = 0; i < a.size(); ++i)
+        if (!a[i].same_as(b[i])) return false;
+      return true;
+    }
+    case ValueType::classad:
+      return as_ad()->to_string() == o.as_ad()->to_string();
+  }
+  return false;
+}
+
+}  // namespace nest::classad

@@ -1,0 +1,101 @@
+// ClassAd value model.
+//
+// ClassAds (Classified Advertisements) are the Condor matchmaking language
+// the paper uses for access control (Section 5) and for publishing resource
+// availability into the Grid discovery system (Section 2.1). Values follow
+// the ClassAd three-valued logic: in addition to ordinary types there are
+// UNDEFINED (attribute missing) and ERROR (ill-typed operation) values that
+// propagate through expressions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace nest::classad {
+
+class ClassAd;
+class Value;
+
+using ListPtr = std::shared_ptr<std::vector<Value>>;
+using AdPtr = std::shared_ptr<ClassAd>;
+
+enum class ValueType {
+  undefined,
+  error,
+  boolean,
+  integer,
+  real,
+  string,
+  list,
+  classad,
+};
+
+class Value {
+ public:
+  Value() : v_(Undefined{}) {}
+
+  static Value undefined() { return Value(); }
+  static Value error() {
+    Value v;
+    v.v_ = ErrorV{};
+    return v;
+  }
+  static Value boolean(bool b) { return Value(std::in_place_t{}, b); }
+  static Value integer(std::int64_t i) { return Value(std::in_place_t{}, i); }
+  static Value real(double d) { return Value(std::in_place_t{}, d); }
+  static Value string(std::string s) {
+    return Value(std::in_place_t{}, std::move(s));
+  }
+  static Value list(ListPtr l) { return Value(std::in_place_t{}, std::move(l)); }
+  static Value ad(AdPtr a) { return Value(std::in_place_t{}, std::move(a)); }
+
+  ValueType type() const noexcept {
+    return static_cast<ValueType>(v_.index());
+  }
+  bool is_undefined() const noexcept {
+    return type() == ValueType::undefined;
+  }
+  bool is_error() const noexcept { return type() == ValueType::error; }
+  bool is_number() const noexcept {
+    return type() == ValueType::integer || type() == ValueType::real;
+  }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  double as_real() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const ListPtr& as_list() const { return std::get<ListPtr>(v_); }
+  const AdPtr& as_ad() const { return std::get<AdPtr>(v_); }
+
+  // Numeric promotion: integer or real as double.
+  double number() const {
+    return type() == ValueType::integer ? static_cast<double>(as_int())
+                                        : as_real();
+  }
+
+  // Render in ClassAd syntax (strings quoted and escaped).
+  std::string to_string() const;
+
+  // Structural equality used by tests; UNDEFINED==UNDEFINED is true here
+  // (unlike the '==' operator inside the language, which yields UNDEFINED).
+  bool same_as(const Value& o) const;
+
+ private:
+  struct Undefined {};
+  struct ErrorV {};
+  using Storage = std::variant<Undefined, ErrorV, bool, std::int64_t, double,
+                               std::string, ListPtr, AdPtr>;
+
+  template <typename T>
+  Value(std::in_place_t, T&& t) : v_(std::forward<T>(t)) {}
+
+  Storage v_;
+};
+
+// Quote + escape a string literal in ClassAd syntax.
+std::string quote_string(const std::string& s);
+
+}  // namespace nest::classad

@@ -1,0 +1,222 @@
+#include "client/chirp_client.h"
+
+#include "common/string_util.h"
+#include "protocol/gsi.h"
+
+namespace nest::client {
+
+namespace {
+
+Errc code_to_errc(int code) {
+  switch (code) {
+    case 550: return Errc::not_found;
+    case 551: return Errc::exists;
+    case 530: return Errc::permission_denied;
+    case 552: return Errc::no_space;
+    case 554: return Errc::lot_unknown;
+    case 501: return Errc::invalid_argument;
+    case 553: return Errc::busy;
+    case 555: return Errc::not_dir;
+    default: return Errc::protocol_error;
+  }
+}
+
+}  // namespace
+
+Result<ChirpClient> ChirpClient::connect(const std::string& host,
+                                         uint16_t port,
+                                         const std::string& user,
+                                         const std::string& secret) {
+  auto stream = net::TcpStream::connect(host, port);
+  if (!stream.ok()) return stream.error();
+  ChirpClient c(std::move(stream.value()));
+  auto greeting = c.stream_.read_line();
+  if (!greeting.ok()) return greeting.error();
+  if (greeting->rfind("220", 0) != 0)
+    return Error{Errc::protocol_error, "bad greeting: " + *greeting};
+
+  if (user.empty()) {
+    auto r = c.command("AUTH anonymous");
+    if (!r.ok()) return r.error();
+    if (r->code != 230)
+      return Error{Errc::not_authenticated, r->text};
+  } else {
+    if (!c.stream_.write_all("AUTH " + user + "\r\n").ok())
+      return Error{Errc::io_error, "send AUTH"};
+    auto challenge_line = c.stream_.read_line();
+    if (!challenge_line.ok()) return challenge_line.error();
+    if (challenge_line->rfind("334 ", 0) != 0)
+      return Error{Errc::not_authenticated, *challenge_line};
+    const std::string challenge = challenge_line->substr(4);
+    auto r = c.command("RESPONSE " +
+                       protocol::GsiRegistry::respond(secret, challenge));
+    if (!r.ok()) return r.error();
+    if (r->code != 230) return Error{Errc::not_authenticated, r->text};
+  }
+  return c;
+}
+
+Result<ChirpClient::Response> ChirpClient::command(const std::string& line) {
+  if (!stream_.write_all(line + "\r\n").ok())
+    return Error{Errc::io_error, "send"};
+  auto reply = stream_.read_line();
+  if (!reply.ok()) return reply.error();
+  Response r;
+  const auto space = reply->find(' ');
+  r.code = static_cast<int>(
+      parse_int(reply->substr(0, space)).value_or(0));
+  if (space != std::string::npos) r.text = reply->substr(space + 1);
+  return r;
+}
+
+Status ChirpClient::to_status(const Response& r) {
+  if (r.code >= 200 && r.code < 300) return {};
+  return Status{code_to_errc(r.code), r.text};
+}
+
+Result<std::string> ChirpClient::read_payload(const Response& r) {
+  if (r.code != 213) return Error{code_to_errc(r.code), r.text};
+  const auto len = parse_int(r.text);
+  if (!len || *len < 0) return Error{Errc::protocol_error, "bad 213"};
+  std::string payload(static_cast<std::size_t>(*len), '\0');
+  if (auto s = stream_.read_exact(std::span(payload.data(), payload.size()));
+      !s.ok()) {
+    return Error{s.error()};
+  }
+  return payload;
+}
+
+Status ChirpClient::mkdir(const std::string& path) {
+  auto r = command("MKDIR " + path);
+  return r.ok() ? to_status(*r) : Status{r.error()};
+}
+
+Status ChirpClient::rmdir(const std::string& path) {
+  auto r = command("RMDIR " + path);
+  return r.ok() ? to_status(*r) : Status{r.error()};
+}
+
+Status ChirpClient::unlink(const std::string& path) {
+  auto r = command("UNLINK " + path);
+  return r.ok() ? to_status(*r) : Status{r.error()};
+}
+
+Status ChirpClient::rename(const std::string& from, const std::string& to) {
+  auto r = command("RENAME " + from + " " + to);
+  return r.ok() ? to_status(*r) : Status{r.error()};
+}
+
+Result<ChirpClient::Stat> ChirpClient::stat(const std::string& path) {
+  auto r = command("STAT " + path);
+  if (!r.ok()) return r.error();
+  if (r->code != 200) return Error{code_to_errc(r->code), r->text};
+  const auto words = split_ws(r->text);
+  if (words.size() < 2) return Error{Errc::protocol_error, r->text};
+  Stat st;
+  st.is_dir = words[0] == "dir";
+  st.size = parse_int(words[1]).value_or(0);
+  if (words.size() >= 3) st.owner = words[2];
+  return st;
+}
+
+Result<std::vector<std::string>> ChirpClient::list(const std::string& path) {
+  auto r = command("LIST " + path);
+  if (!r.ok()) return r.error();
+  auto payload = read_payload(*r);
+  if (!payload.ok()) return payload.error();
+  std::vector<std::string> names;
+  for (const auto& line : split(*payload, '\n')) {
+    const auto words = split_ws(line);
+    if (words.size() == 3) names.push_back(words[2]);
+  }
+  return names;
+}
+
+Result<std::string> ChirpClient::get(const std::string& path) {
+  auto r = command("GET " + path);
+  if (!r.ok()) return r.error();
+  if (r->code != 150) return Error{code_to_errc(r->code), r->text};
+  const auto size = parse_int(r->text);
+  if (!size || *size < 0) return Error{Errc::protocol_error, "bad 150"};
+  std::string data(static_cast<std::size_t>(*size), '\0');
+  if (auto s = stream_.read_exact(std::span(data.data(), data.size()));
+      !s.ok()) {
+    return Error{s.error()};
+  }
+  return data;
+}
+
+Status ChirpClient::put(const std::string& path, const std::string& data) {
+  auto r = command("PUT " + path + " " + std::to_string(data.size()));
+  if (!r.ok()) return Status{r.error()};
+  if (r->code != 150) return Status{code_to_errc(r->code), r->text};
+  if (auto s = stream_.write_all(data); !s.ok()) return s;
+  auto done = stream_.read_line();
+  if (!done.ok()) return Status{done.error()};
+  if (done->rfind("226", 0) != 0)
+    return Status{Errc::io_error, "store failed: " + *done};
+  return {};
+}
+
+Status ChirpClient::third_put(const std::string& path,
+                              const std::string& host, uint16_t port,
+                              const std::string& remote_path) {
+  auto r = command("THIRDPUT " + path + " " + host + " " +
+                   std::to_string(port) + " " + remote_path);
+  if (!r.ok()) return Status{r.error()};
+  return r->code == 226 ? Status{} : Status{code_to_errc(r->code), r->text};
+}
+
+Result<std::uint64_t> ChirpClient::lot_create(std::int64_t bytes,
+                                              std::int64_t seconds,
+                                              bool group) {
+  auto r = command("LOT CREATE " + std::to_string(bytes) + " " +
+                   std::to_string(seconds) + (group ? " GROUP" : ""));
+  if (!r.ok()) return r.error();
+  if (r->code != 200) return Error{code_to_errc(r->code), r->text};
+  const auto id = parse_int(r->text);
+  if (!id) return Error{Errc::protocol_error, "bad lot id"};
+  return static_cast<std::uint64_t>(*id);
+}
+
+Status ChirpClient::lot_renew(std::uint64_t id, std::int64_t seconds) {
+  auto r = command("LOT RENEW " + std::to_string(id) + " " +
+                   std::to_string(seconds));
+  return r.ok() ? to_status(*r) : Status{r.error()};
+}
+
+Status ChirpClient::lot_terminate(std::uint64_t id) {
+  auto r = command("LOT TERMINATE " + std::to_string(id));
+  return r.ok() ? to_status(*r) : Status{r.error()};
+}
+
+Result<std::string> ChirpClient::lot_query(std::uint64_t id) {
+  auto r = command("LOT QUERY " + std::to_string(id));
+  if (!r.ok()) return r.error();
+  if (r->code != 200) return Error{code_to_errc(r->code), r->text};
+  return r->text;
+}
+
+Status ChirpClient::acl_set(const std::string& dir, const std::string& entry) {
+  auto r = command("ACL SET " + dir + " " + entry);
+  return r.ok() ? to_status(*r) : Status{r.error()};
+}
+
+Result<std::string> ChirpClient::acl_get(const std::string& dir) {
+  auto r = command("ACL GET " + dir);
+  if (!r.ok()) return r.error();
+  return read_payload(*r);
+}
+
+Result<std::string> ChirpClient::query_ad() {
+  auto r = command("AD");
+  if (!r.ok()) return r.error();
+  return read_payload(*r);
+}
+
+Status ChirpClient::quit() {
+  auto r = command("QUIT");
+  return r.ok() ? Status{} : Status{r.error()};
+}
+
+}  // namespace nest::client

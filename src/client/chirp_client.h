@@ -1,0 +1,75 @@
+// ChirpClient: client for NeST's native protocol — the only protocol with
+// lot management (paper Section 5), so Grid tooling uses it for space
+// reservations even when data moves via other protocols.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "net/socket.h"
+
+namespace nest::client {
+
+class ChirpClient {
+ public:
+  // Connect and authenticate. Empty user = anonymous.
+  static Result<ChirpClient> connect(const std::string& host, uint16_t port,
+                                     const std::string& user = {},
+                                     const std::string& secret = {});
+
+  Status mkdir(const std::string& path);
+  Status rmdir(const std::string& path);
+  Status unlink(const std::string& path);
+  Status rename(const std::string& from, const std::string& to);
+
+  struct Stat {
+    bool is_dir = false;
+    std::int64_t size = 0;
+    std::string owner;
+  };
+  Result<Stat> stat(const std::string& path);
+  Result<std::vector<std::string>> list(const std::string& path);
+
+  Result<std::string> get(const std::string& path);
+  Status put(const std::string& path, const std::string& data);
+
+  // Three-party transfer: ask this server to push its file to another
+  // NeST (the data never flows through this client).
+  Status third_put(const std::string& path, const std::string& host,
+                   uint16_t port, const std::string& remote_path);
+
+  // Lot management.
+  Result<std::uint64_t> lot_create(std::int64_t bytes, std::int64_t seconds,
+                                   bool group = false);
+  Status lot_renew(std::uint64_t id, std::int64_t seconds);
+  Status lot_terminate(std::uint64_t id);
+  Result<std::string> lot_query(std::uint64_t id);
+
+  // ACL management (entry is a ClassAd in text form).
+  Status acl_set(const std::string& dir, const std::string& entry);
+  Result<std::string> acl_get(const std::string& dir);
+
+  // The appliance's resource ClassAd.
+  Result<std::string> query_ad();
+
+  Status quit();
+
+ private:
+  explicit ChirpClient(net::TcpStream stream) : stream_(std::move(stream)) {}
+
+  struct Response {
+    int code = 0;
+    std::string text;
+  };
+  Result<Response> command(const std::string& line);
+  Result<std::string> read_payload(const Response& r);
+  static Status to_status(const Response& r);
+
+  net::TcpStream stream_;
+};
+
+}  // namespace nest::client

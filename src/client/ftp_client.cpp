@@ -1,0 +1,294 @@
+#include "client/ftp_client.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "protocol/ftp_handler.h"
+#include "protocol/gsi.h"
+
+namespace nest::client {
+
+namespace {
+
+Errc ftp_code_to_errc(int code) {
+  switch (code) {
+    case 550: return Errc::not_found;
+    case 530: case 535: return Errc::permission_denied;
+    case 552: return Errc::no_space;
+    case 553: return Errc::exists;
+    case 501: case 504: return Errc::invalid_argument;
+    case 425: case 426: return Errc::io_error;
+    case 450: return Errc::busy;
+    default: return Errc::protocol_error;
+  }
+}
+
+}  // namespace
+
+Result<FtpClient::Response> FtpClient::read_response() {
+  // Multi-line responses ("211-...") run until the terminal "NNN " line.
+  while (true) {
+    auto line = control_.read_line();
+    if (!line.ok()) return line.error();
+    if (line->size() >= 4 && std::isdigit(static_cast<unsigned char>((*line)[0])) &&
+        std::isdigit(static_cast<unsigned char>((*line)[1])) &&
+        std::isdigit(static_cast<unsigned char>((*line)[2])) &&
+        (*line)[3] == ' ') {
+      Response r;
+      r.code = static_cast<int>(parse_int(line->substr(0, 3)).value_or(0));
+      r.text = line->substr(4);
+      return r;
+    }
+    // continuation line: keep reading
+  }
+}
+
+Result<FtpClient::Response> FtpClient::command(const std::string& line) {
+  if (auto s = control_.write_all(line + "\r\n"); !s.ok())
+    return Error{s.error()};
+  return read_response();
+}
+
+Result<FtpClient> FtpClient::connect(const std::string& host, uint16_t port,
+                                     std::optional<GsiIdentity> gsi) {
+  auto stream = net::TcpStream::connect(host, port);
+  if (!stream.ok()) return stream.error();
+  FtpClient c(std::move(stream.value()));
+  auto greeting = c.read_response();
+  if (!greeting.ok()) return greeting.error();
+  if (greeting->code != 220)
+    return Error{Errc::protocol_error, greeting->text};
+
+  if (gsi) {
+    auto challenge = c.command("AUTH GSI");
+    if (!challenge.ok()) return challenge.error();
+    if (challenge->code != 334)
+      return Error{Errc::not_authenticated, challenge->text};
+    auto done = c.command(
+        "ADAT " + gsi->subject + " " +
+        protocol::GsiRegistry::respond(gsi->secret, challenge->text));
+    if (!done.ok()) return done.error();
+    if (done->code != 235)
+      return Error{Errc::not_authenticated, done->text};
+  } else {
+    auto user = c.command("USER anonymous");
+    if (!user.ok()) return user.error();
+    if (user->code != 331 && user->code != 230)
+      return Error{Errc::not_authenticated, user->text};
+    if (user->code == 331) {
+      auto pass = c.command("PASS nest@");
+      if (!pass.ok()) return pass.error();
+      if (pass->code != 230)
+        return Error{Errc::not_authenticated, pass->text};
+    }
+  }
+  return c;
+}
+
+Status FtpClient::cwd(const std::string& path) {
+  auto r = command("CWD " + path);
+  if (!r.ok()) return Status{r.error()};
+  return r->code == 250 ? Status{} : Status{ftp_code_to_errc(r->code), r->text};
+}
+
+Result<std::string> FtpClient::pwd() {
+  auto r = command("PWD");
+  if (!r.ok()) return r.error();
+  if (r->code != 257) return Error{ftp_code_to_errc(r->code), r->text};
+  const auto first = r->text.find('"');
+  const auto last = r->text.rfind('"');
+  if (first == std::string::npos || last <= first)
+    return Error{Errc::protocol_error, r->text};
+  return r->text.substr(first + 1, last - first - 1);
+}
+
+Status FtpClient::mkd(const std::string& path) {
+  auto r = command("MKD " + path);
+  if (!r.ok()) return Status{r.error()};
+  return r->code == 257 ? Status{}
+                        : Status{ftp_code_to_errc(r->code), r->text};
+}
+
+Status FtpClient::rmd(const std::string& path) {
+  auto r = command("RMD " + path);
+  if (!r.ok()) return Status{r.error()};
+  return r->code == 250 ? Status{}
+                        : Status{ftp_code_to_errc(r->code), r->text};
+}
+
+Status FtpClient::dele(const std::string& path) {
+  auto r = command("DELE " + path);
+  if (!r.ok()) return Status{r.error()};
+  return r->code == 250 ? Status{}
+                        : Status{ftp_code_to_errc(r->code), r->text};
+}
+
+Result<std::int64_t> FtpClient::size(const std::string& path) {
+  auto r = command("SIZE " + path);
+  if (!r.ok()) return r.error();
+  if (r->code != 213) return Error{ftp_code_to_errc(r->code), r->text};
+  const auto n = parse_int(r->text);
+  if (!n) return Error{Errc::protocol_error, r->text};
+  return *n;
+}
+
+Status FtpClient::set_mode_e(bool on) {
+  auto r = command(on ? "MODE E" : "MODE S");
+  if (!r.ok()) return Status{r.error()};
+  if (r->code != 200) return Status{ftp_code_to_errc(r->code), r->text};
+  mode_e_ = on;
+  return {};
+}
+
+Result<std::pair<std::string, uint16_t>> FtpClient::pasv() {
+  auto r = command("PASV");
+  if (!r.ok()) return r.error();
+  if (r->code != 227) return Error{ftp_code_to_errc(r->code), r->text};
+  const auto open = r->text.find('(');
+  const auto close = r->text.find(')');
+  if (open == std::string::npos || close == std::string::npos)
+    return Error{Errc::protocol_error, r->text};
+  const auto parts = split(r->text.substr(open + 1, close - open - 1), ',');
+  if (parts.size() != 6) return Error{Errc::protocol_error, r->text};
+  const std::string ip =
+      parts[0] + "." + parts[1] + "." + parts[2] + "." + parts[3];
+  const auto p = static_cast<uint16_t>(parse_int(parts[4]).value_or(0) * 256 +
+                                       parse_int(parts[5]).value_or(0));
+  return std::make_pair(ip, p);
+}
+
+Status FtpClient::port(const std::string& ip, uint16_t p) {
+  std::string dotted = ip;
+  for (char& c : dotted) {
+    if (c == '.') c = ',';
+  }
+  auto r = command("PORT " + dotted + "," + std::to_string(p >> 8) + "," +
+                   std::to_string(p & 0xff));
+  if (!r.ok()) return Status{r.error()};
+  return r->code == 200 ? Status{}
+                        : Status{ftp_code_to_errc(r->code), r->text};
+}
+
+Result<std::string> FtpClient::retr(const std::string& path) {
+  auto addr = pasv();
+  if (!addr.ok()) return addr.error();
+  if (auto s = begin("RETR", path); !s.ok()) return Error{s.error()};
+  auto data = net::TcpStream::connect(addr->first, addr->second);
+  if (!data.ok()) return data.error();
+  std::string out;
+  if (mode_e_) {
+    std::vector<char> block;
+    std::int64_t off = 0;
+    while (true) {
+      auto more = protocol::ModeEBlock::recv(*data, block, off);
+      if (!more.ok()) return more.error();
+      if (!block.empty()) {
+        if (out.size() < static_cast<std::size_t>(off) + block.size()) {
+          out.resize(static_cast<std::size_t>(off) + block.size());
+        }
+        std::copy(block.begin(), block.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(off));
+      }
+      if (!*more) break;
+    }
+  } else {
+    char buf[8192];
+    while (true) {
+      auto n = data->read_some(std::span(buf, sizeof buf));
+      if (!n.ok()) return n.error();
+      if (*n == 0) break;
+      out.append(buf, static_cast<std::size_t>(*n));
+    }
+  }
+  if (auto s = finish(); !s.ok()) return Error{s.error()};
+  return out;
+}
+
+Status FtpClient::stor(const std::string& path, const std::string& data) {
+  auto addr = pasv();
+  if (!addr.ok()) return Status{addr.error()};
+  if (auto s = begin("STOR", path); !s.ok()) return s;
+  auto conn = net::TcpStream::connect(addr->first, addr->second);
+  if (!conn.ok()) return Status{conn.error()};
+  if (mode_e_) {
+    constexpr std::size_t kBlock = 64 * 1024;
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const std::size_t len = std::min(kBlock, data.size() - off);
+      if (auto s = protocol::ModeEBlock::send(
+              *conn, std::span<const char>(data.data() + off, len),
+              static_cast<std::int64_t>(off), false);
+          !s.ok()) {
+        return s;
+      }
+      off += len;
+    }
+    if (auto s = protocol::ModeEBlock::send(
+            *conn, {}, static_cast<std::int64_t>(off), true);
+        !s.ok()) {
+      return s;
+    }
+  } else {
+    if (auto s = conn->write_all(data); !s.ok()) return s;
+  }
+  conn->shutdown_send();
+  return finish();
+}
+
+Result<std::string> FtpClient::list(const std::string& path) {
+  auto addr = pasv();
+  if (!addr.ok()) return addr.error();
+  if (auto s = begin("LIST", path.empty() ? "." : path); !s.ok())
+    return Error{s.error()};
+  auto data = net::TcpStream::connect(addr->first, addr->second);
+  if (!data.ok()) return data.error();
+  std::string out;
+  char buf[8192];
+  while (true) {
+    auto n = data->read_some(std::span(buf, sizeof buf));
+    if (!n.ok()) return n.error();
+    if (*n == 0) break;
+    out.append(buf, static_cast<std::size_t>(*n));
+  }
+  if (auto s = finish(); !s.ok()) return Error{s.error()};
+  return out;
+}
+
+Result<std::string> FtpClient::retr_from(const std::string& path,
+                                         std::int64_t offset) {
+  auto r = command("REST " + std::to_string(offset));
+  if (!r.ok()) return r.error();
+  if (r->code != 350) return Error{ftp_code_to_errc(r->code), r->text};
+  return retr(path);
+}
+
+Status FtpClient::begin(const std::string& verb, const std::string& path) {
+  auto r = command(verb + " " + path);
+  if (!r.ok()) return Status{r.error()};
+  if (r->code != 150) return Status{ftp_code_to_errc(r->code), r->text};
+  return {};
+}
+
+Status FtpClient::finish() {
+  auto r = read_response();
+  if (!r.ok()) return Status{r.error()};
+  if (r->code != 226) return Status{ftp_code_to_errc(r->code), r->text};
+  return {};
+}
+
+Status FtpClient::retr_remote(const std::string& path) {
+  if (auto s = begin("RETR", path); !s.ok()) return s;
+  return finish();
+}
+
+Status FtpClient::stor_remote(const std::string& path) {
+  if (auto s = begin("STOR", path); !s.ok()) return s;
+  return finish();
+}
+
+Status FtpClient::quit() {
+  auto r = command("QUIT");
+  return r.ok() ? Status{} : Status{r.error()};
+}
+
+}  // namespace nest::client

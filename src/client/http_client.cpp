@@ -1,0 +1,84 @@
+#include "client/http_client.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace nest::client {
+
+Result<HttpClient::Response> HttpClient::request(
+    const std::string& method, const std::string& path,
+    const std::string& body, bool want_body,
+    const std::string& extra_headers) {
+  auto stream = net::TcpStream::connect(host_, port_);
+  if (!stream.ok()) return stream.error();
+
+  std::ostringstream os;
+  os << method << " " << path << " HTTP/1.0\r\n";
+  os << "Host: " << host_ << "\r\n";
+  if (!body.empty() || method == "PUT") {
+    os << "Content-Length: " << body.size() << "\r\n";
+  }
+  os << extra_headers;
+  os << "\r\n";
+  if (auto s = stream->write_all(os.str()); !s.ok()) return Error{s.error()};
+  if (!body.empty()) {
+    if (auto s = stream->write_all(body); !s.ok()) return Error{s.error()};
+  }
+
+  auto status_line = stream->read_line();
+  if (!status_line.ok()) return status_line.error();
+  const auto words = split_ws(*status_line);
+  if (words.size() < 2)
+    return Error{Errc::protocol_error, "bad status line"};
+  Response resp;
+  resp.status = static_cast<int>(parse_int(words[1]).value_or(0));
+
+  while (true) {
+    auto header = stream->read_line();
+    if (!header.ok()) return header.error();
+    if (header->empty()) break;
+    if (starts_with_icase(*header, "content-length:")) {
+      resp.content_length =
+          parse_int(header->substr(header->find(':') + 1)).value_or(-1);
+    }
+  }
+
+  if (want_body && resp.content_length > 0) {
+    resp.body.resize(static_cast<std::size_t>(resp.content_length));
+    if (auto s = stream->read_exact(
+            std::span(resp.body.data(), resp.body.size()));
+        !s.ok()) {
+      return Error{s.error()};
+    }
+  }
+  return resp;
+}
+
+Result<HttpClient::Response> HttpClient::get(const std::string& path) {
+  return request("GET", path, {}, /*want_body=*/true);
+}
+
+Result<HttpClient::Response> HttpClient::get_range(const std::string& path,
+                                                   std::int64_t first,
+                                                   std::int64_t last) {
+  std::string header = "Range: bytes=" + std::to_string(first) + "-";
+  if (last >= 0) header += std::to_string(last);
+  header += "\r\n";
+  return request("GET", path, {}, /*want_body=*/true, header);
+}
+
+Result<HttpClient::Response> HttpClient::head(const std::string& path) {
+  return request("HEAD", path, {}, /*want_body=*/false);
+}
+
+Result<HttpClient::Response> HttpClient::put(const std::string& path,
+                                             const std::string& body) {
+  return request("PUT", path, body, /*want_body=*/false);
+}
+
+Result<HttpClient::Response> HttpClient::del(const std::string& path) {
+  return request("DELETE", path, {}, /*want_body=*/false);
+}
+
+}  // namespace nest::client

@@ -1,0 +1,40 @@
+// Minimal HTTP/1.0 client for the appliance's HTTP endpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "net/socket.h"
+
+namespace nest::client {
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  struct Response {
+    int status = 0;
+    std::string body;
+    std::int64_t content_length = -1;
+  };
+
+  Result<Response> get(const std::string& path);
+  // Range request: bytes [first, last] inclusive (last = -1: to EOF).
+  Result<Response> get_range(const std::string& path, std::int64_t first,
+                             std::int64_t last);
+  Result<Response> head(const std::string& path);
+  Result<Response> put(const std::string& path, const std::string& body);
+  Result<Response> del(const std::string& path);
+
+ private:
+  Result<Response> request(const std::string& method, const std::string& path,
+                           const std::string& body, bool want_body,
+                           const std::string& extra_headers = {});
+
+  std::string host_;
+  uint16_t port_;
+};
+
+}  // namespace nest::client

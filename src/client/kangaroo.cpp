@@ -1,0 +1,100 @@
+#include "client/kangaroo.h"
+
+#include <algorithm>
+
+#include "client/chirp_client.h"
+#include "common/log.h"
+
+namespace nest::client {
+
+KangarooMover::KangarooMover(Options options) : options_(std::move(options)) {
+  mover_ = std::thread([this] { run(); });
+}
+
+KangarooMover::~KangarooMover() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  mover_.join();
+}
+
+Status KangarooMover::put(const std::string& remote_path, std::string data) {
+  std::lock_guard lock(mu_);
+  if (stats_.spooled_bytes + static_cast<std::int64_t>(data.size()) >
+      options_.spool_limit) {
+    return Status{Errc::no_space, "kangaroo spool full"};
+  }
+  stats_.spooled_bytes += static_cast<std::int64_t>(data.size());
+  queue_.push_back(SpoolEntry{remote_path, std::move(data), 0});
+  cv_.notify_all();
+  return {};
+}
+
+Status KangarooMover::flush() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return queue_.empty(); });
+  return first_failure_;
+}
+
+KangarooMover::Stats KangarooMover::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+bool KangarooMover::try_deliver(const SpoolEntry& entry) {
+  auto chirp = ChirpClient::connect(options_.host, options_.port,
+                                    options_.user, options_.secret);
+  if (!chirp.ok()) return false;
+  return chirp->put(entry.remote_path, entry.data).ok();
+}
+
+void KangarooMover::run() {
+  Nanos backoff = options_.initial_backoff;
+  std::unique_lock lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) {
+      // Destructor: abandon whatever is still spooled (callers that need
+      // delivery guarantees flush() first).
+      stats_.permanent_failures += static_cast<std::int64_t>(queue_.size());
+      queue_.clear();
+      cv_.notify_all();
+      return;
+    }
+    if (queue_.empty()) continue;
+    SpoolEntry entry = queue_.front();  // copy: delivery runs unlocked
+    lock.unlock();
+    const bool delivered = try_deliver(entry);
+    lock.lock();
+    if (delivered) {
+      stats_.files_delivered += 1;
+      stats_.bytes_delivered += static_cast<std::int64_t>(entry.data.size());
+      stats_.spooled_bytes -= static_cast<std::int64_t>(entry.data.size());
+      queue_.pop_front();
+      backoff = options_.initial_backoff;
+      cv_.notify_all();
+      continue;
+    }
+    stats_.retries += 1;
+    queue_.front().attempts += 1;
+    if (queue_.front().attempts >= options_.max_attempts) {
+      stats_.permanent_failures += 1;
+      stats_.spooled_bytes -= static_cast<std::int64_t>(entry.data.size());
+      if (first_failure_.ok()) {
+        first_failure_ = Status{
+            Errc::io_error, "kangaroo: giving up on " + entry.remote_path};
+      }
+      queue_.pop_front();
+      cv_.notify_all();
+      continue;
+    }
+    // Destination unreachable: back off (interruptible by stop).
+    cv_.wait_for(lock, std::chrono::nanoseconds(backoff),
+                 [this] { return stop_; });
+    backoff = std::min<Nanos>(backoff * 2, options_.max_backoff);
+  }
+}
+
+}  // namespace nest::client

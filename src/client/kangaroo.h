@@ -1,0 +1,85 @@
+// KangarooMover: store-and-forward data movement in the style of the
+// Kangaroo system (Thain et al., HPDC '01), which the paper's Section 6
+// names as an alternative transport for moving data from site to site.
+//
+// The Kangaroo idea: an application's output is handed to a local spool
+// and the call returns immediately; a background mover "hops" the data to
+// the destination NeST reliably, retrying across failures. Jobs finish at
+// CPU speed while the network catches up, and transient destination
+// outages do not surface as job errors.
+//
+// This implementation spools in memory, pushes via Chirp, retries with
+// exponential backoff, and preserves per-destination FIFO order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace nest::client {
+
+class KangarooMover {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;          // destination NeST chirp port
+    std::string user;           // GSI subject ("" = anonymous)
+    std::string secret;
+    int max_attempts = 20;      // per file before giving up
+    Nanos initial_backoff = 50 * kMillisecond;
+    Nanos max_backoff = 2 * kSecond;
+    std::int64_t spool_limit = 256LL * 1024 * 1024;  // max spooled bytes
+  };
+
+  explicit KangarooMover(Options options);
+  // Destruction abandons anything still spooled; call flush() first when
+  // delivery must be guaranteed.
+  ~KangarooMover();
+  KangarooMover(const KangarooMover&) = delete;
+  KangarooMover& operator=(const KangarooMover&) = delete;
+
+  // Spool a file for delivery; returns as soon as the bytes are queued
+  // (the Kangaroo property). Fails only when the spool is full.
+  Status put(const std::string& remote_path, std::string data);
+
+  // Block until every spooled file has been delivered (or permanently
+  // failed). Returns the first permanent failure, if any.
+  Status flush();
+
+  struct Stats {
+    std::int64_t files_delivered = 0;
+    std::int64_t bytes_delivered = 0;
+    std::int64_t retries = 0;
+    std::int64_t permanent_failures = 0;
+    std::int64_t spooled_bytes = 0;  // currently queued
+  };
+  Stats stats() const;
+
+ private:
+  struct SpoolEntry {
+    std::string remote_path;
+    std::string data;
+    int attempts = 0;
+  };
+
+  void run();
+  // One delivery attempt for the queue head; true on success.
+  bool try_deliver(const SpoolEntry& entry);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<SpoolEntry> queue_;
+  Stats stats_;
+  Status first_failure_;
+  bool stop_ = false;
+  std::thread mover_;
+};
+
+}  // namespace nest::client

@@ -1,0 +1,170 @@
+// nest-cli: command-line Chirp client for a running NeST appliance.
+//
+// Usage:
+//   nest-cli <host> <port> [-u user -k secret] <command> [args...]
+//
+// Commands:
+//   ls <dir>                 stat <path>             mkdir <dir>
+//   rmdir <dir>              rm <path>               mv <from> <to>
+//   get <path>               put <path> <local-file>
+//   lot-create <bytes> <seconds> [group]
+//   lot-renew <id> <seconds> lot-terminate <id>      lot-query <id>
+//   acl-get <dir>            acl-set <dir> <classad-entry...>
+//   ad
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "client/chirp_client.h"
+#include "common/string_util.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nest-cli <host> <port> [-u user -k secret] <command> "
+               "[args...]\n"
+               "commands: ls stat mkdir rmdir rm mv get put lot-create\n"
+               "          lot-renew lot-terminate lot-query acl-get acl-set "
+               "ad\n");
+  return 2;
+}
+
+int fail(const nest::Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.to_string().c_str());
+  return 1;
+}
+int fail(const nest::Error& e) {
+  std::fprintf(stderr, "error: %s\n", e.to_string().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nest;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() < 3) return usage();
+
+  const std::string host = args[0];
+  const auto port = parse_int(args[1]);
+  if (!port || *port <= 0 || *port > 65535) return usage();
+  std::size_t i = 2;
+  std::string user;
+  std::string secret;
+  while (i + 1 < args.size() && (args[i] == "-u" || args[i] == "-k")) {
+    (args[i] == "-u" ? user : secret) = args[i + 1];
+    i += 2;
+  }
+  if (i >= args.size()) return usage();
+  const std::string cmd = args[i++];
+  std::vector<std::string> rest(args.begin() + static_cast<long>(i),
+                                args.end());
+
+  auto client = client::ChirpClient::connect(
+      host, static_cast<uint16_t>(*port), user, secret);
+  if (!client.ok()) return fail(client.error());
+
+  if (cmd == "ls" && rest.size() == 1) {
+    auto names = client->list(rest[0]);
+    if (!names.ok()) return fail(names.error());
+    for (const auto& n : *names) std::printf("%s\n", n.c_str());
+    return 0;
+  }
+  if (cmd == "stat" && rest.size() == 1) {
+    auto st = client->stat(rest[0]);
+    if (!st.ok()) return fail(st.error());
+    std::printf("%s %lld %s\n", st->is_dir ? "dir" : "file",
+                static_cast<long long>(st->size), st->owner.c_str());
+    return 0;
+  }
+  if (cmd == "mkdir" && rest.size() == 1) {
+    const auto s = client->mkdir(rest[0]);
+    return s.ok() ? 0 : fail(s);
+  }
+  if (cmd == "rmdir" && rest.size() == 1) {
+    const auto s = client->rmdir(rest[0]);
+    return s.ok() ? 0 : fail(s);
+  }
+  if (cmd == "rm" && rest.size() == 1) {
+    const auto s = client->unlink(rest[0]);
+    return s.ok() ? 0 : fail(s);
+  }
+  if (cmd == "mv" && rest.size() == 2) {
+    const auto s = client->rename(rest[0], rest[1]);
+    return s.ok() ? 0 : fail(s);
+  }
+  if (cmd == "get" && rest.size() == 1) {
+    auto data = client->get(rest[0]);
+    if (!data.ok()) return fail(data.error());
+    std::fwrite(data->data(), 1, data->size(), stdout);
+    return 0;
+  }
+  if (cmd == "put" && rest.size() == 2) {
+    std::ifstream in(rest[1], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read %s\n", rest[1].c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const auto s = client->put(rest[0], ss.str());
+    return s.ok() ? 0 : fail(s);
+  }
+  if (cmd == "lot-create" && (rest.size() == 2 || rest.size() == 3)) {
+    const auto bytes = parse_int(rest[0]);
+    const auto secs = parse_int(rest[1]);
+    if (!bytes || !secs) return usage();
+    auto id = client->lot_create(*bytes, *secs,
+                                 rest.size() == 3 && rest[2] == "group");
+    if (!id.ok()) return fail(id.error());
+    std::printf("%llu\n", static_cast<unsigned long long>(*id));
+    return 0;
+  }
+  if (cmd == "lot-renew" && rest.size() == 2) {
+    const auto id = parse_int(rest[0]);
+    const auto secs = parse_int(rest[1]);
+    if (!id || !secs) return usage();
+    const auto s =
+        client->lot_renew(static_cast<std::uint64_t>(*id), *secs);
+    return s.ok() ? 0 : fail(s);
+  }
+  if (cmd == "lot-terminate" && rest.size() == 1) {
+    const auto id = parse_int(rest[0]);
+    if (!id) return usage();
+    const auto s = client->lot_terminate(static_cast<std::uint64_t>(*id));
+    return s.ok() ? 0 : fail(s);
+  }
+  if (cmd == "lot-query" && rest.size() == 1) {
+    const auto id = parse_int(rest[0]);
+    if (!id) return usage();
+    auto desc = client->lot_query(static_cast<std::uint64_t>(*id));
+    if (!desc.ok()) return fail(desc.error());
+    std::printf("%s\n", desc->c_str());
+    return 0;
+  }
+  if (cmd == "acl-get" && rest.size() == 1) {
+    auto entries = client->acl_get(rest[0]);
+    if (!entries.ok()) return fail(entries.error());
+    std::printf("%s", entries->c_str());
+    return 0;
+  }
+  if (cmd == "acl-set" && rest.size() >= 2) {
+    std::string entry;
+    for (std::size_t k = 1; k < rest.size(); ++k) {
+      if (k > 1) entry += " ";
+      entry += rest[k];
+    }
+    const auto s = client->acl_set(rest[0], entry);
+    return s.ok() ? 0 : fail(s);
+  }
+  if (cmd == "ad" && rest.empty()) {
+    auto ad = client->query_ad();
+    if (!ad.ok()) return fail(ad.error());
+    std::printf("%s\n", ad->c_str());
+    return 0;
+  }
+  return usage();
+}

@@ -1,0 +1,58 @@
+// Clock abstraction. All NeST policy code (lots, schedulers, adaptive
+// concurrency selection) takes a Clock& so the same logic runs unmodified
+// against wall-clock time in the real server and virtual time in the
+// discrete-event simulator.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace nest {
+
+// Simulation/wall time in nanoseconds. Signed so durations subtract cleanly.
+using Nanos = std::int64_t;
+
+constexpr Nanos kMicrosecond = 1'000;
+constexpr Nanos kMillisecond = 1'000'000;
+constexpr Nanos kSecond = 1'000'000'000;
+
+constexpr double to_seconds(Nanos t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+constexpr Nanos from_seconds(double s) noexcept {
+  return static_cast<Nanos>(s * static_cast<double>(kSecond));
+}
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Nanos now() const = 0;
+};
+
+// Monotonic wall clock for the real appliance.
+class RealClock final : public Clock {
+ public:
+  Nanos now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  static RealClock& instance() {
+    static RealClock c;
+    return c;
+  }
+};
+
+// Manually advanced clock for unit tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Nanos start = 0) : t_(start) {}
+  Nanos now() const override { return t_; }
+  void advance(Nanos d) { t_ += d; }
+  void set(Nanos t) { t_ = t; }
+
+ private:
+  Nanos t_;
+};
+
+}  // namespace nest

@@ -1,0 +1,93 @@
+#include "common/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "common/units.h"
+
+namespace nest {
+
+Result<Config> Config::parse(std::string_view text) {
+  Config cfg;
+  std::size_t lineno = 0;
+  for (const auto& raw_line : split(text, '\n')) {
+    ++lineno;
+    std::string_view line = raw_line;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Error{Errc::invalid_argument,
+                   "config line " + std::to_string(lineno) + ": missing '='"};
+    }
+    auto key = std::string(trim(line.substr(0, eq)));
+    auto value = std::string(trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      return Error{Errc::invalid_argument,
+                   "config line " + std::to_string(lineno) + ": empty key"};
+    }
+    cfg.entries_[std::move(key)] = std::move(value);
+  }
+  return cfg;
+}
+
+Result<Config> Config::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error{Errc::not_found, "cannot open config: " + path};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::has(const std::string& key) const {
+  return entries_.count(key) != 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               std::string default_value) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? default_value : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t default_value) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return default_value;
+  return parse_int(it->second).value_or(default_value);
+}
+
+bool Config::get_bool(const std::string& key, bool default_value) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return default_value;
+  const std::string v = to_lower(it->second);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  return default_value;
+}
+
+std::int64_t Config::get_size(const std::string& key,
+                              std::int64_t default_value) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return default_value;
+  std::string_view v = trim(it->second);
+  if (v.empty()) return default_value;
+  std::int64_t mult = 1;
+  switch (v.back()) {
+    case 'K': case 'k': mult = kKB; v.remove_suffix(1); break;
+    case 'M': case 'm': mult = kMB; v.remove_suffix(1); break;
+    case 'G': case 'g': mult = kMB * 1000; v.remove_suffix(1); break;
+    default: break;
+  }
+  const auto n = parse_int(v);
+  return n ? *n * mult : default_value;
+}
+
+}  // namespace nest

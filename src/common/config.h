@@ -1,0 +1,42 @@
+// key = value configuration, in the spirit of NeST's nest.conf. Supports
+// '#' comments, string/int/bool/size lookups with defaults, and size
+// suffixes (K/M/G, decimal) for capacities.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace nest {
+
+class Config {
+ public:
+  Config() = default;
+
+  static Result<Config> parse(std::string_view text);
+  static Result<Config> load_file(const std::string& path);
+
+  void set(std::string key, std::string value);
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         std::string default_value = {}) const;
+  std::int64_t get_int(const std::string& key,
+                       std::int64_t default_value = 0) const;
+  bool get_bool(const std::string& key, bool default_value = false) const;
+  // Accepts raw byte counts or suffixed values: "64K", "10M", "2G".
+  std::int64_t get_size(const std::string& key,
+                        std::int64_t default_value = 0) const;
+
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace nest

@@ -1,0 +1,50 @@
+// Minimal leveled logger. NeST is a long-running daemon; components log
+// through here rather than writing to stderr directly so a server embedding
+// the library can redirect or silence output. printf-style formatting
+// (GCC 12 ships no <format>).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <string_view>
+
+namespace nest {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger l;
+    return l;
+  }
+
+  void set_level(LogLevel lvl) noexcept { level_ = lvl; }
+  LogLevel level() const noexcept { return level_; }
+
+  void write(LogLevel lvl, std::string_view component, std::string_view msg);
+
+  __attribute__((format(printf, 4, 5))) void writef(LogLevel lvl,
+                                                    const char* component,
+                                                    const char* fmt, ...);
+
+ private:
+  LogLevel level_ = LogLevel::warn;
+  std::mutex mu_;
+};
+
+#define NEST_LOG_DEBUG(component, ...)                                     \
+  ::nest::Logger::instance().writef(::nest::LogLevel::debug, component,    \
+                                    __VA_ARGS__)
+#define NEST_LOG_INFO(component, ...)                                      \
+  ::nest::Logger::instance().writef(::nest::LogLevel::info, component,     \
+                                    __VA_ARGS__)
+#define NEST_LOG_WARN(component, ...)                                      \
+  ::nest::Logger::instance().writef(::nest::LogLevel::warn, component,     \
+                                    __VA_ARGS__)
+#define NEST_LOG_ERROR(component, ...)                                     \
+  ::nest::Logger::instance().writef(::nest::LogLevel::error, component,    \
+                                    __VA_ARGS__)
+
+}  // namespace nest

@@ -1,0 +1,45 @@
+#include "common/metrics.h"
+
+#include "common/units.h"
+
+namespace nest {
+
+double jain_fairness(const std::vector<double>& ratios) {
+  if (ratios.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : ratios) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  const double n = static_cast<double>(ratios.size());
+  return (sum * sum) / (n * sum_sq);
+}
+
+double LatencyRecorder::mean_ms() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Nanos s : samples_) total += static_cast<double>(s);
+  return total / static_cast<double>(samples_.size()) / 1e6;
+}
+
+double LatencyRecorder::percentile_ms(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::sort(samples_.begin(), samples_.end());
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto idx = static_cast<std::size_t>(rank);
+  return static_cast<double>(samples_[idx]) / 1e6;
+}
+
+double BandwidthMeter::total_mbps() const {
+  return mb_per_sec(total_, end_ - start_);
+}
+
+double BandwidthMeter::class_mbps(const std::string& cls) const {
+  const auto it = bytes_.find(cls);
+  if (it == bytes_.end()) return 0.0;
+  return mb_per_sec(it->second, end_ - start_);
+}
+
+}  // namespace nest

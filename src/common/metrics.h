@@ -1,0 +1,56 @@
+// Measurement helpers shared by the benchmark harnesses: per-class byte
+// counters, latency recorders, and Jain's fairness index exactly as defined
+// in the paper (footnote 2 of Section 7.2).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace nest {
+
+// Jain's fairness index over per-component ratios X_i = delivered/desired.
+// 1.0 is a perfectly proportional allocation.
+double jain_fairness(const std::vector<double>& ratios);
+
+// Records request latencies and reports mean / percentiles.
+class LatencyRecorder {
+ public:
+  void record(Nanos latency) { samples_.push_back(latency); }
+  std::size_t count() const { return samples_.size(); }
+  double mean_ms() const;
+  double percentile_ms(double p) const;  // p in [0,100]
+
+ private:
+  mutable std::vector<Nanos> samples_;
+};
+
+// Per-class byte counter over a measurement window.
+class BandwidthMeter {
+ public:
+  void add(const std::string& cls, std::int64_t bytes) {
+    bytes_[cls] += bytes;
+    total_ += bytes;
+  }
+  void set_window(Nanos start, Nanos end) {
+    start_ = start;
+    end_ = end;
+  }
+  double total_mbps() const;
+  double class_mbps(const std::string& cls) const;
+  const std::map<std::string, std::int64_t>& per_class() const {
+    return bytes_;
+  }
+
+ private:
+  std::map<std::string, std::int64_t> bytes_;
+  std::int64_t total_ = 0;
+  Nanos start_ = 0;
+  Nanos end_ = 0;
+};
+
+}  // namespace nest

@@ -1,0 +1,30 @@
+#include "common/result.h"
+
+namespace nest {
+
+const char* errc_name(Errc e) noexcept {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::exists: return "exists";
+    case Errc::not_dir: return "not_dir";
+    case Errc::is_dir: return "is_dir";
+    case Errc::permission_denied: return "permission_denied";
+    case Errc::not_authenticated: return "not_authenticated";
+    case Errc::no_space: return "no_space";
+    case Errc::lot_expired: return "lot_expired";
+    case Errc::lot_unknown: return "lot_unknown";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::protocol_error: return "protocol_error";
+    case Errc::io_error: return "io_error";
+    case Errc::would_block: return "would_block";
+    case Errc::connection_closed: return "connection_closed";
+    case Errc::timed_out: return "timed_out";
+    case Errc::unsupported: return "unsupported";
+    case Errc::busy: return "busy";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace nest

@@ -1,0 +1,33 @@
+// Seeded RNG wrapper. Every stochastic component (workload generators,
+// adaptive probing jitter) draws from an explicitly seeded Rng so benchmark
+// runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace nest {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : eng_(seed) {}
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(eng_);
+  }
+  double uniform_real(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(eng_);
+  }
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(eng_);
+  }
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(eng_); }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace nest

@@ -1,0 +1,123 @@
+#include "common/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace nest {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool starts_with_icase(std::string_view s, std::string_view prefix) {
+  if (s.size() < prefix.size()) return false;
+  return std::equal(prefix.begin(), prefix.end(), s.begin(),
+                    [](char a, char b) {
+                      return std::tolower(static_cast<unsigned char>(a)) ==
+                             std::tolower(static_cast<unsigned char>(b));
+                    });
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  s = trim(s);
+  std::int64_t v = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc() || ptr != end || s.empty()) return std::nullopt;
+  return v;
+}
+
+std::string join_path(std::string_view a, std::string_view b) {
+  if (a.empty()) return std::string(b);
+  if (b.empty()) return std::string(a);
+  std::string out(a);
+  if (out.back() == '/' && b.front() == '/') {
+    out.append(b.substr(1));
+  } else if (out.back() != '/' && b.front() != '/') {
+    out.push_back('/');
+    out.append(b);
+  } else {
+    out.append(b);
+  }
+  return out;
+}
+
+std::string normalize_path(std::string_view path) {
+  std::vector<std::string_view> parts;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    std::size_t start = i;
+    while (i < path.size() && path[i] != '/') ++i;
+    if (i == start) continue;
+    std::string_view part = path.substr(start, i - start);
+    if (part == ".") continue;
+    if (part == "..") {
+      if (!parts.empty()) parts.pop_back();
+      continue;  // '..' at root stays at root: clients cannot escape
+    }
+    parts.push_back(part);
+  }
+  std::string out = "/";
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    out.append(parts[k]);
+    if (k + 1 < parts.size()) out.push_back('/');
+  }
+  return out;
+}
+
+std::string parent_path(std::string_view path) {
+  const std::string norm = normalize_path(path);
+  const std::size_t pos = norm.rfind('/');
+  if (pos == 0) return "/";
+  return norm.substr(0, pos);
+}
+
+std::string basename_of(std::string_view path) {
+  const std::string norm = normalize_path(path);
+  if (norm == "/") return "";
+  return norm.substr(norm.rfind('/') + 1);
+}
+
+}  // namespace nest

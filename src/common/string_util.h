@@ -1,0 +1,40 @@
+// Small string helpers shared by protocol parsers and config loading.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nest {
+
+// Split on a delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+// Split on runs of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+std::string_view trim(std::string_view s);
+
+std::string to_lower(std::string_view s);
+
+bool starts_with_icase(std::string_view s, std::string_view prefix);
+
+std::optional<std::int64_t> parse_int(std::string_view s);
+
+// Join path components, collapsing duplicate '/'.
+std::string join_path(std::string_view a, std::string_view b);
+
+// Normalize an absolute virtual path: resolves '.', '..' (never escaping
+// the root), collapses '//', guarantees a leading '/'. Used by every
+// protocol handler to sandbox client-supplied paths.
+std::string normalize_path(std::string_view path);
+
+// Parent directory of a normalized path ("/" for top-level entries).
+std::string parent_path(std::string_view path);
+
+// Final component of a normalized path ("" for "/").
+std::string basename_of(std::string_view path);
+
+}  // namespace nest

@@ -1,0 +1,27 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace nest {
+
+double mb_per_sec(std::int64_t bytes, std::int64_t nanos) {
+  if (nanos <= 0) return 0.0;
+  return (static_cast<double>(bytes) / 1e6) /
+         (static_cast<double>(nanos) / 1e9);
+}
+
+std::string format_bytes(std::int64_t bytes) {
+  char buf[64];
+  if (bytes >= kMB) {
+    std::snprintf(buf, sizeof buf, "%.1f MB",
+                  static_cast<double>(bytes) / static_cast<double>(kMB));
+  } else if (bytes >= kKB) {
+    std::snprintf(buf, sizeof buf, "%.1f KB",
+                  static_cast<double>(bytes) / static_cast<double>(kKB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace nest

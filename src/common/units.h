@@ -1,0 +1,21 @@
+// Byte-size units and formatting helpers. The paper reports bandwidth in
+// MB/s (decimal megabytes, 2002 convention); we follow that for all
+// benchmark output so numbers compare directly against the figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nest {
+
+constexpr std::int64_t kKB = 1'000;
+constexpr std::int64_t kMB = 1'000'000;
+constexpr std::int64_t kKiB = 1024;
+constexpr std::int64_t kMiB = 1024 * 1024;
+
+// Bandwidth in MB/s given bytes moved over a nanosecond interval.
+double mb_per_sec(std::int64_t bytes, std::int64_t nanos);
+
+std::string format_bytes(std::int64_t bytes);
+
+}  // namespace nest

@@ -1,0 +1,63 @@
+#include "discovery/collector.h"
+
+#include <algorithm>
+
+namespace nest::discovery {
+
+void Collector::advertise(const std::string& name, classad::ClassAd ad) {
+  std::lock_guard lock(mu_);
+  ads_[name] = Entry{std::move(ad), clock_.now()};
+}
+
+void Collector::withdraw(const std::string& name) {
+  std::lock_guard lock(mu_);
+  ads_.erase(name);
+}
+
+std::optional<classad::ClassAd> Collector::lookup(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  const auto it = ads_.find(name);
+  if (it == ads_.end() || expired(it->second.stamped)) return std::nullopt;
+  return it->second.ad;
+}
+
+std::vector<std::pair<std::string, classad::ClassAd>> Collector::ads() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, classad::ClassAd>> out;
+  for (const auto& [name, entry] : ads_) {
+    if (!expired(entry.stamped)) out.emplace_back(name, entry.ad);
+  }
+  return out;
+}
+
+std::vector<std::string> Collector::match(
+    const classad::ClassAd& query) const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<double, std::string>> ranked;
+  for (const auto& [name, entry] : ads_) {
+    if (expired(entry.stamped)) continue;
+    if (classad::match(query, entry.ad)) {
+      ranked.emplace_back(classad::rank(query, entry.ad), name);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<std::string> out;
+  out.reserve(ranked.size());
+  for (const auto& [r, name] : ranked) out.push_back(name);
+  return out;
+}
+
+std::size_t Collector::size() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, entry] : ads_) {
+    if (!expired(entry.stamped)) ++n;
+  }
+  return n;
+}
+
+}  // namespace nest::discovery

@@ -1,0 +1,56 @@
+// Resource and data discovery (paper Sections 2.1 and 6).
+//
+// NeST dispatchers periodically publish a ClassAd describing their storage
+// availability into a discovery system; global schedulers then match job
+// requirements against those ads (Condor matchmaking). This in-process
+// Collector plays that role for tests, examples, and the Figure 2 grid
+// scenario. Ads expire if not refreshed, like a Condor collector.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "common/clock.h"
+
+namespace nest::discovery {
+
+class Collector {
+ public:
+  explicit Collector(Clock& clock, Nanos ad_lifetime = 60 * kSecond)
+      : clock_(clock), lifetime_(ad_lifetime) {}
+
+  // Publish/refresh an ad under a unique name (e.g. "nest@madison").
+  void advertise(const std::string& name, classad::ClassAd ad);
+  void withdraw(const std::string& name);
+
+  std::optional<classad::ClassAd> lookup(const std::string& name) const;
+
+  // All live ads.
+  std::vector<std::pair<std::string, classad::ClassAd>> ads() const;
+
+  // Two-way match: returns the names of live ads matching `query`, best
+  // Rank (evaluated from the query's point of view) first.
+  std::vector<std::string> match(const classad::ClassAd& query) const;
+
+  std::size_t size() const;
+
+ private:
+  bool expired(Nanos stamped) const {
+    return clock_.now() - stamped > lifetime_;
+  }
+
+  Clock& clock_;
+  Nanos lifetime_;
+  mutable std::mutex mu_;
+  struct Entry {
+    classad::ClassAd ad;
+    Nanos stamped = 0;
+  };
+  std::map<std::string, Entry> ads_;
+};
+
+}  // namespace nest::discovery

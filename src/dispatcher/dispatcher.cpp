@@ -1,0 +1,218 @@
+#include "dispatcher/dispatcher.h"
+
+#include <sstream>
+
+#include "common/log.h"
+
+namespace nest::dispatcher {
+
+using protocol::NestOp;
+using protocol::NestRequest;
+
+void BlockGate::acquire(transfer::TransferRequest* r) {
+  std::unique_lock lock(mu_);
+  tm_.enqueue(r);
+  pump_locked();
+  cv_.wait(lock, [&] { return granted_.count(r) != 0; });
+  granted_.erase(r);
+}
+
+void BlockGate::release() {
+  std::lock_guard lock(mu_);
+  ++free_;
+  pump_locked();
+}
+
+void BlockGate::pump_locked() {
+  while (free_ > 0) {
+    transfer::TransferRequest* r = tm_.next();
+    if (r == nullptr) break;  // empty (holds are a sim-mode refinement)
+    --free_;
+    granted_.insert(r);
+  }
+  if (!granted_.empty()) cv_.notify_all();
+}
+
+transfer::TransferRequest* BlockGate::create_request(
+    const std::string& protocol, transfer::Direction dir,
+    const std::string& path, std::int64_t size, const std::string& user) {
+  std::lock_guard lock(mu_);
+  return tm_.create_request(protocol, dir, path, size, user);
+}
+
+void BlockGate::charge(transfer::TransferRequest* r, std::int64_t bytes) {
+  std::lock_guard lock(mu_);
+  tm_.charge(r, bytes);
+}
+
+void BlockGate::complete(transfer::TransferRequest* r) {
+  std::lock_guard lock(mu_);
+  tm_.complete(r);
+}
+
+transfer::ConcurrencyModel BlockGate::pick_model() {
+  std::lock_guard lock(mu_);
+  return tm_.pick_model();
+}
+
+void BlockGate::report_model(transfer::ConcurrencyModel m,
+                             double metric_value) {
+  std::lock_guard lock(mu_);
+  tm_.report_model(m, metric_value);
+}
+
+Dispatcher::Dispatcher(Clock& clock, storage::StorageManager& storage,
+                       transfer::TransferManager& tm)
+    : Dispatcher(clock, storage, tm, Options{}) {}
+
+Dispatcher::Dispatcher(Clock& clock, storage::StorageManager& storage,
+                       transfer::TransferManager& tm, Options options)
+    : clock_(clock),
+      storage_(storage),
+      tm_(tm),
+      options_(std::move(options)),
+      gate_(tm, options_.transfer_slots) {}
+
+Dispatcher::~Dispatcher() { stop_publishing(); }
+
+Reply Dispatcher::execute(const NestRequest& req) {
+  switch (req.op) {
+    case NestOp::mkdir:
+      return Reply{storage_.mkdir(req.principal, req.path), {}, 0};
+    case NestOp::rmdir:
+      return Reply{storage_.rmdir(req.principal, req.path), {}, 0};
+    case NestOp::unlink:
+      return Reply{storage_.remove(req.principal, req.path), {}, 0};
+    case NestOp::stat: {
+      auto st = storage_.stat(req.principal, req.path);
+      if (!st.ok()) return Reply::fail(Status{st.error()});
+      std::ostringstream os;
+      os << (st->is_dir ? "dir" : "file") << " " << st->size << " "
+         << st->owner;
+      return Reply::ok(os.str(), st->size);
+    }
+    case NestOp::list: {
+      auto entries = storage_.list(req.principal, req.path);
+      if (!entries.ok()) return Reply::fail(Status{entries.error()});
+      std::ostringstream os;
+      for (const auto& e : *entries) {
+        os << (e.is_dir ? "d " : "f ") << e.size << " " << e.name << "\n";
+      }
+      return Reply::ok(os.str());
+    }
+    case NestOp::rename:
+      // Rename = delete from old name + insert at new: require both.
+      if (auto s = storage_.acl().check(req.principal, req.path,
+                                        storage::Right::del);
+          !s.ok()) {
+        return Reply::fail(s);
+      }
+      return Reply{storage_.fs().rename(req.path, req.path2), {}, 0};
+    case NestOp::lot_create: {
+      auto id = storage_.lot_create(req.principal, req.lot_capacity,
+                                    req.lot_duration, req.group_lot);
+      if (!id.ok()) return Reply::fail(Status{id.error()});
+      return Reply::ok(std::to_string(*id), static_cast<std::int64_t>(*id));
+    }
+    case NestOp::lot_renew:
+      return Reply{
+          storage_.lot_renew(req.principal, req.lot_id, req.lot_duration),
+          {},
+          0};
+    case NestOp::lot_terminate:
+      return Reply{storage_.lot_terminate(req.principal, req.lot_id), {}, 0};
+    case NestOp::lot_query: {
+      auto lot = storage_.lot_query(req.principal, req.lot_id);
+      if (!lot.ok()) return Reply::fail(Status{lot.error()});
+      std::ostringstream os;
+      os << "owner=" << lot->owner << " capacity=" << lot->capacity
+         << " used=" << lot->used
+         << " best_effort=" << (lot->best_effort ? 1 : 0)
+         << " files=" << lot->files.size();
+      return Reply::ok(os.str(), lot->capacity - lot->used);
+    }
+    case NestOp::acl_set: {
+      auto entry = classad::ClassAd::parse(req.acl_entry);
+      if (!entry.ok()) return Reply::fail(Status{entry.error()});
+      return Reply{storage_.acl_set(req.principal, req.path, *entry), {}, 0};
+    }
+    case NestOp::acl_get: {
+      auto entries = storage_.acl_get(req.principal, req.path);
+      if (!entries.ok()) return Reply::fail(Status{entries.error()});
+      std::ostringstream os;
+      for (const auto& e : *entries) os << e << "\n";
+      return Reply::ok(os.str());
+    }
+    case NestOp::query_ad:
+      return Reply::ok(snapshot_ad().to_string());
+    case NestOp::noop:
+      return Reply::ok();
+    case NestOp::get:
+    case NestOp::put:
+    case NestOp::read_block:
+    case NestOp::write_block:
+      return Reply::fail(
+          Status{Errc::internal, "transfer op routed to execute()"});
+  }
+  return Reply::fail(Status{Errc::unsupported, "unknown op"});
+}
+
+Result<storage::TransferTicket> Dispatcher::approve_get(
+    const NestRequest& req) {
+  return storage_.approve_read(req.principal, req.path);
+}
+
+Result<storage::TransferTicket> Dispatcher::approve_put(
+    const NestRequest& req) {
+  return storage_.approve_write(req.principal, req.path, req.size);
+}
+
+classad::ClassAd Dispatcher::snapshot_ad() const {
+  classad::ClassAd ad = storage_.resource_ad();
+  ad.insert("Name", classad::Value::string(options_.advertised_name));
+  ad.insert("ActiveTransfers",
+            classad::Value::integer(static_cast<std::int64_t>(
+                tm_.in_flight())));
+  ad.insert("CompletedTransfers",
+            classad::Value::integer(tm_.completed_requests()));
+  ad.insert("BytesMoved", classad::Value::integer(tm_.total_bytes()));
+  ad.insert("MeanTransferMs",
+            classad::Value::real(tm_.latencies().mean_ms()));
+  ad.insert("Scheduler",
+            classad::Value::string(tm_.options().scheduler));
+  return ad;
+}
+
+void Dispatcher::publish_once(discovery::Collector& collector) {
+  collector.advertise(options_.advertised_name, snapshot_ad());
+}
+
+void Dispatcher::start_publishing(discovery::Collector& collector) {
+  stop_publishing();
+  {
+    std::lock_guard lock(pub_mu_);
+    pub_stop_ = false;
+  }
+  publisher_ = std::thread([this, &collector] {
+    std::unique_lock lock(pub_mu_);
+    while (!pub_stop_) {
+      lock.unlock();
+      publish_once(collector);
+      lock.lock();
+      pub_cv_.wait_for(
+          lock, std::chrono::nanoseconds(options_.publish_interval),
+          [this] { return pub_stop_; });
+    }
+  });
+}
+
+void Dispatcher::stop_publishing() {
+  {
+    std::lock_guard lock(pub_mu_);
+    pub_stop_ = true;
+  }
+  pub_cv_.notify_all();
+  if (publisher_.joinable()) publisher_.join();
+}
+
+}  // namespace nest::dispatcher

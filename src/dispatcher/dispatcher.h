@@ -1,0 +1,132 @@
+// The dispatcher (paper Section 2.1): the main macro-request router.
+//
+// Protocol handlers hand it NestRequests. Non-transfer requests execute
+// synchronously at the storage manager (which serializes them). Transfer
+// requests are *approved* by the storage manager and then registered with
+// the transfer manager, whose scheduler orders the actual data movement
+// through the BlockGate. The dispatcher also consolidates resource and
+// data availability and publishes it as a ClassAd into a discovery system.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "discovery/collector.h"
+#include "protocol/request.h"
+#include "storage/storage_manager.h"
+#include "transfer/transfer_manager.h"
+
+namespace nest::dispatcher {
+
+// Real-mode analogue of the simulator's service gate: connection threads
+// block here until the transfer manager's scheduler grants their next
+// block a service slot.
+class BlockGate {
+ public:
+  BlockGate(transfer::TransferManager& tm, int slots)
+      : tm_(tm), free_(slots) {}
+
+  // Blocks until `r` is granted a slot. Thread-safe.
+  void acquire(transfer::TransferRequest* r);
+  void release();
+
+  // Thread-safe facade over the (single-threaded) TransferManager: all
+  // real-mode request lifecycle calls go through the gate's lock.
+  transfer::TransferRequest* create_request(const std::string& protocol,
+                                            transfer::Direction dir,
+                                            const std::string& path,
+                                            std::int64_t size,
+                                            const std::string& user = {});
+  void charge(transfer::TransferRequest* r, std::int64_t bytes);
+  void complete(transfer::TransferRequest* r);
+  transfer::ConcurrencyModel pick_model();
+  void report_model(transfer::ConcurrencyModel m, double metric_value);
+
+ private:
+  void pump_locked();
+
+  transfer::TransferManager& tm_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int free_;
+  std::set<transfer::TransferRequest*> granted_;
+};
+
+// Reply for non-transfer requests: a status plus a textual payload whose
+// meaning depends on the op (directory listing, lot description, ACL
+// entries, resource ad).
+struct Reply {
+  Status status;
+  std::string text;
+  std::int64_t value = 0;  // stat size / created lot id
+
+  static Reply ok(std::string text = {}, std::int64_t value = 0) {
+    Reply r;
+    r.text = std::move(text);
+    r.value = value;
+    return r;
+  }
+  static Reply fail(Status s) {
+    Reply r;
+    r.status = std::move(s);
+    return r;
+  }
+};
+
+class Dispatcher {
+ public:
+  struct Options {
+    int transfer_slots = 8;
+    std::string advertised_name = "nest";
+    Nanos publish_interval = 5 * kSecond;
+  };
+
+  Dispatcher(Clock& clock, storage::StorageManager& storage,
+             transfer::TransferManager& tm);
+  Dispatcher(Clock& clock, storage::StorageManager& storage,
+             transfer::TransferManager& tm, Options options);
+  ~Dispatcher();
+
+  // Execute a non-transfer request synchronously.
+  Reply execute(const protocol::NestRequest& req);
+
+  // Approve a transfer (ACL + lot admission) and register it with the
+  // transfer manager. The handler then moves blocks via the gate.
+  Result<storage::TransferTicket> approve_get(
+      const protocol::NestRequest& req);
+  Result<storage::TransferTicket> approve_put(
+      const protocol::NestRequest& req);
+
+  transfer::TransferManager& tm() { return tm_; }
+  storage::StorageManager& storage() { return storage_; }
+  BlockGate& gate() { return gate_; }
+
+  // Consolidated availability ad (storage state + transfer load).
+  classad::ClassAd snapshot_ad() const;
+
+  // Periodic ClassAd publishing into a discovery collector; stops on
+  // destruction. One publisher at a time.
+  void start_publishing(discovery::Collector& collector);
+  void stop_publishing();
+  void publish_once(discovery::Collector& collector);
+
+ private:
+  Clock& clock_;
+  storage::StorageManager& storage_;
+  transfer::TransferManager& tm_;
+  Options options_;
+  BlockGate gate_;
+
+  std::thread publisher_;
+  std::mutex pub_mu_;
+  std::condition_variable pub_cv_;
+  bool pub_stop_ = false;
+};
+
+}  // namespace nest::dispatcher

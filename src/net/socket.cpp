@@ -1,0 +1,236 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace nest::net {
+namespace {
+
+Error sys_error(const std::string& what) {
+  const int err = errno;
+  Errc code = Errc::io_error;
+  if (err == EAGAIN || err == EWOULDBLOCK) code = Errc::timed_out;
+  if (err == ECONNREFUSED || err == ECONNRESET || err == EPIPE)
+    code = Errc::connection_closed;
+  return Error{code, what + ": " + std::strerror(err)};
+}
+
+sockaddr_in loopback(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+uint16_t bound_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    return 0;
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpStream> TcpStream::connect(const std::string& host, uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return sys_error("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    return Error{Errc::invalid_argument, "bad address " + host};
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    return sys_error("connect " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpStream(std::move(fd));
+}
+
+Result<std::int64_t> TcpStream::read_some(std::span<char> buf) {
+  if (!buffer_.empty()) {
+    const std::size_t n = std::min(buf.size(), buffer_.size());
+    std::memcpy(buf.data(), buffer_.data(), n);
+    buffer_.erase(0, n);
+    return static_cast<std::int64_t>(n);
+  }
+  while (true) {
+    const ssize_t n = ::recv(fd_.get(), buf.data(), buf.size(), 0);
+    if (n >= 0) return static_cast<std::int64_t>(n);
+    if (errno == EINTR) continue;
+    return sys_error("recv");
+  }
+}
+
+Status TcpStream::read_exact(std::span<char> buf) {
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    auto n = read_some(buf.subspan(off));
+    if (!n.ok()) return Status{n.error()};
+    if (*n == 0) return Status{Errc::connection_closed, "eof mid-read"};
+    off += static_cast<std::size_t>(*n);
+  }
+  return {};
+}
+
+Status TcpStream::write_all(std::span<const char> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd_.get(), data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status{sys_error("send")};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
+Result<std::string> TcpStream::read_line(std::size_t max_len) {
+  while (true) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      std::string line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (buffer_.size() > max_len)
+      return Error{Errc::protocol_error, "line too long"};
+    char chunk[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd_.get(), chunk, sizeof chunk, 0);
+      if (n > 0) {
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+        break;
+      }
+      if (n == 0) return Error{Errc::connection_closed, "eof mid-line"};
+      if (errno == EINTR) continue;
+      return sys_error("recv");
+    }
+  }
+}
+
+Status TcpStream::set_read_timeout(int millis) {
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0)
+    return Status{sys_error("SO_RCVTIMEO")};
+  return {};
+}
+
+void TcpStream::shutdown_send() { ::shutdown(fd_.get(), SHUT_WR); }
+
+std::string TcpStream::local_address() const {
+  return "127.0.0.1:" + std::to_string(local_port());
+}
+
+uint16_t TcpStream::local_port() const { return bound_port(fd_.get()); }
+
+Result<TcpListener> TcpListener::bind(uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return sys_error("socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    return sys_error("bind " + std::to_string(port));
+  if (::listen(fd.get(), 64) != 0) return sys_error("listen");
+  const uint16_t actual = bound_port(fd.get());
+  return TcpListener(std::move(fd), actual);
+}
+
+Result<TcpStream> TcpListener::accept() {
+  while (true) {
+    const int cfd = ::accept(fd_.get(), nullptr, nullptr);
+    if (cfd >= 0) {
+      const int one = 1;
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return TcpStream(Fd(cfd));
+    }
+    if (errno == EINTR) continue;
+    return sys_error("accept");
+  }
+}
+
+void TcpListener::close() {
+  // close() alone does not wake threads blocked in accept() on Linux;
+  // shutdown() does (they return with EINVAL).
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+  fd_.reset();
+}
+
+Result<UdpSocket> UdpSocket::bind(uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!fd.valid()) return sys_error("socket");
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    return sys_error("udp bind");
+  const uint16_t actual = bound_port(fd.get());
+  return UdpSocket(std::move(fd), actual);
+}
+
+Result<std::int64_t> UdpSocket::recv_from(std::span<char> buf,
+                                          std::string& from_ip,
+                                          uint16_t& from_port) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  while (true) {
+    const ssize_t n = ::recvfrom(fd_.get(), buf.data(), buf.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&addr), &len);
+    if (n >= 0) {
+      char ip[INET_ADDRSTRLEN] = {};
+      ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip);
+      from_ip = ip;
+      from_port = ntohs(addr.sin_port);
+      return static_cast<std::int64_t>(n);
+    }
+    if (errno == EINTR) continue;
+    return sys_error("recvfrom");
+  }
+}
+
+Status UdpSocket::send_to(std::span<const char> data, const std::string& ip,
+                          uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1)
+    return Status{Errc::invalid_argument, "bad ip"};
+  const ssize_t n =
+      ::sendto(fd_.get(), data.data(), data.size(), 0,
+               reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (n < 0) return Status{sys_error("sendto")};
+  return {};
+}
+
+Status UdpSocket::set_read_timeout(int millis) {
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0)
+    return Status{sys_error("SO_RCVTIMEO")};
+  return {};
+}
+
+void UdpSocket::close() { fd_.reset(); }
+
+}  // namespace nest::net

@@ -1,0 +1,116 @@
+// RAII socket primitives for the real (non-simulated) appliance.
+// Blocking I/O with optional timeouts; connection handlers run in their own
+// threads (the protocol layer), while bulk data movement is scheduled by
+// the transfer manager's concurrency models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+
+namespace nest::net {
+
+// Owned file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// Connected TCP stream with buffered line reading.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(Fd fd) : fd_(std::move(fd)) {}
+
+  static Result<TcpStream> connect(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+
+  // Read up to buf.size() bytes; 0 means orderly close.
+  Result<std::int64_t> read_some(std::span<char> buf);
+  // Read exactly buf.size() bytes (loops); connection_closed on EOF.
+  Status read_exact(std::span<char> buf);
+  // Write all bytes.
+  Status write_all(std::span<const char> data);
+  Status write_all(const std::string& s) {
+    return write_all(std::span<const char>(s.data(), s.size()));
+  }
+
+  // Read a '\n'-terminated line (strips "\r\n" or "\n"); buffered.
+  Result<std::string> read_line(std::size_t max_len = 64 * 1024);
+
+  // Set a receive timeout (0 disables).
+  Status set_read_timeout(int millis);
+  void shutdown_send();
+
+  // Local/peer address as "ip:port" (diagnostics + FTP PASV).
+  std::string local_address() const;
+  uint16_t local_port() const;
+
+ private:
+  Fd fd_;
+  std::string buffer_;  // unconsumed bytes past the last line
+};
+
+class TcpListener {
+ public:
+  // Bind to 127.0.0.1:port; port 0 picks an ephemeral port.
+  static Result<TcpListener> bind(uint16_t port);
+
+  Result<TcpStream> accept();
+  uint16_t port() const { return port_; }
+  int fd() const { return fd_.get(); }
+  // Unblocks a pending accept (used for shutdown).
+  void close();
+
+ private:
+  TcpListener(Fd fd, uint16_t port) : fd_(std::move(fd)), port_(port) {}
+  Fd fd_;
+  uint16_t port_ = 0;
+};
+
+// Connected-UDP endpoint for the NFS/RPC transport.
+class UdpSocket {
+ public:
+  static Result<UdpSocket> bind(uint16_t port);  // 0: ephemeral
+
+  // Receive one datagram; returns sender address for reply.
+  Result<std::int64_t> recv_from(std::span<char> buf, std::string& from_ip,
+                                 uint16_t& from_port);
+  Status send_to(std::span<const char> data, const std::string& ip,
+                 uint16_t port);
+  Status set_read_timeout(int millis);
+  uint16_t port() const { return port_; }
+  void close();
+
+ private:
+  UdpSocket(Fd fd, uint16_t port) : fd_(std::move(fd)), port_(port) {}
+  Fd fd_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace nest::net

@@ -1,0 +1,317 @@
+#include "protocol/chirp_handler.h"
+
+#include <vector>
+
+#include "common/log.h"
+#include "common/string_util.h"
+
+namespace nest::protocol {
+
+using dispatcher::Reply;
+
+std::string chirp_error_line(const Status& s) {
+  int code = 500;
+  switch (s.code()) {
+    case Errc::not_found: code = 550; break;
+    case Errc::exists: code = 551; break;
+    case Errc::permission_denied:
+    case Errc::not_authenticated: code = 530; break;
+    case Errc::no_space:
+    case Errc::lot_expired: code = 552; break;
+    case Errc::lot_unknown: code = 554; break;
+    case Errc::invalid_argument:
+    case Errc::protocol_error: code = 501; break;
+    case Errc::busy: code = 553; break;
+    case Errc::is_dir:
+    case Errc::not_dir: code = 555; break;
+    default: code = 500; break;
+  }
+  return std::to_string(code) + " " + s.to_string();
+}
+
+namespace {
+
+// Send a one-line reply.
+bool reply(net::TcpStream& s, const std::string& line) {
+  return s.write_all(line + "\r\n").ok();
+}
+
+// Read one reply line and return its numeric code (-1 on error).
+int read_code(net::TcpStream& s, std::string* text = nullptr) {
+  auto line = s.read_line();
+  if (!line.ok()) return -1;
+  if (text) *text = *line;
+  return static_cast<int>(parse_int(line->substr(0, 3)).value_or(-1));
+}
+
+// Frame a textual payload.
+bool reply_payload(net::TcpStream& s, const std::string& payload) {
+  if (!reply(s, "213 " + std::to_string(payload.size()))) return false;
+  return s.write_all(payload).ok();
+}
+
+}  // namespace
+
+void ChirpHandler::serve(net::TcpStream& stream) {
+  if (!reply(stream, "220 nest chirp ready")) return;
+
+  storage::Principal who;
+  who.protocol = "chirp";
+  bool authenticated_session = false;
+
+  while (true) {
+    auto line_r = stream.read_line();
+    if (!line_r.ok()) return;  // connection closed
+    const std::string line = std::string(trim(*line_r));
+    if (line.empty()) continue;
+    const auto words = split_ws(line);
+    const std::string cmd = to_lower(words[0]);
+
+    if (cmd == "quit") {
+      reply(stream, "221 bye");
+      return;
+    }
+
+    if (cmd == "auth") {
+      if (words.size() < 2) {
+        reply(stream, "501 usage: AUTH <subject>");
+        continue;
+      }
+      if (words[1] == "anonymous") {
+        if (!ctx_.allow_anonymous) {
+          reply(stream, "530 anonymous access disabled");
+          continue;
+        }
+        who = storage::Principal{.name = "",
+                                 .groups = {},
+                                 .authenticated = false,
+                                 .protocol = "chirp"};
+        authenticated_session = true;
+        reply(stream, "230 anonymous ok");
+        continue;
+      }
+      // GSI-style challenge/response.
+      const std::string challenge = ctx_.gsi->make_challenge();
+      if (!reply(stream, "334 " + challenge)) return;
+      auto resp_line = stream.read_line();
+      if (!resp_line.ok()) return;
+      const auto resp_words = split_ws(*resp_line);
+      if (resp_words.size() != 2 || to_lower(resp_words[0]) != "response") {
+        reply(stream, "501 expected RESPONSE <hex>");
+        continue;
+      }
+      auto principal =
+          ctx_.gsi->verify(words[1], challenge, resp_words[1], "chirp");
+      if (!principal.ok()) {
+        reply(stream, "530 " + principal.error().to_string());
+        continue;
+      }
+      who = std::move(principal.value());
+      authenticated_session = true;
+      reply(stream, "230 authenticated " + who.name);
+      continue;
+    }
+
+    if (!authenticated_session) {
+      reply(stream, "530 authenticate first (AUTH <subject>)");
+      continue;
+    }
+
+    NestRequest req;
+    req.principal = who;
+    req.protocol = "chirp";
+
+    if (cmd == "get" && words.size() == 2) {
+      req.op = NestOp::get;
+      req.path = words[1];
+      auto ticket = ctx_.dispatcher->approve_get(req);
+      if (!ticket.ok()) {
+        reply(stream, chirp_error_line(Status{ticket.error()}));
+        continue;
+      }
+      if (!reply(stream, "150 " + std::to_string(ticket->size))) return;
+      if (!ctx_.executor->send_file("chirp", *ticket, stream).ok()) return;
+      continue;
+    }
+
+    if (cmd == "thirdput" && words.size() == 5) {
+      // Three-party transfer: this appliance reads its own file and pushes
+      // it to another NeST over Chirp, so the client never touches the
+      // data (paper Section 2.1: "transparent three- and four-party
+      // transfers").
+      req.op = NestOp::get;
+      req.path = words[1];
+      const auto port = parse_int(words[3]);
+      if (!port || *port <= 0 || *port > 65535) {
+        reply(stream, "501 bad port");
+        continue;
+      }
+      auto ticket = ctx_.dispatcher->approve_get(req);
+      if (!ticket.ok()) {
+        reply(stream, chirp_error_line(Status{ticket.error()}));
+        continue;
+      }
+      auto remote =
+          net::TcpStream::connect(words[2], static_cast<uint16_t>(*port));
+      if (!remote.ok() || read_code(*remote) != 220) {
+        reply(stream, "425 cannot reach remote nest");
+        continue;
+      }
+      // Authenticate with the appliance identity (or anonymously).
+      bool remote_ok = false;
+      if (!ctx_.own_subject.empty()) {
+        (void)remote->write_all("AUTH " + ctx_.own_subject + "\r\n");
+        std::string challenge_line;
+        if (read_code(*remote, &challenge_line) == 334 &&
+            challenge_line.size() > 4) {
+          (void)remote->write_all(
+              "RESPONSE " +
+              GsiRegistry::respond(ctx_.own_secret,
+                                   challenge_line.substr(4)) +
+              "\r\n");
+          remote_ok = read_code(*remote) == 230;
+        }
+      } else {
+        (void)remote->write_all(std::string("AUTH anonymous\r\n"));
+        remote_ok = read_code(*remote) == 230;
+      }
+      if (!remote_ok) {
+        reply(stream, "530 remote nest rejected our identity");
+        continue;
+      }
+      (void)remote->write_all("PUT " + words[4] + " " +
+                              std::to_string(ticket->size) + "\r\n");
+      if (read_code(*remote) != 150) {
+        reply(stream, "553 remote nest refused the store");
+        continue;
+      }
+      const Status pushed =
+          ctx_.executor->send_file("chirp", *ticket, *remote);
+      if (!pushed.ok() || read_code(*remote) != 226) {
+        reply(stream, "426 third-party transfer failed");
+        continue;
+      }
+      (void)remote->write_all(std::string("QUIT\r\n"));
+      reply(stream, "226 pushed " + std::to_string(ticket->size) +
+                        " bytes to " + words[2]);
+      continue;
+    }
+
+    if (cmd == "put" && words.size() == 3) {
+      const auto size = parse_int(words[2]);
+      if (!size || *size < 0) {
+        reply(stream, "501 bad size");
+        continue;
+      }
+      req.op = NestOp::put;
+      req.path = words[1];
+      req.size = *size;
+      auto ticket = ctx_.dispatcher->approve_put(req);
+      if (!ticket.ok()) {
+        reply(stream, chirp_error_line(Status{ticket.error()}));
+        continue;
+      }
+      if (!reply(stream, "150 ok")) return;
+      const Status s =
+          ctx_.executor->recv_file("chirp", *ticket, stream, *size);
+      if (!s.ok()) return;
+      reply(stream, "226 stored " + std::to_string(*size));
+      continue;
+    }
+
+    // Non-transfer commands all flow through the dispatcher.
+    bool parsed = true;
+    if (cmd == "mkdir" && words.size() == 2) {
+      req.op = NestOp::mkdir;
+      req.path = words[1];
+    } else if (cmd == "rmdir" && words.size() == 2) {
+      req.op = NestOp::rmdir;
+      req.path = words[1];
+    } else if (cmd == "unlink" && words.size() == 2) {
+      req.op = NestOp::unlink;
+      req.path = words[1];
+    } else if (cmd == "stat" && words.size() == 2) {
+      req.op = NestOp::stat;
+      req.path = words[1];
+    } else if (cmd == "list" && words.size() == 2) {
+      req.op = NestOp::list;
+      req.path = words[1];
+    } else if (cmd == "rename" && words.size() == 3) {
+      req.op = NestOp::rename;
+      req.path = words[1];
+      req.path2 = words[2];
+    } else if (cmd == "ad" && words.size() == 1) {
+      req.op = NestOp::query_ad;
+    } else if (cmd == "lot" && words.size() >= 2) {
+      const std::string sub = to_lower(words[1]);
+      if (sub == "create" && (words.size() == 4 || words.size() == 5)) {
+        req.op = NestOp::lot_create;
+        req.lot_capacity = parse_int(words[2]).value_or(-1);
+        req.lot_duration = parse_int(words[3]).value_or(-1) * kSecond;
+        req.group_lot = words.size() == 5 && to_lower(words[4]) == "group";
+      } else if (sub == "renew" && words.size() == 4) {
+        req.op = NestOp::lot_renew;
+        req.lot_id = static_cast<std::uint64_t>(
+            parse_int(words[2]).value_or(0));
+        req.lot_duration = parse_int(words[3]).value_or(-1) * kSecond;
+      } else if (sub == "terminate" && words.size() == 3) {
+        req.op = NestOp::lot_terminate;
+        req.lot_id = static_cast<std::uint64_t>(
+            parse_int(words[2]).value_or(0));
+      } else if (sub == "query" && words.size() == 3) {
+        req.op = NestOp::lot_query;
+        req.lot_id = static_cast<std::uint64_t>(
+            parse_int(words[2]).value_or(0));
+      } else {
+        parsed = false;
+      }
+    } else if (cmd == "acl" && words.size() >= 3) {
+      const std::string sub = to_lower(words[1]);
+      if (sub == "set" && words.size() >= 4) {
+        req.op = NestOp::acl_set;
+        req.path = words[2];
+        // The entry is everything after the path.
+        const std::size_t pos = line.find(words[2]);
+        req.acl_entry =
+            std::string(trim(line.substr(pos + words[2].size())));
+      } else if (sub == "get" && words.size() == 3) {
+        req.op = NestOp::acl_get;
+        req.path = words[2];
+      } else {
+        parsed = false;
+      }
+    } else {
+      parsed = false;
+    }
+
+    if (!parsed) {
+      reply(stream, "500 unrecognized command");
+      continue;
+    }
+
+    const Reply r = ctx_.dispatcher->execute(req);
+    if (!r.status.ok()) {
+      reply(stream, chirp_error_line(r.status));
+      continue;
+    }
+    switch (req.op) {
+      case NestOp::list:
+      case NestOp::acl_get:
+      case NestOp::query_ad:
+        if (!reply_payload(stream, r.text)) return;
+        break;
+      case NestOp::lot_create:
+        reply(stream, "200 " + r.text);
+        break;
+      case NestOp::stat:
+      case NestOp::lot_query:
+        reply(stream, "200 " + r.text);
+        break;
+      default:
+        reply(stream, "200 ok");
+        break;
+    }
+  }
+}
+
+}  // namespace nest::protocol

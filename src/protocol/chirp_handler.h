@@ -1,0 +1,41 @@
+// Chirp: NeST's native protocol (paper Section 3). Line-oriented dialect:
+//
+//   server greets:  220 nest chirp ready
+//   AUTH <name> | AUTH anonymous
+//     -> 334 <challenge>   (for named subjects)
+//   RESPONSE <hex>         -> 230 ok | 530 denied
+//   MKDIR <p> / RMDIR <p> / UNLINK <p> / STAT <p> / LIST <p>
+//   RENAME <from> <to>
+//   LOT CREATE <bytes> <seconds> [GROUP]   -> 200 <lot-id>
+//   LOT RENEW <id> <seconds> / LOT TERMINATE <id> / LOT QUERY <id>
+//   ACL SET <dir> <classad-entry...> / ACL GET <dir>
+//   AD                     (resource ClassAd)
+//   GET <p>                -> 150 <size> + raw bytes
+//   PUT <p> <size>         -> 150 ok, client sends raw bytes, -> 226 ok
+//   THIRDPUT <p> <host> <port> <remote-p>
+//                          -> 226 on success: the server pushes its own
+//                             file to another NeST (three-party transfer,
+//                             paper Section 2.1), authenticating with its
+//                             configured appliance identity
+//   QUIT
+//
+// Replies: "2xx/5xx text". Bulk textual payloads are framed as
+// "213 <byte-count>" followed by exactly that many raw bytes.
+// Chirp is the only protocol with lot management, per the paper.
+#pragma once
+
+#include "protocol/handler.h"
+
+namespace nest::protocol {
+
+class ChirpHandler final : public ProtocolHandler {
+ public:
+  using ProtocolHandler::ProtocolHandler;
+  const char* name() const override { return "chirp"; }
+  void serve(net::TcpStream& stream) override;
+};
+
+// Status -> Chirp reply line ("550 not_found: /x").
+std::string chirp_error_line(const Status& s);
+
+}  // namespace nest::protocol

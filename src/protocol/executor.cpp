@@ -1,0 +1,347 @@
+#include "protocol/executor.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+
+namespace nest::protocol {
+
+using transfer::ConcurrencyModel;
+using transfer::Direction;
+using transfer::TransferRequest;
+
+EventLoop::EventLoop(int workers) {
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { run(); });
+  }
+}
+
+EventLoop::~EventLoop() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void EventLoop::run() {
+  std::unique_lock lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    std::function<void()>* fn = queue_.front();
+    queue_.pop_front();
+    lock.unlock();
+    (*fn)();
+    lock.lock();
+    cv_.notify_all();  // wake the submitter waiting on completion
+  }
+}
+
+void EventLoop::run_sync(const std::function<void()>& fn) {
+  bool done = false;
+  std::function<void()> wrapped = [&fn, &done] {
+    fn();
+    done = true;
+  };
+  std::unique_lock lock(mu_);
+  queue_.push_back(&wrapped);
+  cv_.notify_all();
+  cv_.wait(lock, [&done] { return done; });
+}
+
+TransferExecutor::TransferExecutor(Clock& clock,
+                                   transfer::TransferManager& tm,
+                                   dispatcher::BlockGate& gate,
+                                   std::int64_t block_bytes,
+                                   std::int64_t max_total_bw)
+    : clock_(clock),
+      tm_(tm),
+      gate_(gate),
+      block_bytes_(block_bytes),
+      max_total_bw_(max_total_bw),
+      loop_(1),
+      disk_stage_(2),
+      net_stage_(2) {}
+
+void TransferExecutor::throttle(std::int64_t bytes) {
+  if (max_total_bw_ <= 0 || bytes <= 0) return;
+  Nanos wait_until = 0;
+  {
+    std::lock_guard lock(throttle_mu_);
+    const Nanos now = clock_.now();
+    const Nanos cost = from_seconds(static_cast<double>(bytes) /
+                                    static_cast<double>(max_total_bw_));
+    if (next_send_time_ < now) next_send_time_ = now;
+    wait_until = next_send_time_;
+    next_send_time_ += cost;
+  }
+  const Nanos now = clock_.now();
+  if (wait_until > now) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(wait_until - now));
+  }
+}
+
+Status TransferExecutor::run_block(ConcurrencyModel model,
+                                   const std::function<Status()>& work) {
+  if (model == ConcurrencyModel::events) {
+    Status result;
+    loop_.run_sync([&] { result = work(); });
+    return result;
+  }
+  if (model == ConcurrencyModel::staged) {
+    // Single-stage work (NFS block ops) runs on the disk stage.
+    Status result;
+    disk_stage_.run_sync([&] { result = work(); });
+    return result;
+  }
+  // threads (and the per-block fallback for processes): run inline on the
+  // connection thread.
+  return work();
+}
+
+Status TransferExecutor::move_blocks(const std::string& protocol,
+                                     const storage::TransferTicket& ticket,
+                                     net::TcpStream& stream,
+                                     std::int64_t size, bool send,
+                                     std::int64_t start_offset) {
+  TransferRequest* req =
+      gate_.create_request(protocol,
+                           send ? Direction::read : Direction::write,
+                           ticket.path, size, ticket.user);
+  ConcurrencyModel model = gate_.pick_model();
+  // Receives cannot be delegated to a forked child (its memory writes
+  // would be lost); fall back to the thread path for them.
+  if (model == ConcurrencyModel::processes && !send) {
+    model = ConcurrencyModel::threads;
+  }
+  const Nanos start = clock_.now();
+  Status result;
+
+  if (model == ConcurrencyModel::processes) {
+    // Whole-transfer delegation: one admission, then a child streams the
+    // file (wu-ftpd style). Block-level rescheduling does not apply to a
+    // transfer once handed to a process.
+    gate_.acquire(req);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      std::vector<char> buf(static_cast<std::size_t>(block_bytes_));
+      std::int64_t off = 0;
+      while (off < size) {
+        const std::int64_t len = std::min(block_bytes_, size - off);
+        auto n = ticket.handle->pread(
+            std::span(buf.data(), static_cast<std::size_t>(len)),
+            start_offset + off);
+        if (!n.ok() || *n != len) ::_exit(1);
+        if (!stream.write_all(std::span<const char>(buf.data(),
+                                                    static_cast<std::size_t>(
+                                                        len)))
+                 .ok()) {
+          ::_exit(1);
+        }
+        off += len;
+      }
+      ::_exit(0);
+    }
+    if (pid < 0) {
+      result = Status{Errc::internal, "fork failed"};
+    } else {
+      int wstatus = 0;
+      ::waitpid(pid, &wstatus, 0);
+      const bool ok = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+      result = ok ? Status{}
+                  : Status{Errc::io_error, "transfer child failed"};
+    }
+    gate_.release();
+    if (result.ok()) gate_.charge(req, size);
+  } else {
+    std::vector<char> buf(static_cast<std::size_t>(block_bytes_));
+    std::int64_t off = 0;
+    while (off < size) {
+      const std::int64_t len = std::min(block_bytes_, size - off);
+      gate_.acquire(req);
+      auto file_part = [&]() -> Status {
+        if (send) {
+          auto n = ticket.handle->pread(
+              std::span(buf.data(), static_cast<std::size_t>(len)),
+              start_offset + off);
+          if (!n.ok()) return Status{n.error()};
+          if (*n != len) return Status{Errc::io_error, "short file read"};
+          return {};
+        }
+        auto n = ticket.handle->pwrite(
+            std::span<const char>(buf.data(), static_cast<std::size_t>(len)),
+            start_offset + off);
+        return n.ok() ? Status{} : Status{n.error()};
+      };
+      auto net_part = [&]() -> Status {
+        if (send) {
+          return stream.write_all(std::span<const char>(
+              buf.data(), static_cast<std::size_t>(len)));
+        }
+        return stream.read_exact(
+            std::span(buf.data(), static_cast<std::size_t>(len)));
+      };
+      Status s;
+      if (model == ConcurrencyModel::staged) {
+        // SEDA-style: each half runs on its stage's pool; a blocking file
+        // read in one request never stalls another request's send.
+        auto run_stage = [](EventLoop& stage,
+                            const std::function<Status()>& part) {
+          Status r;
+          stage.run_sync([&] { r = part(); });
+          return r;
+        };
+        if (send) {
+          s = run_stage(disk_stage_, file_part);
+          if (s.ok()) s = run_stage(net_stage_, net_part);
+        } else {
+          s = run_stage(net_stage_, net_part);
+          if (s.ok()) s = run_stage(disk_stage_, file_part);
+        }
+      } else {
+        s = run_block(model, [&]() -> Status {
+          if (send) {
+            if (auto fs_ = file_part(); !fs_.ok()) return fs_;
+            return net_part();
+          }
+          if (auto ns_ = net_part(); !ns_.ok()) return ns_;
+          return file_part();
+        });
+      }
+      if (s.ok()) throttle(len);  // bandwidth cap binds while slot is held
+      // Charge before releasing the slot so the next scheduling decision
+      // sees this block's bytes (stale passes skew proportional shares).
+      if (s.ok()) gate_.charge(req, len);
+      gate_.release();
+      if (!s.ok()) {
+        result = s;
+        break;
+      }
+      off += len;
+    }
+  }
+
+  const Nanos elapsed = clock_.now() - start;
+  if (result.ok()) {
+    const double secs = to_seconds(elapsed);
+    if (tm_.options().adapt.metric == transfer::AdaptMetric::latency) {
+      gate_.report_model(model, static_cast<double>(elapsed));
+    } else if (secs > 0) {
+      gate_.report_model(model, static_cast<double>(size) / secs);
+    }
+  }
+  gate_.complete(req);
+  return result;
+}
+
+Status TransferExecutor::send_file(const std::string& protocol,
+                                   const storage::TransferTicket& ticket,
+                                   net::TcpStream& stream) {
+  return move_blocks(protocol, ticket, stream, ticket.size, /*send=*/true);
+}
+
+Status TransferExecutor::recv_file(const std::string& protocol,
+                                   const storage::TransferTicket& ticket,
+                                   net::TcpStream& stream,
+                                   std::int64_t size) {
+  return move_blocks(protocol, ticket, stream, size, /*send=*/false);
+}
+
+Status TransferExecutor::send_file_range(
+    const std::string& protocol, const storage::TransferTicket& ticket,
+    net::TcpStream& stream, std::int64_t offset, std::int64_t length) {
+  return move_blocks(protocol, ticket, stream, length, /*send=*/true,
+                     offset);
+}
+
+Result<std::int64_t> TransferExecutor::recv_until_eof(
+    const std::string& protocol, const storage::TransferTicket& ticket,
+    net::TcpStream& stream) {
+  TransferRequest* req = gate_.create_request(
+      protocol, Direction::write, ticket.path, /*size=*/0, ticket.user);
+  ConcurrencyModel model = gate_.pick_model();
+  if (model == ConcurrencyModel::processes) model = ConcurrencyModel::threads;
+  std::vector<char> buf(static_cast<std::size_t>(block_bytes_));
+  std::int64_t off = 0;
+  Status result;
+  while (true) {
+    gate_.acquire(req);
+    std::int64_t got = 0;
+    const Status s = run_block(model, [&]() -> Status {
+      auto n = stream.read_some(std::span(buf.data(), buf.size()));
+      if (!n.ok()) return Status{n.error()};
+      got = *n;
+      if (got == 0) return {};  // orderly close
+      auto w = ticket.handle->pwrite(
+          std::span<const char>(buf.data(), static_cast<std::size_t>(got)),
+          off);
+      return w.ok() ? Status{} : Status{w.error()};
+    });
+    if (s.ok() && got > 0) {
+      throttle(got);
+      gate_.charge(req, got);
+    }
+    gate_.release();
+    if (!s.ok()) {
+      result = s;
+      break;
+    }
+    if (got == 0) break;
+    off += got;
+  }
+  gate_.complete(req);
+  if (!result.ok()) return result.error();
+  return off;
+}
+
+Result<std::int64_t> TransferExecutor::read_block(
+    const std::string& protocol, const storage::TransferTicket& ticket,
+    std::int64_t offset, std::span<char> buf) {
+  TransferRequest* req = gate_.create_request(
+      protocol, Direction::read, ticket.path,
+      static_cast<std::int64_t>(buf.size()), ticket.user);
+  ConcurrencyModel model = gate_.pick_model();
+  if (model == ConcurrencyModel::processes) model = ConcurrencyModel::threads;
+  gate_.acquire(req);
+  Result<std::int64_t> n = std::int64_t{0};
+  const Status s = run_block(model, [&]() -> Status {
+    n = ticket.handle->pread(buf, offset);
+    return n.ok() ? Status{} : Status{n.error()};
+  });
+  if (s.ok() && n.ok()) gate_.charge(req, *n);
+  gate_.release();
+  gate_.complete(req);
+  if (!s.ok()) return s.error();
+  return n;
+}
+
+Result<std::int64_t> TransferExecutor::write_block(
+    const std::string& protocol, const storage::TransferTicket& ticket,
+    std::int64_t offset, std::span<const char> buf) {
+  TransferRequest* req = gate_.create_request(
+      protocol, Direction::write, ticket.path,
+      static_cast<std::int64_t>(buf.size()), ticket.user);
+  ConcurrencyModel model = gate_.pick_model();
+  if (model == ConcurrencyModel::processes) model = ConcurrencyModel::threads;
+  gate_.acquire(req);
+  Result<std::int64_t> n = std::int64_t{0};
+  const Status s = run_block(model, [&]() -> Status {
+    n = ticket.handle->pwrite(buf, offset);
+    return n.ok() ? Status{} : Status{n.error()};
+  });
+  if (s.ok() && n.ok()) gate_.charge(req, *n);
+  gate_.release();
+  gate_.complete(req);
+  if (!s.ok()) return s.error();
+  return n;
+}
+
+}  // namespace nest::protocol

@@ -1,0 +1,50 @@
+// FTP (RFC 959 subset) and GridFTP handlers.
+//
+// FTP: USER/PASS (anonymous only, per the paper's security model), CWD,
+// PWD, TYPE, SYST, PASV, PORT, RETR, STOR, LIST, NLST, DELE, MKD, RMD,
+// SIZE, QUIT. PASV+PORT together enable classic FTP third-party transfers
+// (one control client steering data between two servers), which is how the
+// paper's Figure 2 staging step moves files NeST-to-NeST.
+//
+// GridFTP extends FTP with:
+//   AUTH GSI -> 334 <challenge>; ADAT <subject> <response> -> 235
+//   (simulated GSI; see protocol/gsi.h),
+//   MODE E (extended block mode: 17-byte header per block with
+//   EOF/offset/length, as in the GridFTP spec) and OPTS RETR
+//   Parallelism=n (accepted; blocks are interleaved on the data channel).
+// Per the paper, GridFTP requires GSI authentication; plain FTP is
+// anonymous-only.
+#pragma once
+
+#include "protocol/handler.h"
+
+namespace nest::protocol {
+
+class FtpHandler : public ProtocolHandler {
+ public:
+  explicit FtpHandler(ServerContext ctx, bool gridftp = false)
+      : ProtocolHandler(ctx), gridftp_(gridftp) {}
+  const char* name() const override { return gridftp_ ? "gridftp" : "ftp"; }
+  void serve(net::TcpStream& stream) override;
+
+ private:
+  bool gridftp_;
+};
+
+class GridFtpHandler final : public FtpHandler {
+ public:
+  explicit GridFtpHandler(ServerContext ctx)
+      : FtpHandler(ctx, /*gridftp=*/true) {}
+};
+
+// MODE E block framing used by the GridFTP data channel.
+struct ModeEBlock {
+  static constexpr char kEofFlag = 0x40;
+  static Status send(net::TcpStream& s, std::span<const char> data,
+                     std::int64_t offset, bool eof);
+  // Receives one block; returns false on the EOF block.
+  static Result<bool> recv(net::TcpStream& s, std::vector<char>& data,
+                           std::int64_t& offset);
+};
+
+}  // namespace nest::protocol

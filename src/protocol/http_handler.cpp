@@ -1,0 +1,235 @@
+#include "protocol/http_handler.h"
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace nest::protocol {
+namespace {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string version;
+  std::map<std::string, std::string> headers;  // lower-cased keys
+
+  bool keep_alive() const {
+    const auto it = headers.find("connection");
+    if (it == headers.end()) return false;
+    return to_lower(it->second) == "keep-alive";
+  }
+  std::int64_t content_length() const {
+    const auto it = headers.find("content-length");
+    if (it == headers.end()) return -1;
+    return parse_int(it->second).value_or(-1);
+  }
+  // "Range: bytes=a-b" / "bytes=a-" / "bytes=-n"; nullopt when absent or
+  // malformed (malformed ranges fall back to a full 200 per RFC).
+  std::optional<std::pair<std::int64_t, std::int64_t>> range() const {
+    const auto it = headers.find("range");
+    if (it == headers.end()) return std::nullopt;
+    std::string_view v = it->second;
+    if (!starts_with_icase(v, "bytes=")) return std::nullopt;
+    v.remove_prefix(6);
+    const auto dash = v.find('-');
+    if (dash == std::string_view::npos) return std::nullopt;
+    const auto first = parse_int(v.substr(0, dash));
+    const auto last = parse_int(v.substr(dash + 1));
+    if (!first && !last) return std::nullopt;
+    return std::make_pair(first.value_or(-1), last.value_or(-1));
+  }
+};
+
+const char* status_text(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 206: return "Partial Content";
+    case 416: return "Range Not Satisfiable";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
+    case 500: return "Internal Server Error";
+    case 507: return "Insufficient Storage";
+  }
+  return "Unknown";
+}
+
+int errc_to_http(Errc code) {
+  switch (code) {
+    case Errc::ok: return 200;
+    case Errc::not_found: return 404;
+    case Errc::permission_denied:
+    case Errc::not_authenticated: return 403;
+    case Errc::no_space:
+    case Errc::lot_expired: return 507;
+    case Errc::exists:
+    case Errc::busy: return 409;
+    case Errc::invalid_argument:
+    case Errc::protocol_error: return 400;
+    case Errc::is_dir:
+    case Errc::not_dir: return 405;
+    default: return 500;
+  }
+}
+
+bool send_response(net::TcpStream& s, int code, bool keep_alive,
+                   const std::string& body = {},
+                   std::int64_t content_length = -1,
+                   const std::string& extra_headers = {}) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << code << " " << status_text(code) << "\r\n";
+  os << "Server: nest/0.9\r\n";
+  os << "Content-Length: "
+     << (content_length >= 0 ? content_length
+                             : static_cast<std::int64_t>(body.size()))
+     << "\r\n";
+  if (keep_alive) os << "Connection: keep-alive\r\n";
+  os << extra_headers;
+  os << "\r\n";
+  if (!s.write_all(os.str()).ok()) return false;
+  if (!body.empty() && !s.write_all(body).ok()) return false;
+  return true;
+}
+
+Result<HttpRequest> read_request(net::TcpStream& s) {
+  auto line = s.read_line();
+  if (!line.ok()) return line.error();
+  const auto words = split_ws(*line);
+  if (words.size() != 3)
+    return Error{Errc::protocol_error, "bad request line"};
+  HttpRequest req;
+  req.method = to_lower(words[0]);
+  req.path = words[1];
+  req.version = words[2];
+  while (true) {
+    auto header = s.read_line();
+    if (!header.ok()) return header.error();
+    if (header->empty()) break;
+    const auto colon = header->find(':');
+    if (colon == std::string::npos) continue;
+    req.headers[to_lower(std::string(trim(header->substr(0, colon))))] =
+        std::string(trim(header->substr(colon + 1)));
+  }
+  return req;
+}
+
+}  // namespace
+
+void HttpHandler::serve(net::TcpStream& stream) {
+  storage::Principal anon;
+  anon.protocol = "http";
+
+  while (true) {
+    auto req_r = read_request(stream);
+    if (!req_r.ok()) return;
+    const HttpRequest& req = *req_r;
+    const bool keep = req.keep_alive();
+
+    NestRequest nreq;
+    nreq.principal = anon;
+    nreq.protocol = "http";
+    nreq.path = req.path;
+
+    if (req.method == "get" || req.method == "head") {
+      nreq.op = NestOp::get;
+      auto ticket = ctx_.dispatcher->approve_get(nreq);
+      if (!ticket.ok()) {
+        if (!send_response(stream, errc_to_http(ticket.code()), keep,
+                           ticket.error().to_string() + "\n")) {
+          return;
+        }
+        if (!keep) return;
+        continue;
+      }
+      const auto range = req.range();
+      if (range && req.method == "get") {
+        // Resolve the range form against the file size.
+        std::int64_t first = range->first;
+        std::int64_t last = range->second;
+        if (first < 0) {  // suffix form: bytes=-n
+          first = std::max<std::int64_t>(0, ticket->size - last);
+          last = ticket->size - 1;
+        } else if (last < 0 || last >= ticket->size) {
+          last = ticket->size - 1;
+        }
+        if (first >= ticket->size || first > last) {
+          if (!send_response(stream, 416, keep, {}, 0,
+                             "Content-Range: bytes */" +
+                                 std::to_string(ticket->size) + "\r\n")) {
+            return;
+          }
+          if (!keep) return;
+          continue;
+        }
+        const std::int64_t length = last - first + 1;
+        std::ostringstream cr;
+        cr << "Content-Range: bytes " << first << "-" << last << "/"
+           << ticket->size << "\r\n";
+        if (!send_response(stream, 206, keep, {}, length, cr.str())) return;
+        if (!ctx_.executor
+                 ->send_file_range("http", *ticket, stream, first, length)
+                 .ok()) {
+          return;
+        }
+        if (!keep) return;
+        continue;
+      }
+      if (!send_response(stream, 200, keep, {}, ticket->size)) return;
+      if (req.method == "get") {
+        if (!ctx_.executor->send_file("http", *ticket, stream).ok()) return;
+      }
+      if (!keep) return;
+      continue;
+    }
+
+    if (req.method == "put") {
+      const std::int64_t len = req.content_length();
+      if (len < 0) {
+        if (!send_response(stream, 411, keep)) return;
+        if (!keep) return;
+        continue;
+      }
+      nreq.op = NestOp::put;
+      nreq.size = len;
+      auto ticket = ctx_.dispatcher->approve_put(nreq);
+      if (!ticket.ok()) {
+        if (!send_response(stream, errc_to_http(ticket.code()), keep,
+                           ticket.error().to_string() + "\n")) {
+          return;
+        }
+        if (!keep) return;
+        continue;
+      }
+      if (!ctx_.executor->recv_file("http", *ticket, stream, len).ok())
+        return;
+      if (!send_response(stream, 201, keep)) return;
+      if (!keep) return;
+      continue;
+    }
+
+    if (req.method == "delete") {
+      nreq.op = NestOp::unlink;
+      const auto r = ctx_.dispatcher->execute(nreq);
+      if (!send_response(stream,
+                         r.status.ok() ? 204 : errc_to_http(r.status.code()),
+                         keep)) {
+        return;
+      }
+      if (!keep) return;
+      continue;
+    }
+
+    if (!send_response(stream, 405, keep)) return;
+    if (!keep) return;
+  }
+}
+
+}  // namespace nest::protocol

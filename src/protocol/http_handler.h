@@ -1,0 +1,19 @@
+// HTTP/1.0 handler (RFC 1945 subset, plus Content-Length PUT). The paper's
+// NeST serves web-style whole-file gets; per its security model HTTP
+// clients are anonymous, so the ACL layer decides what anonymous may do.
+// Supported: GET, HEAD, PUT, DELETE; keep-alive via "Connection:
+// keep-alive" (1.0 style).
+#pragma once
+
+#include "protocol/handler.h"
+
+namespace nest::protocol {
+
+class HttpHandler final : public ProtocolHandler {
+ public:
+  using ProtocolHandler::ProtocolHandler;
+  const char* name() const override { return "http"; }
+  void serve(net::TcpStream& stream) override;
+};
+
+}  // namespace nest::protocol

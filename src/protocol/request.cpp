@@ -1,0 +1,29 @@
+#include "protocol/request.h"
+
+namespace nest::protocol {
+
+const char* op_name(NestOp op) noexcept {
+  switch (op) {
+    case NestOp::noop: return "noop";
+    case NestOp::get: return "get";
+    case NestOp::put: return "put";
+    case NestOp::read_block: return "read_block";
+    case NestOp::write_block: return "write_block";
+    case NestOp::mkdir: return "mkdir";
+    case NestOp::rmdir: return "rmdir";
+    case NestOp::unlink: return "unlink";
+    case NestOp::stat: return "stat";
+    case NestOp::list: return "list";
+    case NestOp::rename: return "rename";
+    case NestOp::lot_create: return "lot_create";
+    case NestOp::lot_renew: return "lot_renew";
+    case NestOp::lot_terminate: return "lot_terminate";
+    case NestOp::lot_query: return "lot_query";
+    case NestOp::acl_set: return "acl_set";
+    case NestOp::acl_get: return "acl_get";
+    case NestOp::query_ad: return "query_ad";
+  }
+  return "?";
+}
+
+}  // namespace nest::protocol

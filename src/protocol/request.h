@@ -1,0 +1,61 @@
+// The common request format of the virtual protocol layer (paper Section 3).
+//
+// Every protocol handler parses its wire protocol into a NestRequest; the
+// dispatcher and storage manager never see protocol specifics. This is the
+// VFS-like indirection that lets one transfer manager, one ACL engine, and
+// one lot system serve five protocols.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "storage/acl.h"
+
+namespace nest::protocol {
+
+enum class NestOp {
+  noop,
+  get,            // whole-file retrieve (transfer)
+  put,            // whole-file store (transfer)
+  read_block,     // block read at offset (NFS-style, transfer)
+  write_block,    // block write at offset (transfer)
+  mkdir,
+  rmdir,
+  unlink,
+  stat,
+  list,
+  rename,
+  lot_create,
+  lot_renew,
+  lot_terminate,
+  lot_query,
+  acl_set,
+  acl_get,
+  query_ad,       // fetch the appliance's resource ClassAd
+};
+
+const char* op_name(NestOp op) noexcept;
+
+struct NestRequest {
+  NestOp op = NestOp::noop;
+  storage::Principal principal;  // set by the handler after authentication
+  std::string protocol;          // handler name ("chirp", "nfs", ...)
+
+  std::string path;
+  std::string path2;      // rename target
+  std::int64_t size = 0;  // put size
+  std::int64_t offset = 0;
+  std::int64_t length = 0;
+
+  // Lot arguments.
+  std::uint64_t lot_id = 0;
+  std::int64_t lot_capacity = 0;
+  Nanos lot_duration = 0;
+  bool group_lot = false;
+
+  // ACL arguments: a ClassAd entry in text form.
+  std::string acl_entry;
+};
+
+}  // namespace nest::protocol

@@ -1,0 +1,98 @@
+#include "server/config.h"
+
+#include "common/string_util.h"
+
+namespace nest::server {
+
+namespace {
+
+Result<transfer::ConcurrencyModel> model_by_name(const std::string& name) {
+  if (name == "threads") return transfer::ConcurrencyModel::threads;
+  if (name == "processes") return transfer::ConcurrencyModel::processes;
+  if (name == "events") return transfer::ConcurrencyModel::events;
+  if (name == "staged") return transfer::ConcurrencyModel::staged;
+  return Error{Errc::invalid_argument, "unknown model '" + name + "'"};
+}
+
+}  // namespace
+
+Result<NestdConfig> options_from_config(const Config& cfg) {
+  NestdConfig out;
+  NestServerOptions& opts = out.options;
+  opts.root_dir = cfg.get_string("root");
+  opts.backend = cfg.get_string("backend");  // mem | local | extent
+  opts.capacity = cfg.get_size("capacity", 1'000'000'000);
+  opts.name = cfg.get_string("name", "nest");
+  opts.chirp_port = static_cast<int>(cfg.get_int("chirp_port", 9094));
+  opts.http_port = static_cast<int>(cfg.get_int("http_port", 9080));
+  opts.ftp_port = static_cast<int>(cfg.get_int("ftp_port", 9021));
+  opts.gridftp_port = static_cast<int>(cfg.get_int("gridftp_port", 9811));
+  opts.nfs_port = static_cast<int>(cfg.get_int("nfs_port", 9049));
+  opts.allow_anonymous = cfg.get_bool("anonymous", true);
+  opts.transfer_slots = static_cast<int>(cfg.get_int("slots", 8));
+  opts.bandwidth_limit = cfg.get_size("bandwidth", 0);
+
+  const std::string scheduler = cfg.get_string("scheduler", "fifo");
+  {
+    // Validate via the factory the transfer manager itself uses.
+    ManualClock probe;
+    if (transfer::make_scheduler(scheduler, probe) == nullptr) {
+      return Error{Errc::invalid_argument,
+                   "unknown scheduler '" + scheduler + "'"};
+    }
+  }
+  opts.tm.scheduler = scheduler;
+  opts.tm.adaptive = cfg.get_bool("adaptive", true);
+
+  // models = threads,events[,processes,staged]: restrict/extend the set
+  // the adaptive selector rotates through (or pick the fixed model when
+  // adaptive = false: first entry wins).
+  if (cfg.has("models")) {
+    std::vector<transfer::ConcurrencyModel> models;
+    for (const auto& name : split(cfg.get_string("models"), ',')) {
+      auto m = model_by_name(std::string(trim(name)));
+      if (!m.ok()) return m.error();
+      models.push_back(*m);
+    }
+    if (models.empty())
+      return Error{Errc::invalid_argument, "models list is empty"};
+    opts.tm.adapt.enabled = models;
+    opts.tm.fixed_model = models.front();
+  }
+
+  for (const auto& [key, value] : cfg.entries()) {
+    if (key.rfind("user.", 0) == 0) {
+      ConfiguredUser user;
+      user.name = key.substr(5);
+      const auto parts = split(value, ':');
+      user.secret = parts[0];
+      if (parts.size() > 1) user.groups = split(parts[1], ',');
+      out.users.push_back(std::move(user));
+    } else if (key.rfind("tickets.", 0) == 0) {
+      const auto n = parse_int(value);
+      if (!n || *n < 1) {
+        return Error{Errc::invalid_argument,
+                     "bad ticket count for " + key};
+      }
+      out.tickets.push_back(TicketEntry{key.substr(8), *n});
+    }
+  }
+  if (!out.tickets.empty() && opts.tm.scheduler.rfind("stride", 0) != 0) {
+    return Error{Errc::invalid_argument,
+                 "tickets.* requires a stride scheduler"};
+  }
+  return out;
+}
+
+void apply_runtime_config(const NestdConfig& cfg, NestServer& server) {
+  for (const auto& user : cfg.users) {
+    server.gsi().add_user(user.name, user.secret, user.groups);
+  }
+  if (auto* stride = server.tm().stride()) {
+    for (const auto& entry : cfg.tickets) {
+      stride->set_tickets(entry.cls, entry.tickets);
+    }
+  }
+}
+
+}  // namespace nest::server

@@ -1,0 +1,44 @@
+// Config-file -> NestServerOptions mapping for nestd (and any embedder
+// that wants file-driven configuration). Kept out of nestd's main() so it
+// is unit-testable.
+//
+// Recognized keys (see nestd.cpp header for the full commented example):
+//   root capacity name chirp_port http_port ftp_port gridftp_port nfs_port
+//   scheduler adaptive anonymous slots models
+//   tickets.<class> = <n>          (stride tickets per protocol/user class)
+//   user.<name>     = <secret>[:group1,group2]
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "server/nest_server.h"
+
+namespace nest::server {
+
+struct ConfiguredUser {
+  std::string name;
+  std::string secret;
+  std::vector<std::string> groups;
+};
+
+struct TicketEntry {
+  std::string cls;
+  std::int64_t tickets = 1;
+};
+
+struct NestdConfig {
+  NestServerOptions options;
+  std::vector<ConfiguredUser> users;
+  std::vector<TicketEntry> tickets;
+};
+
+// Parse and validate; rejects unknown concurrency-model names and bad
+// scheduler kinds rather than starting a misconfigured appliance.
+Result<NestdConfig> options_from_config(const Config& cfg);
+
+// Apply users + tickets to a started server.
+void apply_runtime_config(const NestdConfig& cfg, NestServer& server);
+
+}  // namespace nest::server

@@ -1,0 +1,25 @@
+#include "protocol/ftp_handler.h"
+#include "protocol/http_handler.h"
+#include "server/nest_server.h"
+
+namespace nest::server {
+
+Status NestServer::make_extra_endpoints(const protocol::ServerContext& ctx) {
+  if (auto s = bind_endpoint(options_.http_port,
+                             std::make_unique<protocol::HttpHandler>(ctx),
+                             &http_port_);
+      !s.ok()) {
+    return s;
+  }
+  if (auto s = bind_endpoint(options_.ftp_port,
+                             std::make_unique<protocol::FtpHandler>(ctx),
+                             &ftp_port_);
+      !s.ok()) {
+    return s;
+  }
+  return bind_endpoint(options_.gridftp_port,
+                       std::make_unique<protocol::GridFtpHandler>(ctx),
+                       &gridftp_port_);
+}
+
+}  // namespace nest::server

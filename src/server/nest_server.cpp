@@ -1,0 +1,158 @@
+#include "server/nest_server.h"
+
+#include <sys/socket.h>
+
+#include "common/log.h"
+#include "protocol/chirp_handler.h"
+#include "storage/extentfs.h"
+#include "storage/localfs.h"
+#include "storage/memfs.h"
+
+namespace nest::server {
+
+using protocol::ProtocolHandler;
+
+NestServer::NestServer(NestServerOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::unique_ptr<NestServer>> NestServer::start(
+    NestServerOptions options) {
+  std::unique_ptr<NestServer> server(new NestServer(std::move(options)));
+  if (auto s = server->init(); !s.ok()) return Error{s.error()};
+  return server;
+}
+
+Status NestServer::init() {
+  // Storage backend.
+  std::unique_ptr<storage::VirtualFs> fs;
+  std::string backend = options_.backend;
+  if (backend.empty()) backend = options_.root_dir.empty() ? "mem" : "local";
+  if (backend == "mem") {
+    fs = std::make_unique<storage::MemFs>(RealClock::instance(),
+                                          options_.capacity);
+  } else if (backend == "local") {
+    auto local =
+        storage::LocalFs::open_root(options_.root_dir, options_.capacity);
+    if (!local.ok()) return Status{local.error()};
+    fs = std::move(local.value());
+  } else if (backend == "extent") {
+    if (options_.root_dir.empty()) {
+      fs = std::make_unique<storage::ExtentFs>(RealClock::instance(),
+                                               options_.capacity);
+    } else {
+      auto vol = storage::ExtentFs::open_volume(
+          RealClock::instance(), options_.root_dir, options_.capacity);
+      if (!vol.ok()) return Status{vol.error()};
+      fs = std::move(vol.value());
+    }
+  } else {
+    return Status{Errc::invalid_argument, "unknown backend '" + backend + "'"};
+  }
+  storage_ = std::make_unique<storage::StorageManager>(
+      RealClock::instance(), std::move(fs), options_.storage);
+  tm_ = std::make_unique<transfer::TransferManager>(RealClock::instance(),
+                                                    options_.tm);
+  dispatcher::Dispatcher::Options dopts;
+  dopts.transfer_slots = options_.transfer_slots;
+  dopts.advertised_name = options_.name;
+  dispatcher_ = std::make_unique<dispatcher::Dispatcher>(
+      RealClock::instance(), *storage_, *tm_, dopts);
+  executor_ = std::make_unique<protocol::TransferExecutor>(
+      RealClock::instance(), *tm_, dispatcher_->gate(), 64 * 1024,
+      options_.bandwidth_limit);
+
+  protocol::ServerContext ctx;
+  ctx.dispatcher = dispatcher_.get();
+  ctx.gsi = &gsi_;
+  ctx.executor = executor_.get();
+  ctx.allow_anonymous = options_.allow_anonymous;
+  ctx.own_subject = options_.own_subject;
+  ctx.own_secret = options_.own_secret;
+
+  if (auto s = bind_endpoint(options_.chirp_port,
+                             std::make_unique<protocol::ChirpHandler>(ctx),
+                             &chirp_port_);
+      !s.ok()) {
+    return s;
+  }
+  if (auto s = make_extra_endpoints(ctx); !s.ok()) return s;
+
+  // NFS runs over UDP with its own service loop.
+  if (options_.nfs_port >= 0) {
+    protocol::NfsService::Options nopts;
+    nopts.port = options_.nfs_port;
+    nfs_ = std::make_unique<protocol::NfsService>(*dispatcher_, *executor_,
+                                                  nopts);
+    if (auto s = nfs_->start(); !s.ok()) return s;
+    nfs_port_ = nfs_->port();
+  }
+
+  // Launch acceptors last so handlers observe fully-built state.
+  for (Endpoint& ep : endpoints_) {
+    ep.acceptor = std::thread(
+        [this, &ep] { accept_loop(ep.listener.get(), ep.handler.get()); });
+  }
+  NEST_LOG_INFO("server", "nest '%s' up (chirp=%u http=%u ftp=%u gftp=%u "
+                          "nfs=%u)",
+                options_.name.c_str(), chirp_port_, http_port_, ftp_port_,
+                gridftp_port_, nfs_port_);
+  return {};
+}
+
+Status NestServer::bind_endpoint(
+    int port, std::unique_ptr<ProtocolHandler> handler, uint16_t* out_port) {
+  if (port < 0) return {};
+  auto listener = net::TcpListener::bind(static_cast<uint16_t>(port));
+  if (!listener.ok()) return Status{listener.error()};
+  *out_port = listener->port();
+  Endpoint ep;
+  ep.listener =
+      std::make_unique<net::TcpListener>(std::move(listener.value()));
+  ep.handler = std::move(handler);
+  endpoints_.push_back(std::move(ep));
+  return {};
+}
+
+void NestServer::accept_loop(net::TcpListener* listener,
+                             ProtocolHandler* handler) {
+  while (!stopping_) {
+    auto stream = listener->accept();
+    if (!stream.ok()) return;  // listener closed: shutting down
+    (void)stream->set_read_timeout(options_.idle_timeout_ms);
+    std::lock_guard lock(conn_mu_);
+    const int fd = stream->fd();
+    conn_fds_.insert(fd);
+    connections_.emplace_back(
+        [this, handler, fd, s = std::move(stream.value())]() mutable {
+          handler->serve(s);
+          // The lambda still owns the stream, so the fd stays open (and
+          // thus unrecycled) until after it is unregistered.
+          std::lock_guard inner(conn_mu_);
+          conn_fds_.erase(fd);
+        });
+  }
+}
+
+void NestServer::stop() {
+  if (stopping_.exchange(true)) return;
+  for (Endpoint& ep : endpoints_) ep.listener->close();
+  for (Endpoint& ep : endpoints_) {
+    if (ep.acceptor.joinable()) ep.acceptor.join();
+  }
+  if (nfs_) nfs_->stop();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard lock(conn_mu_);
+    conns.swap(connections_);
+    // Kick handler threads out of blocking reads on idle connections.
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  if (dispatcher_) dispatcher_->stop_publishing();
+}
+
+NestServer::~NestServer() { stop(); }
+
+}  // namespace nest::server

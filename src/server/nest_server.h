@@ -1,0 +1,122 @@
+// NestServer: the real (socket-backed) NeST appliance.
+//
+// One TCP listener per enabled protocol — the protocol layer invokes the
+// handler for the connecting port (paper Section 2.2) — plus a UDP
+// endpoint for NFS/ONC-RPC. Each accepted connection is served on its own
+// thread by its protocol handler; all handlers share one storage manager,
+// one dispatcher, one transfer manager (scheduling + adaptive concurrency)
+// and one GSI registry.
+#pragma once
+
+#include <atomic>
+#include <set>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dispatcher/dispatcher.h"
+#include "net/socket.h"
+#include "protocol/executor.h"
+#include "protocol/gsi.h"
+#include "protocol/handler.h"
+#include "protocol/nfs_handler.h"
+#include "storage/storage_manager.h"
+#include "transfer/transfer_manager.h"
+
+namespace nest::server {
+
+struct NestServerOptions {
+  // Storage backend selection:
+  //   "mem"    — in-memory (default when root_dir is empty)
+  //   "local"  — sandboxed host directory at root_dir (default otherwise)
+  //   "extent" — raw-disk-style extent store; root_dir is the volume file
+  //              (empty root_dir = in-memory volume)
+  std::string backend;
+  // Host directory (local) or volume file (extent); empty = in-memory.
+  std::string root_dir;
+  std::int64_t capacity = 1'000'000'000;
+  storage::StorageOptions storage;
+  transfer::TransferManager::Options tm;
+  int transfer_slots = 8;
+  // Total transfer-rate cap in bytes/sec (0 = unlimited). Scheduling
+  // policies bind at this rate even on networks faster than it.
+  std::int64_t bandwidth_limit = 0;
+  bool allow_anonymous = true;
+  std::string name = "nest";
+  // Appliance identity used when this NeST initiates transfers to peers
+  // (Chirp THIRDPUT). Register it in the peers' GSI registries.
+  std::string own_subject;
+  std::string own_secret;
+
+  // Listener ports: 0 = ephemeral (query after start), -1 = disabled.
+  int chirp_port = 0;
+  int http_port = 0;
+  int ftp_port = 0;
+  int gridftp_port = 0;
+  int nfs_port = 0;  // UDP
+
+  // Idle-connection read timeout, ms (bounds shutdown latency).
+  int idle_timeout_ms = 30'000;
+};
+
+class NestServer {
+ public:
+  static Result<std::unique_ptr<NestServer>> start(NestServerOptions options);
+  ~NestServer();
+  NestServer(const NestServer&) = delete;
+  NestServer& operator=(const NestServer&) = delete;
+
+  void stop();
+
+  uint16_t chirp_port() const { return chirp_port_; }
+  uint16_t http_port() const { return http_port_; }
+  uint16_t ftp_port() const { return ftp_port_; }
+  uint16_t gridftp_port() const { return gridftp_port_; }
+  uint16_t nfs_port() const { return nfs_port_; }
+
+  protocol::GsiRegistry& gsi() { return gsi_; }
+  dispatcher::Dispatcher& dispatcher() { return *dispatcher_; }
+  storage::StorageManager& storage() { return *storage_; }
+  transfer::TransferManager& tm() { return *tm_; }
+
+ private:
+  explicit NestServer(NestServerOptions options);
+  Status init();
+  // Binds the HTTP, FTP, and GridFTP endpoints (defined in endpoints.cpp).
+  Status make_extra_endpoints(const protocol::ServerContext& ctx);
+  Status bind_endpoint(int port,
+                       std::unique_ptr<protocol::ProtocolHandler> handler,
+                       uint16_t* out_port);
+  void accept_loop(net::TcpListener* listener,
+                   protocol::ProtocolHandler* handler);
+
+  NestServerOptions options_;
+  protocol::GsiRegistry gsi_;
+  std::unique_ptr<storage::StorageManager> storage_;
+  std::unique_ptr<transfer::TransferManager> tm_;
+  std::unique_ptr<dispatcher::Dispatcher> dispatcher_;
+  std::unique_ptr<protocol::TransferExecutor> executor_;
+
+  struct Endpoint {
+    std::unique_ptr<net::TcpListener> listener;
+    std::unique_ptr<protocol::ProtocolHandler> handler;
+    std::thread acceptor;
+  };
+  std::vector<Endpoint> endpoints_;
+  std::unique_ptr<protocol::NfsService> nfs_;  // UDP RPC service
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+  std::set<int> conn_fds_;  // live connection sockets, for shutdown-on-stop
+  std::atomic<bool> stopping_{false};
+
+  uint16_t chirp_port_ = 0;
+  uint16_t http_port_ = 0;
+  uint16_t ftp_port_ = 0;
+  uint16_t gridftp_port_ = 0;
+  uint16_t nfs_port_ = 0;
+};
+
+}  // namespace nest::server

@@ -1,0 +1,62 @@
+#include "sim/cache.h"
+
+namespace nest::sim {
+
+bool BufferCache::touch(PageId id) {
+  const auto it = map_.find(id);
+  if (it == map_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void BufferCache::insert(PageId id, bool dirty,
+                         std::vector<PageId>& evicted_dirty) {
+  const auto it = map_.find(id);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->dirty = it->second->dirty || dirty;
+    return;
+  }
+  while (static_cast<std::int64_t>(map_.size()) >= capacity_pages_ &&
+         !lru_.empty()) {
+    const Entry victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim.id);
+    if (victim.dirty) evicted_dirty.push_back(victim.id);
+  }
+  lru_.push_front(Entry{id, dirty});
+  map_[id] = lru_.begin();
+}
+
+void BufferCache::mark_clean(PageId id) {
+  const auto it = map_.find(id);
+  if (it != map_.end()) it->second->dirty = false;
+}
+
+void BufferCache::erase(PageId id) {
+  const auto it = map_.find(id);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+std::int64_t BufferCache::resident_bytes(std::uint64_t file,
+                                         std::int64_t bytes) const {
+  const std::int64_t pages = (bytes + page_bytes_ - 1) / page_bytes_;
+  std::int64_t resident = 0;
+  for (std::int64_t p = 0; p < pages; ++p) {
+    if (map_.count(PageId{file, p})) ++resident;
+  }
+  return resident * page_bytes_;
+}
+
+double BufferCache::resident_fraction(std::uint64_t file,
+                                      std::int64_t bytes) const {
+  if (bytes <= 0) return 1.0;
+  const double res = static_cast<double>(resident_bytes(file, bytes));
+  return res >= static_cast<double>(bytes)
+             ? 1.0
+             : res / static_cast<double>(bytes);
+}
+
+}  // namespace nest::sim

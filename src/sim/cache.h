@@ -1,0 +1,79 @@
+// Page-granularity LRU buffer cache (bookkeeping only; timing costs are
+// charged by SimStore, which owns the disk). This is the model of the
+// *kernel* buffer cache inside the simulated OS; NeST's user-level gray-box
+// mirror of it lives in src/transfer/cache_model.h.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace nest::sim {
+
+struct PageId {
+  std::uint64_t file;
+  std::int64_t page;
+  bool operator==(const PageId&) const = default;
+};
+
+struct PageIdHash {
+  std::size_t operator()(const PageId& p) const noexcept {
+    return std::hash<std::uint64_t>()(p.file * 0x9e3779b97f4a7c15ull +
+                                      static_cast<std::uint64_t>(p.page));
+  }
+};
+
+class BufferCache {
+ public:
+  BufferCache(std::int64_t capacity_bytes, std::int64_t page_bytes)
+      : capacity_pages_(capacity_bytes / page_bytes),
+        page_bytes_(page_bytes) {}
+
+  std::int64_t page_bytes() const noexcept { return page_bytes_; }
+  std::int64_t size_pages() const noexcept {
+    return static_cast<std::int64_t>(map_.size());
+  }
+  std::int64_t capacity_pages() const noexcept { return capacity_pages_; }
+
+  bool contains(PageId id) const { return map_.count(id) != 0; }
+
+  // Move to MRU; false if absent.
+  bool touch(PageId id);
+
+  // Insert (or touch) a page. Pages evicted to make room are appended to
+  // `evicted_dirty` when they were dirty — the caller must write them out.
+  void insert(PageId id, bool dirty, std::vector<PageId>& evicted_dirty);
+
+  void mark_clean(PageId id);
+
+  // Drop a page regardless of dirty state (caller owns any needed flush).
+  void erase(PageId id);
+
+  // Fraction of [0, bytes) of `file` currently resident.
+  double resident_fraction(std::uint64_t file, std::int64_t bytes) const;
+
+  // Pages of `file` in [0, bytes) resident, in bytes.
+  std::int64_t resident_bytes(std::uint64_t file, std::int64_t bytes) const;
+
+  std::int64_t hits() const noexcept { return hits_; }
+  std::int64_t misses() const noexcept { return misses_; }
+  void count_hit() noexcept { ++hits_; }
+  void count_miss() noexcept { ++misses_; }
+
+ private:
+  struct Entry {
+    PageId id;
+    bool dirty;
+  };
+  using LruList = std::list<Entry>;
+
+  std::int64_t capacity_pages_;
+  std::int64_t page_bytes_;
+  LruList lru_;  // front = MRU
+  std::unordered_map<PageId, LruList::iterator, PageIdHash> map_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace nest::sim

@@ -1,0 +1,144 @@
+// Awaitable coroutine task type for the discrete-event simulator.
+//
+// Co<T> is a lazy coroutine: it starts when awaited and resumes its awaiter
+// via symmetric transfer when it finishes. spawn() launches a Co<void> as a
+// detached root task (used for simulated clients/servers). All simulation
+// code is single-threaded; no synchronization is needed or provided.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace nest::sim {
+
+template <typename T = void>
+class [[nodiscard]] Co;
+
+namespace detail {
+
+template <typename T>
+struct CoPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { std::terminate(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Co {
+ public:
+  struct promise_type : detail::CoPromiseBase<T> {
+    std::optional<T> value;
+    Co get_return_object() {
+      return Co(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Co(Co&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Co& operator=(Co&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  ~Co() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    h_.promise().continuation = awaiter;
+    return h_;
+  }
+  T await_resume() {
+    assert(h_.promise().value.has_value());
+    return std::move(*h_.promise().value);
+  }
+
+ private:
+  explicit Co(std::coroutine_handle<promise_type> h) : h_(h) {}
+  void destroy() {
+    if (h_) h_.destroy();
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class [[nodiscard]] Co<void> {
+ public:
+  struct promise_type : detail::CoPromiseBase<void> {
+    Co get_return_object() {
+      return Co(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Co(Co&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Co& operator=(Co&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  ~Co() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    h_.promise().continuation = awaiter;
+    return h_;
+  }
+  void await_resume() {}
+
+ private:
+  explicit Co(std::coroutine_handle<promise_type> h) : h_(h) {}
+  void destroy() {
+    if (h_) h_.destroy();
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+namespace detail {
+
+// Eagerly-started, self-destroying wrapper that owns a Co<void> for its
+// lifetime; when the child finishes the wrapper frame (and thus the child
+// frame) is destroyed automatically.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+inline Detached spawn_impl(Co<void> task) { co_await std::move(task); }
+
+}  // namespace detail
+
+// Launch a simulation task detached from any awaiter.
+inline void spawn(Co<void> task) { detail::spawn_impl(std::move(task)); }
+
+}  // namespace nest::sim

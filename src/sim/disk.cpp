@@ -1,0 +1,20 @@
+#include "sim/disk.h"
+
+namespace nest::sim {
+
+Co<void> Disk::access(std::uint64_t file_id, std::int64_t offset,
+                      std::int64_t bytes) {
+  co_await head_.acquire();
+  SemGuard hold(head_);
+  const bool sequential = file_id == last_file_ && offset == last_end_;
+  if (!sequential) {
+    ++total_seeks_;
+    co_await eng_.delay(seek_ + rot_);
+  }
+  co_await eng_.delay(from_seconds(static_cast<double>(bytes) / bw_));
+  last_file_ = file_id;
+  last_end_ = offset + bytes;
+  total_bytes_ += bytes;
+}
+
+}  // namespace nest::sim

@@ -1,0 +1,59 @@
+// Single-spindle disk model: average seek + rotational delay for
+// discontiguous accesses, sequential streaming at the platter rate, one
+// request in service at a time (head is an exclusive resource).
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "sim/coro.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+
+namespace nest::sim {
+
+class Disk {
+ public:
+  Disk(Engine& eng, Nanos avg_seek, Nanos avg_rot, double bytes_per_sec)
+      : eng_(eng),
+        head_(eng, 1),
+        seek_(avg_seek),
+        rot_(avg_rot),
+        bw_(bytes_per_sec) {}
+
+  // Read/write `bytes` belonging to `file_id` starting at `offset`.
+  // Consecutive accesses to the same file at the next offset stream
+  // sequentially; anything else pays seek + rotation.
+  Co<void> read(std::uint64_t file_id, std::int64_t offset,
+                std::int64_t bytes) {
+    return access(file_id, offset, bytes);
+  }
+  Co<void> write(std::uint64_t file_id, std::int64_t offset,
+                 std::int64_t bytes) {
+    return access(file_id, offset, bytes);
+  }
+
+  // Statistics for benchmarks and tests.
+  std::int64_t total_bytes() const noexcept { return total_bytes_; }
+  std::int64_t total_seeks() const noexcept { return total_seeks_; }
+  // Queue depth including the request in service.
+  std::int64_t queue_depth() const noexcept {
+    return head_.waiting() + (head_.available() == 0 ? 1 : 0);
+  }
+
+ private:
+  Co<void> access(std::uint64_t file_id, std::int64_t offset,
+                  std::int64_t bytes);
+
+  Engine& eng_;
+  Semaphore head_;
+  Nanos seek_;
+  Nanos rot_;
+  double bw_;
+  std::uint64_t last_file_ = ~0ull;
+  std::int64_t last_end_ = -1;
+  std::int64_t total_bytes_ = 0;
+  std::int64_t total_seeks_ = 0;
+};
+
+}  // namespace nest::sim

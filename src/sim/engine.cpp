@@ -1,0 +1,31 @@
+#include "sim/engine.h"
+
+namespace nest::sim {
+
+void Engine::schedule_at(Nanos when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-adjacent,
+  // so copy the function handle (cheap: std::function small-buffer or heap ptr).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  ev.fn();
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(Nanos t) {
+  while (!queue_.empty() && queue_.top().when <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace nest::sim

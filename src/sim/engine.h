@@ -1,0 +1,96 @@
+// Discrete-event simulation engine: a virtual clock plus a deterministic
+// time-ordered event queue. Ties between simultaneous events break on
+// insertion order, so runs are exactly reproducible.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace nest::sim {
+
+class Engine;
+
+// Awaiter returned by Engine::delay().
+struct DelayAwaiter {
+  Engine* engine;
+  Nanos delay;
+
+  bool await_ready() const noexcept { return delay <= 0; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Nanos now() const noexcept { return now_; }
+
+  // Schedule a callback at an absolute virtual time (>= now).
+  void schedule_at(Nanos when, std::function<void()> fn);
+  void schedule(Nanos delay, std::function<void()> fn) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+  // Resume a coroutine at now(); used by sync primitives to flatten stacks
+  // and keep wake order deterministic.
+  void post(std::coroutine_handle<> h) {
+    schedule_at(now_, [h] { h.resume(); });
+  }
+
+  DelayAwaiter delay(Nanos d) { return DelayAwaiter{this, d}; }
+
+  // Run the next event; false when the queue is empty.
+  bool step();
+  // Run to quiescence.
+  void run();
+  // Run events with time <= t, then set the clock to t.
+  void run_until(Nanos t);
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  // Clock view for policy code written against nest::Clock.
+  class SimClock final : public Clock {
+   public:
+    explicit SimClock(const Engine& e) : engine_(e) {}
+    Nanos now() const override { return engine_.now(); }
+
+   private:
+    const Engine& engine_;
+  };
+  Clock& clock() {
+    if (!clock_) clock_.emplace(*this);
+    return *clock_;
+  }
+
+ private:
+  struct Event {
+    Nanos when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Nanos now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::optional<SimClock> clock_;
+};
+
+inline void DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
+  engine->schedule(delay, [h] { h.resume(); });
+}
+
+}  // namespace nest::sim

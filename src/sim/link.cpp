@@ -1,0 +1,28 @@
+#include "sim/link.h"
+
+#include <algorithm>
+
+namespace nest::sim {
+
+Co<void> Link::transfer(std::int64_t bytes) {
+  ++active_;
+  std::int64_t remaining = bytes;
+  while (remaining > 0) {
+    const std::int64_t chunk = std::min(chunk_, remaining);
+    const double rate = bw_ / static_cast<double>(active_);
+    co_await eng_.delay(from_seconds(static_cast<double>(chunk) / rate));
+    remaining -= chunk;
+  }
+  --active_;
+}
+
+Co<void> Link::round_trip(std::int64_t bytes) {
+  // Control messages are small: latency dominated, but they still queue
+  // behind bulk data for their serialization time.
+  co_await eng_.delay(rtt_);
+  co_await transfer(bytes);
+}
+
+Co<void> Link::propagate() { co_await eng_.delay(rtt_ / 2); }
+
+}  // namespace nest::sim

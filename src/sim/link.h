@@ -1,0 +1,44 @@
+// Shared-bandwidth network link with processor-sharing semantics.
+//
+// All flows through a Link split its bandwidth equally (a standard fluid
+// approximation of TCP fair sharing on a shared segment). Transfers proceed
+// in chunks; the instantaneous rate is sampled per chunk, so rate changes
+// when flows start/stop propagate at chunk granularity.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "sim/coro.h"
+#include "sim/engine.h"
+
+namespace nest::sim {
+
+class Link {
+ public:
+  Link(Engine& eng, double bytes_per_sec, Nanos rtt,
+       std::int64_t chunk_bytes = 64 * 1024)
+      : eng_(eng), bw_(bytes_per_sec), rtt_(rtt), chunk_(chunk_bytes) {}
+
+  // Bulk data movement sharing bandwidth with all concurrent transfers.
+  Co<void> transfer(std::int64_t bytes);
+
+  // Small control message exchange: one round trip plus serialization.
+  Co<void> round_trip(std::int64_t bytes = 256);
+
+  // One-way latency delay (half an RTT).
+  Co<void> propagate();
+
+  int active_flows() const noexcept { return active_; }
+  double bandwidth() const noexcept { return bw_; }
+  Nanos rtt() const noexcept { return rtt_; }
+
+ private:
+  Engine& eng_;
+  double bw_;
+  Nanos rtt_;
+  std::int64_t chunk_;
+  int active_ = 0;
+};
+
+}  // namespace nest::sim

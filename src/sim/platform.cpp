@@ -1,0 +1,45 @@
+#include "sim/platform.h"
+
+namespace nest::sim {
+
+PlatformProfile PlatformProfile::linux2_2() {
+  PlatformProfile p;
+  p.name = "linux-2.2-gige";
+  p.link_bw = 36.0e6;         // effective server NIC ceiling, 2002 GigE stack
+  p.link_rtt = 200 * kMicrosecond;
+  p.thread_create = 80 * kMicrosecond;
+  p.thread_ctx_switch = 12 * kMicrosecond;
+  p.process_fork = 400 * kMicrosecond;
+  p.process_ctx_switch = 18 * kMicrosecond;
+  p.event_dispatch = 4 * kMicrosecond;
+  p.syscall = 4 * kMicrosecond;
+  p.memcpy_bw = 180.0e6;
+  p.disk_seek = 5 * kMillisecond;
+  p.disk_rot = 3 * kMillisecond;
+  p.disk_bw = 20.0e6;         // IBM 9LZX-class sequential transfer
+  p.cache_bytes = 384 * kMiB;  // 512 MB-class server: Fig 3 working set stays resident
+  p.dirty_limit_bytes = 32 * kMiB;
+  return p;
+}
+
+PlatformProfile PlatformProfile::solaris8() {
+  PlatformProfile p;
+  p.name = "solaris-8-netra";
+  p.link_bw = 11.0e6;         // 100 Mbit/s Ethernet
+  p.link_rtt = 300 * kMicrosecond;
+  p.thread_create = 900 * kMicrosecond;  // Netra T1 kernel threads are costly
+  p.thread_ctx_switch = 60 * kMicrosecond;
+  p.process_fork = 2 * kMillisecond;
+  p.process_ctx_switch = 80 * kMicrosecond;
+  p.event_dispatch = 6 * kMicrosecond;
+  p.syscall = 6 * kMicrosecond;
+  p.memcpy_bw = 90.0e6;
+  p.disk_seek = 6 * kMillisecond;
+  p.disk_rot = 4 * kMillisecond;
+  p.disk_bw = 15.0e6;
+  p.cache_bytes = 64 * kMiB;
+  p.dirty_limit_bytes = 16 * kMiB;
+  return p;
+}
+
+}  // namespace nest::sim

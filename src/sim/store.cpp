@@ -1,0 +1,167 @@
+#include "sim/store.h"
+
+#include <algorithm>
+
+namespace nest::sim {
+
+SimStore::SimStore(Engine& eng, const PlatformProfile& profile)
+    : eng_(eng),
+      profile_(profile),
+      disk_(eng, profile.disk_seek, profile.disk_rot, profile.disk_bw),
+      cache_(profile.cache_bytes, profile.page_bytes) {}
+
+Co<void> SimStore::copy_cost(std::int64_t bytes) {
+  co_await eng_.delay(
+      from_seconds(static_cast<double>(bytes) / profile_.memcpy_bw));
+}
+
+Co<void> SimStore::read(std::uint64_t file, std::int64_t offset,
+                        std::int64_t bytes) {
+  if (bytes <= 0) co_return;
+  const std::int64_t psz = profile_.page_bytes;
+  const std::int64_t first = offset / psz;
+  const std::int64_t last = (offset + bytes - 1) / psz;
+  std::vector<PageId> evicted_dirty;
+  std::int64_t run_begin = -1;
+  for (std::int64_t p = first; p <= last + 1; ++p) {
+    const bool miss = p <= last && !cache_.touch(PageId{file, p});
+    if (miss) {
+      cache_.count_miss();
+      if (run_begin < 0) run_begin = p;
+      continue;
+    }
+    if (p <= last) cache_.count_hit();
+    if (run_begin >= 0) {
+      // Read the whole miss run in one disk access.
+      const std::int64_t run_pages = p - run_begin;
+      co_await disk_.read(file, run_begin * psz, run_pages * psz);
+      for (std::int64_t q = run_begin; q < p; ++q) {
+        cache_.insert(PageId{file, q}, /*dirty=*/false, evicted_dirty);
+      }
+      run_begin = -1;
+    }
+  }
+  // Dirty pages evicted by cache pressure must reach the disk.
+  for (const PageId& pg : evicted_dirty) {
+    co_await disk_.write(pg.file, pg.page * psz, psz);
+    dirty_bytes_ = std::max<std::int64_t>(0, dirty_bytes_ - psz);
+  }
+  co_await copy_cost(bytes);
+}
+
+Co<void> SimStore::write(std::uint64_t file, std::int64_t offset,
+                         std::int64_t bytes) {
+  if (bytes <= 0) co_return;
+  const std::int64_t psz = profile_.page_bytes;
+  const std::int64_t first = offset / psz;
+  const std::int64_t last = (offset + bytes - 1) / psz;
+  std::vector<PageId> evicted_dirty;
+  for (std::int64_t p = first; p <= last; ++p) {
+    const PageId id{file, p};
+    if (!cache_.contains(id)) {
+      dirty_fifo_.push_back(id);
+      dirty_bytes_ += psz;
+    }
+    cache_.insert(id, /*dirty=*/true, evicted_dirty);
+  }
+  for (const PageId& pg : evicted_dirty) {
+    co_await disk_.write(pg.file, pg.page * psz, psz);
+    dirty_bytes_ = std::max<std::int64_t>(0, dirty_bytes_ - psz);
+    co_await quota_charge(psz);
+  }
+  co_await copy_cost(bytes);
+  co_await maybe_throttle();
+}
+
+Co<void> SimStore::maybe_throttle() {
+  // bdflush-style: the writer is penalized while dirty data exceeds the
+  // threshold, draining batches synchronously.
+  while (dirty_bytes_ > profile_.dirty_limit_bytes) {
+    co_await flush_batch();
+  }
+}
+
+Co<void> SimStore::flush_batch() {
+  // Pop a contiguous run from the dirty FIFO (writes are typically
+  // sequential streams, so runs are long).
+  constexpr std::int64_t kMaxBatchPages = 128;  // 1 MiB batches at 8 KiB
+  if (dirty_fifo_.empty()) {
+    dirty_bytes_ = 0;
+    co_return;
+  }
+  const PageId head = dirty_fifo_.front();
+  dirty_fifo_.pop_front();
+  std::int64_t count = 1;
+  while (count < kMaxBatchPages && !dirty_fifo_.empty()) {
+    const PageId& next = dirty_fifo_.front();
+    if (next.file != head.file || next.page != head.page + count) break;
+    dirty_fifo_.pop_front();
+    ++count;
+  }
+  co_await write_out(head.file, head.page, count);
+}
+
+Co<void> SimStore::write_out(std::uint64_t file, std::int64_t page_begin,
+                             std::int64_t page_count) {
+  const std::int64_t psz = profile_.page_bytes;
+  const std::int64_t bytes = page_count * psz;
+  co_await disk_.write(file, page_begin * psz, bytes);
+  for (std::int64_t q = page_begin; q < page_begin + page_count; ++q) {
+    cache_.mark_clean(PageId{file, q});
+  }
+  dirty_bytes_ = std::max<std::int64_t>(0, dirty_bytes_ - bytes);
+  co_await quota_charge(bytes);
+}
+
+Co<void> SimStore::quota_charge(std::int64_t bytes_flushed) {
+  if (!quota_enabled_) co_return;
+  quota_accum_ += bytes_flushed;
+  while (quota_accum_ >= profile_.quota_sync_interval) {
+    quota_accum_ -= profile_.quota_sync_interval;
+    ++quota_updates_;
+    // Synchronous quota-record update: user and group records live at
+    // distant fixed blocks of the quota file, so every update pays a full
+    // seek (consecutive updates alternate records and never stream), and
+    // the next data flush pays another seek to get back.
+    const std::int64_t record_offset =
+        (quota_updates_ % 2) * (512LL * 1024 * 1024);
+    co_await disk_.write(kQuotaFile, record_offset,
+                         profile_.quota_record_bytes);
+  }
+}
+
+Co<void> SimStore::sync() {
+  while (!dirty_fifo_.empty()) co_await flush_batch();
+  dirty_bytes_ = 0;
+}
+
+bool SimStore::range_cached(std::uint64_t file, std::int64_t offset,
+                            std::int64_t len) const {
+  if (len <= 0) return true;
+  const std::int64_t psz = profile_.page_bytes;
+  const std::int64_t first = offset / psz;
+  const std::int64_t last = (offset + len - 1) / psz;
+  for (std::int64_t p = first; p <= last; ++p) {
+    if (!cache_.contains(PageId{file, p})) return false;
+  }
+  return true;
+}
+
+void SimStore::preload(std::uint64_t file, std::int64_t bytes) {
+  const std::int64_t psz = profile_.page_bytes;
+  const std::int64_t pages = (bytes + psz - 1) / psz;
+  std::vector<PageId> evicted_dirty;
+  for (std::int64_t p = 0; p < pages; ++p) {
+    cache_.insert(PageId{file, p}, /*dirty=*/false, evicted_dirty);
+  }
+  // Preload is a test/bench setup convenience; evicting dirty pages here
+  // would lose writes, so callers must preload before writing.
+}
+
+void SimStore::evict_file(std::uint64_t file, std::int64_t bytes) {
+  const std::int64_t psz = profile_.page_bytes;
+  const std::int64_t pages = (bytes + psz - 1) / psz;
+  for (std::int64_t p = 0; p < pages; ++p) cache_.erase(PageId{file, p});
+}
+
+}  // namespace nest::sim

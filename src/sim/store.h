@@ -1,0 +1,81 @@
+// SimStore: the simulated OS storage stack — buffer cache over a disk,
+// with an optional kernel-quota cost model (the mechanism NeST uses to
+// implement lots, paper Sections 5 and 7.4).
+//
+// Timing model:
+//  * reads: cache hits cost a user/kernel copy; misses read contiguous runs
+//    from the disk and populate the cache.
+//  * writes: pages enter the cache dirty at copy cost; when outstanding
+//    dirty bytes exceed the platform writeback threshold, the writer blocks
+//    while a flush batch drains to disk (classic bdflush throttling).
+//  * quota: when enabled, every quota_sync_interval bytes flushed force a
+//    synchronous quota-record update at a distant disk location, which both
+//    costs a small write and breaks the flush stream's sequentiality.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/cache.h"
+#include "sim/coro.h"
+#include "sim/disk.h"
+#include "sim/engine.h"
+#include "sim/platform.h"
+
+namespace nest::sim {
+
+class SimStore {
+ public:
+  SimStore(Engine& eng, const PlatformProfile& profile);
+
+  Co<void> read(std::uint64_t file, std::int64_t offset, std::int64_t bytes);
+  Co<void> write(std::uint64_t file, std::int64_t offset, std::int64_t bytes);
+  // Flush all dirty pages to disk.
+  Co<void> sync();
+
+  // Populate [0, bytes) of `file` as clean-resident with no time cost; used
+  // to construct in-cache workloads.
+  void preload(std::uint64_t file, std::int64_t bytes);
+  // Drop every cached page of `file` (cold workloads).
+  void evict_file(std::uint64_t file, std::int64_t bytes);
+
+  bool fully_cached(std::uint64_t file, std::int64_t bytes) const {
+    return cache_.resident_fraction(file, bytes) >= 1.0;
+  }
+  // Is the byte range [offset, offset+len) fully resident right now?
+  bool range_cached(std::uint64_t file, std::int64_t offset,
+                    std::int64_t len) const;
+  double resident_fraction(std::uint64_t file, std::int64_t bytes) const {
+    return cache_.resident_fraction(file, bytes);
+  }
+
+  void set_quota_enabled(bool on) noexcept { quota_enabled_ = on; }
+  bool quota_enabled() const noexcept { return quota_enabled_; }
+
+  Disk& disk() noexcept { return disk_; }
+  BufferCache& cache() noexcept { return cache_; }
+  std::int64_t quota_updates() const noexcept { return quota_updates_; }
+
+ private:
+  Co<void> copy_cost(std::int64_t bytes);
+  Co<void> flush_batch();
+  Co<void> maybe_throttle();
+  Co<void> write_out(std::uint64_t file, std::int64_t page_begin,
+                     std::int64_t page_count);
+  Co<void> quota_charge(std::int64_t bytes_flushed);
+
+  Engine& eng_;
+  PlatformProfile profile_;
+  Disk disk_;
+  BufferCache cache_;
+  std::deque<PageId> dirty_fifo_;
+  std::int64_t dirty_bytes_ = 0;
+  bool quota_enabled_ = false;
+  std::int64_t quota_accum_ = 0;
+  std::int64_t quota_updates_ = 0;
+
+  // Reserved pseudo-file id for the on-disk quota records.
+  static constexpr std::uint64_t kQuotaFile = ~0ull - 1;
+};
+
+}  // namespace nest::sim

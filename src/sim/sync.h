@@ -1,0 +1,133 @@
+// Awaitable synchronization primitives for simulation tasks.
+//
+// All wakeups are posted through the engine at the current virtual time so
+// stacks stay flat and wake order is deterministic (FIFO per primitive).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "sim/coro.h"
+#include "sim/engine.h"
+
+namespace nest::sim {
+
+// One-shot or resettable broadcast event.
+class SimEvent {
+ public:
+  explicit SimEvent(Engine& eng) : eng_(eng) {}
+
+  bool is_set() const noexcept { return set_; }
+
+  void set() {
+    set_ = true;
+    while (!waiters_.empty()) {
+      eng_.post(waiters_.front());
+      waiters_.pop_front();
+    }
+  }
+  void reset() noexcept { set_ = false; }
+
+  auto wait() {
+    struct Awaiter {
+      SimEvent& ev;
+      bool await_ready() const noexcept { return ev.set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ev.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine& eng_;
+  bool set_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// Counting semaphore with FIFO wakeups. Model for exclusive resources
+// (disk head, CPU, the event-loop "big lock").
+class Semaphore {
+ public:
+  Semaphore(Engine& eng, std::int64_t count) : eng_(eng), count_(count) {}
+
+  std::int64_t available() const noexcept { return count_; }
+  std::int64_t waiting() const noexcept {
+    return static_cast<std::int64_t>(waiters_.size());
+  }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& sem;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        if (sem.count_ > 0 && sem.waiters_.empty()) {
+          --sem.count_;
+          return false;  // resume immediately
+        }
+        sem.waiters_.push_back(h);
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      // Hand the permit directly to the first waiter.
+      eng_.post(waiters_.front());
+      waiters_.pop_front();
+    } else {
+      ++count_;
+    }
+  }
+
+ private:
+  Engine& eng_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// RAII-style scoped semaphore hold for coroutines:
+//   co_await sem.acquire(); SemGuard g(sem); ... (released on scope exit)
+class SemGuard {
+ public:
+  explicit SemGuard(Semaphore& s) : sem_(&s) {}
+  SemGuard(const SemGuard&) = delete;
+  SemGuard& operator=(const SemGuard&) = delete;
+  ~SemGuard() {
+    if (sem_) sem_->release();
+  }
+  void release_early() {
+    if (sem_) {
+      sem_->release();
+      sem_ = nullptr;
+    }
+  }
+
+ private:
+  Semaphore* sem_;
+};
+
+// Wait for N tasks to complete (fork/join for detached tasks).
+class WaitGroup {
+ public:
+  explicit WaitGroup(Engine& eng) : done_(eng) {}
+
+  void add(std::int64_t n = 1) { outstanding_ += n; }
+  void done() {
+    if (--outstanding_ == 0) done_.set();
+  }
+  Co<void> wait() {
+    if (outstanding_ > 0) co_await done_.wait();
+  }
+
+ private:
+  std::int64_t outstanding_ = 0;
+  SimEvent done_;
+};
+
+}  // namespace nest::sim

@@ -1,0 +1,64 @@
+#include "simnest/protocol_model.h"
+
+#include <stdexcept>
+
+namespace nest::simnest {
+
+ProtocolBehavior ProtocolBehavior::chirp() {
+  ProtocolBehavior p;
+  p.name = "chirp";
+  p.block = 64 * 1024;
+  p.connect_rtts = 2;  // connect + GSI-lite hello
+  p.per_block_cpu = 5 * kMicrosecond;
+  return p;
+}
+
+ProtocolBehavior ProtocolBehavior::http() {
+  ProtocolBehavior p;
+  p.name = "http";
+  p.block = 64 * 1024;
+  p.connect_rtts = 1;
+  p.per_block_cpu = 8 * kMicrosecond;  // header/parse slightly above Chirp
+  return p;
+}
+
+ProtocolBehavior ProtocolBehavior::ftp() {
+  ProtocolBehavior p;
+  p.name = "ftp";
+  p.block = 64 * 1024;
+  p.connect_rtts = 3;  // control connect, USER/PASS, PASV+data connect
+  p.per_block_cpu = 6 * kMicrosecond;
+  return p;
+}
+
+ProtocolBehavior ProtocolBehavior::gridftp() {
+  ProtocolBehavior p;
+  p.name = "gridftp";
+  p.block = 64 * 1024;
+  p.connect_rtts = 6;  // GSI handshake dominates connection setup
+  p.per_block_cpu = 40 * kMicrosecond;  // block headers + bookkeeping
+  p.per_byte_cpu_bw = 22.0e6;  // integrity/marshalling work per byte
+  p.per_block_ack = true;      // extended block mode acknowledgments
+  return p;
+}
+
+ProtocolBehavior ProtocolBehavior::nfs() {
+  ProtocolBehavior p;
+  p.name = "nfs";
+  p.block = 8 * 1024;          // NFSv2 rsize
+  p.sync_per_block = true;     // client issues one READ rpc per block
+  p.connect_rtts = 2;          // mount + lookup
+  p.per_block_cpu = 480 * kMicrosecond;  // UDP + RPC + XDR + nfsd work per rpc
+  return p;
+}
+
+ProtocolBehavior ProtocolBehavior::by_name(const std::string& name) {
+  if (name == "chirp") return chirp();
+  if (name == "http") return http();
+  if (name == "ftp") return ftp();
+  if (name == "gridftp") return gridftp();
+  if (name == "nfs") return nfs();
+  throw std::invalid_argument("unknown protocol: " + name);
+}
+
+}  // namespace nest::simnest

@@ -1,0 +1,49 @@
+// Wire-behaviour models of NeST's five protocols for the simulated
+// substrate (the real parsers/handlers live in src/protocol/).
+//
+// What matters to the paper's figures is not wire syntax but each
+// protocol's *transfer shape*:
+//  * Chirp  — lightweight native protocol: one request, whole-file stream.
+//  * HTTP   — like Chirp plus slightly costlier header processing.
+//  * FTP    — separate control/data connections: extra setup round trips.
+//  * GridFTP— GSI authentication handshake at connect, extended block mode
+//             with per-block headers/integrity work and block acks; this is
+//             why GridFTP lands at roughly half of Chirp/HTTP bandwidth in
+//             Figure 3.
+//  * NFS    — RPC block protocol: the client synchronously requests each
+//             8 KB block, so throughput is bounded by round-trip latency
+//             and server queueing; this is why NFS trails in Figure 3 and
+//             why FIFO disfavors it in mixed workloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace nest::simnest {
+
+struct ProtocolBehavior {
+  std::string name;
+  std::int64_t block = 64 * 1024;  // server send unit
+  // Client issues each block synchronously and waits for the reply (NFS).
+  bool sync_per_block = false;
+  // Connection/session setup round trips (incl. authentication).
+  int connect_rtts = 1;
+  // Fixed per-block protocol processing on the server (parse, header).
+  Nanos per_block_cpu = 0;
+  // Per-byte processing as a rate (integrity checks; 0 = none).
+  double per_byte_cpu_bw = 0.0;
+  // Server awaits a client ack per block (GridFTP extended block mode).
+  bool per_block_ack = false;
+
+  static ProtocolBehavior chirp();
+  static ProtocolBehavior http();
+  static ProtocolBehavior ftp();
+  static ProtocolBehavior gridftp();
+  static ProtocolBehavior nfs();
+  // Lookup by name ("chirp", "http", "ftp", "gridftp", "nfs").
+  static ProtocolBehavior by_name(const std::string& name);
+};
+
+}  // namespace nest::simnest

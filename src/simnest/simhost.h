@@ -1,0 +1,47 @@
+// SimHost: the shared simulated machine — one NIC, one disk+cache, one OS.
+// A NeST appliance and a JBOS pile of native servers run on the *same*
+// host in Figure 3's comparison, so they share these resources.
+#pragma once
+
+#include "sim/coro.h"
+#include "sim/engine.h"
+#include "sim/link.h"
+#include "sim/platform.h"
+#include "sim/store.h"
+#include "sim/sync.h"
+
+namespace nest::simnest {
+
+class SimHost {
+ public:
+  SimHost(sim::Engine& eng, const sim::PlatformProfile& profile)
+      : eng_(eng),
+        profile_(profile),
+        link_(eng, profile.link_bw, profile.link_rtt),
+        store_(eng, profile),
+        cpu_(eng, 1) {}
+
+  sim::Engine& engine() { return eng_; }
+  const sim::PlatformProfile& platform() const { return profile_; }
+  sim::Link& link() { return link_; }
+  sim::SimStore& store() { return store_; }
+
+  // Execute `work` of CPU time on the host's single processor (the paper's
+  // testbeds were uniprocessor Pentiums/Netras): protocol processing from
+  // all connections and all servers on the host contends here.
+  sim::Co<void> cpu_work(Nanos work) {
+    if (work <= 0) co_return;
+    co_await cpu_.acquire();
+    sim::SemGuard hold(cpu_);
+    co_await eng_.delay(work);
+  }
+
+ private:
+  sim::Engine& eng_;
+  sim::PlatformProfile profile_;
+  sim::Link link_;
+  sim::SimStore store_;
+  sim::Semaphore cpu_;
+};
+
+}  // namespace nest::simnest

@@ -1,0 +1,138 @@
+// SimNest: a NeST appliance bound to the discrete-event substrate.
+//
+// The policy brain is the *production* transfer::TransferManager — the same
+// schedulers, adaptive selector, and gray-box cache model the real epoll
+// server uses. This class supplies the byte-moving substrate: simulated
+// clients call client_get/client_put; blocks pass through a service gate
+// whose admission order is decided by the TransferManager's scheduler; the
+// chosen concurrency model determines which simulated OS costs each block
+// pays (the event model serializes disk reads and copies behind a single
+// loop; threads/processes run concurrently but pay creation and context
+// switch costs).
+//
+// A JBOS native server (paper's comparison baseline) is the same machinery
+// with a fixed single protocol, FIFO scheduling, and no adaptation — built
+// via jbos_config().
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "sim/coro.h"
+#include "sim/sync.h"
+#include "simnest/protocol_model.h"
+#include "simnest/simhost.h"
+#include "transfer/transfer_manager.h"
+
+namespace nest::simnest {
+
+struct SimNestConfig {
+  transfer::TransferManager::Options tm;
+  // Concurrent block services admitted at once. Bounded so the scheduler's
+  // queueing decisions matter, as in the real server's worker pool.
+  int service_slots = 8;
+  // Fixed per-request dispatcher overhead (virtual-protocol translation +
+  // routing); this is the "implementation penalty" Figure 3 shows to be
+  // small. Zero for JBOS native servers.
+  Nanos dispatch_overhead = 15 * kMicrosecond;
+};
+
+// Configuration for a JBOS-style native single-protocol server.
+SimNestConfig jbos_config();
+
+class SimNest {
+ public:
+  SimNest(SimHost& host, SimNestConfig config);
+
+  // --- namespace setup (bench workload construction) ---
+  void add_file(const std::string& path, std::int64_t size, bool cached);
+  void evict(const std::string& path);
+  std::int64_t file_size(const std::string& path) const;
+
+  // --- simulated clients ---
+  // Whole-file retrieval via `proto`; returns when the client has all bytes.
+  // `user` feeds per-user proportional share when configured.
+  sim::Co<void> client_get(ProtocolBehavior proto, std::string path,
+                           std::string user = {});
+  // Whole-file store; bytes flow client -> server -> buffer cache/disk.
+  sim::Co<void> client_put(ProtocolBehavior proto, std::string path,
+                           std::int64_t size, std::string user = {});
+
+  transfer::TransferManager& tm() { return tm_; }
+  SimHost& host() { return host_; }
+
+ private:
+  struct FileInfo {
+    std::uint64_t id = 0;
+    std::int64_t size = 0;
+  };
+
+  // Admission gate: one slot per in-service block, ordered by the
+  // TransferManager's scheduler.
+  class ServiceGate {
+   public:
+    ServiceGate(sim::Engine& eng, transfer::TransferManager& tm, int slots)
+        : eng_(eng), tm_(tm), free_(slots) {}
+
+    auto acquire(transfer::TransferRequest* r) {
+      struct Awaiter {
+        ServiceGate& gate;
+        transfer::TransferRequest* req;
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<> h) {
+          gate.tm_.enqueue(req);
+          gate.waiters_[req] = h;
+          gate.schedule_pump();
+        }
+        void await_resume() const noexcept {}
+      };
+      return Awaiter{*this, r};
+    }
+
+    void release() {
+      ++free_;
+      schedule_pump();
+    }
+
+   private:
+    void schedule_pump();
+    void pump();
+
+    sim::Engine& eng_;
+    transfer::TransferManager& tm_;
+    int free_;
+    bool pump_pending_ = false;
+    std::unordered_map<transfer::TransferRequest*, std::coroutine_handle<>>
+        waiters_;
+  };
+
+  sim::Co<void> serve_read_block(const ProtocolBehavior& proto,
+                                 const FileInfo& file, std::int64_t offset,
+                                 std::int64_t len,
+                                 transfer::ConcurrencyModel model,
+                                 Nanos setup_cost);
+  sim::Co<void> serve_write_block(const ProtocolBehavior& proto,
+                                  const FileInfo& file, std::int64_t offset,
+                                  std::int64_t len,
+                                  transfer::ConcurrencyModel model,
+                                  Nanos setup_cost);
+  Nanos model_block_cost(transfer::ConcurrencyModel model) const;
+  Nanos model_setup_cost(transfer::ConcurrencyModel model) const;
+  void report_completion(transfer::ConcurrencyModel model, Nanos latency,
+                         std::int64_t bytes);
+
+  SimHost& host_;
+  SimNestConfig config_;
+  transfer::TransferManager tm_;
+  ServiceGate gate_;
+  sim::Semaphore event_loop_;  // the single loop of the event model
+  sim::Semaphore disk_stage_;  // staged model: file-I/O stage pool
+  sim::Semaphore net_stage_;   // staged model: socket-I/O stage pool
+  std::map<std::string, FileInfo> files_;
+  std::uint64_t next_file_id_ = 1;
+};
+
+}  // namespace nest::simnest

@@ -1,0 +1,43 @@
+// Workload driver for the figure benches: spawns simulated client
+// populations against one or more servers (NeST or JBOS natives) and
+// measures delivered bandwidth per protocol class over a window.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simnest/simnest.h"
+
+namespace nest::simnest {
+
+struct ClientGroup {
+  SimNest* server = nullptr;       // which server this population talks to
+  std::string protocol;            // "chirp" | "http" | "ftp" | "gridftp" | "nfs"
+  int clients = 4;
+  std::int64_t file_size = 10'000'000;  // paper Figure 3: 10 MB files
+  bool cached = true;
+  // Number of distinct files cycled per client (1 = same file repeatedly).
+  int files_per_client = 1;
+};
+
+struct WorkloadSpec {
+  std::vector<ClientGroup> groups;
+  Nanos warmup = 0;        // excluded from measurement
+  Nanos duration = 30 * kSecond;  // measurement window
+};
+
+struct WorkloadResult {
+  std::map<std::string, double> class_mbps;
+  double total_mbps = 0;
+  // Mean whole-request latency per class over the run (ms).
+  std::map<std::string, double> class_latency_ms;
+  std::int64_t completed_requests = 0;
+};
+
+// Runs GET workloads to quiescence of the measurement window and reports
+// per-class bandwidth. Files are created (and optionally pre-cached) on
+// each group's server before clients start.
+WorkloadResult run_get_workload(sim::Engine& eng, const WorkloadSpec& spec);
+
+}  // namespace nest::simnest

@@ -1,0 +1,165 @@
+#include "storage/acl.h"
+
+#include "common/string_util.h"
+
+namespace nest::storage {
+
+Result<RightsMask> parse_rights(const std::string& letters) {
+  RightsMask mask = 0;
+  for (const char c : letters) {
+    switch (c) {
+      case 'r': mask |= static_cast<unsigned>(Right::read); break;
+      case 'w': mask |= static_cast<unsigned>(Right::write); break;
+      case 'l': mask |= static_cast<unsigned>(Right::lookup); break;
+      case 'i': mask |= static_cast<unsigned>(Right::insert); break;
+      case 'd': mask |= static_cast<unsigned>(Right::del); break;
+      case 'a': mask |= static_cast<unsigned>(Right::admin); break;
+      default:
+        return Error{Errc::invalid_argument,
+                     std::string("unknown right '") + c + "'"};
+    }
+  }
+  return mask;
+}
+
+std::string rights_to_string(RightsMask mask) {
+  std::string out;
+  if (mask & static_cast<unsigned>(Right::read)) out += 'r';
+  if (mask & static_cast<unsigned>(Right::write)) out += 'w';
+  if (mask & static_cast<unsigned>(Right::lookup)) out += 'l';
+  if (mask & static_cast<unsigned>(Right::insert)) out += 'i';
+  if (mask & static_cast<unsigned>(Right::del)) out += 'd';
+  if (mask & static_cast<unsigned>(Right::admin)) out += 'a';
+  return out;
+}
+
+classad::ClassAd Principal::to_ad() const {
+  classad::ClassAd ad;
+  ad.insert("Name", classad::Value::string(name));
+  ad.insert("Authenticated", classad::Value::boolean(authenticated));
+  ad.insert("Protocol", classad::Value::string(protocol));
+  auto list = std::make_shared<std::vector<classad::Value>>();
+  for (const auto& g : groups) list->push_back(classad::Value::string(g));
+  ad.insert("Groups", classad::Value::list(std::move(list)));
+  return ad;
+}
+
+void AccessControl::set_default_root_policy() {
+  auto auth = classad::ClassAd::parse(
+      "[ Principal = \"system:authuser\"; Rights = \"rwlida\"; ]");
+  auto anon = classad::ClassAd::parse(
+      "[ Principal = \"system:anyuser\"; Rights = \"rl\"; ]");
+  acls_["/"] = {std::move(auth.value()), std::move(anon.value())};
+}
+
+Status AccessControl::set_entry(const std::string& dir_path,
+                                const classad::ClassAd& entry) {
+  const auto rights = entry.eval_string("Rights");
+  if (!rights) return Status{Errc::invalid_argument, "entry missing Rights"};
+  if (auto parsed = parse_rights(*rights); !parsed.ok())
+    return Status{parsed.error()};
+  if (!entry.has("Principal") && !entry.has("Requirements"))
+    return Status{Errc::invalid_argument,
+                  "entry needs Principal or Requirements"};
+  const std::string dir = normalize_path(dir_path);
+  auto& entries = acls_[dir];
+  // Replace an existing entry for the same principal spec.
+  if (const auto spec = entry.eval_string("Principal")) {
+    for (auto& e : entries) {
+      if (e.eval_string("Principal") == spec) {
+        e = entry;
+        return {};
+      }
+    }
+  }
+  entries.push_back(entry);
+  return {};
+}
+
+Status AccessControl::clear_entries(const std::string& dir_path,
+                                    const std::string& principal_spec) {
+  const std::string dir = normalize_path(dir_path);
+  const auto it = acls_.find(dir);
+  if (it == acls_.end()) return Status{Errc::not_found, dir};
+  auto& entries = it->second;
+  const std::size_t before = entries.size();
+  std::erase_if(entries, [&](const classad::ClassAd& e) {
+    return e.eval_string("Principal") == principal_spec;
+  });
+  if (entries.size() == before)
+    return Status{Errc::not_found, principal_spec};
+  return {};
+}
+
+bool AccessControl::entry_matches(const classad::ClassAd& entry,
+                                  const Principal& who) {
+  if (entry.has("Requirements")) {
+    const classad::ClassAd who_ad = who.to_ad();
+    return entry.eval_bool("Requirements", &who_ad).value_or(false);
+  }
+  const auto spec = entry.eval_string("Principal");
+  if (!spec) return false;
+  if (*spec == "system:anyuser") return true;
+  if (*spec == "system:authuser") return who.authenticated;
+  if (spec->rfind("user:", 0) == 0)
+    return who.authenticated && spec->substr(5) == who.name;
+  if (spec->rfind("group:", 0) == 0) {
+    if (!who.authenticated) return false;
+    const std::string group = spec->substr(6);
+    for (const auto& g : who.groups)
+      if (g == group) return true;
+  }
+  return false;
+}
+
+RightsMask AccessControl::effective_rights(const Principal& who,
+                                           const std::string& path) const {
+  if (who.authenticated && who.name == superuser_) return kAllRights;
+  // Nearest ancestor (or self, for directories) with an explicit ACL
+  // governs, as in AFS.
+  std::string dir = normalize_path(path);
+  while (true) {
+    const auto it = acls_.find(dir);
+    if (it != acls_.end()) {
+      RightsMask mask = 0;
+      for (const auto& entry : it->second) {
+        if (!entry_matches(entry, who)) continue;
+        const auto rights = entry.eval_string("Rights");
+        if (!rights) continue;
+        if (auto parsed = parse_rights(*rights); parsed.ok())
+          mask |= *parsed;
+      }
+      return mask;
+    }
+    if (dir == "/") return 0;
+    dir = parent_path(dir);
+  }
+}
+
+Status AccessControl::check(const Principal& who, const std::string& path,
+                            Right needed) const {
+  if (effective_rights(who, path) & static_cast<unsigned>(needed)) return {};
+  return Status{Errc::permission_denied,
+                (who.is_anonymous() ? std::string("anonymous")
+                                    : who.name) +
+                    " lacks " + rights_to_string(static_cast<unsigned>(needed)) +
+                    " on " + normalize_path(path)};
+}
+
+std::vector<std::string> AccessControl::describe(
+    const std::string& path) const {
+  std::string dir = normalize_path(path);
+  while (true) {
+    const auto it = acls_.find(dir);
+    if (it != acls_.end()) {
+      std::vector<std::string> out;
+      out.reserve(it->second.size());
+      for (const auto& e : it->second) out.push_back(e.to_string());
+      return out;
+    }
+    if (dir == "/") return {};
+    dir = parent_path(dir);
+  }
+}
+
+}  // namespace nest::storage

@@ -1,0 +1,94 @@
+// AFS-style access control lists built on ClassAds (paper Section 5).
+//
+// Each directory may carry a set of ACL entries. An entry is a ClassAd:
+// either the common form
+//     [ Principal = "user:alice";  Rights = "rwlida"; ]
+// or the fully generic form, where the entry's Requirements expression is
+// matched against the principal's ad:
+//     [ Requirements = other.Authenticated && other.Protocol == "chirp";
+//       Rights = "rl"; ]
+// Rights letters follow AFS: r(ead) w(rite) l(ookup/list) i(nsert)
+// d(elete) a(dminister). Lookups walk up the directory tree to the nearest
+// ancestor with an explicit ACL; enforcement is identical across every
+// protocol NeST speaks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "common/result.h"
+
+namespace nest::storage {
+
+enum class Right : unsigned {
+  read = 1u << 0,
+  write = 1u << 1,
+  lookup = 1u << 2,
+  insert = 1u << 3,
+  del = 1u << 4,
+  admin = 1u << 5,
+};
+
+using RightsMask = unsigned;
+
+constexpr RightsMask kAllRights = 0x3f;
+
+// Parse "rwlida" subset; unknown letters are rejected.
+Result<RightsMask> parse_rights(const std::string& letters);
+std::string rights_to_string(RightsMask mask);
+
+// The authenticated identity attached to a connection.
+struct Principal {
+  std::string name;                 // e.g. "alice" or "" for anonymous
+  std::vector<std::string> groups;  // group memberships
+  bool authenticated = false;       // GSI-authenticated?
+  std::string protocol;             // "chirp", "nfs", ...
+
+  bool is_anonymous() const { return !authenticated || name.empty(); }
+
+  // Render as a ClassAd for generic Requirements-based entries.
+  classad::ClassAd to_ad() const;
+};
+
+class AccessControl {
+ public:
+  // The superuser (appliance administrator) bypasses ACL checks.
+  explicit AccessControl(std::string superuser = "root")
+      : superuser_(std::move(superuser)) {
+    // Default policy at the root: authenticated users get full access,
+    // anonymous users read/lookup (the paper allows anonymous access via
+    // non-GSI protocols).
+    set_default_root_policy();
+  }
+
+  // Replace/set one entry on a directory (entry must carry Rights and
+  // either Principal or Requirements).
+  Status set_entry(const std::string& dir_path, const classad::ClassAd& entry);
+  // Remove all entries for `principal_spec` (e.g. "user:alice") on the dir.
+  Status clear_entries(const std::string& dir_path,
+                       const std::string& principal_spec);
+
+  // Effective rights of `who` on the directory governing `path`.
+  RightsMask effective_rights(const Principal& who,
+                              const std::string& path) const;
+
+  Status check(const Principal& who, const std::string& path,
+               Right needed) const;
+
+  // Entries governing a path (for the Chirp acl_get operation).
+  std::vector<std::string> describe(const std::string& path) const;
+
+ private:
+  void set_default_root_policy();
+  static bool entry_matches(const classad::ClassAd& entry,
+                            const Principal& who);
+
+  std::string superuser_;
+  // Directory path -> ACL entries.
+  std::map<std::string, std::vector<classad::ClassAd>> acls_;
+};
+
+}  // namespace nest::storage

@@ -1,0 +1,98 @@
+// ExtentFs: a raw-disk-style VirtualFs backend (paper Section 5: "we plan
+// to consider other physical storage layers, such as raw disk, in the near
+// future").
+//
+// The backend manages one flat byte volume (a host file standing in for a
+// raw partition) with its own allocator and metadata — the filesystem the
+// appliance would run on a disk it owns outright:
+//   * space is managed in fixed-size extents with a free list;
+//   * each file is a chain of extents recorded in an in-memory inode table;
+//   * the directory tree is NeST-level metadata (like owners), not
+//     delegated to a host filesystem.
+// Metadata is volatile (rebuilt on restart); the volume holds file data
+// only. That matches the paper-era intent — a cache/staging appliance, not
+// an archival store — and keeps crash semantics explicit.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/clock.h"
+#include "storage/vfs.h"
+
+namespace nest::storage {
+
+class ExtentFs final : public VirtualFs {
+ public:
+  static constexpr std::int64_t kExtentBytes = 64 * 1024;
+
+  // In-memory volume (tests, RAM-disk deployments).
+  ExtentFs(Clock& clock, std::int64_t volume_bytes);
+
+  // Volume backed by a host file (the "raw partition"); created/truncated
+  // to `volume_bytes`.
+  static Result<std::unique_ptr<ExtentFs>> open_volume(
+      Clock& clock, const std::string& volume_path,
+      std::int64_t volume_bytes);
+
+  ~ExtentFs() override;
+
+  Status mkdir(const std::string& path) override;
+  Status rmdir(const std::string& path) override;
+  Status remove(const std::string& path) override;
+  Result<FileStat> stat(const std::string& path) const override;
+  Result<std::vector<DirEntry>> list(const std::string& path) const override;
+  Status rename(const std::string& from, const std::string& to) override;
+  Result<FileHandlePtr> open(const std::string& path) override;
+  Result<FileHandlePtr> create(const std::string& path) override;
+  void set_owner(const std::string& path, const std::string& owner) override;
+
+  std::int64_t total_space() const override { return volume_bytes_; }
+  std::int64_t used_space() const override;
+
+  // Allocator introspection (tests, resource ads).
+  std::int64_t free_extents() const {
+    return static_cast<std::int64_t>(free_list_.size());
+  }
+  std::int64_t extents_of(const std::string& path) const;
+
+  // Shared read/write path for handles: exactly one of rbuf/wbuf is set.
+  // (Public because the handle type lives in the implementation file.)
+  Result<std::int64_t> file_io(const std::string& path, std::int64_t offset,
+                               char* rbuf, const char* wbuf,
+                               std::int64_t len);
+  Status file_truncate(const std::string& path, std::int64_t new_size);
+
+ private:
+  struct Inode {
+    bool is_dir = false;
+    std::int64_t size = 0;           // logical bytes (files)
+    std::vector<std::int64_t> extents;  // extent indices, in file order
+    Nanos mtime = 0;
+    std::string owner;
+  };
+
+  Status check_parent(const std::string& path) const;
+  // Grow/shrink a file's extent chain to cover `new_size` bytes.
+  Status reserve(Inode& inode, std::int64_t new_size);
+  void release_extents(Inode& inode);
+
+  // Volume I/O at a (extent, offset-in-extent) location.
+  void volume_read(std::int64_t extent, std::int64_t offset, char* out,
+                   std::int64_t len) const;
+  void volume_write(std::int64_t extent, std::int64_t offset,
+                    const char* data, std::int64_t len);
+
+  Clock& clock_;
+  std::int64_t volume_bytes_;
+  std::int64_t extent_count_;
+  std::set<std::int64_t> free_list_;
+  std::map<std::string, Inode> inodes_;  // normalized path -> inode
+
+  // Backing store: exactly one of these is active.
+  std::vector<char> mem_volume_;
+  int volume_fd_ = -1;
+};
+
+}  // namespace nest::storage

@@ -1,0 +1,48 @@
+// LocalFs: VirtualFs backend over a sandboxed directory of the host
+// filesystem — the backend the paper's NeST 0.9 used in production. All
+// virtual paths are normalized (".." cannot escape) and mapped under the
+// configured root.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "storage/vfs.h"
+
+namespace nest::storage {
+
+class LocalFs final : public VirtualFs {
+ public:
+  // `root` must exist and be a directory. `capacity_bytes` is the advertised
+  // capacity for lot accounting (a user-level appliance cannot resize its
+  // host partition).
+  static Result<std::unique_ptr<LocalFs>> open_root(
+      const std::string& root, std::int64_t capacity_bytes);
+
+  Status mkdir(const std::string& path) override;
+  Status rmdir(const std::string& path) override;
+  Status remove(const std::string& path) override;
+  Result<FileStat> stat(const std::string& path) const override;
+  Result<std::vector<DirEntry>> list(const std::string& path) const override;
+  Status rename(const std::string& from, const std::string& to) override;
+  Result<FileHandlePtr> open(const std::string& path) override;
+  Result<FileHandlePtr> create(const std::string& path) override;
+  void set_owner(const std::string& path, const std::string& owner) override;
+
+  std::int64_t total_space() const override { return capacity_; }
+  std::int64_t used_space() const override;
+
+ private:
+  LocalFs(std::string root, std::int64_t capacity)
+      : root_(std::move(root)), capacity_(capacity) {}
+
+  std::string host_path(const std::string& virtual_path) const;
+
+  std::string root_;
+  std::int64_t capacity_;
+  // Owner metadata is NeST-level, not host-level (the appliance runs as a
+  // single unix user); kept in memory keyed by virtual path.
+  std::map<std::string, std::string> owners_;
+};
+
+}  // namespace nest::storage

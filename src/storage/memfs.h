@@ -1,0 +1,52 @@
+// In-memory VirtualFs backend. Deterministic and fast; used by unit tests,
+// the discrete-event benchmarks, and as a RAM-disk storage element (the
+// paper lists "physical memory" among the storage types the storage manager
+// is designed to virtualize).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "common/clock.h"
+#include "storage/vfs.h"
+
+namespace nest::storage {
+
+class MemFs final : public VirtualFs {
+ public:
+  explicit MemFs(Clock& clock, std::int64_t capacity_bytes = 1'000'000'000)
+      : clock_(clock), capacity_(capacity_bytes) {
+    nodes_["/"] = Node{.is_dir = true, .data = nullptr, .mtime = 0, .owner = {}};
+  }
+
+  Status mkdir(const std::string& path) override;
+  Status rmdir(const std::string& path) override;
+  Status remove(const std::string& path) override;
+  Result<FileStat> stat(const std::string& path) const override;
+  Result<std::vector<DirEntry>> list(const std::string& path) const override;
+  Status rename(const std::string& from, const std::string& to) override;
+  Result<FileHandlePtr> open(const std::string& path) override;
+  Result<FileHandlePtr> create(const std::string& path) override;
+  void set_owner(const std::string& path, const std::string& owner) override;
+
+  std::int64_t total_space() const override { return capacity_; }
+  std::int64_t used_space() const override;
+
+ private:
+  friend class MemFileHandle;
+  struct Node {
+    bool is_dir = false;
+    std::shared_ptr<std::vector<char>> data;  // files only
+    Nanos mtime = 0;
+    std::string owner;
+  };
+
+  Status check_parent(const std::string& path) const;
+
+  Clock& clock_;
+  std::int64_t capacity_;
+  // Keyed by normalized absolute path; map ordering gives cheap listing.
+  std::map<std::string, Node> nodes_;
+};
+
+}  // namespace nest::storage

@@ -1,0 +1,39 @@
+#include "storage/quota.h"
+
+#include <algorithm>
+
+namespace nest::storage {
+
+void QuotaLedger::set_limit(const std::string& owner, std::int64_t bytes) {
+  accounts_[owner].limit = bytes;
+}
+
+std::int64_t QuotaLedger::limit(const std::string& owner) const {
+  const auto it = accounts_.find(owner);
+  return it == accounts_.end() ? -1 : it->second.limit;
+}
+
+std::int64_t QuotaLedger::usage(const std::string& owner) const {
+  const auto it = accounts_.find(owner);
+  return it == accounts_.end() ? 0 : it->second.used;
+}
+
+Status QuotaLedger::charge(const std::string& owner, std::int64_t bytes) {
+  if (bytes < 0) return Status{Errc::invalid_argument, "negative charge"};
+  Account& acct = accounts_[owner];
+  if (acct.limit >= 0 && acct.used + bytes > acct.limit) {
+    return Status{Errc::no_space,
+                  owner + " quota " + std::to_string(acct.limit) +
+                      " exceeded"};
+  }
+  acct.used += bytes;
+  return {};
+}
+
+void QuotaLedger::release(const std::string& owner, std::int64_t bytes) {
+  const auto it = accounts_.find(owner);
+  if (it == accounts_.end()) return;
+  it->second.used = std::max<std::int64_t>(0, it->second.used - bytes);
+}
+
+}  // namespace nest::storage

@@ -1,0 +1,38 @@
+// QuotaLedger: user-level quota accounting.
+//
+// The paper implements lots on the *kernel* quota mechanism and measures
+// its cost (Section 7.4, Figure 6); it also names NeST-managed enforcement
+// as the alternative under investigation. This ledger is that alternative:
+// NeST itself meters bytes written per owner. It is used by the real
+// appliance (whose host has no per-NeST-user kernel quotas) and by the
+// A4 ablation bench comparing the two enforcement styles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+
+namespace nest::storage {
+
+class QuotaLedger {
+ public:
+  void set_limit(const std::string& owner, std::int64_t bytes);
+  std::int64_t limit(const std::string& owner) const;
+  std::int64_t usage(const std::string& owner) const;
+
+  // Reserve bytes against the owner's quota; fails with no_space when the
+  // limit would be exceeded. Owners without an explicit limit are unmetered.
+  Status charge(const std::string& owner, std::int64_t bytes);
+  void release(const std::string& owner, std::int64_t bytes);
+
+ private:
+  struct Account {
+    std::int64_t limit = -1;  // -1: unmetered
+    std::int64_t used = 0;
+  };
+  std::map<std::string, Account> accounts_;
+};
+
+}  // namespace nest::storage

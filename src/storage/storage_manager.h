@@ -1,0 +1,118 @@
+// StorageManager: NeST's storage component (paper Sections 2.1 and 5).
+//
+// Responsibilities: virtualize physical storage behind VirtualFs, execute
+// non-transfer requests synchronously, enforce access control on every
+// protocol uniformly, and manage guaranteed space in the form of lots.
+// Transfer requests are only *approved* here (ACL + lot admission); the
+// bytes are moved by the transfer manager.
+//
+// Thread safety: the dispatcher serializes storage operations (the paper
+// executes them synchronously in a thread-safe schedule); an internal mutex
+// enforces that invariant even for callers outside the dispatcher.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "classad/classad.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "storage/acl.h"
+#include "storage/lot.h"
+#include "storage/quota.h"
+#include "storage/vfs.h"
+
+namespace nest::storage {
+
+// Lot enforcement mechanism (ablation A4; paper Section 7.4 discusses the
+// trade-off between kernel quotas and NeST-managed accounting).
+enum class LotEnforcement {
+  kernel_quota,  // rely on the (simulated) filesystem quota mechanism
+  nest_managed,  // NeST meters writes through the QuotaLedger
+};
+
+struct StorageOptions {
+  std::int64_t lot_capacity = 0;  // 0: use the backend's total space
+  ReclaimPolicy reclaim_policy = ReclaimPolicy::expired_lru;
+  LotEnforcement enforcement = LotEnforcement::kernel_quota;
+  std::string superuser = "root";
+  // When false, writes require a usable lot (strict Grid mode); when true,
+  // lot-less writes are admitted if raw space remains (convenience mode
+  // mirroring default user lots created by administrators).
+  bool allow_lotless_writes = true;
+};
+
+// Grant returned when a transfer is approved; carries what the transfer
+// manager needs to move bytes and what to undo on failure.
+struct TransferTicket {
+  std::string path;
+  std::string user;  // approving principal ("" = anonymous)
+  FileHandlePtr handle;
+  std::int64_t size = 0;                  // known size (writes) or file size
+  std::vector<LotAllocation> allocations; // lot charges backing a write
+};
+
+class StorageManager {
+ public:
+  StorageManager(Clock& clock, std::unique_ptr<VirtualFs> fs,
+                 StorageOptions options = {});
+
+  // --- Non-transfer requests (synchronous; paper Section 2.1) ---
+  Status mkdir(const Principal& who, const std::string& path);
+  Status rmdir(const Principal& who, const std::string& path);
+  Status remove(const Principal& who, const std::string& path);
+  Result<FileStat> stat(const Principal& who, const std::string& path) const;
+  Result<std::vector<DirEntry>> list(const Principal& who,
+                                     const std::string& path) const;
+
+  // --- Transfer approval ---
+  Result<TransferTicket> approve_read(const Principal& who,
+                                      const std::string& path);
+  Result<TransferTicket> approve_write(const Principal& who,
+                                       const std::string& path,
+                                       std::int64_t size);
+
+  // Post-hoc accounting for stream protocols whose writes carry no length
+  // up front (FTP STOR): re-charges lots/quota for the actual byte count.
+  // On failure the caller should delete the partial file.
+  Status charge_written(const Principal& who, const std::string& path,
+                        std::int64_t bytes);
+
+  // --- Lot management (reached via Chirp; paper Section 5) ---
+  Result<LotId> lot_create(const Principal& who, std::int64_t capacity,
+                           Nanos duration, bool group_lot = false);
+  Status lot_renew(const Principal& who, LotId id, Nanos duration);
+  Status lot_terminate(const Principal& who, LotId id);
+  Result<Lot> lot_query(const Principal& who, LotId id) const;
+  std::vector<Lot> lots_of(const Principal& who) const;
+
+  // --- ACL management ---
+  Status acl_set(const Principal& who, const std::string& dir,
+                 const classad::ClassAd& entry);
+  Result<std::vector<std::string>> acl_get(const Principal& who,
+                                           const std::string& dir) const;
+
+  // Resource description published by the dispatcher (paper Section 2.1).
+  classad::ClassAd resource_ad() const;
+
+  AccessControl& acl() { return acl_; }
+  LotManager& lots() { return lots_; }
+  VirtualFs& fs() { return *fs_; }
+  const StorageOptions& options() const { return options_; }
+
+ private:
+  Status check(const Principal& who, const std::string& path,
+               Right needed) const;
+
+  Clock& clock_;
+  std::unique_ptr<VirtualFs> fs_;
+  StorageOptions options_;
+  AccessControl acl_;
+  LotManager lots_;
+  QuotaLedger quota_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace nest::storage

@@ -1,0 +1,74 @@
+// Virtual filesystem interface.
+//
+// The storage manager "virtualizes the physical namespace of underlying
+// storage" (paper Section 5): the rest of NeST sees only this interface.
+// Backends: MemFs (in-memory, used by tests and the simulator) and LocalFs
+// (a sandboxed directory of the host filesystem, the backend the paper's
+// implementation used).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace nest::storage {
+
+struct FileStat {
+  std::int64_t size = 0;
+  bool is_dir = false;
+  Nanos mtime = 0;
+  std::string owner;
+};
+
+struct DirEntry {
+  std::string name;
+  bool is_dir = false;
+  std::int64_t size = 0;
+};
+
+// Random-access handle to an open file.
+class FileHandle {
+ public:
+  virtual ~FileHandle() = default;
+  virtual Result<std::int64_t> pread(std::span<char> buf,
+                                     std::int64_t offset) = 0;
+  virtual Result<std::int64_t> pwrite(std::span<const char> buf,
+                                      std::int64_t offset) = 0;
+  virtual Result<std::int64_t> size() const = 0;
+  virtual Status truncate(std::int64_t new_size) = 0;
+};
+
+using FileHandlePtr = std::shared_ptr<FileHandle>;
+
+class VirtualFs {
+ public:
+  virtual ~VirtualFs() = default;
+
+  virtual Status mkdir(const std::string& path) = 0;
+  // Directory must be empty.
+  virtual Status rmdir(const std::string& path) = 0;
+  virtual Status remove(const std::string& path) = 0;
+  virtual Result<FileStat> stat(const std::string& path) const = 0;
+  virtual Result<std::vector<DirEntry>> list(const std::string& path)
+      const = 0;
+  virtual Status rename(const std::string& from, const std::string& to) = 0;
+
+  // Open an existing file for reading.
+  virtual Result<FileHandlePtr> open(const std::string& path) = 0;
+  // Create (or truncate) a file for writing; parent must exist.
+  virtual Result<FileHandlePtr> create(const std::string& path) = 0;
+
+  virtual void set_owner(const std::string& path, const std::string& owner) = 0;
+
+  // Capacity of the underlying store, for resource ads and lot accounting.
+  virtual std::int64_t total_space() const = 0;
+  virtual std::int64_t used_space() const = 0;
+  std::int64_t free_space() const { return total_space() - used_space(); }
+};
+
+}  // namespace nest::storage

@@ -1,0 +1,49 @@
+#include "transfer/cache_model.h"
+
+namespace nest::transfer {
+
+void CacheModel::observe_access(const std::string& path, std::int64_t offset,
+                                std::int64_t len) {
+  if (len <= 0) return;
+  const std::int64_t first = offset / page_bytes_;
+  const std::int64_t last = (offset + len - 1) / page_bytes_;
+  for (std::int64_t p = first; p <= last; ++p) {
+    const Key key{path, p};
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      continue;
+    }
+    while (static_cast<std::int64_t>(map_.size()) >= capacity_pages_ &&
+           !lru_.empty()) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(key);
+    map_[key] = lru_.begin();
+  }
+}
+
+void CacheModel::observe_remove(const std::string& path) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->path == path) {
+      map_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double CacheModel::resident_fraction(const std::string& path,
+                                     std::int64_t size) const {
+  if (size <= 0) return 1.0;
+  const std::int64_t pages = (size + page_bytes_ - 1) / page_bytes_;
+  std::int64_t resident = 0;
+  for (std::int64_t p = 0; p < pages; ++p) {
+    if (map_.count(Key{path, p})) ++resident;
+  }
+  return static_cast<double>(resident) / static_cast<double>(pages);
+}
+
+}  // namespace nest::transfer

@@ -1,0 +1,66 @@
+// Gray-box model of the kernel buffer cache (paper Section 4.2, building on
+// Arpaci-Dusseau's gray-box methodology and the Burnett et al. USENIX '02
+// work the paper cites).
+//
+// NeST runs at user level and cannot see the kernel cache, but it *can*
+// observe every byte it reads and writes. This model mirrors the kernel's
+// (assumed LRU) replacement over those observations with a configurable
+// estimated cache size, and predicts whether a file is resident — the
+// signal cache-aware scheduling needs.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace nest::transfer {
+
+class CacheModel {
+ public:
+  CacheModel(std::int64_t estimated_cache_bytes, std::int64_t page_bytes)
+      : capacity_pages_(estimated_cache_bytes / page_bytes),
+        page_bytes_(page_bytes) {}
+
+  // Record that the server read/wrote [offset, offset+len) of `path`
+  // through the kernel. Both populate the (modeled) cache.
+  void observe_access(const std::string& path, std::int64_t offset,
+                      std::int64_t len);
+
+  // Record that `path` was removed (its pages die with it).
+  void observe_remove(const std::string& path);
+
+  // Predicted fraction of the first `size` bytes resident right now.
+  double resident_fraction(const std::string& path, std::int64_t size) const;
+
+  bool probably_cached(const std::string& path, std::int64_t size,
+                       double threshold = 0.99) const {
+    return resident_fraction(path, size) >= threshold;
+  }
+
+  std::int64_t page_bytes() const { return page_bytes_; }
+  std::int64_t tracked_pages() const {
+    return static_cast<std::int64_t>(map_.size());
+  }
+
+ private:
+  struct Key {
+    std::string path;
+    std::int64_t page;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::string>()(k.path) ^
+             std::hash<std::int64_t>()(k.page * 0x9e3779b97f4a7c15ll);
+    }
+  };
+  using Lru = std::list<Key>;
+
+  std::int64_t capacity_pages_;
+  std::int64_t page_bytes_;
+  Lru lru_;  // front = MRU
+  std::unordered_map<Key, Lru::iterator, KeyHash> map_;
+};
+
+}  // namespace nest::transfer

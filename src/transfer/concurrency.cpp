@@ -1,0 +1,85 @@
+#include "transfer/concurrency.h"
+
+#include <cassert>
+
+namespace nest::transfer {
+
+const char* model_name(ConcurrencyModel m) noexcept {
+  switch (m) {
+    case ConcurrencyModel::threads: return "threads";
+    case ConcurrencyModel::processes: return "processes";
+    case ConcurrencyModel::events: return "events";
+    case ConcurrencyModel::staged: return "staged";
+  }
+  return "?";
+}
+
+AdaptiveSelector::AdaptiveSelector() : AdaptiveSelector(Options{}) {}
+
+AdaptiveSelector::AdaptiveSelector(Options opts)
+    : opts_(std::move(opts)), rng_(opts_.seed) {
+  assert(!opts_.enabled.empty());
+  for (const ConcurrencyModel m : opts_.enabled) {
+    state_[static_cast<int>(m)].enabled = true;
+  }
+}
+
+bool AdaptiveSelector::warming_up() const {
+  for (const auto& s : state_) {
+    if (s.enabled && s.picks < opts_.warmup_per_model) return true;
+  }
+  return false;
+}
+
+ConcurrencyModel AdaptiveSelector::pick() {
+  auto advance_rr = [&]() -> ConcurrencyModel {
+    for (int i = 0; i < kModelCount; ++i) {
+      rr_cursor_ = (rr_cursor_ + 1) % kModelCount;
+      if (state_[rr_cursor_].enabled) break;
+    }
+    return static_cast<ConcurrencyModel>(rr_cursor_);
+  };
+
+  ConcurrencyModel chosen;
+  if (warming_up()) {
+    chosen = advance_rr();  // equal distribution at first
+  } else if (rng_.uniform_real() < opts_.explore_fraction) {
+    chosen = advance_rr();  // periodic probe of all models
+  } else {
+    chosen = best();
+  }
+  ++state_[static_cast<int>(chosen)].picks;
+  return chosen;
+}
+
+void AdaptiveSelector::report(ConcurrencyModel m, double value) {
+  // Normalize to higher-is-better.
+  const double goodness =
+      opts_.metric == AdaptMetric::latency ? -value : value;
+  ModelState& s = state_[static_cast<int>(m)];
+  ++s.reports;
+  if (!s.scored) {
+    s.score = goodness;
+    s.scored = true;
+  } else {
+    s.score = opts_.alpha * goodness + (1.0 - opts_.alpha) * s.score;
+  }
+}
+
+ConcurrencyModel AdaptiveSelector::best() const {
+  int best_idx = -1;
+  for (int i = 0; i < kModelCount; ++i) {
+    const ModelState& s = state_[i];
+    if (!s.enabled) continue;
+    if (best_idx < 0) {
+      best_idx = i;
+      continue;
+    }
+    const ModelState& b = state_[best_idx];
+    // Unscored models rank below scored ones once scores exist.
+    if (s.scored && (!b.scored || s.score > b.score)) best_idx = i;
+  }
+  return static_cast<ConcurrencyModel>(best_idx < 0 ? 0 : best_idx);
+}
+
+}  // namespace nest::transfer

@@ -1,0 +1,34 @@
+// Transfer request descriptor shared by every scheduler and both substrates
+// (real epoll server and discrete-event simulator).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace nest::transfer {
+
+enum class Direction { read, write };
+
+struct TransferRequest {
+  std::uint64_t id = 0;
+  // Protocol class for proportional-share scheduling ("chirp", "gridftp",
+  // "http", "nfs", "ftp").
+  std::string protocol;
+  // Authenticated user ("" for anonymous); the paper's planned per-user
+  // proportional share uses this as the scheduling class instead.
+  std::string user;
+  Direction dir = Direction::read;
+  std::string path;
+  std::int64_t size = 0;   // expected bytes (0 when unknown)
+  std::int64_t done = 0;   // bytes moved so far
+  Nanos arrival = 0;
+  // Estimated resident fraction at admission, from the gray-box cache
+  // model; drives cache-aware scheduling.
+  double cached_fraction = 0.0;
+  // Scratch for schedulers (e.g. queue position bookkeeping).
+  std::int64_t sched_tag = 0;
+};
+
+}  // namespace nest::transfer

@@ -1,0 +1,103 @@
+#include "transfer/scheduler.h"
+
+
+namespace nest::transfer {
+
+StrideScheduler::StrideScheduler(Clock& clock)
+    : StrideScheduler(clock, Options{}) {}
+
+StrideScheduler::ClassState& StrideScheduler::cls(const std::string& name) {
+  return classes_[name];
+}
+
+void StrideScheduler::set_tickets(const std::string& cls_name,
+                                  std::int64_t tickets) {
+  classes_[cls_name].tickets = tickets < 1 ? 1 : tickets;
+}
+
+void StrideScheduler::enqueue(TransferRequest* r) {
+  ClassState& c = cls(key_of(r));
+  if (c.q.empty()) {
+    const Nanos now = clock_.now();
+    const bool long_absent =
+        c.last_seen < 0 || now - c.last_seen > opts_.rejoin_grace;
+    if (long_absent) {
+      // A class (re)joining after real absence starts at the global pass
+      // so it cannot claim credit for time it was gone.
+      if (c.pass < global_pass_) c.pass = global_pass_;
+    } else {
+      // Momentary drains (sync block protocols between RPCs) keep their
+      // pass, bounded so catch-up bursts stay finite.
+      const double min_pass =
+          global_pass_ - static_cast<double>(opts_.max_lag_bytes) * kStride1 /
+                             static_cast<double>(c.tickets);
+      if (c.pass < min_pass) c.pass = min_pass;
+    }
+  }
+  c.q.push_back(r);
+  c.last_seen = clock_.now();
+}
+
+TransferRequest* StrideScheduler::next() {
+  // Find the pending class with minimum pass.
+  ClassState* best = nullptr;
+  for (auto& [name, c] : classes_) {
+    if (c.q.empty()) continue;
+    if (best == nullptr || c.pass < best->pass) best = &c;
+  }
+  hold_until_ = 0;
+  if (best == nullptr) return nullptr;
+  if (!opts_.work_conserving) {
+    // If some *absent* class is owed service (its pass is below the best
+    // pending class) and it produced work recently, hold the server briefly
+    // rather than hand its slot to a competitor.
+    const Nanos now = clock_.now();
+    for (auto& [name, c] : classes_) {
+      if (!c.q.empty() || c.tickets <= 0) continue;
+      if (c.pass < best->pass && c.last_seen >= 0 &&
+          now - c.last_seen < opts_.idle_wait) {
+        hold_until_ = c.last_seen + opts_.idle_wait;
+        return nullptr;
+      }
+    }
+  }
+  // Global virtual time is the pass of the class being dispatched; classes
+  // rejoining later clamp to it so absence earns no credit.
+  if (best->pass > global_pass_) global_pass_ = best->pass;
+  TransferRequest* r = best->q.front();
+  best->q.pop_front();
+  return r;
+}
+
+void StrideScheduler::charge(TransferRequest* r, std::int64_t bytes) {
+  ClassState& c = cls(key_of(r));
+  c.pass += static_cast<double>(bytes) * kStride1 /
+            static_cast<double>(c.tickets);
+}
+
+bool StrideScheduler::empty() const {
+  for (const auto& [name, c] : classes_) {
+    if (!c.q.empty()) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& kind,
+                                          Clock& clock) {
+  if (kind == "fifo" || kind.empty()) return std::make_unique<FifoScheduler>();
+  if (kind == "stride") return std::make_unique<StrideScheduler>(clock);
+  if (kind == "stride-nwc") {
+    StrideScheduler::Options opts;
+    opts.work_conserving = false;
+    return std::make_unique<StrideScheduler>(clock, opts);
+  }
+  if (kind == "stride-user") {
+    StrideScheduler::Options opts;
+    opts.share_class = ShareClass::by_user;
+    return std::make_unique<StrideScheduler>(clock, opts);
+  }
+  if (kind == "cache-aware") return std::make_unique<CacheAwareScheduler>();
+  return nullptr;
+}
+
+}  // namespace nest::transfer

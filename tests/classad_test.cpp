@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "classad/classad.h"
+
+namespace nest::classad {
+namespace {
+
+Value eval_text(const std::string& text) {
+  auto e = parse_expr(text);
+  EXPECT_TRUE(e.ok()) << (e.ok() ? "" : e.error().to_string());
+  if (!e.ok()) return Value::error();
+  EvalContext ctx;
+  return e.value()->eval(ctx);
+}
+
+TEST(ClassAdLexer, RejectsBadInput) {
+  EXPECT_FALSE(parse_expr("\"unterminated").ok());
+  EXPECT_FALSE(parse_expr("a & b").ok());
+  EXPECT_FALSE(parse_expr("a @ b").ok());
+}
+
+TEST(ClassAdEval, Arithmetic) {
+  EXPECT_EQ(eval_text("1 + 2 * 3").as_int(), 7);
+  EXPECT_EQ(eval_text("(1 + 2) * 3").as_int(), 9);
+  EXPECT_EQ(eval_text("7 % 3").as_int(), 1);
+  EXPECT_EQ(eval_text("10 / 4").as_int(), 2);
+  EXPECT_DOUBLE_EQ(eval_text("10.0 / 4").as_real(), 2.5);
+  EXPECT_EQ(eval_text("-3").as_int(), -3);
+}
+
+TEST(ClassAdEval, DivisionByZeroIsError) {
+  EXPECT_TRUE(eval_text("1 / 0").is_error());
+  EXPECT_TRUE(eval_text("1 % 0").is_error());
+}
+
+TEST(ClassAdEval, Comparisons) {
+  EXPECT_TRUE(eval_text("2 < 3").as_bool());
+  EXPECT_TRUE(eval_text("2.5 >= 2").as_bool());
+  EXPECT_TRUE(eval_text("\"abc\" == \"ABC\"").as_bool());  // case-insensitive
+  EXPECT_TRUE(eval_text("\"a\" < \"b\"").as_bool());
+  EXPECT_TRUE(eval_text("1 == 1.0").as_bool());
+}
+
+TEST(ClassAdEval, ThreeValuedLogic) {
+  EXPECT_TRUE(eval_text("false && undefined").type() == ValueType::boolean);
+  EXPECT_FALSE(eval_text("false && undefined").as_bool());
+  EXPECT_TRUE(eval_text("true || undefined").as_bool());
+  EXPECT_TRUE(eval_text("true && undefined").is_undefined());
+  EXPECT_TRUE(eval_text("undefined || false").is_undefined());
+  EXPECT_TRUE(eval_text("undefined == 1").is_undefined());
+  EXPECT_TRUE(eval_text("false && error").type() == ValueType::boolean);
+}
+
+TEST(ClassAdEval, MetaOperators) {
+  EXPECT_TRUE(eval_text("undefined =?= undefined").as_bool());
+  EXPECT_FALSE(eval_text("undefined =?= 1").as_bool());
+  EXPECT_TRUE(eval_text("3 =!= \"3\"").as_bool());
+  EXPECT_TRUE(eval_text("3 =?= 3").as_bool());
+}
+
+TEST(ClassAdEval, Ternary) {
+  EXPECT_EQ(eval_text("1 < 2 ? 10 : 20").as_int(), 10);
+  EXPECT_EQ(eval_text("1 > 2 ? 10 : 20").as_int(), 20);
+  EXPECT_TRUE(eval_text("undefined ? 10 : 20").is_undefined());
+}
+
+TEST(ClassAdEval, StringFunctions) {
+  EXPECT_EQ(eval_text("strcat(\"foo\", \"/\", \"bar\")").as_string(),
+            "foo/bar");
+  EXPECT_EQ(eval_text("substr(\"hello\", 1, 3)").as_string(), "ell");
+  EXPECT_EQ(eval_text("substr(\"hello\", -2)").as_string(), "lo");
+  EXPECT_EQ(eval_text("size(\"hello\")").as_int(), 5);
+  EXPECT_EQ(eval_text("toUpper(\"nest\")").as_string(), "NEST");
+  EXPECT_EQ(eval_text("toLower(\"NeST\")").as_string(), "nest");
+}
+
+TEST(ClassAdEval, NumericFunctions) {
+  EXPECT_EQ(eval_text("floor(2.9)").as_int(), 2);
+  EXPECT_EQ(eval_text("ceiling(2.1)").as_int(), 3);
+  EXPECT_EQ(eval_text("round(2.5)").as_int(), 3);
+  EXPECT_EQ(eval_text("abs(-4)").as_int(), 4);
+  EXPECT_EQ(eval_text("min(3, 1, 2)").as_int(), 1);
+  EXPECT_EQ(eval_text("max(3, 1, 2)").as_int(), 3);
+  EXPECT_DOUBLE_EQ(eval_text("max(3, 1.5)").as_real(), 3.0);
+  EXPECT_EQ(eval_text("int(\"42\")").as_int(), 42);
+  EXPECT_TRUE(eval_text("int(\"4x\")").is_error());
+}
+
+TEST(ClassAdEval, ListMembership) {
+  EXPECT_TRUE(eval_text("member(2, {1, 2, 3})").as_bool());
+  EXPECT_FALSE(eval_text("member(9, {1, 2, 3})").as_bool());
+  EXPECT_TRUE(
+      eval_text("member(\"nfs\", {\"chirp\", \"nfs\"})").as_bool());
+  EXPECT_EQ(eval_text("size({1,2,3})").as_int(), 3);
+}
+
+TEST(ClassAdEval, Regexp) {
+  EXPECT_TRUE(eval_text("regexp(\"^/data/.*\", \"/data/f1\")").as_bool());
+  EXPECT_FALSE(eval_text("regexp(\"^/data/.*\", \"/tmp/f1\")").as_bool());
+}
+
+TEST(ClassAdEval, ProbeFunctions) {
+  EXPECT_TRUE(eval_text("isUndefined(undefined)").as_bool());
+  EXPECT_FALSE(eval_text("isUndefined(3)").as_bool());
+  EXPECT_TRUE(eval_text("isError(1/0)").as_bool());
+  EXPECT_TRUE(eval_text("isString(\"x\")").as_bool());
+  EXPECT_TRUE(eval_text("isInteger(3)").as_bool());
+}
+
+TEST(ClassAdEval, UnknownFunctionIsError) {
+  EXPECT_TRUE(eval_text("frobnicate(1)").is_error());
+}
+
+TEST(ClassAdRecord, ParseAndEval) {
+  auto ad = ClassAd::parse(
+      "[ Type = \"Storage\"; FreeSpace = 100; Ok = FreeSpace > 50; ]");
+  ASSERT_TRUE(ad.ok()) << ad.error().to_string();
+  EXPECT_EQ(ad->eval_int("FreeSpace").value(), 100);
+  EXPECT_TRUE(ad->eval_bool("Ok").value());
+  EXPECT_EQ(ad->eval_string("Type").value(), "Storage");
+}
+
+TEST(ClassAdRecord, CaseInsensitiveNames) {
+  auto ad = ClassAd::parse("[ FooBar = 3; ]");
+  ASSERT_TRUE(ad.ok());
+  EXPECT_EQ(ad->eval_int("foobar").value(), 3);
+  EXPECT_EQ(ad->eval_int("FOOBAR").value(), 3);
+}
+
+TEST(ClassAdRecord, MissingAttrIsUndefined) {
+  ClassAd ad;
+  EXPECT_TRUE(ad.eval("nothing").is_undefined());
+  EXPECT_FALSE(ad.eval_int("nothing").has_value());
+}
+
+TEST(ClassAdRecord, InsertEraseRoundTrip) {
+  ClassAd ad;
+  ad.insert("A", Value::integer(1));
+  ASSERT_TRUE(ad.insert_expr("B", "A + 1").ok());
+  EXPECT_EQ(ad.eval_int("B").value(), 2);
+  EXPECT_TRUE(ad.erase("A"));
+  EXPECT_FALSE(ad.erase("A"));
+  EXPECT_TRUE(ad.eval("B").is_undefined());  // A now missing
+}
+
+TEST(ClassAdRecord, ToStringRoundTrips) {
+  auto ad = ClassAd::parse(
+      "[ Name = \"n1\"; Caps = {\"read\", \"write\"}; N = 1 + 2; ]");
+  ASSERT_TRUE(ad.ok());
+  auto re = ClassAd::parse(ad->to_string());
+  ASSERT_TRUE(re.ok()) << re.error().to_string();
+  EXPECT_EQ(re->eval_int("N").value(), 3);
+  EXPECT_EQ(re->eval_string("Name").value(), "n1");
+  EXPECT_EQ(re->eval("Caps").as_list()->size(), 2u);
+}
+
+TEST(ClassAdRecord, NestedAd) {
+  auto ad = ClassAd::parse("[ Inner = [ X = 5; ]; ]");
+  ASSERT_TRUE(ad.ok());
+  const Value inner = ad->eval("Inner");
+  ASSERT_EQ(inner.type(), ValueType::classad);
+  EXPECT_EQ(inner.as_ad()->eval_int("X").value(), 5);
+}
+
+TEST(ClassAdRecord, SelfReferenceGuard) {
+  auto ad = ClassAd::parse("[ A = B; B = A; ]");
+  ASSERT_TRUE(ad.ok());
+  // Must terminate (recursion guard) and yield error, not hang.
+  EXPECT_TRUE(ad->eval("A").is_error());
+}
+
+TEST(ClassAdMatch, SymmetricMatch) {
+  auto job = ClassAd::parse(
+      "[ Type = \"Job\"; NeedSpace = 50; "
+      "Requirements = other.FreeSpace >= NeedSpace; ]");
+  auto storage = ClassAd::parse(
+      "[ Type = \"Storage\"; FreeSpace = 100; "
+      "Requirements = other.Type == \"Job\"; ]");
+  ASSERT_TRUE(job.ok() && storage.ok());
+  EXPECT_TRUE(match(*job, *storage));
+}
+
+TEST(ClassAdMatch, FailsWhenOneSideRejects) {
+  auto job = ClassAd::parse(
+      "[ Type = \"Job\"; Requirements = other.FreeSpace >= 500; ]");
+  auto storage = ClassAd::parse("[ Type = \"Storage\"; FreeSpace = 100; ]");
+  ASSERT_TRUE(job.ok() && storage.ok());
+  EXPECT_FALSE(match(*job, *storage));
+}
+
+TEST(ClassAdMatch, UndefinedRequirementIsNoMatch) {
+  auto a = ClassAd::parse("[ Requirements = other.Missing > 3; ]");
+  auto b = ClassAd::parse("[ X = 1; ]");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(match(*a, *b));
+}
+
+TEST(ClassAdMatch, RankEvaluates) {
+  auto a = ClassAd::parse("[ Rank = other.FreeSpace; ]");
+  auto b = ClassAd::parse("[ FreeSpace = 42; ]");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(rank(*a, *b), 42.0);
+  EXPECT_DOUBLE_EQ(rank(*b, *a), 0.0);  // missing Rank -> 0
+}
+
+TEST(ClassAdMatch, TargetScopeExplicit) {
+  auto a = ClassAd::parse("[ Requirements = TARGET.Color == \"red\"; ]");
+  auto b = ClassAd::parse("[ Color = \"red\"; ]");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(match(*a, *b));
+}
+
+TEST(ClassAdMatch, SelfScopeExplicit) {
+  auto a = ClassAd::parse("[ N = 3; Requirements = MY.N == 3; ]");
+  auto b = ClassAd::parse("[ ]");
+  ASSERT_TRUE(a.ok() && b.ok()) << (b.ok() ? "" : b.error().to_string());
+  EXPECT_TRUE(match(*a, *b));
+}
+
+class ClassAdExprRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ClassAdExprRoundTrip, PrintParseEvalStable) {
+  const std::string text = GetParam();
+  auto e1 = parse_expr(text);
+  ASSERT_TRUE(e1.ok()) << e1.error().to_string();
+  const std::string printed = e1.value()->to_string();
+  auto e2 = parse_expr(printed);
+  ASSERT_TRUE(e2.ok()) << printed << ": " << e2.error().to_string();
+  EvalContext ctx;
+  const Value v1 = e1.value()->eval(ctx);
+  const Value v2 = e2.value()->eval(ctx);
+  EXPECT_TRUE(v1.same_as(v2)) << printed << " -> " << v1.to_string()
+                              << " vs " << v2.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Exprs, ClassAdExprRoundTrip,
+    ::testing::Values(
+        "1 + 2 * 3 - 4 / 2", "true && (false || true)", "!(1 > 2)",
+        "\"a\" + \"b\"", "{1, 2.5, \"x\", true}",
+        "min(1, 2) + max(3.5, 2)", "1 < 2 ? \"yes\" : \"no\"",
+        "undefined =?= undefined", "3 % 2 == 1",
+        "strcat(\"a\", string(42))", "member(2, {1,2,3}) && size({1}) == 1",
+        "-2.5 * 4", "substr(\"hello world\", 6)",
+        "isUndefined(undefined) ? 1 : 0"));
+
+}  // namespace
+}  // namespace nest::classad

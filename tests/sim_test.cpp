@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cache.h"
+#include "sim/coro.h"
+#include "sim/disk.h"
+#include "sim/engine.h"
+#include "sim/link.h"
+#include "sim/platform.h"
+#include "sim/store.h"
+#include "sim/sync.h"
+
+namespace nest::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(30, [&] { order.push_back(3); });
+  eng.schedule(10, [&] { order.push_back(1); });
+  eng.schedule(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(10, [&] { order.push_back(1); });
+  eng.schedule(10, [&] { order.push_back(2); });
+  eng.schedule(10, [&] { order.push_back(3); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, RunUntilAdvancesClock) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule(50, [&] { ++fired; });
+  eng.schedule(150, [&] { ++fired; });
+  eng.run_until(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 100);
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, PastEventsClampToNow) {
+  Engine eng;
+  eng.run_until(100);
+  Nanos seen = -1;
+  eng.schedule_at(5, [&] { seen = eng.now(); });
+  eng.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Engine, SimClockTracksEngine) {
+  Engine eng;
+  Clock& clk = eng.clock();
+  eng.run_until(42);
+  EXPECT_EQ(clk.now(), 42);
+}
+
+TEST(Coro, DelaySequences) {
+  Engine eng;
+  std::vector<Nanos> times;
+  spawn([](Engine& e, std::vector<Nanos>& t) -> Co<void> {
+    co_await e.delay(10);
+    t.push_back(e.now());
+    co_await e.delay(10);
+    t.push_back(e.now());
+  }(eng, times));
+  eng.run();
+  EXPECT_EQ(times, (std::vector<Nanos>{10, 20}));
+}
+
+TEST(Coro, NestedAwaitReturnsValue) {
+  Engine eng;
+  int result = 0;
+  auto inner = [](Engine& e) -> Co<int> {
+    co_await e.delay(5);
+    co_return 17;
+  };
+  spawn([](Engine& e, auto in, int& out) -> Co<void> {
+    out = co_await in(e);
+  }(eng, inner, result));
+  eng.run();
+  EXPECT_EQ(result, 17);
+}
+
+TEST(Sync, EventWakesAllWaiters) {
+  Engine eng;
+  SimEvent ev(eng);
+  int woke = 0;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](SimEvent& e, int& w) -> Co<void> {
+      co_await e.wait();
+      ++w;
+    }(ev, woke));
+  }
+  eng.run();
+  EXPECT_EQ(woke, 0);  // nothing set yet
+  eng.schedule(10, [&] { ev.set(); });
+  eng.run();
+  EXPECT_EQ(woke, 3);
+}
+
+TEST(Sync, SemaphoreSerializes) {
+  Engine eng;
+  Semaphore sem(eng, 1);
+  std::vector<Nanos> completion;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](Engine& e, Semaphore& s, std::vector<Nanos>& done) -> Co<void> {
+      co_await s.acquire();
+      SemGuard g(s);
+      co_await e.delay(100);
+      done.push_back(e.now());
+    }(eng, sem, completion));
+  }
+  eng.run();
+  ASSERT_EQ(completion.size(), 3u);
+  EXPECT_EQ(completion, (std::vector<Nanos>{100, 200, 300}));
+}
+
+TEST(Sync, SemaphoreCountsPermits) {
+  Engine eng;
+  Semaphore sem(eng, 2);
+  std::vector<Nanos> completion;
+  for (int i = 0; i < 4; ++i) {
+    spawn([](Engine& e, Semaphore& s, std::vector<Nanos>& done) -> Co<void> {
+      co_await s.acquire();
+      SemGuard g(s);
+      co_await e.delay(100);
+      done.push_back(e.now());
+    }(eng, sem, completion));
+  }
+  eng.run();
+  EXPECT_EQ(completion, (std::vector<Nanos>{100, 100, 200, 200}));
+}
+
+TEST(Sync, WaitGroupJoins) {
+  Engine eng;
+  WaitGroup wg(eng);
+  Nanos joined = -1;
+  for (int i = 1; i <= 3; ++i) {
+    wg.add();
+    spawn([](Engine& e, WaitGroup& w, int n) -> Co<void> {
+      co_await e.delay(n * 10);
+      w.done();
+    }(eng, wg, i));
+  }
+  spawn([](Engine& e, WaitGroup& w, Nanos& t) -> Co<void> {
+    co_await w.wait();
+    t = e.now();
+  }(eng, wg, joined));
+  eng.run();
+  EXPECT_EQ(joined, 30);
+}
+
+TEST(Link, SingleFlowGetsFullBandwidth) {
+  Engine eng;
+  Link link(eng, 10.0e6, 0);  // 10 MB/s
+  Nanos done = 0;
+  spawn([](Engine& e, Link& l, Nanos& d) -> Co<void> {
+    co_await l.transfer(10'000'000);
+    d = e.now();
+  }(eng, link, done));
+  eng.run();
+  EXPECT_NEAR(to_seconds(done), 1.0, 0.01);
+}
+
+TEST(Link, TwoFlowsShareBandwidth) {
+  Engine eng;
+  Link link(eng, 10.0e6, 0);
+  std::vector<Nanos> done;
+  for (int i = 0; i < 2; ++i) {
+    spawn([](Engine& e, Link& l, std::vector<Nanos>& d) -> Co<void> {
+      co_await l.transfer(10'000'000);
+      d.push_back(e.now());
+    }(eng, link, done));
+  }
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Both ~2s: each got ~5 MB/s.
+  EXPECT_NEAR(to_seconds(done[0]), 2.0, 0.05);
+  EXPECT_NEAR(to_seconds(done[1]), 2.0, 0.05);
+}
+
+TEST(Link, LateFlowFinishesAfterShare) {
+  Engine eng;
+  Link link(eng, 10.0e6, 0);
+  Nanos small_done = 0;
+  spawn([](Engine& e, Link& l, Nanos& d) -> Co<void> {
+    co_await l.transfer(20'000'000);
+    d = e.now();
+  }(eng, link, small_done));
+  eng.run();
+  EXPECT_NEAR(to_seconds(small_done), 2.0, 0.02);
+}
+
+TEST(Disk, SequentialAvoidsSeeks) {
+  Engine eng;
+  Disk disk(eng, kMillisecond * 5, kMillisecond * 3, 20.0e6);
+  spawn([](Disk& d) -> Co<void> {
+    co_await d.read(1, 0, 1'000'000);
+    co_await d.read(1, 1'000'000, 1'000'000);  // sequential: no seek
+  }(disk));
+  eng.run();
+  EXPECT_EQ(disk.total_seeks(), 1);
+  // 2 MB at 20 MB/s = 100 ms + one 8 ms positioning
+  EXPECT_NEAR(to_seconds(eng.now()), 0.108, 0.002);
+}
+
+TEST(Disk, RandomAccessPaysSeeks) {
+  Engine eng;
+  Disk disk(eng, kMillisecond * 5, kMillisecond * 3, 20.0e6);
+  spawn([](Disk& d) -> Co<void> {
+    co_await d.read(1, 0, 8192);
+    co_await d.read(2, 0, 8192);
+    co_await d.read(1, 0, 8192);
+  }(disk));
+  eng.run();
+  EXPECT_EQ(disk.total_seeks(), 3);
+}
+
+TEST(Disk, HeadIsExclusive) {
+  Engine eng;
+  Disk disk(eng, 0, 0, 10.0e6);
+  std::vector<Nanos> done;
+  for (int i = 0; i < 2; ++i) {
+    spawn([](Engine& e, Disk& d, std::vector<Nanos>& v, int id) -> Co<void> {
+      co_await d.read(static_cast<std::uint64_t>(id), 0, 10'000'000);
+      v.push_back(e.now());
+    }(eng, disk, done, i));
+  }
+  eng.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(to_seconds(done[0]), 1.0, 0.01);
+  EXPECT_NEAR(to_seconds(done[1]), 2.0, 0.01);
+}
+
+TEST(BufferCache, LruEvicts) {
+  BufferCache cache(4 * 8192, 8192);  // 4 pages
+  std::vector<PageId> ev;
+  for (std::int64_t p = 0; p < 5; ++p) cache.insert({1, p}, false, ev);
+  EXPECT_TRUE(ev.empty());  // clean evictions don't flush
+  EXPECT_FALSE(cache.contains({1, 0}));  // oldest evicted
+  EXPECT_TRUE(cache.contains({1, 4}));
+}
+
+TEST(BufferCache, TouchRefreshesLru) {
+  BufferCache cache(2 * 8192, 8192);
+  std::vector<PageId> ev;
+  cache.insert({1, 0}, false, ev);
+  cache.insert({1, 1}, false, ev);
+  EXPECT_TRUE(cache.touch({1, 0}));  // 0 is now MRU
+  cache.insert({1, 2}, false, ev);
+  EXPECT_TRUE(cache.contains({1, 0}));
+  EXPECT_FALSE(cache.contains({1, 1}));
+}
+
+TEST(BufferCache, DirtyEvictionsAreReported) {
+  BufferCache cache(2 * 8192, 8192);
+  std::vector<PageId> ev;
+  cache.insert({1, 0}, true, ev);
+  cache.insert({1, 1}, false, ev);
+  cache.insert({1, 2}, false, ev);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0], (PageId{1, 0}));
+}
+
+TEST(BufferCache, ResidentFraction) {
+  BufferCache cache(8 * 8192, 8192);
+  std::vector<PageId> ev;
+  for (std::int64_t p = 0; p < 4; ++p) cache.insert({7, p}, false, ev);
+  EXPECT_DOUBLE_EQ(cache.resident_fraction(7, 8 * 8192), 0.5);
+  EXPECT_DOUBLE_EQ(cache.resident_fraction(7, 4 * 8192), 1.0);
+  EXPECT_DOUBLE_EQ(cache.resident_fraction(8, 8192), 0.0);
+}
+
+TEST(BufferCache, EraseRemoves) {
+  BufferCache cache(4 * 8192, 8192);
+  std::vector<PageId> ev;
+  cache.insert({1, 0}, false, ev);
+  cache.erase({1, 0});
+  EXPECT_FALSE(cache.contains({1, 0}));
+  cache.erase({1, 0});  // idempotent
+}
+
+class SimStoreTest : public ::testing::Test {
+ protected:
+  Engine eng;
+  PlatformProfile profile = PlatformProfile::linux2_2();
+};
+
+TEST_F(SimStoreTest, CachedReadIsFast) {
+  SimStore store(eng, profile);
+  store.preload(1, 10'000'000);
+  EXPECT_TRUE(store.fully_cached(1, 10'000'000));
+  spawn([](SimStore& s) -> Co<void> {
+    co_await s.read(1, 0, 10'000'000);
+  }(store));
+  eng.run();
+  // Pure memcpy at 180 MB/s: ~56 ms, no disk time.
+  EXPECT_LT(to_seconds(eng.now()), 0.1);
+  EXPECT_EQ(store.disk().total_bytes(), 0);
+}
+
+TEST_F(SimStoreTest, ColdReadHitsDisk) {
+  SimStore store(eng, profile);
+  spawn([](SimStore& s) -> Co<void> {
+    co_await s.read(1, 0, 10'000'000);
+  }(store));
+  eng.run();
+  EXPECT_GE(store.disk().total_bytes(), 10'000'000);
+  // ~0.5 s at 20 MB/s disk
+  EXPECT_GT(to_seconds(eng.now()), 0.4);
+  // Second read is now cached.
+  const Nanos t1 = eng.now();
+  spawn([](SimStore& s) -> Co<void> {
+    co_await s.read(1, 0, 10'000'000);
+  }(store));
+  eng.run();
+  EXPECT_LT(to_seconds(eng.now() - t1), 0.1);
+}
+
+TEST_F(SimStoreTest, SmallWriteStaysInCache) {
+  SimStore store(eng, profile);
+  spawn([](SimStore& s) -> Co<void> {
+    co_await s.write(1, 0, 4'000'000);
+  }(store));
+  eng.run();
+  EXPECT_EQ(store.disk().total_bytes(), 0);  // below dirty limit
+  EXPECT_LT(to_seconds(eng.now()), 0.1);
+}
+
+TEST_F(SimStoreTest, LargeWriteThrottlesToDisk) {
+  SimStore store(eng, profile);
+  spawn([](SimStore& s) -> Co<void> {
+    co_await s.write(1, 0, 100'000'000);
+  }(store));
+  eng.run();
+  // Most bytes must have hit the disk (dirty limit is 32 MiB).
+  EXPECT_GT(store.disk().total_bytes(), 60'000'000);
+}
+
+TEST_F(SimStoreTest, QuotaAddsWriteCost) {
+  SimStore plain(eng, profile);
+  spawn([](SimStore& s) -> Co<void> {
+    co_await s.write(1, 0, 100'000'000);
+    co_await s.sync();
+  }(plain));
+  eng.run();
+  const Nanos t_plain = eng.now();
+
+  Engine eng2;
+  SimStore quota(eng2, profile);
+  quota.set_quota_enabled(true);
+  spawn([](SimStore& s) -> Co<void> {
+    co_await s.write(1, 0, 100'000'000);
+    co_await s.sync();
+  }(quota));
+  eng2.run();
+  const Nanos t_quota = eng2.now();
+
+  EXPECT_GT(t_quota, t_plain);
+  EXPECT_GT(quota.quota_updates(), 0);
+  // Worst-case single-stream overhead in the paper is ~2x.
+  EXPECT_LT(static_cast<double>(t_quota) / static_cast<double>(t_plain), 3.0);
+}
+
+TEST_F(SimStoreTest, QuotaDoesNotAffectReads) {
+  SimStore store(eng, profile);
+  store.set_quota_enabled(true);
+  spawn([](SimStore& s) -> Co<void> {
+    co_await s.read(1, 0, 10'000'000);
+  }(store));
+  eng.run();
+  EXPECT_EQ(store.quota_updates(), 0);
+}
+
+TEST_F(SimStoreTest, EvictFileMakesItCold) {
+  SimStore store(eng, profile);
+  store.preload(1, 1'000'000);
+  EXPECT_TRUE(store.fully_cached(1, 1'000'000));
+  store.evict_file(1, 1'000'000);
+  EXPECT_FALSE(store.fully_cached(1, 1'000'000));
+  EXPECT_DOUBLE_EQ(store.resident_fraction(1, 1'000'000), 0.0);
+}
+
+}  // namespace
+}  // namespace nest::sim
