@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_adapt_period.dir/abl_adapt_period.cpp.o"
+  "CMakeFiles/abl_adapt_period.dir/abl_adapt_period.cpp.o.d"
+  "abl_adapt_period"
+  "abl_adapt_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_adapt_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

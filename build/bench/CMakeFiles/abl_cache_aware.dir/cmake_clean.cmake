@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cache_aware.dir/abl_cache_aware.cpp.o"
+  "CMakeFiles/abl_cache_aware.dir/abl_cache_aware.cpp.o.d"
+  "abl_cache_aware"
+  "abl_cache_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cache_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

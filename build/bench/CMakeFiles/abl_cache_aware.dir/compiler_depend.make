@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_cache_aware.
+# This may be replaced when dependencies are built.

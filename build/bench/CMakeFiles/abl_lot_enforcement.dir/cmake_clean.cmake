@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lot_enforcement.dir/abl_lot_enforcement.cpp.o"
+  "CMakeFiles/abl_lot_enforcement.dir/abl_lot_enforcement.cpp.o.d"
+  "abl_lot_enforcement"
+  "abl_lot_enforcement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lot_enforcement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lot_reclaim.dir/abl_lot_reclaim.cpp.o"
+  "CMakeFiles/abl_lot_reclaim.dir/abl_lot_reclaim.cpp.o.d"
+  "abl_lot_reclaim"
+  "abl_lot_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lot_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_nonwork_conserving.cpp" "bench/CMakeFiles/abl_nonwork_conserving.dir/abl_nonwork_conserving.cpp.o" "gcc" "bench/CMakeFiles/abl_nonwork_conserving.dir/abl_nonwork_conserving.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnest/CMakeFiles/nest_simnest.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nest_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/nest_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_nonwork_conserving.dir/abl_nonwork_conserving.cpp.o"
+  "CMakeFiles/abl_nonwork_conserving.dir/abl_nonwork_conserving.cpp.o.d"
+  "abl_nonwork_conserving"
+  "abl_nonwork_conserving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_nonwork_conserving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_staged.dir/abl_staged.cpp.o"
+  "CMakeFiles/abl_staged.dir/abl_staged.cpp.o.d"
+  "abl_staged"
+  "abl_staged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_staged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

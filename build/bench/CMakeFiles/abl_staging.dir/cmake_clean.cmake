@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_staging.dir/abl_staging.cpp.o"
+  "CMakeFiles/abl_staging.dir/abl_staging.cpp.o.d"
+  "abl_staging"
+  "abl_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

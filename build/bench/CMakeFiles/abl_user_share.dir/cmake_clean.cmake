@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_user_share.dir/abl_user_share.cpp.o"
+  "CMakeFiles/abl_user_share.dir/abl_user_share.cpp.o.d"
+  "abl_user_share"
+  "abl_user_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_user_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_user_share.
+# This may be replaced when dependencies are built.

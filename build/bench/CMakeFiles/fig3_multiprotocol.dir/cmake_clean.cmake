@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_multiprotocol.dir/fig3_multiprotocol.cpp.o"
+  "CMakeFiles/fig3_multiprotocol.dir/fig3_multiprotocol.cpp.o.d"
+  "fig3_multiprotocol"
+  "fig3_multiprotocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_multiprotocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

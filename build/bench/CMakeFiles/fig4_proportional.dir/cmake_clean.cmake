@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_proportional.dir/fig4_proportional.cpp.o"
+  "CMakeFiles/fig4_proportional.dir/fig4_proportional.cpp.o.d"
+  "fig4_proportional"
+  "fig4_proportional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_proportional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_adaptive.dir/fig5_adaptive.cpp.o"
+  "CMakeFiles/fig5_adaptive.dir/fig5_adaptive.cpp.o.d"
+  "fig5_adaptive"
+  "fig5_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_scenario.dir/grid_scenario.cpp.o"
+  "CMakeFiles/grid_scenario.dir/grid_scenario.cpp.o.d"
+  "grid_scenario"
+  "grid_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

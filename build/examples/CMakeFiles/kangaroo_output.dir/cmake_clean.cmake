@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kangaroo_output.dir/kangaroo_output.cpp.o"
+  "CMakeFiles/kangaroo_output.dir/kangaroo_output.cpp.o.d"
+  "kangaroo_output"
+  "kangaroo_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kangaroo_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

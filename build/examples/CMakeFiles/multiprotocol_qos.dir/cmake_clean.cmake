@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprotocol_qos.dir/multiprotocol_qos.cpp.o"
+  "CMakeFiles/multiprotocol_qos.dir/multiprotocol_qos.cpp.o.d"
+  "multiprotocol_qos"
+  "multiprotocol_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprotocol_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("classad")
+subdirs("sim")
+subdirs("storage")
+subdirs("transfer")
+subdirs("simnest")
+subdirs("net")
+subdirs("discovery")
+subdirs("dispatcher")
+subdirs("protocol")
+subdirs("server")
+subdirs("client")
+subdirs("jbos")

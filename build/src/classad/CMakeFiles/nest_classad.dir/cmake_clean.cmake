@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest_classad.dir/builtins.cpp.o"
+  "CMakeFiles/nest_classad.dir/builtins.cpp.o.d"
+  "CMakeFiles/nest_classad.dir/classad.cpp.o"
+  "CMakeFiles/nest_classad.dir/classad.cpp.o.d"
+  "CMakeFiles/nest_classad.dir/expr.cpp.o"
+  "CMakeFiles/nest_classad.dir/expr.cpp.o.d"
+  "CMakeFiles/nest_classad.dir/lexer.cpp.o"
+  "CMakeFiles/nest_classad.dir/lexer.cpp.o.d"
+  "CMakeFiles/nest_classad.dir/parser.cpp.o"
+  "CMakeFiles/nest_classad.dir/parser.cpp.o.d"
+  "CMakeFiles/nest_classad.dir/value.cpp.o"
+  "CMakeFiles/nest_classad.dir/value.cpp.o.d"
+  "libnest_classad.a"
+  "libnest_classad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest_classad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest-cli.dir/nest_cli.cpp.o"
+  "CMakeFiles/nest-cli.dir/nest_cli.cpp.o.d"
+  "nest-cli"
+  "nest-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest_client.dir/chirp_client.cpp.o"
+  "CMakeFiles/nest_client.dir/chirp_client.cpp.o.d"
+  "CMakeFiles/nest_client.dir/ftp_client.cpp.o"
+  "CMakeFiles/nest_client.dir/ftp_client.cpp.o.d"
+  "CMakeFiles/nest_client.dir/http_client.cpp.o"
+  "CMakeFiles/nest_client.dir/http_client.cpp.o.d"
+  "CMakeFiles/nest_client.dir/kangaroo.cpp.o"
+  "CMakeFiles/nest_client.dir/kangaroo.cpp.o.d"
+  "CMakeFiles/nest_client.dir/nfs_client.cpp.o"
+  "CMakeFiles/nest_client.dir/nfs_client.cpp.o.d"
+  "libnest_client.a"
+  "libnest_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest_common.dir/config.cpp.o"
+  "CMakeFiles/nest_common.dir/config.cpp.o.d"
+  "CMakeFiles/nest_common.dir/log.cpp.o"
+  "CMakeFiles/nest_common.dir/log.cpp.o.d"
+  "CMakeFiles/nest_common.dir/metrics.cpp.o"
+  "CMakeFiles/nest_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/nest_common.dir/result.cpp.o"
+  "CMakeFiles/nest_common.dir/result.cpp.o.d"
+  "CMakeFiles/nest_common.dir/string_util.cpp.o"
+  "CMakeFiles/nest_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/nest_common.dir/units.cpp.o"
+  "CMakeFiles/nest_common.dir/units.cpp.o.d"
+  "libnest_common.a"
+  "libnest_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

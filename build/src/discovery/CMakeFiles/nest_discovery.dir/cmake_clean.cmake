@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest_discovery.dir/collector.cpp.o"
+  "CMakeFiles/nest_discovery.dir/collector.cpp.o.d"
+  "libnest_discovery.a"
+  "libnest_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

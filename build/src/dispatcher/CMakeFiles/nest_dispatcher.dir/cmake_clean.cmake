@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest_dispatcher.dir/dispatcher.cpp.o"
+  "CMakeFiles/nest_dispatcher.dir/dispatcher.cpp.o.d"
+  "libnest_dispatcher.a"
+  "libnest_dispatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

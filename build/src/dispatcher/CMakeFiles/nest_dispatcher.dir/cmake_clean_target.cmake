@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnest_dispatcher.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jbos/jbos.cpp" "src/jbos/CMakeFiles/nest_jbos.dir/jbos.cpp.o" "gcc" "src/jbos/CMakeFiles/nest_jbos.dir/jbos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/nest_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/nest_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/classad/CMakeFiles/nest_classad.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

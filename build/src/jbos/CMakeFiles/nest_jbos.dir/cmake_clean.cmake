@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest_jbos.dir/jbos.cpp.o"
+  "CMakeFiles/nest_jbos.dir/jbos.cpp.o.d"
+  "libnest_jbos.a"
+  "libnest_jbos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest_jbos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest_net.dir/socket.cpp.o"
+  "CMakeFiles/nest_net.dir/socket.cpp.o.d"
+  "libnest_net.a"
+  "libnest_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/chirp_handler.cpp" "src/protocol/CMakeFiles/nest_protocol.dir/chirp_handler.cpp.o" "gcc" "src/protocol/CMakeFiles/nest_protocol.dir/chirp_handler.cpp.o.d"
+  "/root/repo/src/protocol/executor.cpp" "src/protocol/CMakeFiles/nest_protocol.dir/executor.cpp.o" "gcc" "src/protocol/CMakeFiles/nest_protocol.dir/executor.cpp.o.d"
+  "/root/repo/src/protocol/ftp_handler.cpp" "src/protocol/CMakeFiles/nest_protocol.dir/ftp_handler.cpp.o" "gcc" "src/protocol/CMakeFiles/nest_protocol.dir/ftp_handler.cpp.o.d"
+  "/root/repo/src/protocol/gsi.cpp" "src/protocol/CMakeFiles/nest_protocol.dir/gsi.cpp.o" "gcc" "src/protocol/CMakeFiles/nest_protocol.dir/gsi.cpp.o.d"
+  "/root/repo/src/protocol/http_handler.cpp" "src/protocol/CMakeFiles/nest_protocol.dir/http_handler.cpp.o" "gcc" "src/protocol/CMakeFiles/nest_protocol.dir/http_handler.cpp.o.d"
+  "/root/repo/src/protocol/nfs_handler.cpp" "src/protocol/CMakeFiles/nest_protocol.dir/nfs_handler.cpp.o" "gcc" "src/protocol/CMakeFiles/nest_protocol.dir/nfs_handler.cpp.o.d"
+  "/root/repo/src/protocol/request.cpp" "src/protocol/CMakeFiles/nest_protocol.dir/request.cpp.o" "gcc" "src/protocol/CMakeFiles/nest_protocol.dir/request.cpp.o.d"
+  "/root/repo/src/protocol/xdr.cpp" "src/protocol/CMakeFiles/nest_protocol.dir/xdr.cpp.o" "gcc" "src/protocol/CMakeFiles/nest_protocol.dir/xdr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dispatcher/CMakeFiles/nest_dispatcher.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nest_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/nest_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/nest_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/nest_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/classad/CMakeFiles/nest_classad.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

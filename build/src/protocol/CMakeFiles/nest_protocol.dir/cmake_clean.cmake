@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest_protocol.dir/chirp_handler.cpp.o"
+  "CMakeFiles/nest_protocol.dir/chirp_handler.cpp.o.d"
+  "CMakeFiles/nest_protocol.dir/executor.cpp.o"
+  "CMakeFiles/nest_protocol.dir/executor.cpp.o.d"
+  "CMakeFiles/nest_protocol.dir/ftp_handler.cpp.o"
+  "CMakeFiles/nest_protocol.dir/ftp_handler.cpp.o.d"
+  "CMakeFiles/nest_protocol.dir/gsi.cpp.o"
+  "CMakeFiles/nest_protocol.dir/gsi.cpp.o.d"
+  "CMakeFiles/nest_protocol.dir/http_handler.cpp.o"
+  "CMakeFiles/nest_protocol.dir/http_handler.cpp.o.d"
+  "CMakeFiles/nest_protocol.dir/nfs_handler.cpp.o"
+  "CMakeFiles/nest_protocol.dir/nfs_handler.cpp.o.d"
+  "CMakeFiles/nest_protocol.dir/request.cpp.o"
+  "CMakeFiles/nest_protocol.dir/request.cpp.o.d"
+  "CMakeFiles/nest_protocol.dir/xdr.cpp.o"
+  "CMakeFiles/nest_protocol.dir/xdr.cpp.o.d"
+  "libnest_protocol.a"
+  "libnest_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

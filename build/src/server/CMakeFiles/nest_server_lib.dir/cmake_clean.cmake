@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest_server_lib.dir/config.cpp.o"
+  "CMakeFiles/nest_server_lib.dir/config.cpp.o.d"
+  "CMakeFiles/nest_server_lib.dir/endpoints.cpp.o"
+  "CMakeFiles/nest_server_lib.dir/endpoints.cpp.o.d"
+  "CMakeFiles/nest_server_lib.dir/nest_server.cpp.o"
+  "CMakeFiles/nest_server_lib.dir/nest_server.cpp.o.d"
+  "libnest_server_lib.a"
+  "libnest_server_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest_server_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

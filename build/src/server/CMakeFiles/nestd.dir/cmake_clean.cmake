@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestd.dir/nestd.cpp.o"
+  "CMakeFiles/nestd.dir/nestd.cpp.o.d"
+  "nestd"
+  "nestd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

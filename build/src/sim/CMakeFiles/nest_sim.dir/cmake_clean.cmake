@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest_sim.dir/cache.cpp.o"
+  "CMakeFiles/nest_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/nest_sim.dir/disk.cpp.o"
+  "CMakeFiles/nest_sim.dir/disk.cpp.o.d"
+  "CMakeFiles/nest_sim.dir/engine.cpp.o"
+  "CMakeFiles/nest_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/nest_sim.dir/link.cpp.o"
+  "CMakeFiles/nest_sim.dir/link.cpp.o.d"
+  "CMakeFiles/nest_sim.dir/platform.cpp.o"
+  "CMakeFiles/nest_sim.dir/platform.cpp.o.d"
+  "CMakeFiles/nest_sim.dir/store.cpp.o"
+  "CMakeFiles/nest_sim.dir/store.cpp.o.d"
+  "libnest_sim.a"
+  "libnest_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

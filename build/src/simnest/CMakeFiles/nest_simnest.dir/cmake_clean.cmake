@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest_simnest.dir/protocol_model.cpp.o"
+  "CMakeFiles/nest_simnest.dir/protocol_model.cpp.o.d"
+  "CMakeFiles/nest_simnest.dir/simnest.cpp.o"
+  "CMakeFiles/nest_simnest.dir/simnest.cpp.o.d"
+  "CMakeFiles/nest_simnest.dir/workload.cpp.o"
+  "CMakeFiles/nest_simnest.dir/workload.cpp.o.d"
+  "libnest_simnest.a"
+  "libnest_simnest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest_simnest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/acl.cpp" "src/storage/CMakeFiles/nest_storage.dir/acl.cpp.o" "gcc" "src/storage/CMakeFiles/nest_storage.dir/acl.cpp.o.d"
+  "/root/repo/src/storage/extentfs.cpp" "src/storage/CMakeFiles/nest_storage.dir/extentfs.cpp.o" "gcc" "src/storage/CMakeFiles/nest_storage.dir/extentfs.cpp.o.d"
+  "/root/repo/src/storage/localfs.cpp" "src/storage/CMakeFiles/nest_storage.dir/localfs.cpp.o" "gcc" "src/storage/CMakeFiles/nest_storage.dir/localfs.cpp.o.d"
+  "/root/repo/src/storage/lot.cpp" "src/storage/CMakeFiles/nest_storage.dir/lot.cpp.o" "gcc" "src/storage/CMakeFiles/nest_storage.dir/lot.cpp.o.d"
+  "/root/repo/src/storage/memfs.cpp" "src/storage/CMakeFiles/nest_storage.dir/memfs.cpp.o" "gcc" "src/storage/CMakeFiles/nest_storage.dir/memfs.cpp.o.d"
+  "/root/repo/src/storage/quota.cpp" "src/storage/CMakeFiles/nest_storage.dir/quota.cpp.o" "gcc" "src/storage/CMakeFiles/nest_storage.dir/quota.cpp.o.d"
+  "/root/repo/src/storage/storage_manager.cpp" "src/storage/CMakeFiles/nest_storage.dir/storage_manager.cpp.o" "gcc" "src/storage/CMakeFiles/nest_storage.dir/storage_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nest_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/classad/CMakeFiles/nest_classad.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

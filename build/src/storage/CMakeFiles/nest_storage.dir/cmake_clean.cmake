@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest_storage.dir/acl.cpp.o"
+  "CMakeFiles/nest_storage.dir/acl.cpp.o.d"
+  "CMakeFiles/nest_storage.dir/extentfs.cpp.o"
+  "CMakeFiles/nest_storage.dir/extentfs.cpp.o.d"
+  "CMakeFiles/nest_storage.dir/localfs.cpp.o"
+  "CMakeFiles/nest_storage.dir/localfs.cpp.o.d"
+  "CMakeFiles/nest_storage.dir/lot.cpp.o"
+  "CMakeFiles/nest_storage.dir/lot.cpp.o.d"
+  "CMakeFiles/nest_storage.dir/memfs.cpp.o"
+  "CMakeFiles/nest_storage.dir/memfs.cpp.o.d"
+  "CMakeFiles/nest_storage.dir/quota.cpp.o"
+  "CMakeFiles/nest_storage.dir/quota.cpp.o.d"
+  "CMakeFiles/nest_storage.dir/storage_manager.cpp.o"
+  "CMakeFiles/nest_storage.dir/storage_manager.cpp.o.d"
+  "libnest_storage.a"
+  "libnest_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transfer/cache_model.cpp" "src/transfer/CMakeFiles/nest_transfer.dir/cache_model.cpp.o" "gcc" "src/transfer/CMakeFiles/nest_transfer.dir/cache_model.cpp.o.d"
+  "/root/repo/src/transfer/concurrency.cpp" "src/transfer/CMakeFiles/nest_transfer.dir/concurrency.cpp.o" "gcc" "src/transfer/CMakeFiles/nest_transfer.dir/concurrency.cpp.o.d"
+  "/root/repo/src/transfer/scheduler.cpp" "src/transfer/CMakeFiles/nest_transfer.dir/scheduler.cpp.o" "gcc" "src/transfer/CMakeFiles/nest_transfer.dir/scheduler.cpp.o.d"
+  "/root/repo/src/transfer/transfer_manager.cpp" "src/transfer/CMakeFiles/nest_transfer.dir/transfer_manager.cpp.o" "gcc" "src/transfer/CMakeFiles/nest_transfer.dir/transfer_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

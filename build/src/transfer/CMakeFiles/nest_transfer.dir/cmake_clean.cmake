@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nest_transfer.dir/cache_model.cpp.o"
+  "CMakeFiles/nest_transfer.dir/cache_model.cpp.o.d"
+  "CMakeFiles/nest_transfer.dir/concurrency.cpp.o"
+  "CMakeFiles/nest_transfer.dir/concurrency.cpp.o.d"
+  "CMakeFiles/nest_transfer.dir/scheduler.cpp.o"
+  "CMakeFiles/nest_transfer.dir/scheduler.cpp.o.d"
+  "CMakeFiles/nest_transfer.dir/transfer_manager.cpp.o"
+  "CMakeFiles/nest_transfer.dir/transfer_manager.cpp.o.d"
+  "libnest_transfer.a"
+  "libnest_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nest_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classad_test.dir/classad_test.cpp.o"
+  "CMakeFiles/classad_test.dir/classad_test.cpp.o.d"
+  "classad_test"
+  "classad_test.pdb"
+  "classad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extentfs_test.dir/extentfs_test.cpp.o"
+  "CMakeFiles/extentfs_test.dir/extentfs_test.cpp.o.d"
+  "extentfs_test"
+  "extentfs_test.pdb"
+  "extentfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extentfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbos_test.dir/jbos_test.cpp.o"
+  "CMakeFiles/jbos_test.dir/jbos_test.cpp.o.d"
+  "jbos_test"
+  "jbos_test.pdb"
+  "jbos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

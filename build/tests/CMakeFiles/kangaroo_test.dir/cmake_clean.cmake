@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kangaroo_test.dir/kangaroo_test.cpp.o"
+  "CMakeFiles/kangaroo_test.dir/kangaroo_test.cpp.o.d"
+  "kangaroo_test"
+  "kangaroo_test.pdb"
+  "kangaroo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kangaroo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

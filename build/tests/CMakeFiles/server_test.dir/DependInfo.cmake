@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/server_test.cpp" "tests/CMakeFiles/server_test.dir/server_test.cpp.o" "gcc" "tests/CMakeFiles/server_test.dir/server_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/nest_server_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/nest_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/nest_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/dispatcher/CMakeFiles/nest_dispatcher.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/nest_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/nest_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/classad/CMakeFiles/nest_classad.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/nest_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nest_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

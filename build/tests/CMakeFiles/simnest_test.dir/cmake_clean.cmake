@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnest_test.dir/simnest_test.cpp.o"
+  "CMakeFiles/simnest_test.dir/simnest_test.cpp.o.d"
+  "simnest_test"
+  "simnest_test.pdb"
+  "simnest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
