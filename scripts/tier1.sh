@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build + full test suite, then the concurrency-labelled
+# stress tests again under ThreadSanitizer (separate build tree so the
+# instrumented objects never mix with the normal ones).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier1: configure + build (default preset) =="
+cmake --preset default
+cmake --build --preset default -j "${JOBS}"
+
+echo "== tier1: full test suite =="
+ctest --preset default
+
+echo "== tier1: ThreadSanitizer pass over concurrency tests =="
+cmake --preset tsan
+# Only the stress binary needs instrumenting; keeps the tsan tree cheap.
+cmake --build --preset tsan -j "${JOBS}" --target transfer_core_test
+TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan
+
+echo "== tier1: OK =="

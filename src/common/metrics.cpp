@@ -1,5 +1,8 @@
 #include "common/metrics.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/units.h"
 
 namespace nest {
@@ -17,29 +20,83 @@ double jain_fairness(const std::vector<double>& ratios) {
   return (sum * sum) / (n * sum_sq);
 }
 
+int metric_stripe_of_thread() {
+  return static_cast<int>(
+      std::hash<std::thread::id>()(std::this_thread::get_id()) %
+      static_cast<std::size_t>(kMetricStripes));
+}
+
+void LatencyRecorder::record(Nanos latency) {
+  Stripe& s = stripes_[metric_stripe_of_thread()];
+  std::lock_guard lock(s.mu);
+  s.samples.push_back(latency);
+}
+
+std::size_t LatencyRecorder::count() const {
+  std::size_t n = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard lock(s.mu);
+    n += s.samples.size();
+  }
+  return n;
+}
+
+std::vector<Nanos> LatencyRecorder::snapshot() const {
+  std::vector<Nanos> all;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard lock(s.mu);
+    all.insert(all.end(), s.samples.begin(), s.samples.end());
+  }
+  return all;
+}
+
 double LatencyRecorder::mean_ms() const {
-  if (samples_.empty()) return 0.0;
+  const std::vector<Nanos> all = snapshot();
+  if (all.empty()) return 0.0;
   double total = 0.0;
-  for (const Nanos s : samples_) total += static_cast<double>(s);
-  return total / static_cast<double>(samples_.size()) / 1e6;
+  for (const Nanos s : all) total += static_cast<double>(s);
+  return total / static_cast<double>(all.size()) / 1e6;
 }
 
 double LatencyRecorder::percentile_ms(double p) const {
-  if (samples_.empty()) return 0.0;
-  std::sort(samples_.begin(), samples_.end());
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  std::vector<Nanos> all = snapshot();
+  if (all.empty()) return 0.0;
+  std::sort(all.begin(), all.end());
+  const double rank = p / 100.0 * static_cast<double>(all.size() - 1);
   const auto idx = static_cast<std::size_t>(rank);
-  return static_cast<double>(samples_[idx]) / 1e6;
+  return static_cast<double>(all[idx]) / 1e6;
+}
+
+void BandwidthMeter::add(const std::string& cls, std::int64_t bytes) {
+  Stripe& s = stripes_[metric_stripe_of_thread()];
+  {
+    std::lock_guard lock(s.mu);
+    s.bytes[cls] += bytes;
+  }
+  total_.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 double BandwidthMeter::total_mbps() const {
-  return mb_per_sec(total_, end_ - start_);
+  return mb_per_sec(total_.load(std::memory_order_relaxed), end_ - start_);
 }
 
 double BandwidthMeter::class_mbps(const std::string& cls) const {
-  const auto it = bytes_.find(cls);
-  if (it == bytes_.end()) return 0.0;
-  return mb_per_sec(it->second, end_ - start_);
+  std::int64_t bytes = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard lock(s.mu);
+    const auto it = s.bytes.find(cls);
+    if (it != s.bytes.end()) bytes += it->second;
+  }
+  return mb_per_sec(bytes, end_ - start_);
+}
+
+std::map<std::string, std::int64_t> BandwidthMeter::per_class() const {
+  std::map<std::string, std::int64_t> out;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard lock(s.mu);
+    for (const auto& [cls, bytes] : s.bytes) out[cls] += bytes;
+  }
+  return out;
 }
 
 }  // namespace nest

@@ -1,11 +1,32 @@
-// Measurement helpers shared by the benchmark harnesses: per-class byte
-// counters, latency recorders, and Jain's fairness index exactly as defined
-// in the paper (footnote 2 of Section 7.2).
+// Measurement helpers shared by the benchmark harnesses and the transfer
+// accounting hot path: per-class byte counters, latency recorders, and
+// Jain's fairness index exactly as defined in the paper (footnote 2 of
+// Section 7.2).
+//
+// Thread-safety contract
+// ----------------------
+// BandwidthMeter and LatencyRecorder are mutated from concurrent
+// connection threads in real mode (TransferCore charges bytes and records
+// latencies while other transfers are in flight), so both are internally
+// synchronized:
+//   * writes (add / record) go to a stripe selected by the calling
+//     thread's id — threads on different stripes never contend, and a
+//     stripe's lock is only ever held for a map/vector update;
+//   * reads (total_mbps, per_class, mean_ms, ...) aggregate across all
+//     stripes under the stripe locks and may run concurrently with
+//     writers; they see a consistent per-stripe snapshot, which is exact
+//     once writers have quiesced (how the benches use them);
+//   * the running totals are plain atomics, so total-byte reads never
+//     take any lock.
+// set_window is the exception: it is a benchmark-harness call, expected
+// from a single thread with no concurrent rate reads.
 #pragma once
 
-#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,38 +38,56 @@ namespace nest {
 // 1.0 is a perfectly proportional allocation.
 double jain_fairness(const std::vector<double>& ratios);
 
-// Records request latencies and reports mean / percentiles.
+// Stripe count for the meters below; a small power of two well above the
+// core count keeps same-stripe collisions rare without bloating snapshots.
+inline constexpr int kMetricStripes = 16;
+
+// Index of the stripe the calling thread writes to.
+int metric_stripe_of_thread();
+
+// Records request latencies and reports mean / percentiles. Thread-safe
+// per the contract above.
 class LatencyRecorder {
  public:
-  void record(Nanos latency) { samples_.push_back(latency); }
-  std::size_t count() const { return samples_.size(); }
+  void record(Nanos latency);
+  std::size_t count() const;
   double mean_ms() const;
   double percentile_ms(double p) const;  // p in [0,100]
 
  private:
-  mutable std::vector<Nanos> samples_;
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::vector<Nanos> samples;
+  };
+  std::vector<Nanos> snapshot() const;
+  std::array<Stripe, kMetricStripes> stripes_;
 };
 
-// Per-class byte counter over a measurement window.
+// Per-class byte counter over a measurement window. Thread-safe per the
+// contract above.
 class BandwidthMeter {
  public:
-  void add(const std::string& cls, std::int64_t bytes) {
-    bytes_[cls] += bytes;
-    total_ += bytes;
-  }
+  void add(const std::string& cls, std::int64_t bytes);
   void set_window(Nanos start, Nanos end) {
     start_ = start;
     end_ = end;
   }
+  std::int64_t total_bytes() const {
+    return total_.load(std::memory_order_relaxed);
+  }
   double total_mbps() const;
   double class_mbps(const std::string& cls) const;
-  const std::map<std::string, std::int64_t>& per_class() const {
-    return bytes_;
-  }
+  // Aggregated snapshot across stripes (by value: the per-stripe maps keep
+  // changing underneath).
+  std::map<std::string, std::int64_t> per_class() const;
 
  private:
-  std::map<std::string, std::int64_t> bytes_;
-  std::int64_t total_ = 0;
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::map<std::string, std::int64_t> bytes;
+  };
+  std::array<Stripe, kMetricStripes> stripes_;
+  std::atomic<std::int64_t> total_{0};
   Nanos start_ = 0;
   Nanos end_ = 0;
 };

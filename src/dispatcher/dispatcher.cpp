@@ -9,58 +9,6 @@ namespace nest::dispatcher {
 using protocol::NestOp;
 using protocol::NestRequest;
 
-void BlockGate::acquire(transfer::TransferRequest* r) {
-  std::unique_lock lock(mu_);
-  tm_.enqueue(r);
-  pump_locked();
-  cv_.wait(lock, [&] { return granted_.count(r) != 0; });
-  granted_.erase(r);
-}
-
-void BlockGate::release() {
-  std::lock_guard lock(mu_);
-  ++free_;
-  pump_locked();
-}
-
-void BlockGate::pump_locked() {
-  while (free_ > 0) {
-    transfer::TransferRequest* r = tm_.next();
-    if (r == nullptr) break;  // empty (holds are a sim-mode refinement)
-    --free_;
-    granted_.insert(r);
-  }
-  if (!granted_.empty()) cv_.notify_all();
-}
-
-transfer::TransferRequest* BlockGate::create_request(
-    const std::string& protocol, transfer::Direction dir,
-    const std::string& path, std::int64_t size, const std::string& user) {
-  std::lock_guard lock(mu_);
-  return tm_.create_request(protocol, dir, path, size, user);
-}
-
-void BlockGate::charge(transfer::TransferRequest* r, std::int64_t bytes) {
-  std::lock_guard lock(mu_);
-  tm_.charge(r, bytes);
-}
-
-void BlockGate::complete(transfer::TransferRequest* r) {
-  std::lock_guard lock(mu_);
-  tm_.complete(r);
-}
-
-transfer::ConcurrencyModel BlockGate::pick_model() {
-  std::lock_guard lock(mu_);
-  return tm_.pick_model();
-}
-
-void BlockGate::report_model(transfer::ConcurrencyModel m,
-                             double metric_value) {
-  std::lock_guard lock(mu_);
-  tm_.report_model(m, metric_value);
-}
-
 Dispatcher::Dispatcher(Clock& clock, storage::StorageManager& storage,
                        transfer::TransferManager& tm)
     : Dispatcher(clock, storage, tm, Options{}) {}

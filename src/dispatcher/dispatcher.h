@@ -8,11 +8,9 @@
 // data availability and publishes it as a ClassAd into a discovery system.
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +18,7 @@
 #include "discovery/collector.h"
 #include "protocol/request.h"
 #include "storage/storage_manager.h"
+#include "transfer/core.h"
 #include "transfer/transfer_manager.h"
 
 namespace nest::dispatcher {
@@ -27,35 +26,39 @@ namespace nest::dispatcher {
 // Real-mode analogue of the simulator's service gate: connection threads
 // block here until the transfer manager's scheduler grants their next
 // block a service slot.
+//
+// Thin adapter over transfer::TransferCore, which owns the whole
+// concurrent lifecycle (sharded submission, lock-free charging,
+// per-request grant wakeups). Kept as the dispatcher-level name for the
+// admission point; new code can take the TransferCore directly.
 class BlockGate {
  public:
-  BlockGate(transfer::TransferManager& tm, int slots)
-      : tm_(tm), free_(slots) {}
+  BlockGate(transfer::TransferManager& tm, int slots) : core_(tm, slots) {}
 
   // Blocks until `r` is granted a slot. Thread-safe.
-  void acquire(transfer::TransferRequest* r);
-  void release();
+  void acquire(transfer::TransferRequest* r) { core_.acquire(r); }
+  void release() { core_.release(); }
 
-  // Thread-safe facade over the (single-threaded) TransferManager: all
-  // real-mode request lifecycle calls go through the gate's lock.
   transfer::TransferRequest* create_request(const std::string& protocol,
                                             transfer::Direction dir,
                                             const std::string& path,
                                             std::int64_t size,
-                                            const std::string& user = {});
-  void charge(transfer::TransferRequest* r, std::int64_t bytes);
-  void complete(transfer::TransferRequest* r);
-  transfer::ConcurrencyModel pick_model();
-  void report_model(transfer::ConcurrencyModel m, double metric_value);
+                                            const std::string& user = {}) {
+    return core_.create_request(protocol, dir, path, size, user);
+  }
+  void charge(transfer::TransferRequest* r, std::int64_t bytes) {
+    core_.charge(r, bytes);
+  }
+  void complete(transfer::TransferRequest* r) { core_.complete(r); }
+  transfer::ConcurrencyModel pick_model() { return core_.pick_model(); }
+  void report_model(transfer::ConcurrencyModel m, double metric_value) {
+    core_.report_model(m, metric_value);
+  }
+
+  transfer::TransferCore& core() { return core_; }
 
  private:
-  void pump_locked();
-
-  transfer::TransferManager& tm_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int free_;
-  std::set<transfer::TransferRequest*> granted_;
+  transfer::TransferCore core_;
 };
 
 // Reply for non-transfer requests: a status plus a textual payload whose
@@ -106,6 +109,7 @@ class Dispatcher {
   transfer::TransferManager& tm() { return tm_; }
   storage::StorageManager& storage() { return storage_; }
   BlockGate& gate() { return gate_; }
+  transfer::TransferCore& core() { return gate_.core(); }
 
   // Consolidated availability ad (storage state + transfer load).
   classad::ClassAd snapshot_ad() const;

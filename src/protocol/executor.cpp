@@ -59,12 +59,12 @@ void EventLoop::run_sync(const std::function<void()>& fn) {
 
 TransferExecutor::TransferExecutor(Clock& clock,
                                    transfer::TransferManager& tm,
-                                   dispatcher::BlockGate& gate,
+                                   transfer::TransferCore& core,
                                    std::int64_t block_bytes,
                                    std::int64_t max_total_bw)
     : clock_(clock),
       tm_(tm),
-      gate_(gate),
+      core_(core),
       block_bytes_(block_bytes),
       max_total_bw_(max_total_bw),
       loop_(1),
@@ -113,10 +113,10 @@ Status TransferExecutor::move_blocks(const std::string& protocol,
                                      std::int64_t size, bool send,
                                      std::int64_t start_offset) {
   TransferRequest* req =
-      gate_.create_request(protocol,
+      core_.create_request(protocol,
                            send ? Direction::read : Direction::write,
                            ticket.path, size, ticket.user);
-  ConcurrencyModel model = gate_.pick_model();
+  ConcurrencyModel model = core_.pick_model();
   // Receives cannot be delegated to a forked child (its memory writes
   // would be lost); fall back to the thread path for them.
   if (model == ConcurrencyModel::processes && !send) {
@@ -129,7 +129,7 @@ Status TransferExecutor::move_blocks(const std::string& protocol,
     // Whole-transfer delegation: one admission, then a child streams the
     // file (wu-ftpd style). Block-level rescheduling does not apply to a
     // transfer once handed to a process.
-    gate_.acquire(req);
+    core_.acquire(req);
     const pid_t pid = ::fork();
     if (pid == 0) {
       std::vector<char> buf(static_cast<std::size_t>(block_bytes_));
@@ -159,14 +159,14 @@ Status TransferExecutor::move_blocks(const std::string& protocol,
       result = ok ? Status{}
                   : Status{Errc::io_error, "transfer child failed"};
     }
-    gate_.release();
-    if (result.ok()) gate_.charge(req, size);
+    core_.release();
+    if (result.ok()) core_.charge(req, size);
   } else {
     std::vector<char> buf(static_cast<std::size_t>(block_bytes_));
     std::int64_t off = 0;
     while (off < size) {
       const std::int64_t len = std::min(block_bytes_, size - off);
-      gate_.acquire(req);
+      core_.acquire(req);
       auto file_part = [&]() -> Status {
         if (send) {
           auto n = ticket.handle->pread(
@@ -219,8 +219,8 @@ Status TransferExecutor::move_blocks(const std::string& protocol,
       if (s.ok()) throttle(len);  // bandwidth cap binds while slot is held
       // Charge before releasing the slot so the next scheduling decision
       // sees this block's bytes (stale passes skew proportional shares).
-      if (s.ok()) gate_.charge(req, len);
-      gate_.release();
+      if (s.ok()) core_.charge(req, len);
+      core_.release();
       if (!s.ok()) {
         result = s;
         break;
@@ -233,12 +233,12 @@ Status TransferExecutor::move_blocks(const std::string& protocol,
   if (result.ok()) {
     const double secs = to_seconds(elapsed);
     if (tm_.options().adapt.metric == transfer::AdaptMetric::latency) {
-      gate_.report_model(model, static_cast<double>(elapsed));
+      core_.report_model(model, static_cast<double>(elapsed));
     } else if (secs > 0) {
-      gate_.report_model(model, static_cast<double>(size) / secs);
+      core_.report_model(model, static_cast<double>(size) / secs);
     }
   }
-  gate_.complete(req);
+  core_.complete(req);
   return result;
 }
 
@@ -265,15 +265,15 @@ Status TransferExecutor::send_file_range(
 Result<std::int64_t> TransferExecutor::recv_until_eof(
     const std::string& protocol, const storage::TransferTicket& ticket,
     net::TcpStream& stream) {
-  TransferRequest* req = gate_.create_request(
+  TransferRequest* req = core_.create_request(
       protocol, Direction::write, ticket.path, /*size=*/0, ticket.user);
-  ConcurrencyModel model = gate_.pick_model();
+  ConcurrencyModel model = core_.pick_model();
   if (model == ConcurrencyModel::processes) model = ConcurrencyModel::threads;
   std::vector<char> buf(static_cast<std::size_t>(block_bytes_));
   std::int64_t off = 0;
   Status result;
   while (true) {
-    gate_.acquire(req);
+    core_.acquire(req);
     std::int64_t got = 0;
     const Status s = run_block(model, [&]() -> Status {
       auto n = stream.read_some(std::span(buf.data(), buf.size()));
@@ -287,9 +287,9 @@ Result<std::int64_t> TransferExecutor::recv_until_eof(
     });
     if (s.ok() && got > 0) {
       throttle(got);
-      gate_.charge(req, got);
+      core_.charge(req, got);
     }
-    gate_.release();
+    core_.release();
     if (!s.ok()) {
       result = s;
       break;
@@ -297,7 +297,7 @@ Result<std::int64_t> TransferExecutor::recv_until_eof(
     if (got == 0) break;
     off += got;
   }
-  gate_.complete(req);
+  core_.complete(req);
   if (!result.ok()) return result.error();
   return off;
 }
@@ -305,20 +305,20 @@ Result<std::int64_t> TransferExecutor::recv_until_eof(
 Result<std::int64_t> TransferExecutor::read_block(
     const std::string& protocol, const storage::TransferTicket& ticket,
     std::int64_t offset, std::span<char> buf) {
-  TransferRequest* req = gate_.create_request(
+  TransferRequest* req = core_.create_request(
       protocol, Direction::read, ticket.path,
       static_cast<std::int64_t>(buf.size()), ticket.user);
-  ConcurrencyModel model = gate_.pick_model();
+  ConcurrencyModel model = core_.pick_model();
   if (model == ConcurrencyModel::processes) model = ConcurrencyModel::threads;
-  gate_.acquire(req);
+  core_.acquire(req);
   Result<std::int64_t> n = std::int64_t{0};
   const Status s = run_block(model, [&]() -> Status {
     n = ticket.handle->pread(buf, offset);
     return n.ok() ? Status{} : Status{n.error()};
   });
-  if (s.ok() && n.ok()) gate_.charge(req, *n);
-  gate_.release();
-  gate_.complete(req);
+  if (s.ok() && n.ok()) core_.charge(req, *n);
+  core_.release();
+  core_.complete(req);
   if (!s.ok()) return s.error();
   return n;
 }
@@ -326,20 +326,20 @@ Result<std::int64_t> TransferExecutor::read_block(
 Result<std::int64_t> TransferExecutor::write_block(
     const std::string& protocol, const storage::TransferTicket& ticket,
     std::int64_t offset, std::span<const char> buf) {
-  TransferRequest* req = gate_.create_request(
+  TransferRequest* req = core_.create_request(
       protocol, Direction::write, ticket.path,
       static_cast<std::int64_t>(buf.size()), ticket.user);
-  ConcurrencyModel model = gate_.pick_model();
+  ConcurrencyModel model = core_.pick_model();
   if (model == ConcurrencyModel::processes) model = ConcurrencyModel::threads;
-  gate_.acquire(req);
+  core_.acquire(req);
   Result<std::int64_t> n = std::int64_t{0};
   const Status s = run_block(model, [&]() -> Status {
     n = ticket.handle->pwrite(buf, offset);
     return n.ok() ? Status{} : Status{n.error()};
   });
-  if (s.ok() && n.ok()) gate_.charge(req, *n);
-  gate_.release();
-  gate_.complete(req);
+  if (s.ok() && n.ok()) core_.charge(req, *n);
+  core_.release();
+  core_.complete(req);
   if (!s.ok()) return s.error();
   return n;
 }

@@ -3,7 +3,9 @@
 //
 // Every whole-file send/receive and every NFS block op registers a
 // TransferRequest, then moves data one block at a time; each block is
-// admitted by the BlockGate in the order the configured scheduler decides.
+// admitted by the TransferCore in the order the configured scheduler
+// decides (charge/complete also go straight to the core's lock-free
+// accounting path).
 // The selected concurrency model determines *where* the block work runs:
 //   threads   — on the calling connection thread (thread-per-connection);
 //   events    — serialized onto the single event-loop worker;
@@ -20,9 +22,9 @@
 #include <vector>
 
 #include "common/clock.h"
-#include "dispatcher/dispatcher.h"
 #include "net/socket.h"
 #include "storage/storage_manager.h"
+#include "transfer/core.h"
 #include "transfer/transfer_manager.h"
 
 namespace nest::protocol {
@@ -56,7 +58,7 @@ class TransferExecutor {
   // mechanism that makes scheduling policies bind even when the physical
   // network is faster than the configured service rate.
   TransferExecutor(Clock& clock, transfer::TransferManager& tm,
-                   dispatcher::BlockGate& gate,
+                   transfer::TransferCore& core,
                    std::int64_t block_bytes = 64 * 1024,
                    std::int64_t max_total_bw = 0);
 
@@ -108,7 +110,7 @@ class TransferExecutor {
 
   Clock& clock_;
   transfer::TransferManager& tm_;
-  dispatcher::BlockGate& gate_;
+  transfer::TransferCore& core_;
   std::int64_t block_bytes_;
   std::int64_t max_total_bw_;
   std::mutex throttle_mu_;

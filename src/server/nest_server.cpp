@@ -58,7 +58,7 @@ Status NestServer::init() {
   dispatcher_ = std::make_unique<dispatcher::Dispatcher>(
       RealClock::instance(), *storage_, *tm_, dopts);
   executor_ = std::make_unique<protocol::TransferExecutor>(
-      RealClock::instance(), *tm_, dispatcher_->gate(), 64 * 1024,
+      RealClock::instance(), *tm_, dispatcher_->core(), 64 * 1024,
       options_.bandwidth_limit);
 
   protocol::ServerContext ctx;

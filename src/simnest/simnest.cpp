@@ -24,7 +24,8 @@ SimNest::SimNest(SimHost& host, SimNestConfig config)
     : host_(host),
       config_(config),
       tm_(host.engine().clock(), config.tm),
-      gate_(host.engine(), tm_, config.service_slots),
+      core_(tm_, config.service_slots),
+      gate_(host.engine(), core_),
       event_loop_(host.engine(), 1),
       disk_stage_(host.engine(), 2),
       net_stage_(host.engine(), 2) {}
@@ -39,11 +40,11 @@ void SimNest::ServiceGate::schedule_pump() {
 }
 
 void SimNest::ServiceGate::pump() {
-  while (free_ > 0) {
-    TransferRequest* r = tm_.next();
+  while (core_.free_slots() > 0) {
+    TransferRequest* r = core_.try_grant();
     if (r == nullptr) {
       // Non-work-conserving hold: retry when the hold expires.
-      const Nanos hold = tm_.hold_until();
+      const Nanos hold = core_.hold_until();
       if (hold > eng_.now() && !waiters_.empty()) {
         eng_.schedule_at(hold, [this] { schedule_pump(); });
       }
@@ -51,7 +52,6 @@ void SimNest::ServiceGate::pump() {
     }
     const auto it = waiters_.find(r);
     assert(it != waiters_.end());
-    --free_;
     const std::coroutine_handle<> h = it->second;
     waiters_.erase(it);
     h.resume();
@@ -109,11 +109,11 @@ Nanos SimNest::model_setup_cost(ConcurrencyModel model) const {
 void SimNest::report_completion(ConcurrencyModel model, Nanos latency,
                                 std::int64_t bytes) {
   if (tm_.options().adapt.metric == transfer::AdaptMetric::latency) {
-    tm_.report_model(model, static_cast<double>(latency));
+    core_.report_model(model, static_cast<double>(latency));
   } else {
     const double secs = to_seconds(latency);
-    tm_.report_model(model,
-                     secs > 0 ? static_cast<double>(bytes) / secs : 0.0);
+    core_.report_model(model,
+                       secs > 0 ? static_cast<double>(bytes) / secs : 0.0);
   }
 }
 
@@ -210,9 +210,9 @@ Co<void> SimNest::client_get(ProtocolBehavior proto, std::string path,
   }
   co_await host_.link().round_trip(256);
 
-  TransferRequest* req = tm_.create_request(proto.name, Direction::read,
-                                            path, file.size, user);
-  const ConcurrencyModel model = tm_.pick_model();
+  TransferRequest* req = core_.create_request(proto.name, Direction::read,
+                                              path, file.size, user);
+  const ConcurrencyModel model = core_.pick_model();
   Nanos setup = model_setup_cost(model) + config_.dispatch_overhead;
 
   bool first = true;
@@ -224,14 +224,14 @@ Co<void> SimNest::client_get(ProtocolBehavior proto, std::string path,
     }
     co_await gate_.acquire(req);
     co_await serve_read_block(proto, file, off, len, model, setup);
-    tm_.charge(req, len);  // before release: grants must see fresh passes
+    core_.charge(req, len);  // before release: grants must see fresh passes
     gate_.release();
     setup = 0;
     first = false;
   }
   const Nanos latency = eng.now() - req->arrival;
   report_completion(model, latency, file.size);
-  tm_.complete(req);
+  core_.complete(req);
 }
 
 Co<void> SimNest::client_put(ProtocolBehavior proto, std::string path,
@@ -246,9 +246,9 @@ Co<void> SimNest::client_put(ProtocolBehavior proto, std::string path,
   }
   co_await host_.link().round_trip(256);  // PUT request + approval
 
-  TransferRequest* req = tm_.create_request(proto.name, Direction::write,
-                                            path, size, user);
-  const ConcurrencyModel model = tm_.pick_model();
+  TransferRequest* req = core_.create_request(proto.name, Direction::write,
+                                              path, size, user);
+  const ConcurrencyModel model = core_.pick_model();
   Nanos setup = model_setup_cost(model) + config_.dispatch_overhead;
 
   bool first = true;
@@ -259,14 +259,14 @@ Co<void> SimNest::client_put(ProtocolBehavior proto, std::string path,
     }
     co_await gate_.acquire(req);
     co_await serve_write_block(proto, file, off, len, model, setup);
-    tm_.charge(req, len);
+    core_.charge(req, len);
     gate_.release();
     setup = 0;
     first = false;
   }
   const Nanos latency = eng.now() - req->arrival;
   report_completion(model, latency, size);
-  tm_.complete(req);
+  core_.complete(req);
 }
 
 }  // namespace nest::simnest

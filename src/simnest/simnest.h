@@ -1,14 +1,16 @@
 // SimNest: a NeST appliance bound to the discrete-event substrate.
 //
-// The policy brain is the *production* transfer::TransferManager — the same
-// schedulers, adaptive selector, and gray-box cache model the real epoll
-// server uses. This class supplies the byte-moving substrate: simulated
+// The policy brain is the *production* transfer::TransferCore — the same
+// lifecycle/admission core (and, under it, the same schedulers, adaptive
+// selector, and gray-box cache model) the real epoll server drives from
+// concurrent connection threads, here driven single-threaded by the event
+// engine. This class supplies the byte-moving substrate: simulated
 // clients call client_get/client_put; blocks pass through a service gate
-// whose admission order is decided by the TransferManager's scheduler; the
-// chosen concurrency model determines which simulated OS costs each block
-// pays (the event model serializes disk reads and copies behind a single
-// loop; threads/processes run concurrently but pay creation and context
-// switch costs).
+// whose admission order is decided by the core's scheduler; the chosen
+// concurrency model determines which simulated OS costs each block pays
+// (the event model serializes disk reads and copies behind a single loop;
+// threads/processes run concurrently but pay creation and context switch
+// costs).
 //
 // A JBOS native server (paper's comparison baseline) is the same machinery
 // with a fixed single protocol, FIFO scheduling, and no adaptation — built
@@ -25,6 +27,7 @@
 #include "sim/sync.h"
 #include "simnest/protocol_model.h"
 #include "simnest/simhost.h"
+#include "transfer/core.h"
 #include "transfer/transfer_manager.h"
 
 namespace nest::simnest {
@@ -62,6 +65,7 @@ class SimNest {
                            std::int64_t size, std::string user = {});
 
   transfer::TransferManager& tm() { return tm_; }
+  transfer::TransferCore& core() { return core_; }
   SimHost& host() { return host_; }
 
  private:
@@ -71,11 +75,13 @@ class SimNest {
   };
 
   // Admission gate: one slot per in-service block, ordered by the
-  // TransferManager's scheduler.
+  // TransferCore's scheduler. The core owns the slots and the queues;
+  // this class only parks/resumes coroutines — the sim-substrate analogue
+  // of the real server's blocking TransferCore::acquire.
   class ServiceGate {
    public:
-    ServiceGate(sim::Engine& eng, transfer::TransferManager& tm, int slots)
-        : eng_(eng), tm_(tm), free_(slots) {}
+    ServiceGate(sim::Engine& eng, transfer::TransferCore& core)
+        : eng_(eng), core_(core) {}
 
     auto acquire(transfer::TransferRequest* r) {
       struct Awaiter {
@@ -83,7 +89,7 @@ class SimNest {
         transfer::TransferRequest* req;
         bool await_ready() const noexcept { return false; }
         void await_suspend(std::coroutine_handle<> h) {
-          gate.tm_.enqueue(req);
+          gate.core_.submit(req);
           gate.waiters_[req] = h;
           gate.schedule_pump();
         }
@@ -93,7 +99,7 @@ class SimNest {
     }
 
     void release() {
-      ++free_;
+      core_.release_slot();
       schedule_pump();
     }
 
@@ -102,8 +108,7 @@ class SimNest {
     void pump();
 
     sim::Engine& eng_;
-    transfer::TransferManager& tm_;
-    int free_;
+    transfer::TransferCore& core_;
     bool pump_pending_ = false;
     std::unordered_map<transfer::TransferRequest*, std::coroutine_handle<>>
         waiters_;
@@ -127,6 +132,7 @@ class SimNest {
   SimHost& host_;
   SimNestConfig config_;
   transfer::TransferManager tm_;
+  transfer::TransferCore core_;
   ServiceGate gate_;
   sim::Semaphore event_loop_;  // the single loop of the event model
   sim::Semaphore disk_stage_;  // staged model: file-I/O stage pool

@@ -29,6 +29,16 @@ struct TransferRequest {
   double cached_fraction = 0.0;
   // Scratch for schedulers (e.g. queue position bookkeeping).
   std::int64_t sched_tag = 0;
+  // --- TransferCore fields ---
+  // Global submission-order stamp: TransferCore's sharded submission
+  // queues are merged back into scheduler arrival order by this number.
+  std::uint64_t submit_seq = 0;
+  // Real-mode slot-grant word (1 = slot granted). Accessed only through
+  // std::atomic_ref: the owning connection thread resets it before each
+  // submission and blocks on it; the granting pump stores 1 and notifies.
+  // A plain word (not std::atomic<>) so the struct stays copyable for
+  // single-threaded policy tests.
+  std::uint32_t grant_word = 0;
 };
 
 }  // namespace nest::transfer

@@ -29,6 +29,7 @@ TransferRequest* TransferManager::create_request(const std::string& protocol,
   req->cached_fraction = cache_model_.resident_fraction(path, size);
   TransferRequest* raw = req.get();
   requests_[raw->id] = std::move(req);
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
   return raw;
 }
 
@@ -39,15 +40,15 @@ Nanos TransferManager::hold_until() const {
 
 void TransferManager::charge(TransferRequest* r, std::int64_t bytes) {
   r->done += bytes;
-  total_bytes_ += bytes;
+  account_bytes(r->protocol, bytes);
   scheduler_->charge(r, bytes);
-  meter_.add(r->protocol, bytes);
   cache_model_.observe_access(r->path, r->done - bytes, bytes);
 }
 
 void TransferManager::complete(TransferRequest* r) {
   latencies_.record(clock_.now() - r->arrival);
-  ++completed_;
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
   requests_.erase(r->id);
 }
 

@@ -7,8 +7,17 @@
 // Responsibilities here: request registry, scheduling policy (which
 // pending quantum is serviced next), concurrency-model selection, and
 // accounting. Actually moving bytes is the substrate's job.
+//
+// Thread-safety: this object is a *single-threaded* policy brain. The
+// aggregate counters (total_bytes/completed/in_flight) are atomics so
+// monitoring reads (ClassAd publishing) are always safe, but the
+// lifecycle and scheduling calls must be externally serialized —
+// transfer::TransferCore is that serialization layer for the concurrent
+// real-mode server; the simulator drives this object from its one engine
+// thread.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -52,7 +61,18 @@ class TransferManager {
   void charge(TransferRequest* r, std::int64_t bytes);
   void complete(TransferRequest* r);
   bool idle() const { return scheduler_->empty() && requests_.empty(); }
-  std::size_t in_flight() const { return requests_.size(); }
+  std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  // Granular piece of charge(): byte accounting only (atomic total +
+  // striped meter; no scheduler or cache-model touch). TransferCore calls
+  // this lock-free on the hot path and applies the scheduler charge and
+  // cache observation under its own locks.
+  void account_bytes(const std::string& cls, std::int64_t bytes) {
+    total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    meter_.add(cls, bytes);
+  }
 
   // --- concurrency model selection ---
   ConcurrencyModel pick_model();
@@ -68,8 +88,12 @@ class TransferManager {
   // --- accounting ---
   BandwidthMeter& meter() { return meter_; }
   LatencyRecorder& latencies() { return latencies_; }
-  std::int64_t total_bytes() const { return total_bytes_; }
-  std::int64_t completed_requests() const { return completed_; }
+  std::int64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  std::int64_t completed_requests() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
 
   const Options& options() const { return options_; }
 
@@ -83,8 +107,9 @@ class TransferManager {
   std::uint64_t next_id_ = 1;
   BandwidthMeter meter_;
   LatencyRecorder latencies_;
-  std::int64_t total_bytes_ = 0;
-  std::int64_t completed_ = 0;
+  std::atomic<std::int64_t> total_bytes_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::size_t> in_flight_{0};
 };
 
 }  // namespace nest::transfer

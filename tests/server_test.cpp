@@ -27,8 +27,8 @@ class ExecutorTest : public ::testing::Test {
               o.adaptive = false;
               return o;
             }()),
-        gate(tm, 4),
-        executor(RealClock::instance(), tm, gate, /*block_bytes=*/8192) {}
+        core(tm, 4),
+        executor(RealClock::instance(), tm, core, /*block_bytes=*/8192) {}
 
   storage::TransferTicket make_ticket(const std::string& path,
                                       const std::string& contents) {
@@ -46,7 +46,7 @@ class ExecutorTest : public ::testing::Test {
 
   storage::MemFs fs;
   transfer::TransferManager tm;
-  dispatcher::BlockGate gate;
+  transfer::TransferCore core;
   protocol::TransferExecutor executor;
 };
 
