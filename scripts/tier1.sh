@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate: full build + full test suite, then the concurrency-labelled
-# stress tests again under ThreadSanitizer (separate build tree so the
+# stress tests again under ThreadSanitizer and the recovery-labelled
+# journal/crash tests under Address+UB sanitizer (separate build trees so
 # instrumented objects never mix with the normal ones).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,5 +20,11 @@ cmake --preset tsan
 # Only the stress binary needs instrumenting; keeps the tsan tree cheap.
 cmake --build --preset tsan -j "${JOBS}" --target transfer_core_test
 TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan
+
+echo "== tier1: AddressSanitizer pass over recovery tests =="
+cmake --preset asan
+# Only the journal/crash-recovery binary needs instrumenting.
+cmake --build --preset asan -j "${JOBS}" --target journal_test
+ASAN_OPTIONS="halt_on_error=1" ctest --preset asan
 
 echo "== tier1: OK =="

@@ -197,8 +197,20 @@ Result<std::string> ChirpClient::lot_query(std::uint64_t id) {
   return r->text;
 }
 
+Result<std::string> ChirpClient::lot_list() {
+  auto r = command("LOT LIST");
+  if (!r.ok()) return r.error();
+  return read_payload(*r);
+}
+
 Status ChirpClient::acl_set(const std::string& dir, const std::string& entry) {
   auto r = command("ACL SET " + dir + " " + entry);
+  return r.ok() ? to_status(*r) : Status{r.error()};
+}
+
+Status ChirpClient::acl_clear(const std::string& dir,
+                              const std::string& principal) {
+  auto r = command("ACL CLEAR " + dir + " " + principal);
   return r.ok() ? to_status(*r) : Status{r.error()};
 }
 
@@ -212,6 +224,13 @@ Result<std::string> ChirpClient::query_ad() {
   auto r = command("AD");
   if (!r.ok()) return r.error();
   return read_payload(*r);
+}
+
+Result<std::string> ChirpClient::journal_stat() {
+  auto r = command("JOURNAL STAT");
+  if (!r.ok()) return r.error();
+  if (r->code != 200) return Error{code_to_errc(r->code), r->text};
+  return r->text;
 }
 
 Status ChirpClient::quit() {

@@ -48,13 +48,21 @@ class ChirpClient {
   Status lot_renew(std::uint64_t id, std::int64_t seconds);
   Status lot_terminate(std::uint64_t id);
   Result<std::string> lot_query(std::uint64_t id);
+  // One line per visible lot (all lots for the superuser, own otherwise).
+  Result<std::string> lot_list();
 
   // ACL management (entry is a ClassAd in text form).
   Status acl_set(const std::string& dir, const std::string& entry);
+  // Remove a principal's entries (e.g. "user:alice") from a directory ACL.
+  Status acl_clear(const std::string& dir, const std::string& principal);
   Result<std::string> acl_get(const std::string& dir);
 
   // The appliance's resource ClassAd.
   Result<std::string> query_ad();
+
+  // Metadata journal statistics line (admin; fails if nestd runs without
+  // a journal).
+  Result<std::string> journal_stat();
 
   Status quit();
 

@@ -9,7 +9,9 @@
 //   get <path>               put <path> <local-file>
 //   lot-create <bytes> <seconds> [group]
 //   lot-renew <id> <seconds> lot-terminate <id>      lot-query <id>
+//   lot-list                 journal-stat
 //   acl-get <dir>            acl-set <dir> <classad-entry...>
+//   acl-clear <dir> <principal>
 //   ad
 #include <cstdio>
 #include <fstream>
@@ -27,8 +29,8 @@ int usage() {
                "usage: nest-cli <host> <port> [-u user -k secret] <command> "
                "[args...]\n"
                "commands: ls stat mkdir rmdir rm mv get put lot-create\n"
-               "          lot-renew lot-terminate lot-query acl-get acl-set "
-               "ad\n");
+               "          lot-renew lot-terminate lot-query lot-list\n"
+               "          acl-get acl-set acl-clear journal-stat ad\n");
   return 2;
 }
 
@@ -144,6 +146,22 @@ int main(int argc, char** argv) {
     if (!desc.ok()) return fail(desc.error());
     std::printf("%s\n", desc->c_str());
     return 0;
+  }
+  if (cmd == "lot-list" && rest.empty()) {
+    auto lots = client->lot_list();
+    if (!lots.ok()) return fail(lots.error());
+    std::printf("%s", lots->c_str());
+    return 0;
+  }
+  if (cmd == "journal-stat" && rest.empty()) {
+    auto stat = client->journal_stat();
+    if (!stat.ok()) return fail(stat.error());
+    std::printf("%s\n", stat->c_str());
+    return 0;
+  }
+  if (cmd == "acl-clear" && rest.size() == 2) {
+    const auto s = client->acl_clear(rest[0], rest[1]);
+    return s.ok() ? 0 : fail(s);
   }
   if (cmd == "acl-get" && rest.size() == 1) {
     auto entries = client->acl_get(rest[0]);

@@ -90,4 +90,28 @@ std::int64_t Config::get_size(const std::string& key,
   return n ? *n * mult : default_value;
 }
 
+Nanos Config::get_duration(const std::string& key,
+                           Nanos default_value) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return default_value;
+  std::string_view v = trim(it->second);
+  if (v.empty()) return default_value;
+  Nanos mult = kMillisecond;  // bare numbers are milliseconds
+  if (v.size() >= 2 && v.substr(v.size() - 2) == "ns") {
+    mult = 1;
+    v.remove_suffix(2);
+  } else if (v.size() >= 2 && v.substr(v.size() - 2) == "us") {
+    mult = kMicrosecond;
+    v.remove_suffix(2);
+  } else if (v.size() >= 2 && v.substr(v.size() - 2) == "ms") {
+    mult = kMillisecond;
+    v.remove_suffix(2);
+  } else if (v.size() >= 1 && v.back() == 's') {
+    mult = kSecond;
+    v.remove_suffix(1);
+  }
+  const auto n = parse_int(trim(v));
+  return n ? *n * mult : default_value;
+}
+
 }  // namespace nest

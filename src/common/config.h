@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/clock.h"
 #include "common/result.h"
 
 namespace nest {
@@ -30,6 +31,9 @@ class Config {
   // Accepts raw byte counts or suffixed values: "64K", "10M", "2G".
   std::int64_t get_size(const std::string& key,
                         std::int64_t default_value = 0) const;
+  // Durations with ns/us/ms/s suffixes ("5ms", "250us", "2s"); a bare
+  // number means milliseconds.
+  Nanos get_duration(const std::string& key, Nanos default_value = 0) const;
 
   const std::map<std::string, std::string>& entries() const {
     return entries_;

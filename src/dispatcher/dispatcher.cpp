@@ -79,11 +79,44 @@ Reply Dispatcher::execute(const NestRequest& req) {
          << " files=" << lot->files.size();
       return Reply::ok(os.str(), lot->capacity - lot->used);
     }
+    case NestOp::lot_list: {
+      std::ostringstream os;
+      for (const auto& lot : storage_.lot_list(req.principal)) {
+        os << "id=" << lot.id << " owner=" << lot.owner
+           << (lot.group_lot ? " group" : "") << " capacity=" << lot.capacity
+           << " used=" << lot.used
+           << " best_effort=" << (lot.best_effort ? 1 : 0)
+           << " files=" << lot.files.size() << "\n";
+      }
+      return Reply::ok(os.str());
+    }
+    case NestOp::journal_stat: {
+      const auto stats = storage_.journal_stats();
+      if (!stats) return Reply::fail(Status{Errc::unsupported, "no journal"});
+      std::ostringstream os;
+      os << "last_lsn=" << stats->last_lsn
+         << " durable_lsn=" << stats->durable_lsn
+         << " snapshot_lsn=" << stats->snapshot_lsn
+         << " segments=" << stats->segment_count
+         << " records_since_snapshot=" << stats->records_since_snapshot
+         << " snapshot_age_ms="
+         << (stats->snapshot_time == 0
+                 ? -1
+                 : (clock_.now() - stats->snapshot_time) / kMillisecond)
+         << " appends=" << stats->appends << " commits=" << stats->commits
+         << " fsyncs=" << stats->fsyncs;
+      return Reply::ok(os.str(),
+                       static_cast<std::int64_t>(stats->last_lsn));
+    }
     case NestOp::acl_set: {
       auto entry = classad::ClassAd::parse(req.acl_entry);
       if (!entry.ok()) return Reply::fail(Status{entry.error()});
       return Reply{storage_.acl_set(req.principal, req.path, *entry), {}, 0};
     }
+    case NestOp::acl_clear:
+      // acl_entry carries the principal spec to remove.
+      return Reply{
+          storage_.acl_clear(req.principal, req.path, req.acl_entry), {}, 0};
     case NestOp::acl_get: {
       auto entries = storage_.acl_get(req.principal, req.path);
       if (!entries.ok()) return Reply::fail(Status{entries.error()});

@@ -1,0 +1,22 @@
+// CRC32C (Castagnoli) — the checksum the journal stamps on every record
+// frame and snapshot. Software table implementation (no SSE4.2
+// dependency); the polynomial matches iSCSI/ext4 so external tooling can
+// verify journal files.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace nest::journal {
+
+// One-shot CRC over a buffer. `seed` chains partial computations:
+// crc32c(b, n, crc32c(a, m)) == crc32c(concat(a, b)).
+std::uint32_t crc32c(const void* data, std::size_t len,
+                     std::uint32_t seed = 0);
+
+inline std::uint32_t crc32c(std::string_view s, std::uint32_t seed = 0) {
+  return crc32c(s.data(), s.size(), seed);
+}
+
+}  // namespace nest::journal

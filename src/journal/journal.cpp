@@ -1,0 +1,524 @@
+#include "journal/journal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.h"
+#include "journal/crc32c.h"
+#include "journal/record.h"
+
+namespace nest::journal {
+
+namespace {
+
+constexpr std::uint32_t kSegmentMagic = 0x4a54534e;  // "NSTJ"
+constexpr std::uint32_t kSnapshotMagic = 0x50534e4e;  // "NNSP"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kSegmentHeaderBytes = 4 + 4 + 8;
+constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8;
+
+std::string lsn_name(const char* prefix, Lsn lsn, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s%016llx%s", prefix,
+                static_cast<unsigned long long>(lsn), suffix);
+  return buf;
+}
+
+// Parse "<prefix><16 hex><suffix>"; returns the LSN or nullopt.
+std::optional<Lsn> parse_lsn_name(const std::string& name,
+                                  const char* prefix, const char* suffix) {
+  const std::size_t plen = std::strlen(prefix);
+  const std::size_t slen = std::strlen(suffix);
+  if (name.size() != plen + 16 + slen) return std::nullopt;
+  if (name.compare(0, plen, prefix) != 0) return std::nullopt;
+  if (name.compare(plen + 16, slen, suffix) != 0) return std::nullopt;
+  Lsn lsn = 0;
+  for (std::size_t i = plen; i < plen + 16; ++i) {
+    const char c = name[i];
+    lsn <<= 4;
+    if (c >= '0' && c <= '9') lsn |= static_cast<Lsn>(c - '0');
+    else if (c >= 'a' && c <= 'f') lsn |= static_cast<Lsn>(c - 'a' + 10);
+    else return std::nullopt;
+  }
+  return lsn;
+}
+
+Status write_all_fd(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status{Errc::io_error,
+                    std::string("journal write: ") + std::strerror(errno)};
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
+Status fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0)
+    return Status{Errc::io_error, "fsync open " + path};
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status{Errc::io_error, "fsync " + path};
+  return {};
+}
+
+Result<std::string> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0)
+    return Error{Errc::io_error, "open " + path + ": " + std::strerror(errno)};
+  std::string out;
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Error{Errc::io_error, "read " + path};
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+// Frame = len | crc | lsn | payload; crc covers lsn bytes + payload.
+std::string encode_frame(Lsn lsn, std::string_view payload) {
+  RecordWriter body;
+  body.u64(lsn);
+  std::string inner = body.take();
+  inner.append(payload.data(), payload.size());
+  RecordWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(crc32c(inner));
+  std::string out = frame.take();
+  out += inner;
+  return out;
+}
+
+}  // namespace
+
+Result<SyncMode> sync_mode_by_name(const std::string& name) {
+  if (name == "none") return SyncMode::none;
+  if (name == "group") return SyncMode::group;
+  if (name == "always") return SyncMode::always;
+  return Error{Errc::invalid_argument, "unknown journal sync '" + name + "'"};
+}
+
+void JournalOptions::apply_env() {
+  if (const char* v = std::getenv("JOURNAL_CRASH_AFTER")) {
+    crash_after_frames = std::strtol(v, nullptr, 10);
+  }
+}
+
+Journal::Journal(Clock& clock, JournalOptions options)
+    : clock_(clock), options_(std::move(options)) {}
+
+Result<std::unique_ptr<Journal>> Journal::open(Clock& clock,
+                                               JournalOptions options) {
+  if (options.dir.empty())
+    return Error{Errc::invalid_argument, "journal dir is empty"};
+  if (::mkdir(options.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Error{Errc::io_error,
+                 "mkdir " + options.dir + ": " + std::strerror(errno)};
+  }
+  std::unique_ptr<Journal> j(new Journal(clock, std::move(options)));
+  if (auto s = j->recover(); !s.ok()) return Error{s.error()};
+  if (j->options_.sync == SyncMode::group) {
+    j->committer_ = std::thread([p = j.get()] { p->committer_main(); });
+  }
+  return j;
+}
+
+Journal::~Journal() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+    if (!dead_ && !pending_.empty()) (void)flush_locked();
+  }
+  committer_cv_.notify_all();
+  durable_cv_.notify_all();
+  if (committer_.joinable()) committer_.join();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Journal::recover() {
+  // Enumerate snapshots and segments.
+  DIR* d = ::opendir(options_.dir.c_str());
+  if (!d) return Status{Errc::io_error, "opendir " + options_.dir};
+  std::vector<std::pair<Lsn, std::string>> snaps;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (auto lsn = parse_lsn_name(name, "seg-", ".wal")) {
+      segments_.push_back(Segment{options_.dir + "/" + name, *lsn});
+    } else if (auto slsn = parse_lsn_name(name, "snap-", ".snp")) {
+      snaps.emplace_back(*slsn, options_.dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.start_lsn < b.start_lsn;
+            });
+  std::sort(snaps.begin(), snaps.end());
+
+  // Newest snapshot that validates wins; corrupt ones are skipped.
+  for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+    auto bytes = read_file(it->second);
+    if (!bytes.ok()) continue;
+    RecordReader r(*bytes);
+    const auto magic = r.u32();
+    const auto version = r.u32();
+    const auto lsn = r.u64();
+    const auto time = r.i64();
+    const auto crc = r.u32();
+    const auto payload = r.str();
+    if (!magic.ok() || *magic != kSnapshotMagic || !version.ok() ||
+        *version != kVersion || !lsn.ok() || !time.ok() || !crc.ok() ||
+        !payload.ok() || crc32c(*payload) != *crc) {
+      NEST_LOG_WARN("journal", "ignoring corrupt snapshot %s",
+                    it->second.c_str());
+      continue;
+    }
+    snapshot_lsn_ = *lsn;
+    snapshot_time_ = *time;
+    snapshot_payload_ = std::move(payload.value());
+    snapshot_path_ = it->second;
+    break;
+  }
+
+  // Scan segments in order; collect records past the snapshot. The first
+  // invalid frame is the torn tail: truncate there and discard anything
+  // after it (later segments included — they cannot contain acknowledged
+  // records if an earlier write never completed).
+  Lsn last_lsn = snapshot_lsn_;
+  bool torn = false;
+  std::size_t keep_segments = segments_.size();
+  for (std::size_t si = 0; si < segments_.size(); ++si) {
+    if (torn) {
+      keep_segments = std::min(keep_segments, si);
+      break;
+    }
+    const Segment& seg = segments_[si];
+    auto bytes = read_file(seg.path);
+    if (!bytes.ok()) return Status{bytes.error()};
+    std::size_t good = 0;
+    do {
+      if (bytes->size() < kSegmentHeaderBytes) { torn = true; break; }
+      RecordReader hdr(*bytes);
+      const auto magic = hdr.u32();
+      const auto version = hdr.u32();
+      const auto start = hdr.u64();
+      if (!magic.ok() || *magic != kSegmentMagic || !version.ok() ||
+          *version != kVersion || !start.ok() || *start != seg.start_lsn) {
+        torn = true;
+        break;
+      }
+      good = kSegmentHeaderBytes;
+      while (good < bytes->size()) {
+        if (bytes->size() - good < kFrameHeaderBytes) { torn = true; break; }
+        RecordReader fr(std::string_view(*bytes).substr(good));
+        const std::uint32_t len = *fr.u32();
+        const std::uint32_t crc = *fr.u32();
+        if (bytes->size() - good < kFrameHeaderBytes + len) {
+          torn = true;
+          break;
+        }
+        const std::string_view inner =
+            std::string_view(*bytes).substr(good + 8, 8 + len);
+        if (crc32c(inner) != crc) { torn = true; break; }
+        const Lsn lsn = *fr.u64();
+        // A sequence break also ends the trusted prefix.
+        if (lsn != last_lsn + 1 && lsn > snapshot_lsn_) {
+          torn = true;
+          break;
+        }
+        if (lsn > snapshot_lsn_) {
+          recovered_.emplace_back(
+              lsn, std::string(inner.substr(8)));
+          last_lsn = lsn;
+        } else if (lsn > last_lsn) {
+          last_lsn = lsn;
+        }
+        good += kFrameHeaderBytes + len;
+      }
+    } while (false);
+    if (torn) {
+      NEST_LOG_WARN("journal", "truncating torn tail of %s at %zu bytes",
+                    seg.path.c_str(), good);
+      if (good < kSegmentHeaderBytes) {
+        // Not even a valid header: drop the segment file entirely.
+        (void)::unlink(seg.path.c_str());
+        keep_segments = std::min(keep_segments, si);
+      } else {
+        if (::truncate(seg.path.c_str(), static_cast<off_t>(good)) != 0) {
+          return Status{Errc::io_error, "truncate " + seg.path};
+        }
+        (void)fsync_path(seg.path);
+        keep_segments = std::min(keep_segments, si + 1);
+      }
+    }
+  }
+  for (std::size_t si = keep_segments; si < segments_.size(); ++si) {
+    NEST_LOG_WARN("journal", "dropping unreachable segment %s",
+                  segments_[si].path.c_str());
+    (void)::unlink(segments_[si].path.c_str());
+  }
+  segments_.resize(keep_segments);
+
+  next_lsn_ = last_lsn + 1;
+  durable_lsn_ = last_lsn;
+  records_since_snapshot_ = recovered_.size();
+
+  // Append head: always start a fresh segment — cheap, and it never
+  // reopens a file whose tail state we would otherwise have to trust.
+  std::lock_guard lock(mu_);
+  return open_segment_locked(next_lsn_);
+}
+
+Status Journal::open_segment_locked(Lsn start_lsn) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  seg_path_ = options_.dir + "/" + lsn_name("seg-", start_lsn, ".wal");
+  fd_ = ::open(seg_path_.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd_ < 0)
+    return Status{Errc::io_error,
+                  "create " + seg_path_ + ": " + std::strerror(errno)};
+  RecordWriter hdr;
+  hdr.u32(kSegmentMagic);
+  hdr.u32(kVersion);
+  hdr.u64(start_lsn);
+  const std::string bytes = hdr.take();
+  if (auto s = write_all_fd(fd_, bytes.data(), bytes.size()); !s.ok())
+    return s;
+  seg_size_ = static_cast<std::int64_t>(bytes.size());
+  seg_durable_size_ = 0;
+  if (options_.sync != SyncMode::none) {
+    if (::fsync(fd_) != 0)
+      return Status{Errc::io_error, "fsync " + seg_path_};
+    ++fsyncs_;
+    seg_durable_size_ = seg_size_;
+    (void)fsync_path(options_.dir);
+  }
+  // Re-creating a path already in the list (recovery truncated it to a
+  // bare header) must not leave a duplicate entry behind.
+  std::erase_if(segments_,
+                [&](const Segment& s) { return s.path == seg_path_; });
+  segments_.push_back(Segment{seg_path_, start_lsn});
+  return {};
+}
+
+Result<Lsn> Journal::append(std::string payload) {
+  std::lock_guard lock(mu_);
+  if (dead_) return Error{Errc::io_error, "journal is dead (injected crash)"};
+  const Lsn lsn = next_lsn_++;
+  if (pending_.empty()) pending_first_lsn_ = lsn;
+  pending_.push_back(encode_frame(lsn, payload));
+  ++appends_;
+  ++records_since_snapshot_;
+  return lsn;
+}
+
+Status Journal::flush_locked() {
+  if (dead_) return Status{Errc::io_error, "journal is dead"};
+  if (pending_.empty()) return {};
+  // Roll when the live segment is over the threshold; the new segment
+  // starts at the first pending LSN.
+  if (seg_size_ >= options_.segment_bytes) {
+    if (auto s = open_segment_locked(pending_first_lsn_); !s.ok()) return s;
+  }
+  Lsn written_upto = durable_lsn_;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const std::string& frame = pending_[i];
+    if (options_.crash_after_frames == 0) {
+      // Injected crash: discard everything past the last fsync (emulating
+      // page-cache loss — frames written earlier in this very flush die
+      // too) and leave a torn half-frame behind for recovery to truncate.
+      const std::int64_t keep =
+          seg_durable_size_ > 0
+              ? seg_durable_size_
+              : static_cast<std::int64_t>(kSegmentHeaderBytes);
+      (void)::ftruncate(fd_, static_cast<off_t>(keep));
+      (void)::lseek(fd_, 0, SEEK_END);
+      (void)write_all_fd(fd_, frame.data(), frame.size() / 2);
+      seg_size_ = keep + static_cast<std::int64_t>(frame.size() / 2);
+      dead_ = true;
+      durable_cv_.notify_all();
+      return Status{Errc::io_error, "journal crashed (injected)"};
+    }
+    if (options_.crash_after_frames > 0) --options_.crash_after_frames;
+    if (auto s = write_all_fd(fd_, frame.data(), frame.size()); !s.ok()) {
+      dead_ = true;
+      durable_cv_.notify_all();
+      return s;
+    }
+    seg_size_ += static_cast<std::int64_t>(frame.size());
+    ++written_upto;
+  }
+  if (options_.sync != SyncMode::none) {
+    if (::fsync(fd_) != 0) {
+      dead_ = true;
+      durable_cv_.notify_all();
+      return Status{Errc::io_error, "fsync " + seg_path_};
+    }
+    ++fsyncs_;
+  }
+  seg_durable_size_ = seg_size_;
+  durable_lsn_ = written_upto;
+  pending_.clear();
+  durable_cv_.notify_all();
+  return {};
+}
+
+Status Journal::commit(Lsn upto) {
+  if (upto == 0) return {};
+  ++commits_;
+  switch (options_.sync) {
+    case SyncMode::none: {
+      // No durability barrier; still push bytes to the OS so a clean
+      // shutdown leaves a replayable log.
+      std::lock_guard lock(mu_);
+      if (durable_lsn_ >= upto) return {};
+      return flush_locked();
+    }
+    case SyncMode::always: {
+      std::lock_guard lock(mu_);
+      if (durable_lsn_ >= upto) return {};
+      return flush_locked();
+    }
+    case SyncMode::group: {
+      // Timer-driven batching: the committer fsyncs once per interval,
+      // amortizing the flush across every record appended meanwhile.
+      std::unique_lock lock(mu_);
+      durable_cv_.wait(lock,
+                       [&] { return durable_lsn_ >= upto || dead_ || stop_; });
+      if (durable_lsn_ >= upto) return {};
+      return Status{Errc::io_error, "journal died before commit"};
+    }
+  }
+  return Status{Errc::internal, "bad sync mode"};
+}
+
+Result<Lsn> Journal::append_commit(std::string payload) {
+  auto lsn = append(std::move(payload));
+  if (!lsn.ok()) return lsn;
+  if (auto s = commit(*lsn); !s.ok()) return Error{s.error()};
+  return lsn;
+}
+
+void Journal::committer_main() {
+  std::unique_lock lock(mu_);
+  while (!stop_) {
+    committer_cv_.wait_for(
+        lock, std::chrono::nanoseconds(options_.commit_interval),
+        [&] { return stop_; });
+    if (stop_) break;
+    if (!dead_ && !pending_.empty()) (void)flush_locked();
+  }
+}
+
+Status Journal::replay(
+    const std::function<Status(Lsn, std::string_view)>& fn) {
+  for (const auto& [lsn, payload] : recovered_) {
+    if (auto s = fn(lsn, payload); !s.ok()) return s;
+  }
+  return {};
+}
+
+void Journal::drop_recovered_tail() {
+  recovered_.clear();
+  recovered_.shrink_to_fit();
+}
+
+Status Journal::write_snapshot(const std::string& payload) {
+  std::unique_lock lock(mu_);
+  if (dead_) return Status{Errc::io_error, "journal is dead"};
+  // The snapshot covers every appended record: flush them first so the
+  // on-disk state never goes backwards if the snapshot write dies.
+  if (auto s = flush_locked(); !s.ok()) return s;
+  const Lsn snap_lsn = next_lsn_ - 1;
+
+  const std::string path =
+      options_.dir + "/" + lsn_name("snap-", snap_lsn, ".snp");
+  const std::string tmp = path + ".tmp";
+  RecordWriter w;
+  w.u32(kSnapshotMagic);
+  w.u32(kVersion);
+  w.u64(snap_lsn);
+  w.i64(clock_.now());
+  w.u32(crc32c(payload));
+  w.str(payload);
+  {
+    const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0) return Status{Errc::io_error, "create " + tmp};
+    const std::string& bytes = w.bytes();
+    auto s = write_all_fd(fd, bytes.data(), bytes.size());
+    if (s.ok() && ::fsync(fd) != 0)
+      s = Status{Errc::io_error, "fsync " + tmp};
+    ::close(fd);
+    if (!s.ok()) {
+      (void)::unlink(tmp.c_str());
+      return s;
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0)
+    return Status{Errc::io_error, "rename " + tmp};
+  (void)fsync_path(options_.dir);
+
+  const std::string old_snapshot = snapshot_path_;
+  snapshot_path_ = path;
+  snapshot_lsn_ = snap_lsn;
+  snapshot_time_ = clock_.now();
+  records_since_snapshot_ = 0;
+
+  // Compaction: roll to a fresh segment, then delete everything the
+  // snapshot supersedes (all older segments and the previous snapshot).
+  if (auto s = open_segment_locked(next_lsn_); !s.ok()) return s;
+  while (segments_.size() > 1) {
+    (void)::unlink(segments_.front().path.c_str());
+    segments_.erase(segments_.begin());
+  }
+  if (!old_snapshot.empty() && old_snapshot != path) {
+    (void)::unlink(old_snapshot.c_str());
+  }
+  (void)fsync_path(options_.dir);
+  return {};
+}
+
+JournalStats Journal::stats() const {
+  std::lock_guard lock(mu_);
+  JournalStats st;
+  st.last_lsn = next_lsn_ - 1;
+  st.durable_lsn = durable_lsn_;
+  st.snapshot_lsn = snapshot_lsn_;
+  st.segment_count = static_cast<int>(segments_.size());
+  st.records_since_snapshot = records_since_snapshot_;
+  st.snapshot_time = snapshot_time_;
+  st.appends = appends_;
+  st.commits = commits_;
+  st.fsyncs = fsyncs_;
+  return st;
+}
+
+bool Journal::dead() const {
+  std::lock_guard lock(mu_);
+  return dead_;
+}
+
+}  // namespace nest::journal

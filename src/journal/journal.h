@@ -1,0 +1,174 @@
+// Durable write-ahead metadata journal (paper Section 5 manageability:
+// lots are *guaranteed* reservations, so the state backing them must
+// survive a nestd restart).
+//
+// Layout: a journal directory holds numbered segment files plus at most
+// one live snapshot.
+//
+//   seg-<first-lsn>.wal     sequence of checksummed record frames
+//   snap-<lsn>.snp          full-state snapshot superseding lsns <= lsn
+//
+// Frame format (little-endian):
+//   u32 payload_len | u32 crc32c(lsn || payload) | u64 lsn | payload
+//
+// LSNs are assigned monotonically at append() and are contiguous; a gap
+// or checksum mismatch marks the torn tail of the log, which recovery
+// truncates (a crash mid-write never corrupts acknowledged records
+// because acknowledgment waits for commit()).
+//
+// Durability modes:
+//   always  every commit() flushes + fsyncs the caller's record
+//   group   a committer thread batches appends and fsyncs once per
+//           commit interval; commit() blocks until the caller's LSN is
+//           covered by a batch fsync (group commit)
+//   none    commit() returns immediately (benchmark baseline only)
+//
+// Crash-point fault injection: with crash_after_frames >= 0, the Nth
+// frame write tears mid-frame, un-fsynced bytes are discarded (emulating
+// page-cache loss), and the journal goes dead — every later append or
+// commit fails. Tests reopen the directory and assert replay converges
+// to exactly the acknowledged prefix. nestd wires the JOURNAL_CRASH_AFTER
+// environment variable to this knob for out-of-process harnesses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace nest::journal {
+
+// Log sequence number; 1 is the first record, 0 means "nothing".
+using Lsn = std::uint64_t;
+
+enum class SyncMode { none, group, always };
+
+// "none" | "group" | "always".
+Result<SyncMode> sync_mode_by_name(const std::string& name);
+
+struct JournalOptions {
+  std::string dir;
+  SyncMode sync = SyncMode::always;
+  Nanos commit_interval = 5 * kMillisecond;  // group-commit fsync cadence
+  std::int64_t segment_bytes = 4 * 1024 * 1024;  // roll threshold
+  // Fault injection: tear the (N+1)th frame written to the OS and go
+  // dead. -1 disables.
+  long crash_after_frames = -1;
+
+  // Overlay JOURNAL_CRASH_AFTER from the environment (crash harness hook).
+  void apply_env();
+};
+
+struct JournalStats {
+  Lsn last_lsn = 0;
+  Lsn durable_lsn = 0;
+  Lsn snapshot_lsn = 0;
+  int segment_count = 0;
+  std::uint64_t records_since_snapshot = 0;
+  Nanos snapshot_time = 0;  // clock time of the live snapshot (0 = none)
+  std::uint64_t appends = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t fsyncs = 0;
+};
+
+class Journal {
+ public:
+  // Opens (creating the directory if needed) and recovers: loads the
+  // newest valid snapshot, scans the segment tail, truncates at the
+  // first torn/corrupt frame, and positions the append head.
+  static Result<std::unique_ptr<Journal>> open(Clock& clock,
+                                               JournalOptions options);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // Sequence a record. The record is buffered; it is durable only once
+  // commit(lsn) returns ok.
+  Result<Lsn> append(std::string payload);
+
+  // Durability barrier for every record up to `upto`.
+  Status commit(Lsn upto);
+
+  // append + commit in one call.
+  Result<Lsn> append_commit(std::string payload);
+
+  // --- Recovery artifacts (valid after open, before the first append) ---
+  const std::optional<std::string>& snapshot_payload() const {
+    return snapshot_payload_;
+  }
+  Lsn snapshot_lsn() const { return snapshot_lsn_; }
+  // Invoke `fn` for every recovered record with lsn > snapshot_lsn, in
+  // LSN order. A failed callback aborts replay with its status.
+  Status replay(const std::function<Status(Lsn, std::string_view)>& fn);
+  // Release the recovered tail buffer once the owner has replayed it.
+  void drop_recovered_tail();
+
+  // Write a full-state snapshot covering every appended record, roll to
+  // a fresh segment, and delete segments and snapshots it supersedes.
+  Status write_snapshot(const std::string& payload);
+
+  JournalStats stats() const;
+  bool dead() const;
+
+ private:
+  explicit Journal(Clock& clock, JournalOptions options);
+
+  Status recover();
+  Status open_segment_locked(Lsn start_lsn);
+  Status flush_locked();       // write pending frames + fsync per mode
+  void committer_main();
+
+  Clock& clock_;
+  JournalOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable durable_cv_;
+  std::condition_variable committer_cv_;
+
+  // Append state.
+  Lsn next_lsn_ = 1;
+  Lsn durable_lsn_ = 0;
+  std::vector<std::string> pending_;   // encoded frames awaiting flush
+  Lsn pending_first_lsn_ = 0;
+  bool dead_ = false;
+
+  // Current segment.
+  int fd_ = -1;
+  std::string seg_path_;
+  std::int64_t seg_size_ = 0;       // bytes written (incl. header)
+  std::int64_t seg_durable_size_ = 0;  // bytes covered by the last fsync
+
+  struct Segment {
+    std::string path;
+    Lsn start_lsn = 0;
+  };
+  std::vector<Segment> segments_;  // in start-LSN order; back() is live
+
+  // Snapshot state.
+  std::optional<std::string> snapshot_payload_;
+  Lsn snapshot_lsn_ = 0;
+  std::string snapshot_path_;
+  Nanos snapshot_time_ = 0;
+  std::uint64_t records_since_snapshot_ = 0;
+
+  // Recovery tail (lsn > snapshot_lsn_).
+  std::vector<std::pair<Lsn, std::string>> recovered_;
+
+  // Counters.
+  std::uint64_t appends_ = 0;
+  std::uint64_t commits_ = 0;
+  std::uint64_t fsyncs_ = 0;
+
+  std::thread committer_;
+  bool stop_ = false;
+};
+
+}  // namespace nest::journal

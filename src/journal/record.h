@@ -1,0 +1,56 @@
+// Byte-level codec for journal payloads.
+//
+// Payloads are flat little-endian records: fixed-width integers plus
+// length-prefixed strings. The codec is deliberately schema-free — the
+// storage layer defines what a payload means; the journal only frames,
+// checksums, and sequences opaque payloads (see journal.h for the frame
+// format).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace nest::journal {
+
+class RecordWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  // Length-prefixed (u32) byte string.
+  void str(std::string_view s);
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+// Sequential reader over a payload. All getters fail with
+// Errc::protocol_error on underflow so a truncated or corrupt payload is
+// rejected rather than misparsed.
+class RecordReader {
+ public:
+  explicit RecordReader(std::string_view buf) : buf_(buf) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<std::int64_t> i64();
+  Result<std::string> str();
+
+  bool done() const { return pos_ >= buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nest::journal

@@ -262,9 +262,14 @@ void ChirpHandler::serve(net::TcpStream& stream) {
         req.op = NestOp::lot_query;
         req.lot_id = static_cast<std::uint64_t>(
             parse_int(words[2]).value_or(0));
+      } else if (sub == "list" && words.size() == 2) {
+        req.op = NestOp::lot_list;
       } else {
         parsed = false;
       }
+    } else if (cmd == "journal" && words.size() == 2 &&
+               to_lower(words[1]) == "stat") {
+      req.op = NestOp::journal_stat;
     } else if (cmd == "acl" && words.size() >= 3) {
       const std::string sub = to_lower(words[1]);
       if (sub == "set" && words.size() >= 4) {
@@ -274,6 +279,10 @@ void ChirpHandler::serve(net::TcpStream& stream) {
         const std::size_t pos = line.find(words[2]);
         req.acl_entry =
             std::string(trim(line.substr(pos + words[2].size())));
+      } else if (sub == "clear" && words.size() == 4) {
+        req.op = NestOp::acl_clear;
+        req.path = words[2];
+        req.acl_entry = words[3];  // principal spec, e.g. user:alice
       } else if (sub == "get" && words.size() == 3) {
         req.op = NestOp::acl_get;
         req.path = words[2];
@@ -298,6 +307,7 @@ void ChirpHandler::serve(net::TcpStream& stream) {
       case NestOp::list:
       case NestOp::acl_get:
       case NestOp::query_ad:
+      case NestOp::lot_list:
         if (!reply_payload(stream, r.text)) return;
         break;
       case NestOp::lot_create:
@@ -305,6 +315,7 @@ void ChirpHandler::serve(net::TcpStream& stream) {
         break;
       case NestOp::stat:
       case NestOp::lot_query:
+      case NestOp::journal_stat:
         reply(stream, "200 " + r.text);
         break;
       default:

@@ -19,9 +19,12 @@ const char* op_name(NestOp op) noexcept {
     case NestOp::lot_renew: return "lot_renew";
     case NestOp::lot_terminate: return "lot_terminate";
     case NestOp::lot_query: return "lot_query";
+    case NestOp::lot_list: return "lot_list";
     case NestOp::acl_set: return "acl_set";
+    case NestOp::acl_clear: return "acl_clear";
     case NestOp::acl_get: return "acl_get";
     case NestOp::query_ad: return "query_ad";
+    case NestOp::journal_stat: return "journal_stat";
   }
   return "?";
 }

@@ -30,9 +30,12 @@ enum class NestOp {
   lot_renew,
   lot_terminate,
   lot_query,
+  lot_list,       // list lots (all for the superuser, own otherwise)
   acl_set,
+  acl_clear,      // remove a principal's entries from a directory ACL
   acl_get,
   query_ad,       // fetch the appliance's resource ClassAd
+  journal_stat,   // metadata journal statistics (admin)
 };
 
 const char* op_name(NestOp op) noexcept;

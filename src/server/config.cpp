@@ -32,6 +32,25 @@ Result<NestdConfig> options_from_config(const Config& cfg) {
   opts.transfer_slots = static_cast<int>(cfg.get_int("slots", 8));
   opts.bandwidth_limit = cfg.get_size("bandwidth", 0);
 
+  // Metadata journal (empty journal = disabled).
+  opts.journal_dir = cfg.get_string("journal");
+  if (cfg.has("journal_sync")) {
+    auto mode = journal::sync_mode_by_name(cfg.get_string("journal_sync"));
+    if (!mode.ok()) return mode.error();
+    opts.journal_sync = *mode;
+  }
+  opts.journal_commit_interval =
+      cfg.get_duration("journal_commit", 5 * kMillisecond);
+  if (opts.journal_commit_interval <= 0) {
+    return Error{Errc::invalid_argument, "journal_commit must be positive"};
+  }
+  opts.journal_snapshot_every = static_cast<std::uint64_t>(
+      cfg.get_int("journal_snapshot_every", 4096));
+  if (cfg.has("journal_sync") && opts.journal_dir.empty()) {
+    return Error{Errc::invalid_argument,
+                 "journal_sync set but no journal directory"};
+  }
+
   const std::string scheduler = cfg.get_string("scheduler", "fifo");
   {
     // Validate via the factory the transfer manager itself uses.

@@ -5,6 +5,7 @@
 // Recognized keys (see nestd.cpp header for the full commented example):
 //   root capacity name chirp_port http_port ftp_port gridftp_port nfs_port
 //   scheduler adaptive anonymous slots models
+//   journal journal_sync journal_commit journal_snapshot_every
 //   tickets.<class> = <n>          (stride tickets per protocol/user class)
 //   user.<name>     = <secret>[:group1,group2]
 #pragma once

@@ -48,8 +48,25 @@ Status NestServer::init() {
   } else {
     return Status{Errc::invalid_argument, "unknown backend '" + backend + "'"};
   }
+  if (!options_.journal_dir.empty())
+    options_.storage.journal_snapshot_every = options_.journal_snapshot_every;
   storage_ = std::make_unique<storage::StorageManager>(
       RealClock::instance(), std::move(fs), options_.storage);
+
+  // Metadata journal: recover lot/ACL/quota state and install the
+  // write-ahead barrier before any endpoint can accept a request.
+  if (!options_.journal_dir.empty()) {
+    journal::JournalOptions jopts;
+    jopts.dir = options_.journal_dir;
+    jopts.sync = options_.journal_sync;
+    jopts.commit_interval = options_.journal_commit_interval;
+    jopts.apply_env();  // JOURNAL_CRASH_AFTER crash-harness hook
+    auto j = journal::Journal::open(RealClock::instance(), jopts);
+    if (!j.ok()) return Status{j.error()};
+    journal_ = std::move(j.value());
+    if (auto s = storage_->attach_journal(*journal_); !s.ok()) return s;
+  }
+
   tm_ = std::make_unique<transfer::TransferManager>(RealClock::instance(),
                                                     options_.tm);
   dispatcher::Dispatcher::Options dopts;

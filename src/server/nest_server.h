@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "dispatcher/dispatcher.h"
+#include "journal/journal.h"
 #include "net/socket.h"
 #include "protocol/executor.h"
 #include "protocol/gsi.h"
@@ -59,6 +60,15 @@ struct NestServerOptions {
 
   // Idle-connection read timeout, ms (bounds shutdown latency).
   int idle_timeout_ms = 30'000;
+
+  // Metadata journal directory; empty = no journal (lot/ACL/quota state
+  // dies with the process). With a journal, recovery runs before any
+  // endpoint binds, and every metadata mutation is acknowledged only
+  // once durable per journal_sync.
+  std::string journal_dir;
+  journal::SyncMode journal_sync = journal::SyncMode::always;
+  Nanos journal_commit_interval = 5 * kMillisecond;  // group-commit cadence
+  std::uint64_t journal_snapshot_every = 4096;       // compaction cadence
 };
 
 class NestServer {
@@ -94,6 +104,7 @@ class NestServer {
 
   NestServerOptions options_;
   protocol::GsiRegistry gsi_;
+  std::unique_ptr<journal::Journal> journal_;
   std::unique_ptr<storage::StorageManager> storage_;
   std::unique_ptr<transfer::TransferManager> tm_;
   std::unique_ptr<dispatcher::Dispatcher> dispatcher_;

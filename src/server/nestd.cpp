@@ -15,6 +15,10 @@
 //   anonymous   = true
 //   slots       = 8
 //   bandwidth   = 400M                        (total rate cap; 0 = off)
+//   journal     = /path/to/journal            (metadata WAL; empty = off)
+//   journal_sync= always | group | none
+//   journal_commit = 5ms                      (group-commit fsync cadence)
+//   journal_snapshot_every = 4096             (records between snapshots)
 //   tickets.<class> = <n>                     (stride share per class)
 //   user.<name> = <secret>[:group1,group2]    (GSI subjects)
 #include <csignal>

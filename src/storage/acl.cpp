@@ -1,5 +1,6 @@
 #include "storage/acl.h"
 
+#include "common/log.h"
 #include "common/string_util.h"
 
 namespace nest::storage {
@@ -144,6 +145,29 @@ Status AccessControl::check(const Principal& who, const std::string& path,
                                     : who.name) +
                     " lacks " + rights_to_string(static_cast<unsigned>(needed)) +
                     " on " + normalize_path(path)};
+}
+
+std::vector<std::pair<std::string, std::string>>
+AccessControl::export_entries() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [dir, entries] : acls_) {
+    for (const auto& e : entries) out.emplace_back(dir, e.to_string());
+  }
+  return out;
+}
+
+void AccessControl::import_entries(
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  acls_.clear();
+  for (const auto& [dir, text] : entries) {
+    auto parsed = classad::ClassAd::parse(text);
+    if (!parsed.ok()) {
+      NEST_LOG_WARN("acl", "dropping unparseable recovered entry on %s: %s",
+                    dir.c_str(), text.c_str());
+      continue;
+    }
+    acls_[dir].push_back(std::move(parsed.value()));
+  }
 }
 
 std::vector<std::string> AccessControl::describe(

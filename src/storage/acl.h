@@ -81,6 +81,15 @@ class AccessControl {
   // Entries governing a path (for the Chirp acl_get operation).
   std::vector<std::string> describe(const std::string& path) const;
 
+  // --- Journal snapshot support ---
+  // Every entry as (directory, entry-text), in deterministic order.
+  std::vector<std::pair<std::string, std::string>> export_entries() const;
+  // Replace the whole ACL table (including the default root policy —
+  // snapshots always carry the effective root entries) with parsed
+  // entries; unparseable ones are dropped with a warning.
+  void import_entries(
+      const std::vector<std::pair<std::string, std::string>>& entries);
+
  private:
   void set_default_root_policy();
   static bool entry_matches(const classad::ClassAd& entry,

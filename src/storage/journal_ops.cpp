@@ -1,0 +1,288 @@
+#include "storage/journal_ops.h"
+
+#include "classad/classad.h"
+
+namespace nest::storage {
+
+namespace {
+
+using journal::RecordReader;
+using journal::RecordWriter;
+
+enum class Tag : std::uint8_t {
+  lot_put = 1,
+  lot_erase = 2,
+  lot_expire = 3,
+  file_release = 4,
+  acl_put = 5,
+  acl_clear = 6,
+  quota_put = 7,
+};
+
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+void encode_lot(RecordWriter& w, const Lot& lot) {
+  w.u64(lot.id);
+  w.str(lot.owner);
+  w.u8(lot.group_lot ? 1 : 0);
+  w.i64(lot.capacity);
+  w.i64(lot.used);
+  w.i64(lot.expiry);
+  w.u8(lot.best_effort ? 1 : 0);
+  w.i64(lot.last_use);
+  w.u32(static_cast<std::uint32_t>(lot.files.size()));
+  for (const auto& [path, bytes] : lot.files) {
+    w.str(path);
+    w.i64(bytes);
+  }
+}
+
+Result<Lot> decode_lot(RecordReader& r) {
+  Lot lot;
+  auto id = r.u64();
+  if (!id.ok()) return id.error();
+  lot.id = *id;
+  auto owner = r.str();
+  if (!owner.ok()) return owner.error();
+  lot.owner = std::move(owner.value());
+  auto group = r.u8();
+  if (!group.ok()) return group.error();
+  lot.group_lot = *group != 0;
+  auto capacity = r.i64();
+  if (!capacity.ok()) return capacity.error();
+  lot.capacity = *capacity;
+  auto used = r.i64();
+  if (!used.ok()) return used.error();
+  lot.used = *used;
+  auto expiry = r.i64();
+  if (!expiry.ok()) return expiry.error();
+  lot.expiry = *expiry;
+  auto be = r.u8();
+  if (!be.ok()) return be.error();
+  lot.best_effort = *be != 0;
+  auto last_use = r.i64();
+  if (!last_use.ok()) return last_use.error();
+  lot.last_use = *last_use;
+  auto nfiles = r.u32();
+  if (!nfiles.ok()) return nfiles.error();
+  for (std::uint32_t i = 0; i < *nfiles; ++i) {
+    auto path = r.str();
+    if (!path.ok()) return path.error();
+    auto bytes = r.i64();
+    if (!bytes.ok()) return bytes.error();
+    lot.files[std::move(path.value())] = *bytes;
+  }
+  return lot;
+}
+
+}  // namespace
+
+void MetaBatch::lot_put(const Lot& lot) {
+  body_.u8(static_cast<std::uint8_t>(Tag::lot_put));
+  encode_lot(body_, lot);
+  ++count_;
+}
+
+void MetaBatch::lot_erase(LotId id) {
+  body_.u8(static_cast<std::uint8_t>(Tag::lot_erase));
+  body_.u64(id);
+  ++count_;
+}
+
+void MetaBatch::lot_expire(LotId id) {
+  body_.u8(static_cast<std::uint8_t>(Tag::lot_expire));
+  body_.u64(id);
+  ++count_;
+}
+
+void MetaBatch::file_release(const std::string& path) {
+  body_.u8(static_cast<std::uint8_t>(Tag::file_release));
+  body_.str(path);
+  ++count_;
+}
+
+void MetaBatch::acl_put(const std::string& dir,
+                        const std::string& entry_text) {
+  body_.u8(static_cast<std::uint8_t>(Tag::acl_put));
+  body_.str(dir);
+  body_.str(entry_text);
+  ++count_;
+}
+
+void MetaBatch::acl_clear(const std::string& dir,
+                          const std::string& principal) {
+  body_.u8(static_cast<std::uint8_t>(Tag::acl_clear));
+  body_.str(dir);
+  body_.str(principal);
+  ++count_;
+}
+
+void MetaBatch::quota_put(const std::string& owner, std::int64_t limit,
+                          std::int64_t used) {
+  body_.u8(static_cast<std::uint8_t>(Tag::quota_put));
+  body_.str(owner);
+  body_.i64(limit);
+  body_.i64(used);
+  ++count_;
+}
+
+std::string MetaBatch::seal(Nanos now) {
+  RecordWriter head;
+  head.i64(now);
+  head.u32(count_);
+  std::string out = head.take();
+  out += body_.take();
+  clear();
+  return out;
+}
+
+void MetaBatch::clear() {
+  body_ = journal::RecordWriter{};
+  count_ = 0;
+}
+
+Result<Nanos> apply_meta_batch(std::string_view payload,
+                               const MetaState& state) {
+  RecordReader r(payload);
+  auto ts = r.i64();
+  if (!ts.ok()) return ts.error();
+  auto count = r.u32();
+  if (!count.ok()) return count.error();
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto tag = r.u8();
+    if (!tag.ok()) return tag.error();
+    switch (static_cast<Tag>(*tag)) {
+      case Tag::lot_put: {
+        auto lot = decode_lot(r);
+        if (!lot.ok()) return lot.error();
+        state.lots.restore_lot(*lot);
+        break;
+      }
+      case Tag::lot_erase: {
+        auto id = r.u64();
+        if (!id.ok()) return id.error();
+        state.lots.erase_lot(*id);
+        break;
+      }
+      case Tag::lot_expire: {
+        auto id = r.u64();
+        if (!id.ok()) return id.error();
+        state.lots.apply_expire(*id);
+        break;
+      }
+      case Tag::file_release: {
+        auto path = r.str();
+        if (!path.ok()) return path.error();
+        state.lots.release_file(*path);
+        break;
+      }
+      case Tag::acl_put: {
+        auto dir = r.str();
+        if (!dir.ok()) return dir.error();
+        auto text = r.str();
+        if (!text.ok()) return text.error();
+        auto entry = classad::ClassAd::parse(*text);
+        if (!entry.ok()) return entry.error();
+        if (auto s = state.acl.set_entry(*dir, *entry); !s.ok())
+          return s.error();
+        break;
+      }
+      case Tag::acl_clear: {
+        auto dir = r.str();
+        if (!dir.ok()) return dir.error();
+        auto spec = r.str();
+        if (!spec.ok()) return spec.error();
+        // not_found is fine on replay: the entry may already be gone in
+        // a snapshot-covered prefix.
+        (void)state.acl.clear_entries(*dir, *spec);
+        break;
+      }
+      case Tag::quota_put: {
+        auto owner = r.str();
+        if (!owner.ok()) return owner.error();
+        auto limit = r.i64();
+        if (!limit.ok()) return limit.error();
+        auto used = r.i64();
+        if (!used.ok()) return used.error();
+        state.quota.restore(*owner, *limit, *used);
+        break;
+      }
+      default:
+        return Error{Errc::protocol_error, "unknown journal record tag"};
+    }
+  }
+  return *ts;
+}
+
+std::string encode_meta_snapshot(Nanos now, const MetaState& state) {
+  RecordWriter w;
+  w.u32(kSnapshotVersion);
+  w.i64(now);
+  w.u64(state.lots.next_id());
+  const auto lots = state.lots.all_lots();
+  w.u32(static_cast<std::uint32_t>(lots.size()));
+  for (const auto& lot : lots) encode_lot(w, lot);
+  const auto acl_entries = state.acl.export_entries();
+  w.u32(static_cast<std::uint32_t>(acl_entries.size()));
+  for (const auto& [dir, text] : acl_entries) {
+    w.str(dir);
+    w.str(text);
+  }
+  const auto& accounts = state.quota.accounts();
+  w.u32(static_cast<std::uint32_t>(accounts.size()));
+  for (const auto& [owner, acct] : accounts) {
+    w.str(owner);
+    w.i64(acct.limit);
+    w.i64(acct.used);
+  }
+  return w.take();
+}
+
+Result<Nanos> apply_meta_snapshot(std::string_view payload,
+                                  const MetaState& state) {
+  RecordReader r(payload);
+  auto version = r.u32();
+  if (!version.ok()) return version.error();
+  if (*version != kSnapshotVersion)
+    return Error{Errc::unsupported, "snapshot version mismatch"};
+  auto ts = r.i64();
+  if (!ts.ok()) return ts.error();
+  auto next_id = r.u64();
+  if (!next_id.ok()) return next_id.error();
+  auto nlots = r.u32();
+  if (!nlots.ok()) return nlots.error();
+  for (std::uint32_t i = 0; i < *nlots; ++i) {
+    auto lot = decode_lot(r);
+    if (!lot.ok()) return lot.error();
+    state.lots.restore_lot(*lot);
+  }
+  // restore_lot advances next_id past the highest id; the recorded value
+  // also covers ids handed out and then erased.
+  if (*next_id > state.lots.next_id()) state.lots.set_next_id(*next_id);
+  auto nacl = r.u32();
+  if (!nacl.ok()) return nacl.error();
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(*nacl);
+  for (std::uint32_t i = 0; i < *nacl; ++i) {
+    auto dir = r.str();
+    if (!dir.ok()) return dir.error();
+    auto text = r.str();
+    if (!text.ok()) return text.error();
+    entries.emplace_back(std::move(dir.value()), std::move(text.value()));
+  }
+  state.acl.import_entries(entries);
+  auto nquota = r.u32();
+  if (!nquota.ok()) return nquota.error();
+  for (std::uint32_t i = 0; i < *nquota; ++i) {
+    auto owner = r.str();
+    if (!owner.ok()) return owner.error();
+    auto limit = r.i64();
+    if (!limit.ok()) return limit.error();
+    auto used = r.i64();
+    if (!used.ok()) return used.error();
+    state.quota.restore(*owner, *limit, *used);
+  }
+  return *ts;
+}
+
+}  // namespace nest::storage

@@ -12,15 +12,38 @@ LotManager::LotManager(Clock& clock, std::int64_t total_capacity,
       policy_(policy),
       on_reclaim_(std::move(on_reclaim)) {}
 
+void LotManager::expire_locked(Lot& lot, bool notify) {
+  if (lot.best_effort) return;  // exactly-once: already transitioned
+  // The guarantee lapses but files remain until reclaimed
+  // ("best-effort lots", paper Section 5).
+  lot.best_effort = true;
+  lot.capacity = lot.used;
+  if (notify && on_expire_) on_expire_(lot.id);
+}
+
 void LotManager::tick() {
   const Nanos now = clock_.now();
   for (auto& [id, lot] : lots_) {
-    if (!lot.best_effort && lot.expiry <= now) {
-      // The guarantee lapses but files remain until reclaimed
-      // ("best-effort lots", paper Section 5).
-      lot.best_effort = true;
-      lot.capacity = lot.used;
-    }
+    if (!lot.best_effort && lot.expiry <= now) expire_locked(lot, true);
+  }
+}
+
+void LotManager::restore_lot(const Lot& lot) {
+  lots_[lot.id] = lot;
+  if (lot.id >= next_id_) next_id_ = lot.id + 1;
+}
+
+void LotManager::erase_lot(LotId id) { lots_.erase(id); }
+
+void LotManager::apply_expire(LotId id) {
+  const auto it = lots_.find(id);
+  if (it != lots_.end()) expire_locked(it->second, false);
+}
+
+void LotManager::rebase(Nanos delta) {
+  for (auto& [id, lot] : lots_) {
+    lot.expiry += delta;
+    lot.last_use += delta;
   }
 }
 
@@ -141,10 +164,11 @@ Status LotManager::terminate(LotId id) {
     lots_.erase(it);
     return {};
   }
-  // Files linger as best-effort data until their space is needed.
-  lot.best_effort = true;
-  lot.capacity = lot.used;
+  // Files linger as best-effort data until their space is needed. The
+  // explicit termination is journaled as the lot's resulting state, so
+  // the clock-expiry observer is not notified.
   lot.expiry = clock_.now();
+  expire_locked(lot, false);
   return {};
 }
 

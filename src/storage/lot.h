@@ -81,8 +81,33 @@ class LotManager {
   void release_file(const std::string& path);
 
   // Mark expired lots best-effort; called lazily on every entry point and
-  // available to dispatch loops as a periodic tick.
+  // available to dispatch loops as a periodic tick. A lot whose expiry
+  // equals the current time is expired (the guarantee covers [create,
+  // expiry)). Each lot transitions exactly once; `on_expire` fires at
+  // that transition only, never on later ticks.
   void tick();
+
+  // Observer for clock-driven expiry transitions (the storage manager
+  // journals them so replay does not depend on re-deriving expiry from a
+  // clock that restarted with the process).
+  void set_on_expire(std::function<void(LotId)> fn) {
+    on_expire_ = std::move(fn);
+  }
+
+  // --- Journal replay / snapshot support (no clock consultation) ---
+  // Install a lot verbatim, replacing any existing lot with the same id.
+  void restore_lot(const Lot& lot);
+  void erase_lot(LotId id);
+  // Replay of a journaled expiry transition; idempotent (a lot already
+  // best-effort is untouched, matching the exactly-once tick contract).
+  void apply_expire(LotId id);
+  // Shift every stored timestamp by `delta`: recovery maps the previous
+  // run's clock onto the new one so a lot keeps the remaining duration
+  // it had at the last journaled record (downtime does not burn lease
+  // time).
+  void rebase(Nanos delta);
+  LotId next_id() const { return next_id_; }
+  void set_next_id(LotId id) { next_id_ = id; }
 
   // Space currently guaranteed to live lots.
   std::int64_t reserved_bytes() const;
@@ -96,11 +121,14 @@ class LotManager {
 
  private:
   std::int64_t reclaim(std::int64_t needed);
+  // The single place a live lot becomes best-effort; idempotent.
+  void expire_locked(Lot& lot, bool notify);
 
   Clock& clock_;
   std::int64_t total_capacity_;
   ReclaimPolicy policy_;
   std::function<void(const std::string&)> on_reclaim_;
+  std::function<void(LotId)> on_expire_;
   std::map<LotId, Lot> lots_;
   LotId next_id_ = 1;
 };

@@ -30,6 +30,11 @@ Status QuotaLedger::charge(const std::string& owner, std::int64_t bytes) {
   return {};
 }
 
+void QuotaLedger::restore(const std::string& owner, std::int64_t limit,
+                          std::int64_t used) {
+  accounts_[owner] = Account{limit, used};
+}
+
 void QuotaLedger::release(const std::string& owner, std::int64_t bytes) {
   const auto it = accounts_.find(owner);
   if (it == accounts_.end()) return;

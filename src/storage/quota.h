@@ -27,11 +27,21 @@ class QuotaLedger {
   Status charge(const std::string& owner, std::int64_t bytes);
   void release(const std::string& owner, std::int64_t bytes);
 
- private:
   struct Account {
     std::int64_t limit = -1;  // -1: unmetered
     std::int64_t used = 0;
   };
+
+  // --- Journal snapshot / replay support ---
+  // Install an account verbatim (journal records carry the resulting
+  // account state, not the delta, so replay never re-runs admission).
+  void restore(const std::string& owner, std::int64_t limit,
+               std::int64_t used);
+  const std::map<std::string, Account>& accounts() const {
+    return accounts_;
+  }
+
+ private:
   std::map<std::string, Account> accounts_;
 };
 

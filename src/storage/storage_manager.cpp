@@ -16,13 +16,116 @@ StorageManager::StorageManager(Clock& clock, std::unique_ptr<VirtualFs> fs,
                                      : fs_->total_space(),
             options.reclaim_policy,
             [this](const std::string& path) {
-              // Best-effort reclamation deletes the backing data.
+              // Best-effort reclamation deletes the backing data; the
+              // released path is journaled so replay reproduces the
+              // reclaim decision instead of re-deriving it.
+              batch_.file_release(path);
               const Status s = fs_->remove(path);
               if (!s.ok()) {
                 NEST_LOG_WARN("storage", "reclaim of %s failed: %s",
                               path.c_str(), s.to_string().c_str());
               }
-            }) {}
+            }) {
+  // Clock-driven expiry transitions are journaled the same way: replay
+  // applies the recorded transition instead of consulting a clock that
+  // restarted with the process.
+  lots_.set_on_expire([this](LotId id) { batch_.lot_expire(id); });
+}
+
+Status StorageManager::attach_journal(journal::Journal& j, bool rebase_clock) {
+  std::lock_guard lock(mu_);
+  const MetaState state = meta_state();
+  Nanos last_ts = 0;
+  if (j.snapshot_payload()) {
+    auto ts = apply_meta_snapshot(*j.snapshot_payload(), state);
+    if (!ts.ok()) return Status{ts.error()};
+    last_ts = *ts;
+  }
+  std::uint64_t replayed = 0;
+  Status s = j.replay([&](journal::Lsn, std::string_view payload) -> Status {
+    auto ts = apply_meta_batch(payload, state);
+    if (!ts.ok()) return Status{ts.error()};
+    last_ts = *ts;
+    ++replayed;
+    return {};
+  });
+  if (!s.ok()) return s;
+  j.drop_recovered_tail();
+  if (rebase_clock && last_ts != 0) {
+    // Map the previous run's clock onto this one: lots keep the remaining
+    // duration they had at the last journaled record.
+    lots_.rebase(clock_.now() - last_ts);
+  }
+  journal_ = &j;
+  batch_.clear();
+  NEST_LOG_INFO("storage",
+                "journal attached: snapshot lsn %llu, %llu records replayed",
+                static_cast<unsigned long long>(j.snapshot_lsn()),
+                static_cast<unsigned long long>(replayed));
+  return {};
+}
+
+std::optional<journal::JournalStats> StorageManager::journal_stats() const {
+  std::lock_guard lock(mu_);
+  if (!journal_) return std::nullopt;
+  return journal_->stats();
+}
+
+Status StorageManager::write_journal_snapshot() {
+  std::lock_guard lock(mu_);
+  if (!journal_) return Status{Errc::invalid_argument, "no journal attached"};
+  const MetaState state = meta_state();
+  return journal_->write_snapshot(encode_meta_snapshot(clock_.now(), state));
+}
+
+std::string StorageManager::serialize_meta(Nanos at) {
+  std::lock_guard lock(mu_);
+  return encode_meta_snapshot(at, meta_state());
+}
+
+void StorageManager::record_lot_locked(LotId id) {
+  auto lot = lots_.query(id);
+  if (lot.ok()) {
+    batch_.lot_put(*lot);
+  } else {
+    batch_.lot_erase(id);
+  }
+}
+
+void StorageManager::record_quota_locked(const std::string& owner) {
+  batch_.quota_put(owner, quota_.limit(owner), quota_.usage(owner));
+}
+
+Result<journal::Lsn> StorageManager::seal_batch_locked() {
+  if (batch_.empty()) return journal::Lsn{0};
+  if (!journal_) {
+    batch_.clear();
+    return journal::Lsn{0};
+  }
+  auto lsn = journal_->append(batch_.seal(clock_.now()));
+  if (!lsn.ok()) return lsn;
+  maybe_snapshot_locked();
+  return lsn;
+}
+
+void StorageManager::maybe_snapshot_locked() {
+  if (journal_->stats().records_since_snapshot <
+      options_.journal_snapshot_every) {
+    return;
+  }
+  const MetaState state = meta_state();
+  if (auto s = journal_->write_snapshot(
+          encode_meta_snapshot(clock_.now(), state));
+      !s.ok()) {
+    NEST_LOG_WARN("storage", "journal snapshot failed: %s",
+                  s.to_string().c_str());
+  }
+}
+
+Status StorageManager::barrier(journal::Lsn lsn) {
+  if (lsn == 0 || !journal_) return {};
+  return journal_->commit(lsn);
+}
 
 Status StorageManager::check(const Principal& who, const std::string& path,
                              Right needed) const {
@@ -44,14 +147,27 @@ Status StorageManager::rmdir(const Principal& who, const std::string& path) {
 }
 
 Status StorageManager::remove(const Principal& who, const std::string& path) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(mu_);
+  const Status out = remove_locked(who, path);
+  auto sealed = seal_batch_locked();
+  if (!sealed.ok()) return Status{sealed.error()};
+  lock.unlock();
+  if (auto b = barrier(*sealed); !b.ok()) return b;
+  return out;
+}
+
+Status StorageManager::remove_locked(const Principal& who,
+                                     const std::string& path) {
   if (auto s = check(who, parent_path(path), Right::del); !s.ok()) return s;
   auto st = fs_->stat(path);
   const Status s = fs_->remove(path);
   if (s.ok()) {
-    lots_.release_file(normalize_path(path));
+    const std::string norm = normalize_path(path);
+    lots_.release_file(norm);
+    batch_.file_release(norm);
     if (st.ok() && options_.enforcement == LotEnforcement::nest_managed) {
       quota_.release(st->owner, st->size);
+      record_quota_locked(st->owner);
     }
   }
   return s;
@@ -91,7 +207,17 @@ Result<TransferTicket> StorageManager::approve_read(const Principal& who,
 Result<TransferTicket> StorageManager::approve_write(const Principal& who,
                                                      const std::string& path,
                                                      std::int64_t size) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(mu_);
+  auto out = approve_write_locked(who, path, size);
+  auto sealed = seal_batch_locked();
+  if (!sealed.ok()) return sealed.error();
+  lock.unlock();
+  if (auto b = barrier(*sealed); !b.ok()) return b.error();
+  return out;
+}
+
+Result<TransferTicket> StorageManager::approve_write_locked(
+    const Principal& who, const std::string& path, std::int64_t size) {
   const std::string norm = normalize_path(path);
   if (auto s = check(who, parent_path(norm), Right::insert); !s.ok())
     return s.error();
@@ -102,11 +228,13 @@ Result<TransferTicket> StorageManager::approve_write(const Principal& who,
 
   // Overwrites release the old charges first.
   lots_.release_file(norm);
+  batch_.file_release(norm);
 
   // Lot admission: charge usable lots, spanning if needed.
   auto allocs = lots_.charge(who.name, who.groups, norm, size);
   if (allocs.ok()) {
     t.allocations = std::move(allocs.value());
+    for (const auto& a : t.allocations) record_lot_locked(a.lot);
   } else if (allocs.code() == Errc::lot_unknown &&
              options_.allow_lotless_writes) {
     // No lot: admit against raw free space minus everything guaranteed.
@@ -120,15 +248,20 @@ Result<TransferTicket> StorageManager::approve_write(const Principal& who,
   if (options_.enforcement == LotEnforcement::nest_managed) {
     if (auto s = quota_.charge(who.name, size); !s.ok()) {
       lots_.release_file(norm);
+      batch_.file_release(norm);
       return s.error();
     }
+    record_quota_locked(who.name);
   }
 
   auto handle = fs_->create(norm);
   if (!handle.ok()) {
     lots_.release_file(norm);
-    if (options_.enforcement == LotEnforcement::nest_managed)
+    batch_.file_release(norm);
+    if (options_.enforcement == LotEnforcement::nest_managed) {
       quota_.release(who.name, size);
+      record_quota_locked(who.name);
+    }
     return handle.error();
   }
   fs_->set_owner(norm, who.name);
@@ -139,21 +272,35 @@ Result<TransferTicket> StorageManager::approve_write(const Principal& who,
 Status StorageManager::charge_written(const Principal& who,
                                       const std::string& path,
                                       std::int64_t bytes) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(mu_);
+  const Status out = charge_written_locked(who, path, bytes);
+  auto sealed = seal_batch_locked();
+  if (!sealed.ok()) return Status{sealed.error()};
+  lock.unlock();
+  if (auto b = barrier(*sealed); !b.ok()) return b;
+  return out;
+}
+
+Status StorageManager::charge_written_locked(const Principal& who,
+                                             const std::string& path,
+                                             std::int64_t bytes) {
   const std::string norm = normalize_path(path);
   lots_.release_file(norm);
+  batch_.file_release(norm);
   auto allocs = lots_.charge(who.name, who.groups, norm, bytes);
-  if (!allocs.ok()) {
-    if (!(allocs.code() == Errc::lot_unknown &&
-          options_.allow_lotless_writes &&
-          bytes <= lots_.available_bytes())) {
-      return Status{allocs.error()};
-    }
+  if (allocs.ok()) {
+    for (const auto& a : *allocs) record_lot_locked(a.lot);
+  } else if (!(allocs.code() == Errc::lot_unknown &&
+               options_.allow_lotless_writes &&
+               bytes <= lots_.available_bytes())) {
+    return Status{allocs.error()};
   }
   if (options_.enforcement == LotEnforcement::nest_managed) {
     // Stream writes are approved with a declared size of 0, so the whole
     // actual count is charged here.
-    return quota_.charge(who.name, bytes);
+    auto s = quota_.charge(who.name, bytes);
+    if (s.ok()) record_quota_locked(who.name);
+    return s;
   }
   return {};
 }
@@ -161,7 +308,19 @@ Status StorageManager::charge_written(const Principal& who,
 Result<LotId> StorageManager::lot_create(const Principal& who,
                                          std::int64_t capacity,
                                          Nanos duration, bool group_lot) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(mu_);
+  auto out = lot_create_locked(who, capacity, duration, group_lot);
+  auto sealed = seal_batch_locked();
+  if (!sealed.ok()) return sealed.error();
+  lock.unlock();
+  if (auto b = barrier(*sealed); !b.ok()) return b.error();
+  return out;
+}
+
+Result<LotId> StorageManager::lot_create_locked(const Principal& who,
+                                                std::int64_t capacity,
+                                                Nanos duration,
+                                                bool group_lot) {
   if (who.is_anonymous())
     return Error{Errc::not_authenticated, "lots require authentication"};
   const std::string owner =
@@ -170,17 +329,31 @@ Result<LotId> StorageManager::lot_create(const Principal& who,
   if (owner.empty())
     return Error{Errc::invalid_argument, "group lot without group"};
   auto id = lots_.create(owner, capacity, duration, group_lot);
-  if (id.ok() && options_.enforcement == LotEnforcement::nest_managed) {
-    quota_.set_limit(owner, quota_.limit(owner) < 0
-                                ? capacity
-                                : quota_.limit(owner) + capacity);
+  if (id.ok()) {
+    record_lot_locked(*id);
+    if (options_.enforcement == LotEnforcement::nest_managed) {
+      quota_.set_limit(owner, quota_.limit(owner) < 0
+                                  ? capacity
+                                  : quota_.limit(owner) + capacity);
+      record_quota_locked(owner);
+    }
   }
   return id;
 }
 
 Status StorageManager::lot_renew(const Principal& who, LotId id,
                                  Nanos duration) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(mu_);
+  const Status out = lot_renew_locked(who, id, duration);
+  auto sealed = seal_batch_locked();
+  if (!sealed.ok()) return Status{sealed.error()};
+  lock.unlock();
+  if (auto b = barrier(*sealed); !b.ok()) return b;
+  return out;
+}
+
+Status StorageManager::lot_renew_locked(const Principal& who, LotId id,
+                                        Nanos duration) {
   auto lot = lots_.query(id);
   if (!lot.ok()) return lot.error();
   if (who.name != lot->owner && who.name != options_.superuser &&
@@ -189,11 +362,22 @@ Status StorageManager::lot_renew(const Principal& who, LotId id,
             who.groups.end())) {
     return Status{Errc::permission_denied, "not lot owner"};
   }
-  return lots_.renew(id, duration);
+  const Status s = lots_.renew(id, duration);
+  if (s.ok()) record_lot_locked(id);
+  return s;
 }
 
 Status StorageManager::lot_terminate(const Principal& who, LotId id) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(mu_);
+  const Status out = lot_terminate_locked(who, id);
+  auto sealed = seal_batch_locked();
+  if (!sealed.ok()) return Status{sealed.error()};
+  lock.unlock();
+  if (auto b = barrier(*sealed); !b.ok()) return b;
+  return out;
+}
+
+Status StorageManager::lot_terminate_locked(const Principal& who, LotId id) {
   auto lot = lots_.query(id);
   if (!lot.ok()) return lot.error();
   if (who.name != lot->owner && who.name != options_.superuser &&
@@ -202,7 +386,11 @@ Status StorageManager::lot_terminate(const Principal& who, LotId id) {
             who.groups.end())) {
     return Status{Errc::permission_denied, "not lot owner"};
   }
-  return lots_.terminate(id);
+  const Status s = lots_.terminate(id);
+  // terminate either erased the lot or left it best-effort; either way
+  // the resulting state is what gets journaled.
+  if (s.ok()) record_lot_locked(id);
+  return s;
 }
 
 Result<Lot> StorageManager::lot_query(const Principal& who, LotId id) const {
@@ -223,11 +411,41 @@ std::vector<Lot> StorageManager::lots_of(const Principal& who) const {
   return lots_.lots_of(who.name);
 }
 
+std::vector<Lot> StorageManager::lot_list(const Principal& who) const {
+  std::lock_guard lock(mu_);
+  if (who.authenticated && who.name == options_.superuser)
+    return lots_.all_lots();
+  return lots_.lots_of(who.name);
+}
+
 Status StorageManager::acl_set(const Principal& who, const std::string& dir,
                                const classad::ClassAd& entry) {
-  std::lock_guard lock(mu_);
-  if (auto s = check(who, dir, Right::admin); !s.ok()) return s;
-  return acl_.set_entry(dir, entry);
+  std::unique_lock lock(mu_);
+  Status out = check(who, dir, Right::admin);
+  if (out.ok()) {
+    out = acl_.set_entry(dir, entry);
+    if (out.ok()) batch_.acl_put(normalize_path(dir), entry.to_string());
+  }
+  auto sealed = seal_batch_locked();
+  if (!sealed.ok()) return Status{sealed.error()};
+  lock.unlock();
+  if (auto b = barrier(*sealed); !b.ok()) return b;
+  return out;
+}
+
+Status StorageManager::acl_clear(const Principal& who, const std::string& dir,
+                                 const std::string& principal_spec) {
+  std::unique_lock lock(mu_);
+  Status out = check(who, dir, Right::admin);
+  if (out.ok()) {
+    out = acl_.clear_entries(dir, principal_spec);
+    if (out.ok()) batch_.acl_clear(normalize_path(dir), principal_spec);
+  }
+  auto sealed = seal_batch_locked();
+  if (!sealed.ok()) return Status{sealed.error()};
+  lock.unlock();
+  if (auto b = barrier(*sealed); !b.ok()) return b;
+  return out;
 }
 
 Result<std::vector<std::string>> StorageManager::acl_get(

@@ -6,20 +6,32 @@
 // Transfer requests are only *approved* here (ACL + lot admission); the
 // bytes are moved by the transfer manager.
 //
+// Durability: when a metadata journal is attached, every mutating
+// lot/ACL/quota operation is sealed into one journal batch and the reply
+// is withheld until Journal::commit() reports the batch durable — the
+// write-ahead barrier that makes lot guarantees survive a nestd restart.
+// attach_journal() replays snapshot + tail into the managers before the
+// server accepts connections.
+//
 // Thread safety: the dispatcher serializes storage operations (the paper
 // executes them synchronously in a thread-safe schedule); an internal mutex
-// enforces that invariant even for callers outside the dispatcher.
+// enforces that invariant even for callers outside the dispatcher. The
+// journal commit wait deliberately happens *outside* that mutex so group
+// commit can batch concurrent operations into one fsync.
 #pragma once
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "classad/classad.h"
 #include "common/clock.h"
 #include "common/result.h"
+#include "journal/journal.h"
 #include "storage/acl.h"
+#include "storage/journal_ops.h"
 #include "storage/lot.h"
 #include "storage/quota.h"
 #include "storage/vfs.h"
@@ -42,6 +54,9 @@ struct StorageOptions {
   // lot-less writes are admitted if raw space remains (convenience mode
   // mirroring default user lots created by administrators).
   bool allow_lotless_writes = true;
+  // Journal compaction cadence: snapshot + retire old segments after this
+  // many sealed batches.
+  std::uint64_t journal_snapshot_every = 4096;
 };
 
 // Grant returned when a transfer is approved; carries what the transfer
@@ -58,6 +73,25 @@ class StorageManager {
  public:
   StorageManager(Clock& clock, std::unique_ptr<VirtualFs> fs,
                  StorageOptions options = {});
+
+  // --- Durable metadata journal ---
+  // Recover lot/ACL/quota state from `j` (newest snapshot, then the
+  // record tail), then route every later metadata mutation through it.
+  // Must run before the server serves requests. When `rebase_clock` is
+  // set, recovered timestamps are shifted onto the current clock so lots
+  // keep the remaining duration they had at the last journaled record
+  // (downtime does not burn lease time); tests that compare raw state
+  // across a simulated crash disable it.
+  Status attach_journal(journal::Journal& j, bool rebase_clock = true);
+  // Stats of the attached journal (nullopt when none), for operators
+  // (nest-cli journal-stat).
+  std::optional<journal::JournalStats> journal_stats() const;
+  // Force a snapshot + compaction now (admin/test hook; the manager also
+  // snapshots automatically every journal_snapshot_every batches).
+  Status write_journal_snapshot();
+  // Serialized lot/ACL/quota state stamped with `at` (recovery tests
+  // compare shadow and replayed state byte-for-byte).
+  std::string serialize_meta(Nanos at);
 
   // --- Non-transfer requests (synchronous; paper Section 2.1) ---
   Status mkdir(const Principal& who, const std::string& path);
@@ -87,10 +121,14 @@ class StorageManager {
   Status lot_terminate(const Principal& who, LotId id);
   Result<Lot> lot_query(const Principal& who, LotId id) const;
   std::vector<Lot> lots_of(const Principal& who) const;
+  // Operator listing: the superuser sees every lot, others their own.
+  std::vector<Lot> lot_list(const Principal& who) const;
 
   // --- ACL management ---
   Status acl_set(const Principal& who, const std::string& dir,
                  const classad::ClassAd& entry);
+  Status acl_clear(const Principal& who, const std::string& dir,
+                   const std::string& principal_spec);
   Result<std::vector<std::string>> acl_get(const Principal& who,
                                            const std::string& dir) const;
 
@@ -105,6 +143,30 @@ class StorageManager {
  private:
   Status check(const Principal& who, const std::string& path,
                Right needed) const;
+  MetaState meta_state() { return MetaState{lots_, acl_, quota_}; }
+
+  // Journal the current lot state of `id` (erase record if it vanished).
+  void record_lot_locked(LotId id);
+  void record_quota_locked(const std::string& owner);
+  // Append the accumulated batch (one record per client operation);
+  // returns 0 when there is nothing to journal or no journal attached.
+  Result<journal::Lsn> seal_batch_locked();
+  void maybe_snapshot_locked();
+  // Durability barrier, called WITHOUT mu_ so concurrent operations share
+  // a group-commit fsync.
+  Status barrier(journal::Lsn lsn);
+
+  // Operation bodies, run under mu_ with batch recording.
+  Status remove_locked(const Principal& who, const std::string& path);
+  Result<TransferTicket> approve_write_locked(const Principal& who,
+                                              const std::string& path,
+                                              std::int64_t size);
+  Status charge_written_locked(const Principal& who, const std::string& path,
+                               std::int64_t bytes);
+  Result<LotId> lot_create_locked(const Principal& who, std::int64_t capacity,
+                                  Nanos duration, bool group_lot);
+  Status lot_renew_locked(const Principal& who, LotId id, Nanos duration);
+  Status lot_terminate_locked(const Principal& who, LotId id);
 
   Clock& clock_;
   std::unique_ptr<VirtualFs> fs_;
@@ -112,6 +174,8 @@ class StorageManager {
   AccessControl acl_;
   LotManager lots_;
   QuotaLedger quota_;
+  journal::Journal* journal_ = nullptr;
+  MetaBatch batch_;
   mutable std::mutex mu_;
 };
 

@@ -410,6 +410,51 @@ TEST_F(LotTest, ExpiryMakesBestEffort) {
   EXPECT_EQ(lots.charge("alice", {}, "/g", 10).code(), Errc::lot_unknown);
 }
 
+TEST_F(LotTest, ExpiryAtExactBoundary) {
+  // The guarantee covers [create, expiry): a tick at exactly the expiry
+  // instant already sees the lot as best-effort.
+  auto id = lots.create("alice", 400, kSecond);
+  clock.advance(kSecond - 1);
+  lots.tick();
+  EXPECT_FALSE(lots.query(*id)->best_effort);
+  clock.advance(1);
+  lots.tick();
+  EXPECT_TRUE(lots.query(*id)->best_effort);
+}
+
+TEST_F(LotTest, ExpiryNotifiesExactlyOnce) {
+  std::vector<LotId> expired;
+  lots.set_on_expire([&](LotId id) { expired.push_back(id); });
+  auto id = lots.create("alice", 400, kSecond);
+  ASSERT_TRUE(lots.charge("alice", {}, "/f", 100).ok());
+  clock.advance(2 * kSecond);
+  lots.tick();
+  lots.tick();  // later ticks must not re-fire the transition
+  clock.advance(kSecond);
+  lots.tick();
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], *id);
+  // An explicit terminate of an already best-effort lot stays silent too.
+  ASSERT_TRUE(lots.terminate(*id).ok());
+  EXPECT_EQ(expired.size(), 1u);
+}
+
+TEST_F(LotTest, ApplyExpireIsIdempotent) {
+  auto id = lots.create("alice", 400, kSecond);
+  ASSERT_TRUE(lots.charge("alice", {}, "/f", 100).ok());
+  // Replay-style expiry: no clock consultation.
+  lots.apply_expire(*id);
+  const auto once = lots.query(*id);
+  ASSERT_TRUE(once.ok());
+  EXPECT_TRUE(once->best_effort);
+  EXPECT_EQ(once->capacity, 100);
+  lots.apply_expire(*id);
+  const auto twice = lots.query(*id);
+  EXPECT_EQ(twice->capacity, 100);
+  EXPECT_EQ(lots.available_bytes(), 900);
+  lots.apply_expire(999);  // unknown ids are ignored on replay
+}
+
 TEST_F(LotTest, BestEffortFilesSurviveUntilPressure) {
   ASSERT_TRUE(lots.create("alice", 400, kSecond).ok());
   ASSERT_TRUE(lots.charge("alice", {}, "/f", 300).ok());
