@@ -226,6 +226,12 @@ Result<std::string> ChirpClient::query_ad() {
   return read_payload(*r);
 }
 
+Result<std::string> ChirpClient::stats() {
+  auto r = command("STATS");
+  if (!r.ok()) return r.error();
+  return read_payload(*r);
+}
+
 Result<std::string> ChirpClient::journal_stat() {
   auto r = command("JOURNAL STAT");
   if (!r.ok()) return r.error();

@@ -64,6 +64,10 @@ class ChirpClient {
   // a journal).
   Result<std::string> journal_stat();
 
+  // Live appliance statistics as a JSON document (request latency
+  // histograms, throughput, load, storage and journal state).
+  Result<std::string> stats();
+
   Status quit();
 
  private:

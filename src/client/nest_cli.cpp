@@ -9,7 +9,7 @@
 //   get <path>               put <path> <local-file>
 //   lot-create <bytes> <seconds> [group]
 //   lot-renew <id> <seconds> lot-terminate <id>      lot-query <id>
-//   lot-list                 journal-stat
+//   lot-list                 journal-stat           stats
 //   acl-get <dir>            acl-set <dir> <classad-entry...>
 //   acl-clear <dir> <principal>
 //   ad
@@ -30,7 +30,7 @@ int usage() {
                "[args...]\n"
                "commands: ls stat mkdir rmdir rm mv get put lot-create\n"
                "          lot-renew lot-terminate lot-query lot-list\n"
-               "          acl-get acl-set acl-clear journal-stat ad\n");
+               "          acl-get acl-set acl-clear journal-stat stats ad\n");
   return 2;
 }
 
@@ -151,6 +151,12 @@ int main(int argc, char** argv) {
     auto lots = client->lot_list();
     if (!lots.ok()) return fail(lots.error());
     std::printf("%s", lots->c_str());
+    return 0;
+  }
+  if (cmd == "stats" && rest.empty()) {
+    auto json = client->stats();
+    if (!json.ok()) return fail(json.error());
+    std::printf("%s\n", json->c_str());
     return 0;
   }
   if (cmd == "journal-stat" && rest.empty()) {

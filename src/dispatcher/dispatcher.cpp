@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "common/units.h"
+#include "obs/trace.h"
 
 namespace nest::dispatcher {
 
@@ -19,11 +21,25 @@ Dispatcher::Dispatcher(Clock& clock, storage::StorageManager& storage,
       storage_(storage),
       tm_(tm),
       options_(std::move(options)),
-      gate_(tm, options_.transfer_slots) {}
+      gate_(tm, options_.transfer_slots),
+      started_(clock.now()) {}
 
 Dispatcher::~Dispatcher() { stop_publishing(); }
 
 Reply Dispatcher::execute(const NestRequest& req) {
+  obs::Span span(obs::Layer::dispatcher, protocol::op_name(req.op));
+  const Nanos start = clock_.now();
+  Reply r = execute_impl(req);
+  auto& stats = obs::Stats::global();
+  stats.requests.fetch_add(1, std::memory_order_relaxed);
+  if (!r.status.ok()) stats.errors.fetch_add(1, std::memory_order_relaxed);
+  const Nanos elapsed = clock_.now() - start;
+  stats.request_latency(req.protocol).record(elapsed);
+  stats.request_all.record(elapsed);
+  return r;
+}
+
+Reply Dispatcher::execute_impl(const NestRequest& req) {
   switch (req.op) {
     case NestOp::mkdir:
       return Reply{storage_.mkdir(req.principal, req.path), {}, 0};
@@ -126,6 +142,8 @@ Reply Dispatcher::execute(const NestRequest& req) {
     }
     case NestOp::query_ad:
       return Reply::ok(snapshot_ad().to_string());
+    case NestOp::stats_query:
+      return Reply::ok(stats_json());
     case NestOp::noop:
       return Reply::ok();
     case NestOp::get:
@@ -140,12 +158,39 @@ Reply Dispatcher::execute(const NestRequest& req) {
 
 Result<storage::TransferTicket> Dispatcher::approve_get(
     const NestRequest& req) {
-  return storage_.approve_read(req.principal, req.path);
+  obs::Span span(obs::Layer::dispatcher, "approve_get");
+  auto t = storage_.approve_read(req.principal, req.path);
+  if (!t.ok()) {
+    obs::Stats::global().errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t;
 }
 
 Result<storage::TransferTicket> Dispatcher::approve_put(
     const NestRequest& req) {
-  return storage_.approve_write(req.principal, req.path, req.size);
+  obs::Span span(obs::Layer::dispatcher, "approve_put");
+  auto t = storage_.approve_write(req.principal, req.path, req.size);
+  if (!t.ok()) {
+    obs::Stats::global().errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t;
+}
+
+std::pair<double, double> Dispatcher::observe_load(Nanos now) const {
+  std::lock_guard lock(load_mu_);
+  const double total_bps =
+      total_rate_.observe(now, tm_.total_bytes());
+  for (const auto& [cls, bytes] : tm_.meter().per_class()) {
+    proto_rates_[cls].observe(now, bytes);
+  }
+  // Instantaneous load = occupied transfer slots as a fraction of the
+  // configured slot count; > 1 means admissions are queueing.
+  const double inst =
+      static_cast<double>(tm_.in_flight()) /
+      static_cast<double>(options_.transfer_slots > 0
+                              ? options_.transfer_slots
+                              : 1);
+  return {total_bps / 1e6, load_.observe(now, inst)};
 }
 
 classad::ClassAd Dispatcher::snapshot_ad() const {
@@ -161,7 +206,87 @@ classad::ClassAd Dispatcher::snapshot_ad() const {
             classad::Value::real(tm_.latencies().mean_ms()));
   ad.insert("Scheduler",
             classad::Value::string(tm_.options().scheduler));
+
+  // Live load section (paper Section 3: ads should reflect resource *and*
+  // data availability, not just static capacity).
+  const Nanos now = clock_.now();
+  const auto [mbps, load_avg] = observe_load(now);
+  ad.insert("LoadAvg", classad::Value::real(load_avg));
+  ad.insert("ThroughputMBps", classad::Value::real(mbps));
+  {
+    std::lock_guard lock(load_mu_);
+    for (const auto& [cls, bytes] : tm_.meter().per_class()) {
+      // Window-averaged per-protocol rate; attribute per protocol class.
+      const double rate =
+          proto_rates_[cls].observe(now, bytes) / 1e6;
+      ad.insert("Throughput_" + cls, classad::Value::real(rate));
+    }
+  }
+  auto& stats = obs::Stats::global();
+  ad.insert("BytesQueued",
+            classad::Value::integer(
+                stats.bytes_queued.load(std::memory_order_relaxed)));
+  ad.insert("Requests",
+            classad::Value::integer(
+                stats.requests.load(std::memory_order_relaxed)));
+  ad.insert("Errors",
+            classad::Value::integer(
+                stats.errors.load(std::memory_order_relaxed)));
+  ad.insert("MeanRequestMs",
+            classad::Value::real(stats.request_all.mean_ms()));
+  ad.insert("P99RequestMs",
+            classad::Value::real(stats.request_all.percentile_ms(99)));
   return ad;
+}
+
+std::string Dispatcher::stats_json() const {
+  const Nanos now = clock_.now();
+  const auto [mbps, load_avg] = observe_load(now);
+  auto& stats = obs::Stats::global();
+  const classad::ClassAd res = storage_.resource_ad();
+  auto res_int = [&res](const std::string& name) {
+    return res.eval_int(name).value_or(0);
+  };
+
+  std::ostringstream os;
+  os << "{\"name\":\"" << options_.advertised_name << "\""
+     << ",\"scheduler\":\"" << tm_.options().scheduler << "\""
+     << ",\"uptime_sec\":" << to_seconds(now - started_)
+     << ",\"load\":{\"load_avg\":" << load_avg
+     << ",\"throughput_mbps\":" << mbps << ",\"per_protocol_mbps\":{";
+  {
+    std::lock_guard lock(load_mu_);
+    bool first = true;
+    for (const auto& [cls, bytes] : tm_.meter().per_class()) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << cls
+         << "\":" << proto_rates_[cls].observe(now, bytes) / 1e6;
+    }
+  }
+  os << "}}"
+     << ",\"transfers\":{\"active\":" << tm_.in_flight()
+     << ",\"completed\":" << tm_.completed_requests()
+     << ",\"bytes_moved\":" << tm_.total_bytes()
+     << ",\"bytes_queued\":"
+     << stats.bytes_queued.load(std::memory_order_relaxed)
+     << ",\"slots\":" << options_.transfer_slots << "}"
+     << ",\"storage\":{\"total_space\":" << res_int("TotalSpace")
+     << ",\"used_space\":" << res_int("UsedSpace")
+     << ",\"free_space\":" << res_int("FreeSpace")
+     << ",\"free_lot_space\":" << res_int("AvailableLotSpace")
+     << ",\"reclaimable_space\":" << res_int("ReclaimableSpace") << "}";
+  os << ",\"journal\":";
+  if (const auto js = storage_.journal_stats()) {
+    os << "{\"last_lsn\":" << js->last_lsn
+       << ",\"durable_lsn\":" << js->durable_lsn
+       << ",\"appends\":" << js->appends << ",\"commits\":" << js->commits
+       << ",\"fsyncs\":" << js->fsyncs << "}";
+  } else {
+    os << "null";
+  }
+  os << ",\"metrics\":" << stats.to_json() << "}";
+  return os.str();
 }
 
 void Dispatcher::publish_once(discovery::Collector& collector) {

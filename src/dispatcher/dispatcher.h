@@ -10,12 +10,15 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "discovery/collector.h"
+#include "obs/stats.h"
 #include "protocol/request.h"
 #include "storage/storage_manager.h"
 #include "transfer/core.h"
@@ -111,8 +114,14 @@ class Dispatcher {
   BlockGate& gate() { return gate_; }
   transfer::TransferCore& core() { return gate_.core(); }
 
-  // Consolidated availability ad (storage state + transfer load).
+  // Consolidated availability ad (storage state + transfer load +
+  // rolling load averages / per-protocol throughput from obs::Stats).
   classad::ClassAd snapshot_ad() const;
+
+  // Live appliance statistics as JSON: request/transfer histograms,
+  // throughput, load, storage and journal state. Served by `GET /stats`,
+  // the Chirp STATS op, and `nest-cli stats`.
+  std::string stats_json() const;
 
   // Periodic ClassAd publishing into a discovery collector; stops on
   // destruction. One publisher at a time.
@@ -121,11 +130,26 @@ class Dispatcher {
   void publish_once(discovery::Collector& collector);
 
  private:
+  Reply execute_impl(const protocol::NestRequest& req);
+  // Sample the rolling rate/load trackers at `now` (under load_mu_) and
+  // report {total MBps, load average}. Every stats surface calls this, so
+  // whichever of the publisher / /stats pollers runs keeps the windows
+  // warm.
+  std::pair<double, double> observe_load(Nanos now) const;
+
   Clock& clock_;
   storage::StorageManager& storage_;
   transfer::TransferManager& tm_;
   Options options_;
   BlockGate gate_;
+  Nanos started_;
+
+  // Rolling views over the monotone transfer counters; mutable because
+  // snapshot_ad()/stats_json() are conceptually const reads.
+  mutable std::mutex load_mu_;
+  mutable obs::RollingRate total_rate_;
+  mutable std::map<std::string, obs::RollingRate> proto_rates_;
+  mutable obs::LoadAverage load_;
 
   std::thread publisher_;
   std::mutex pub_mu_;

@@ -173,9 +173,11 @@ Result<TcpStream> TcpListener::accept() {
 
 void TcpListener::close() {
   // close() alone does not wake threads blocked in accept() on Linux;
-  // shutdown() does (they return with EINVAL).
+  // shutdown() does (they return with EINVAL). The descriptor itself is
+  // released only at destruction: resetting it here would race the fd
+  // read inside a concurrent accept() — the caller joins the acceptor
+  // thread between close() and destroying the listener.
   if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
-  fd_.reset();
 }
 
 Result<UdpSocket> UdpSocket::bind(uint16_t port) {

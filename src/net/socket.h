@@ -84,7 +84,10 @@ class TcpListener {
   Result<TcpStream> accept();
   uint16_t port() const { return port_; }
   int fd() const { return fd_.get(); }
-  // Unblocks a pending accept (used for shutdown).
+  // Unblocks a pending accept (used for shutdown). Shuts the socket down
+  // but keeps the descriptor until destruction, so a concurrent accept()
+  // never observes a closed/recycled fd; destroy the listener only after
+  // joining the accepting thread.
   void close();
 
  private:

@@ -1,0 +1,273 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace nest::obs {
+
+namespace {
+
+// Thread-local ring cache. A thread may record into several TraceBuffers
+// over its lifetime (the global one plus per-test instances), so the cache
+// maps buffer id -> claimed ring. On thread exit the rings are returned to
+// their buffers' freelists — but only if the buffer still exists, which a
+// process-wide registry of live buffer ids tracks.
+std::mutex& live_mu() {
+  static std::mutex mu;
+  return mu;
+}
+std::map<std::uint64_t, TraceBuffer*>& live_buffers() {
+  static std::map<std::uint64_t, TraceBuffer*> m;
+  return m;
+}
+std::uint64_t register_buffer(TraceBuffer* b) {
+  static std::uint64_t next_id = 1;
+  std::lock_guard lock(live_mu());
+  const std::uint64_t id = next_id++;
+  live_buffers().emplace(id, b);
+  return id;
+}
+void unregister_buffer(std::uint64_t id) {
+  std::lock_guard lock(live_mu());
+  live_buffers().erase(id);
+}
+
+thread_local SpanContext t_context;
+
+}  // namespace
+
+const char* layer_name(Layer l) noexcept {
+  switch (l) {
+    case Layer::protocol: return "protocol";
+    case Layer::dispatcher: return "dispatcher";
+    case Layer::transfer: return "transfer";
+    case Layer::storage: return "storage";
+    case Layer::journal: return "journal";
+  }
+  return "?";
+}
+
+SpanContext current_context() { return t_context; }
+void set_context(SpanContext ctx) { t_context = ctx; }
+
+TraceBuffer::TraceBuffer(std::size_t ring_capacity)
+    : cap_(ring_capacity == 0 ? 1 : ring_capacity),
+      buffer_id_(register_buffer(this)),
+      clock_(&RealClock::instance()) {}
+
+TraceBuffer::~TraceBuffer() { unregister_buffer(buffer_id_); }
+
+TraceBuffer& TraceBuffer::instance() {
+  static TraceBuffer buf;
+  return buf;
+}
+
+void TraceBuffer::set_clock(Clock* clock) {
+  clock_.store(clock != nullptr ? clock : &RealClock::instance(),
+               std::memory_order_release);
+}
+
+Nanos TraceBuffer::now() const {
+  return clock_.load(std::memory_order_acquire)->now();
+}
+
+TraceBuffer::Ring* TraceBuffer::claim_ring() {
+  std::lock_guard lock(rings_mu_);
+  for (auto& r : rings_) {
+    if (!r->in_use.load(std::memory_order_relaxed)) {
+      r->in_use.store(true, std::memory_order_relaxed);
+      return r.get();
+    }
+  }
+  rings_.push_back(std::make_unique<Ring>(cap_));
+  rings_.back()->in_use.store(true, std::memory_order_relaxed);
+  return rings_.back().get();
+}
+
+TraceBuffer::Ring* TraceBuffer::local_ring() {
+  struct Cache {
+    struct Entry {
+      std::uint64_t buffer_id;
+      TraceBuffer::Ring* ring;
+    };
+    std::vector<Entry> entries;
+    ~Cache() {
+      // Release claimed rings back to buffers that are still alive.
+      std::lock_guard lock(live_mu());
+      for (const Entry& e : entries) {
+        if (live_buffers().count(e.buffer_id) != 0) {
+          e.ring->in_use.store(false, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+  thread_local Cache cache;
+  for (const auto& e : cache.entries) {
+    if (e.buffer_id == buffer_id_) return e.ring;
+  }
+  Ring* r = claim_ring();
+  cache.entries.push_back({buffer_id_, r});
+  return r;
+}
+
+void TraceBuffer::record(const SpanData& s) {
+  Ring* r = local_ring();
+  const std::uint64_t pos = r->head.load(std::memory_order_relaxed);
+  Slot& slot = r->slots[pos % cap_];
+  const std::uint64_t seq0 = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq0 + 1, std::memory_order_relaxed);  // mark in-flight
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.trace_id.store(s.trace_id, std::memory_order_relaxed);
+  slot.span_id.store(s.span_id, std::memory_order_relaxed);
+  slot.parent_id.store(s.parent_id, std::memory_order_relaxed);
+  slot.start.store(s.start, std::memory_order_relaxed);
+  slot.end.store(s.end, std::memory_order_relaxed);
+  slot.name.store(s.name, std::memory_order_relaxed);
+  slot.layer.store(static_cast<std::uint8_t>(s.layer),
+                   std::memory_order_relaxed);
+  slot.value.store(s.value, std::memory_order_relaxed);
+  slot.seq.store(seq0 + 2, std::memory_order_release);  // publish
+  r->head.store(pos + 1, std::memory_order_release);
+}
+
+std::vector<SpanData> TraceBuffer::snapshot() const {
+  std::vector<SpanData> out;
+  std::lock_guard lock(rings_mu_);
+  for (const auto& r : rings_) {
+    const std::uint64_t head = r->head.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(head, cap_);
+    for (std::uint64_t i = head - n; i < head; ++i) {
+      const Slot& slot = r->slots[i % cap_];
+      const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if ((s1 & 1) != 0) continue;  // write in flight
+      SpanData d;
+      d.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      d.span_id = slot.span_id.load(std::memory_order_relaxed);
+      d.parent_id = slot.parent_id.load(std::memory_order_relaxed);
+      d.start = slot.start.load(std::memory_order_relaxed);
+      d.end = slot.end.load(std::memory_order_relaxed);
+      d.name = slot.name.load(std::memory_order_relaxed);
+      d.layer = static_cast<Layer>(slot.layer.load(std::memory_order_relaxed));
+      d.value = slot.value.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
+      if (d.trace_id == 0) continue;  // never-written slot
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+std::vector<SpanData> TraceBuffer::trace(std::uint64_t trace_id) const {
+  std::vector<SpanData> out;
+  for (const SpanData& s : snapshot()) {
+    if (s.trace_id == trace_id) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(), [](const SpanData& a, const SpanData& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.span_id < b.span_id;
+  });
+  return out;
+}
+
+std::uint64_t TraceBuffer::find_trace(Layer layer,
+                                      const std::string& name) const {
+  std::uint64_t best_trace = 0;
+  Nanos best_start = -1;
+  for (const SpanData& s : snapshot()) {
+    if (s.layer == layer && name == s.name && s.start > best_start) {
+      best_start = s.start;
+      best_trace = s.trace_id;
+    }
+  }
+  return best_trace;
+}
+
+std::size_t TraceBuffer::ring_count() const {
+  std::lock_guard lock(rings_mu_);
+  return rings_.size();
+}
+
+std::string TraceBuffer::to_json(const std::vector<SpanData>& spans) {
+  std::ostringstream os;
+  os << "{\"spans\":[";
+  bool first = true;
+  for (const SpanData& s : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"trace\":" << s.trace_id << ",\"span\":" << s.span_id
+       << ",\"parent\":" << s.parent_id << ",\"layer\":\""
+       << layer_name(s.layer) << "\",\"name\":\"" << s.name
+       << "\",\"start_ns\":" << s.start << ",\"end_ns\":" << s.end
+       << ",\"dur_ns\":" << (s.end - s.start) << ",\"value\":" << s.value
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string TraceBuffer::dump_json() const { return to_json(snapshot()); }
+
+std::string TraceBuffer::render_tree(const std::vector<SpanData>& spans) {
+  // Children sorted by start under each parent; roots are spans whose
+  // parent is absent from the set.
+  std::map<std::uint64_t, std::vector<const SpanData*>> children;
+  std::map<std::uint64_t, const SpanData*> by_id;
+  for (const SpanData& s : spans) by_id[s.span_id] = &s;
+  std::vector<const SpanData*> roots;
+  for (const SpanData& s : spans) {
+    if (s.parent_id != 0 && by_id.count(s.parent_id) != 0) {
+      children[s.parent_id].push_back(&s);
+    } else {
+      roots.push_back(&s);
+    }
+  }
+  auto by_start = [](const SpanData* a, const SpanData* b) {
+    if (a->start != b->start) return a->start < b->start;
+    return a->span_id < b->span_id;
+  };
+  for (auto& [id, kids] : children) {
+    std::sort(kids.begin(), kids.end(), by_start);
+  }
+  std::sort(roots.begin(), roots.end(), by_start);
+
+  std::ostringstream os;
+  auto emit = [&](const SpanData* s, int depth, auto&& self) -> void {
+    for (int i = 0; i < depth; ++i) os << "  ";
+    os << layer_name(s->layer) << ":" << s->name << " "
+       << (s->end - s->start) / 1000 << "us";
+    if (s->value != 0) os << " value=" << s->value;
+    os << "\n";
+    const auto it = children.find(s->span_id);
+    if (it != children.end()) {
+      for (const SpanData* k : it->second) self(k, depth + 1, self);
+    }
+  };
+  for (const SpanData* r : roots) emit(r, 0, emit);
+  return os.str();
+}
+
+Span::Span(Layer layer, const char* name, TraceBuffer& buf)
+    : buf_(buf), saved_(t_context) {
+  data_.layer = layer;
+  data_.name = name;
+  if (saved_.active()) {
+    data_.trace_id = saved_.trace_id;
+    data_.parent_id = saved_.span_id;
+  } else {
+    data_.trace_id = buf_.mint_trace_id();
+    data_.parent_id = 0;
+  }
+  data_.span_id = buf_.mint_span_id();
+  t_context = SpanContext{data_.trace_id, data_.span_id};
+  data_.start = buf_.now();
+}
+
+Span::~Span() {
+  data_.end = buf_.now();
+  buf_.record(data_);
+  t_context = saved_;
+}
+
+}  // namespace nest::obs

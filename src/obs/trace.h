@@ -1,0 +1,163 @@
+// Per-request trace spans (observability tentpole, PR 3).
+//
+// A protocol handler opens a Span as it starts serving a request; with no
+// active trace on the thread, that span mints a fresh trace id and becomes
+// the root. Every nested layer (dispatcher, storage, journal, transfer)
+// opens its own child Span; the parent link comes from a thread-local
+// SpanContext that each Span saves and restores RAII-style, so the tree
+// shape follows the call stack with no plumbing through signatures.
+//
+// Recording is a seqlock-style lock-free per-thread ring buffer:
+//   * each recording thread owns (exclusively) one Ring; rings are handed
+//     out from a registry under a mutex the first time a thread records
+//     into a given buffer, and returned to a freelist when the thread
+//     exits so connection-per-thread servers do not grow without bound;
+//   * a finished span is written into the owner ring's next slot guarded
+//     by a per-slot sequence word (odd = write in progress). Every slot
+//     field is a relaxed std::atomic, so concurrent snapshot() readers are
+//     data-race-free (TSan-clean); the sequence re-check discards slots
+//     caught mid-write. Span names must point at static storage — a name
+//     is published as a single atomic pointer store, never a char copy.
+//   * writers never block and never allocate after their ring exists;
+//     readers walk all rings under the registry mutex.
+//
+// Timestamps come from the buffer's Clock (RealClock by default,
+// injectable for deterministic tests).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace nest::obs {
+
+enum class Layer : std::uint8_t { protocol, dispatcher, transfer, storage,
+                                  journal };
+const char* layer_name(Layer l) noexcept;
+
+// A completed span as read back out of the ring.
+struct SpanData {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root of its trace
+  Nanos start = 0;
+  Nanos end = 0;
+  const char* name = "";  // static storage
+  Layer layer = Layer::protocol;
+  std::int64_t value = 0;  // op-specific annotation (bytes, lsn, ...)
+};
+
+// The ambient trace position of the current thread.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool active() const { return trace_id != 0; }
+};
+
+SpanContext current_context();
+void set_context(SpanContext ctx);
+
+class TraceBuffer {
+ public:
+  // `ring_capacity` = spans retained per recording thread.
+  explicit TraceBuffer(std::size_t ring_capacity = 2048);
+  ~TraceBuffer();
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  // Process-wide buffer the instrumentation hooks record into.
+  static TraceBuffer& instance();
+
+  // Timestamp source; nullptr restores RealClock. Test hook.
+  void set_clock(Clock* clock);
+
+  std::uint64_t mint_trace_id() {
+    return next_trace_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t mint_span_id() {
+    return next_span_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Nanos now() const;
+
+  // Publish a finished span (called from Span's destructor).
+  void record(const SpanData& s);
+
+  // All retained spans (per-ring insertion order, oldest first within a
+  // ring). Slots caught mid-write are skipped.
+  std::vector<SpanData> snapshot() const;
+  // Spans of one trace, sorted by start time.
+  std::vector<SpanData> trace(std::uint64_t trace_id) const;
+  // Trace id of the most recently *started* span matching layer+name
+  // (0 when absent) — how tests and the CLI find "the last GET".
+  std::uint64_t find_trace(Layer layer, const std::string& name) const;
+
+  std::string dump_json() const;
+  static std::string to_json(const std::vector<SpanData>& spans);
+  // Indented parent→child rendering of one trace's spans.
+  static std::string render_tree(const std::vector<SpanData>& spans);
+
+  std::size_t ring_capacity() const { return cap_; }
+  std::size_t ring_count() const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // odd while a write is in flight
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> span_id{0};
+    std::atomic<std::uint64_t> parent_id{0};
+    std::atomic<Nanos> start{0};
+    std::atomic<Nanos> end{0};
+    std::atomic<const char*> name{""};
+    std::atomic<std::uint8_t> layer{0};
+    std::atomic<std::int64_t> value{0};
+  };
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : slots(std::make_unique<Slot[]>(cap)) {}
+    std::unique_ptr<Slot[]> slots;
+    std::atomic<std::uint64_t> head{0};   // total spans ever written
+    std::atomic<bool> in_use{false};      // claimed by a live thread
+  };
+
+  Ring* claim_ring();   // registry path: reuse a free ring or grow
+  Ring* local_ring();   // thread-local fast path
+
+  const std::size_t cap_;
+  const std::uint64_t buffer_id_;  // for thread-local cache validation
+  std::atomic<std::uint64_t> next_trace_{1};
+  std::atomic<std::uint64_t> next_span_{1};
+  std::atomic<Clock*> clock_;
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+// RAII span. Construction captures the parent from the thread-local
+// context (minting a trace id when none is active, i.e. at the protocol
+// edge), installs itself as the current context, and stamps the start
+// time; destruction stamps the end time, records into the buffer, and
+// restores the saved context. `name` must be a string literal or other
+// static storage.
+class Span {
+ public:
+  explicit Span(Layer layer, const char* name,
+                TraceBuffer& buf = TraceBuffer::instance());
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void set_value(std::int64_t v) { data_.value = v; }
+  std::uint64_t trace_id() const { return data_.trace_id; }
+  std::uint64_t span_id() const { return data_.span_id; }
+
+ private:
+  TraceBuffer& buf_;
+  SpanContext saved_;
+  SpanData data_;
+};
+
+}  // namespace nest::obs

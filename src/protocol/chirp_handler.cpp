@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace nest::protocol {
 
@@ -122,6 +123,8 @@ void ChirpHandler::serve(net::TcpStream& stream) {
     req.protocol = "chirp";
 
     if (cmd == "get" && words.size() == 2) {
+      // Trace root for the whole GET: approval, then the streamed blocks.
+      obs::Span pspan(obs::Layer::protocol, "get");
       req.op = NestOp::get;
       req.path = words[1];
       auto ticket = ctx_.dispatcher->approve_get(req);
@@ -198,6 +201,7 @@ void ChirpHandler::serve(net::TcpStream& stream) {
     }
 
     if (cmd == "put" && words.size() == 3) {
+      obs::Span pspan(obs::Layer::protocol, "put");
       const auto size = parse_int(words[2]);
       if (!size || *size < 0) {
         reply(stream, "501 bad size");
@@ -270,6 +274,8 @@ void ChirpHandler::serve(net::TcpStream& stream) {
     } else if (cmd == "journal" && words.size() == 2 &&
                to_lower(words[1]) == "stat") {
       req.op = NestOp::journal_stat;
+    } else if (cmd == "stats" && words.size() == 1) {
+      req.op = NestOp::stats_query;
     } else if (cmd == "acl" && words.size() >= 3) {
       const std::string sub = to_lower(words[1]);
       if (sub == "set" && words.size() >= 4) {
@@ -298,6 +304,7 @@ void ChirpHandler::serve(net::TcpStream& stream) {
       continue;
     }
 
+    obs::Span pspan(obs::Layer::protocol, op_name(req.op));
     const Reply r = ctx_.dispatcher->execute(req);
     if (!r.status.ok()) {
       reply(stream, chirp_error_line(r.status));
@@ -308,6 +315,7 @@ void ChirpHandler::serve(net::TcpStream& stream) {
       case NestOp::acl_get:
       case NestOp::query_ad:
       case NestOp::lot_list:
+      case NestOp::stats_query:
         if (!reply_payload(stream, r.text)) return;
         break;
       case NestOp::lot_create:

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/log.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace nest::protocol {
 
@@ -112,6 +114,8 @@ Status TransferExecutor::move_blocks(const std::string& protocol,
                                      net::TcpStream& stream,
                                      std::int64_t size, bool send,
                                      std::int64_t start_offset) {
+  obs::Span tspan(obs::Layer::transfer, "transfer");
+  tspan.set_value(size);
   TransferRequest* req =
       core_.create_request(protocol,
                            send ? Direction::read : Direction::write,
@@ -166,6 +170,8 @@ Status TransferExecutor::move_blocks(const std::string& protocol,
     std::int64_t off = 0;
     while (off < size) {
       const std::int64_t len = std::min(block_bytes_, size - off);
+      obs::Span qspan(obs::Layer::transfer, "quantum");
+      qspan.set_value(len);
       core_.acquire(req);
       auto file_part = [&]() -> Status {
         if (send) {
@@ -239,7 +245,21 @@ Status TransferExecutor::move_blocks(const std::string& protocol,
     }
   }
   core_.complete(req);
+  record_request(protocol, elapsed, result.ok());
   return result;
+}
+
+// Whole-transfer accounting shared by every data-movement entry point:
+// the per-protocol request-latency histograms plus the request/error
+// counters that `/stats` and the discovery ad report.
+void TransferExecutor::record_request(const std::string& protocol,
+                                      Nanos elapsed, bool ok) {
+  auto& stats = obs::Stats::global();
+  stats.requests.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) stats.errors.fetch_add(1, std::memory_order_relaxed);
+  stats.request_latency(protocol).record(elapsed);
+  stats.request_all.record(elapsed);
+  stats.transfer_latency.record(elapsed);
 }
 
 Status TransferExecutor::send_file(const std::string& protocol,
@@ -265,6 +285,8 @@ Status TransferExecutor::send_file_range(
 Result<std::int64_t> TransferExecutor::recv_until_eof(
     const std::string& protocol, const storage::TransferTicket& ticket,
     net::TcpStream& stream) {
+  obs::Span tspan(obs::Layer::transfer, "transfer");
+  const Nanos start = clock_.now();
   TransferRequest* req = core_.create_request(
       protocol, Direction::write, ticket.path, /*size=*/0, ticket.user);
   ConcurrencyModel model = core_.pick_model();
@@ -273,6 +295,7 @@ Result<std::int64_t> TransferExecutor::recv_until_eof(
   std::int64_t off = 0;
   Status result;
   while (true) {
+    obs::Span qspan(obs::Layer::transfer, "quantum");
     core_.acquire(req);
     std::int64_t got = 0;
     const Status s = run_block(model, [&]() -> Status {
@@ -298,6 +321,8 @@ Result<std::int64_t> TransferExecutor::recv_until_eof(
     off += got;
   }
   core_.complete(req);
+  tspan.set_value(off);
+  record_request(protocol, clock_.now() - start, result.ok());
   if (!result.ok()) return result.error();
   return off;
 }
@@ -305,6 +330,9 @@ Result<std::int64_t> TransferExecutor::recv_until_eof(
 Result<std::int64_t> TransferExecutor::read_block(
     const std::string& protocol, const storage::TransferTicket& ticket,
     std::int64_t offset, std::span<char> buf) {
+  obs::Span tspan(obs::Layer::transfer, "read_block");
+  tspan.set_value(static_cast<std::int64_t>(buf.size()));
+  const Nanos start = clock_.now();
   TransferRequest* req = core_.create_request(
       protocol, Direction::read, ticket.path,
       static_cast<std::int64_t>(buf.size()), ticket.user);
@@ -319,6 +347,7 @@ Result<std::int64_t> TransferExecutor::read_block(
   if (s.ok() && n.ok()) core_.charge(req, *n);
   core_.release();
   core_.complete(req);
+  record_request(protocol, clock_.now() - start, s.ok() && n.ok());
   if (!s.ok()) return s.error();
   return n;
 }
@@ -326,6 +355,9 @@ Result<std::int64_t> TransferExecutor::read_block(
 Result<std::int64_t> TransferExecutor::write_block(
     const std::string& protocol, const storage::TransferTicket& ticket,
     std::int64_t offset, std::span<const char> buf) {
+  obs::Span tspan(obs::Layer::transfer, "write_block");
+  tspan.set_value(static_cast<std::int64_t>(buf.size()));
+  const Nanos start = clock_.now();
   TransferRequest* req = core_.create_request(
       protocol, Direction::write, ticket.path,
       static_cast<std::int64_t>(buf.size()), ticket.user);
@@ -340,6 +372,7 @@ Result<std::int64_t> TransferExecutor::write_block(
   if (s.ok() && n.ok()) core_.charge(req, *n);
   core_.release();
   core_.complete(req);
+  record_request(protocol, clock_.now() - start, s.ok() && n.ok());
   if (!s.ok()) return s.error();
   return n;
 }

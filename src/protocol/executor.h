@@ -104,6 +104,8 @@ class TransferExecutor {
                      std::int64_t start_offset = 0);
   Status run_block(transfer::ConcurrencyModel model,
                    const std::function<Status()>& work);
+  // Request/error counters + latency histograms for one finished request.
+  void record_request(const std::string& protocol, Nanos elapsed, bool ok);
   // Token bucket: returns after this block's share of the configured
   // bandwidth has elapsed (no-op when uncapped).
   void throttle(std::int64_t bytes);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace nest::protocol {
 
@@ -90,6 +91,11 @@ Result<bool> ModeEBlock::recv(net::TcpStream& s, std::vector<char>& data,
   };
   const std::uint64_t len = get64(1);
   offset = static_cast<std::int64_t>(get64(9));
+  // An attacker controls this 64-bit length; refuse anything beyond a
+  // sane block bound instead of attempting the allocation.
+  if (len > kMaxBlockBytes) {
+    return Error{Errc::protocol_error, "mode E block too large"};
+  }
   data.resize(len);
   if (len > 0) {
     if (auto st = s.read_exact(std::span(data.data(), data.size()));
@@ -324,6 +330,7 @@ void FtpHandler::serve(net::TcpStream& stream) {
     }
 
     if ((cmd == "list" || cmd == "nlst")) {
+      obs::Span pspan(obs::Layer::protocol, "list");
       req.op = NestOp::list;
       req.path = words.size() >= 2 ? resolve(words[1]) : cwd;
       const auto r = ctx_.dispatcher->execute(req);
@@ -344,6 +351,7 @@ void FtpHandler::serve(net::TcpStream& stream) {
     }
 
     if (cmd == "retr" && words.size() == 2) {
+      obs::Span pspan(obs::Layer::protocol, "get");
       req.op = NestOp::get;
       req.path = resolve(words[1]);
       auto ticket = ctx_.dispatcher->approve_get(req);
@@ -397,6 +405,7 @@ void FtpHandler::serve(net::TcpStream& stream) {
     }
 
     if (cmd == "stor" && words.size() == 2) {
+      obs::Span pspan(obs::Layer::protocol, "put");
       req.op = NestOp::put;
       req.path = resolve(words[1]);
       req.size = 0;  // FTP carries no length; settled after transfer

@@ -40,6 +40,11 @@ class GridFtpHandler final : public FtpHandler {
 // MODE E block framing used by the GridFTP data channel.
 struct ModeEBlock {
   static constexpr char kEofFlag = 0x40;
+  // Upper bound on a received block's declared length. The wire header
+  // carries an attacker-controlled 64-bit count; recv() rejects anything
+  // larger instead of attempting the allocation. Well above any block
+  // size a NeST peer emits (executor blocks are 64 KiB).
+  static constexpr std::uint64_t kMaxBlockBytes = 16ull * 1024 * 1024;
   static Status send(net::TcpStream& s, std::span<const char> data,
                      std::int64_t offset, bool eof);
   // Receives one block; returns false on the EOF block.

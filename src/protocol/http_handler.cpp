@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace nest::protocol {
 namespace {
@@ -138,7 +139,25 @@ void HttpHandler::serve(net::TcpStream& stream) {
     nreq.protocol = "http";
     nreq.path = req.path;
 
+    // Monitoring endpoints (reserved paths, shadowing any stored file):
+    // /stats — live appliance statistics; /trace — retained trace spans.
+    if (req.method == "get" && req.path == "/stats") {
+      if (!send_response(stream, 200, keep, ctx_.dispatcher->stats_json()))
+        return;
+      if (!keep) return;
+      continue;
+    }
+    if (req.method == "get" && req.path == "/trace") {
+      if (!send_response(stream, 200, keep,
+                         obs::TraceBuffer::instance().dump_json())) {
+        return;
+      }
+      if (!keep) return;
+      continue;
+    }
+
     if (req.method == "get" || req.method == "head") {
+      obs::Span pspan(obs::Layer::protocol, "get");
       nreq.op = NestOp::get;
       auto ticket = ctx_.dispatcher->approve_get(nreq);
       if (!ticket.ok()) {
@@ -191,6 +210,7 @@ void HttpHandler::serve(net::TcpStream& stream) {
     }
 
     if (req.method == "put") {
+      obs::Span pspan(obs::Layer::protocol, "put");
       const std::int64_t len = req.content_length();
       if (len < 0) {
         if (!send_response(stream, 411, keep)) return;
@@ -216,6 +236,7 @@ void HttpHandler::serve(net::TcpStream& stream) {
     }
 
     if (req.method == "delete") {
+      obs::Span pspan(obs::Layer::protocol, "unlink");
       nreq.op = NestOp::unlink;
       const auto r = ctx_.dispatcher->execute(nreq);
       if (!send_response(stream,

@@ -1,10 +1,12 @@
 #include "protocol/nfs_handler.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
 #include "common/log.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace nest::protocol {
 
@@ -173,8 +175,31 @@ void NfsService::handle_mount(const xdr::RpcCall& call, xdr::Decoder& args,
   }
 }
 
+namespace {
+// Static span names for each NFSv2 procedure (span names must outlive the
+// ring buffer, so no dynamic strings here).
+const char* nfs_proc_name(std::uint32_t proc) noexcept {
+  switch (proc) {
+    case NFSPROC_NULL: return "null";
+    case NFSPROC_GETATTR: return "getattr";
+    case NFSPROC_LOOKUP: return "lookup";
+    case NFSPROC_READ: return "read";
+    case NFSPROC_WRITE: return "write";
+    case NFSPROC_CREATE: return "create";
+    case NFSPROC_REMOVE: return "remove";
+    case NFSPROC_RENAME: return "rename";
+    case NFSPROC_MKDIR: return "mkdir";
+    case NFSPROC_RMDIR: return "rmdir";
+    case NFSPROC_READDIR: return "readdir";
+    case NFSPROC_STATFS: return "statfs";
+  }
+  return "proc";
+}
+}  // namespace
+
 void NfsService::handle_nfs(const xdr::RpcCall& call, xdr::Decoder& args,
                             xdr::Encoder& out) {
+  obs::Span pspan(obs::Layer::protocol, nfs_proc_name(call.proc));
   const storage::Principal who = principal_for(call);
 
   auto fail = [&](NfsStat st) { out.put_u32(st); };
@@ -267,6 +292,22 @@ void NfsService::handle_nfs(const xdr::RpcCall& call, xdr::Decoder& args,
       storage::TransferTicket ticket;
       ticket.path = *path;
       ticket.handle = std::move(handle.value());
+      // NFSv2 writes are synchronous and carry no whole-file size, so
+      // space admission happens per block: re-charge the file's
+      // prospective total before the bytes land (charge_written releases
+      // the prior charge), mirroring what PUT-style protocols do with a
+      // declared size up front. A block the lots/quota cannot hold is
+      // refused with NOSPC and never written.
+      const auto old_size = ticket.handle->size();
+      const std::int64_t prospective =
+          std::max(old_size.ok() ? *old_size : 0,
+                   static_cast<std::int64_t>(*offset) +
+                       static_cast<std::int64_t>(data->size()));
+      if (auto charged =
+              dispatcher_.storage().charge_written(who, *path, prospective);
+          !charged.ok()) {
+        return fail(errc_to_nfs(charged.code()));
+      }
       auto n = executor_.write_block(
           "nfs", ticket, *offset,
           std::span<const char>(data->data(), data->size()));

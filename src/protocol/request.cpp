@@ -25,6 +25,7 @@ const char* op_name(NestOp op) noexcept {
     case NestOp::acl_get: return "acl_get";
     case NestOp::query_ad: return "query_ad";
     case NestOp::journal_stat: return "journal_stat";
+    case NestOp::stats_query: return "stats";
   }
   return "?";
 }

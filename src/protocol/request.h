@@ -36,6 +36,7 @@ enum class NestOp {
   acl_get,
   query_ad,       // fetch the appliance's resource ClassAd
   journal_stat,   // metadata journal statistics (admin)
+  stats_query,    // live appliance statistics as JSON (admin/monitoring)
 };
 
 const char* op_name(NestOp op) noexcept;

@@ -2,6 +2,8 @@
 
 #include "common/log.h"
 #include "common/string_util.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace nest::storage {
 
@@ -124,7 +126,12 @@ void StorageManager::maybe_snapshot_locked() {
 
 Status StorageManager::barrier(journal::Lsn lsn) {
   if (lsn == 0 || !journal_) return {};
-  return journal_->commit(lsn);
+  obs::Span span(obs::Layer::journal, "commit");
+  span.set_value(static_cast<std::int64_t>(lsn));
+  const Nanos wait_start = clock_.now();
+  Status s = journal_->commit(lsn);
+  obs::Stats::global().journal_fsync_wait.record(clock_.now() - wait_start);
+  return s;
 }
 
 Status StorageManager::check(const Principal& who, const std::string& path,
@@ -133,6 +140,7 @@ Status StorageManager::check(const Principal& who, const std::string& path,
 }
 
 Status StorageManager::mkdir(const Principal& who, const std::string& path) {
+  obs::Span span(obs::Layer::storage, "mkdir");
   std::lock_guard lock(mu_);
   if (auto s = check(who, parent_path(path), Right::insert); !s.ok()) return s;
   auto s = fs_->mkdir(path);
@@ -141,12 +149,14 @@ Status StorageManager::mkdir(const Principal& who, const std::string& path) {
 }
 
 Status StorageManager::rmdir(const Principal& who, const std::string& path) {
+  obs::Span span(obs::Layer::storage, "rmdir");
   std::lock_guard lock(mu_);
   if (auto s = check(who, path, Right::del); !s.ok()) return s;
   return fs_->rmdir(path);
 }
 
 Status StorageManager::remove(const Principal& who, const std::string& path) {
+  obs::Span span(obs::Layer::storage, "remove");
   std::unique_lock lock(mu_);
   const Status out = remove_locked(who, path);
   auto sealed = seal_batch_locked();
@@ -175,6 +185,7 @@ Status StorageManager::remove_locked(const Principal& who,
 
 Result<FileStat> StorageManager::stat(const Principal& who,
                                       const std::string& path) const {
+  obs::Span span(obs::Layer::storage, "stat");
   std::lock_guard lock(mu_);
   if (auto s = check(who, parent_path(path), Right::lookup); !s.ok())
     return s.error();
@@ -183,6 +194,7 @@ Result<FileStat> StorageManager::stat(const Principal& who,
 
 Result<std::vector<DirEntry>> StorageManager::list(
     const Principal& who, const std::string& path) const {
+  obs::Span span(obs::Layer::storage, "list");
   std::lock_guard lock(mu_);
   if (auto s = check(who, path, Right::lookup); !s.ok()) return s.error();
   return fs_->list(path);
@@ -190,6 +202,7 @@ Result<std::vector<DirEntry>> StorageManager::list(
 
 Result<TransferTicket> StorageManager::approve_read(const Principal& who,
                                                     const std::string& path) {
+  obs::Span span(obs::Layer::storage, "approve_read");
   std::lock_guard lock(mu_);
   if (auto s = check(who, parent_path(path), Right::read); !s.ok())
     return s.error();
@@ -207,6 +220,7 @@ Result<TransferTicket> StorageManager::approve_read(const Principal& who,
 Result<TransferTicket> StorageManager::approve_write(const Principal& who,
                                                      const std::string& path,
                                                      std::int64_t size) {
+  obs::Span span(obs::Layer::storage, "approve_write");
   std::unique_lock lock(mu_);
   auto out = approve_write_locked(who, path, size);
   auto sealed = seal_batch_locked();
@@ -290,9 +304,16 @@ Status StorageManager::charge_written_locked(const Principal& who,
   auto allocs = lots_.charge(who.name, who.groups, norm, bytes);
   if (allocs.ok()) {
     for (const auto& a : *allocs) record_lot_locked(a.lot);
-  } else if (!(allocs.code() == Errc::lot_unknown &&
-               options_.allow_lotless_writes &&
-               bytes <= lots_.available_bytes())) {
+  } else if (allocs.code() == Errc::lot_unknown &&
+             options_.allow_lotless_writes) {
+    // Same admission rule as approve_write_locked — and the same error
+    // class when it fails, so every protocol reports space exhaustion as
+    // no_space rather than leaking the internal lot_unknown probe.
+    if (bytes > lots_.available_bytes()) {
+      return Status{
+          Error{Errc::no_space, "no lot and free space is guaranteed"}};
+    }
+  } else {
     return Status{allocs.error()};
   }
   if (options_.enforcement == LotEnforcement::nest_managed) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/stats.h"
+
 namespace nest::transfer {
 
 TransferCore::TransferCore(TransferManager& tm, int slots)
@@ -52,13 +54,33 @@ TransferRequest* TransferCore::create_request(const std::string& protocol,
                                               const std::string& path,
                                               std::int64_t size,
                                               const std::string& user) {
-  // Registry insert + cache-model residency probe happen inside
-  // TransferManager::create_request; hold both domains.
-  std::scoped_lock lock(reg_mu_, cache_mu_);
-  return tm_.create_request(protocol, dir, path, size, user);
+  TransferRequest* r;
+  {
+    // Registry insert + cache-model residency probe happen inside
+    // TransferManager::create_request; hold both domains.
+    std::scoped_lock lock(reg_mu_, cache_mu_);
+    r = tm_.create_request(protocol, dir, path, size, user);
+  }
+  auto& stats = obs::Stats::global();
+  (r->cached_fraction >= 0.99 ? stats.cache_hot : stats.cache_cold)
+      .fetch_add(1, std::memory_order_relaxed);
+  if (size > 0) {
+    stats.bytes_queued.fetch_add(size, std::memory_order_relaxed);
+  }
+  return r;
 }
 
 void TransferCore::charge(TransferRequest* r, std::int64_t bytes) {
+  // Shrink the queued-bytes gauge by this quantum's progress against the
+  // declared size (open-ended transfers, size 0, never entered it).
+  if (r->size > 0 && bytes > 0) {
+    const std::int64_t before = std::min(r->done, r->size);
+    const std::int64_t after = std::min(r->done + bytes, r->size);
+    if (after > before) {
+      obs::Stats::global().bytes_queued.fetch_sub(after - before,
+                                                  std::memory_order_relaxed);
+    }
+  }
   r->done += bytes;  // owner-thread field
   tm_.account_bytes(r->protocol, bytes);
   {
@@ -69,6 +91,16 @@ void TransferCore::charge(TransferRequest* r, std::int64_t bytes) {
 }
 
 void TransferCore::complete(TransferRequest* r) {
+  // Bytes that were admitted but never moved (failed/short transfer)
+  // leave the queued-bytes gauge here; read r->done before the registry
+  // frees the request.
+  if (r->size > 0) {
+    const std::int64_t left = r->size - std::min(r->done, r->size);
+    if (left > 0) {
+      obs::Stats::global().bytes_queued.fetch_sub(left,
+                                                  std::memory_order_relaxed);
+    }
+  }
   // Flush so no shard still holds an op referencing `r` after the
   // registry frees it. Holding sched_mu_ here also fences the last grant:
   // a pump stores/notifies the grant word only under sched_mu_, so it can
@@ -91,10 +123,18 @@ void TransferCore::acquire(TransferRequest* r) {
   submit(r);
   pump();
   std::uint32_t seen = grant.load(std::memory_order_acquire);
+  if (seen != 0) {
+    // Granted by our own pump: zero hold, and no clock reads on the
+    // uncontended fast path.
+    obs::Stats::global().sched_hold.record(0);
+    return;
+  }
+  const Nanos wait_start = tm_.clock().now();
   while (seen == 0) {
     grant.wait(0, std::memory_order_acquire);
     seen = grant.load(std::memory_order_acquire);
   }
+  obs::Stats::global().sched_hold.record(tm_.clock().now() - wait_start);
 }
 
 void TransferCore::release() {

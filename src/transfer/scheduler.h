@@ -143,21 +143,30 @@ class CacheModel;
 class CacheAwareScheduler final : public Scheduler {
  public:
   // `hot_threshold`: resident fraction at/above which a request is "hot".
-  explicit CacheAwareScheduler(double hot_threshold = 0.99)
-      : threshold_(hot_threshold) {}
+  // `aging_limit` bounds starvation: after this many consecutive hot
+  // grants while cold work waits, the head cold request is served even
+  // though hot work is pending (a continuous hot stream would otherwise
+  // starve cold requests forever).
+  explicit CacheAwareScheduler(double hot_threshold = 0.99,
+                               int aging_limit = 8)
+      : threshold_(hot_threshold), aging_limit_(aging_limit) {}
 
   void enqueue(TransferRequest* r) override {
     (r->cached_fraction >= threshold_ ? hot_ : cold_).push_back(r);
   }
   TransferRequest* next() override {
+    const bool cold_is_due =
+        !cold_.empty() && (hot_.empty() || hot_streak_ >= aging_limit_);
+    if (cold_is_due) {
+      TransferRequest* r = cold_.front();
+      cold_.pop_front();
+      hot_streak_ = 0;
+      return r;
+    }
     if (!hot_.empty()) {
       TransferRequest* r = hot_.front();
       hot_.pop_front();
-      return r;
-    }
-    if (!cold_.empty()) {
-      TransferRequest* r = cold_.front();
-      cold_.pop_front();
+      if (!cold_.empty()) ++hot_streak_;
       return r;
     }
     return nullptr;
@@ -168,6 +177,8 @@ class CacheAwareScheduler final : public Scheduler {
 
  private:
   double threshold_;
+  int aging_limit_;
+  int hot_streak_ = 0;  // consecutive hot grants with cold work waiting
   std::deque<TransferRequest*> hot_;
   std::deque<TransferRequest*> cold_;
 };

@@ -96,6 +96,7 @@ class TransferManager {
   }
 
   const Options& options() const { return options_; }
+  Clock& clock() const { return clock_; }
 
  private:
   Clock& clock_;

@@ -85,7 +85,14 @@ TEST(Kangaroo, SurvivesDestinationOutage) {
   opts.max_attempts = 200;
   KangarooMover mover(opts);
   ASSERT_TRUE(mover.put("/late.txt", "delivered after outage").ok());
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // Poll (bounded) until the mover has provably attempted delivery rather
+  // than sleeping a fixed interval and hoping the retry loop ran.
+  const auto poll_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (mover.stats().retries == 0 &&
+         std::chrono::steady_clock::now() < poll_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
   EXPECT_EQ(mover.stats().files_delivered, 0);  // still down
   EXPECT_GT(mover.stats().retries, 0);          // but trying
 
