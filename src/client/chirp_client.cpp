@@ -239,6 +239,19 @@ Result<std::string> ChirpClient::journal_stat() {
   return r->text;
 }
 
+Status ChirpClient::fault_set(const std::string& point,
+                              const std::string& spec) {
+  auto r = command("FAULT SET " + point + " " + spec);
+  if (!r.ok()) return Status{r.error()};
+  return to_status(*r);
+}
+
+Result<std::string> ChirpClient::fault_list() {
+  auto r = command("FAULT LIST");
+  if (!r.ok()) return r.error();
+  return read_payload(*r);
+}
+
 Status ChirpClient::quit() {
   auto r = command("QUIT");
   return r.ok() ? Status{} : Status{r.error()};

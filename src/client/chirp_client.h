@@ -68,6 +68,16 @@ class ChirpClient {
   // histograms, throughput, load, storage and journal state).
   Result<std::string> stats();
 
+  // Failpoint drills (superuser). Spec grammar: docs/fault-injection.md;
+  // "off" disarms. fault_list returns one "<name> <spec> evals=N trips=N"
+  // line per registered point.
+  Status fault_set(const std::string& point, const std::string& spec);
+  Result<std::string> fault_list();
+
+  // Receive timeout on the control connection (0 disables); lets chaos
+  // harnesses bound how long any one op may wedge.
+  Status set_read_timeout(int millis) { return stream_.set_read_timeout(millis); }
+
   Status quit();
 
  private:

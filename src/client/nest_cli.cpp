@@ -12,6 +12,7 @@
 //   lot-list                 journal-stat           stats
 //   acl-get <dir>            acl-set <dir> <classad-entry...>
 //   acl-clear <dir> <principal>
+//   fault-set <point> <spec>  fault-list
 //   ad
 #include <cstdio>
 #include <fstream>
@@ -30,7 +31,8 @@ int usage() {
                "[args...]\n"
                "commands: ls stat mkdir rmdir rm mv get put lot-create\n"
                "          lot-renew lot-terminate lot-query lot-list\n"
-               "          acl-get acl-set acl-clear journal-stat stats ad\n");
+               "          acl-get acl-set acl-clear journal-stat stats ad\n"
+               "          fault-set fault-list\n");
   return 2;
 }
 
@@ -183,6 +185,16 @@ int main(int argc, char** argv) {
     }
     const auto s = client->acl_set(rest[0], entry);
     return s.ok() ? 0 : fail(s);
+  }
+  if (cmd == "fault-set" && rest.size() == 2) {
+    const auto s = client->fault_set(rest[0], rest[1]);
+    return s.ok() ? 0 : fail(s);
+  }
+  if (cmd == "fault-list" && rest.empty()) {
+    auto points = client->fault_list();
+    if (!points.ok()) return fail(points.error());
+    std::printf("%s", points->c_str());
+    return 0;
   }
   if (cmd == "ad" && rest.empty()) {
     auto ad = client->query_ad();

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/units.h"
+#include "fault/failpoint.h"
 #include "obs/trace.h"
 
 namespace nest::dispatcher {
@@ -144,6 +145,25 @@ Reply Dispatcher::execute_impl(const NestRequest& req) {
       return Reply::ok(snapshot_ad().to_string());
     case NestOp::stats_query:
       return Reply::ok(stats_json());
+    case NestOp::fault_set:
+    case NestOp::fault_list: {
+      // Live fault drills can take the whole appliance down (crash specs);
+      // only the superuser may touch them.
+      if (!req.principal.authenticated ||
+          req.principal.name != storage_.options().superuser) {
+        return Reply::fail(
+            Status{Errc::permission_denied, "fault ops are superuser-only"});
+      }
+      if (req.op == NestOp::fault_set) {
+        return Reply{fault::registry().arm(req.path, req.acl_entry), {}, 0};
+      }
+      std::ostringstream os;
+      for (const auto& fp : fault::registry().list()) {
+        os << fp.name << " " << fp.spec << " evals=" << fp.evals
+           << " trips=" << fp.trips << "\n";
+      }
+      return Reply::ok(os.str());
+    }
     case NestOp::noop:
       return Reply::ok();
     case NestOp::get:
@@ -290,6 +310,13 @@ std::string Dispatcher::stats_json() const {
 }
 
 void Dispatcher::publish_once(discovery::Collector& collector) {
+  // Models a collector outage: the ad is skipped, never blocked on.
+  bool drop = false;
+  NEST_FAILPOINT("dispatcher.publish", drop = true);
+  if (drop) {
+    NEST_LOG_WARN("dispatcher", "ad publication dropped (failpoint)");
+    return;
+  }
   collector.advertise(options_.advertised_name, snapshot_ad());
 }
 

@@ -1,0 +1,278 @@
+#include "fault/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+#include "common/log.h"
+
+namespace nest::fault {
+namespace {
+
+// Errc names (matching errc_name()) plus the errno aliases operators reach
+// for in drills. Unknown names are a parse error, not a silent io_error.
+std::optional<Errc> errc_by_name(const std::string& s) {
+  static const std::map<std::string, Errc> kNames = {
+      {"ok", Errc::ok},
+      {"not_found", Errc::not_found},
+      {"exists", Errc::exists},
+      {"not_dir", Errc::not_dir},
+      {"is_dir", Errc::is_dir},
+      {"permission_denied", Errc::permission_denied},
+      {"not_authenticated", Errc::not_authenticated},
+      {"no_space", Errc::no_space},
+      {"lot_expired", Errc::lot_expired},
+      {"lot_unknown", Errc::lot_unknown},
+      {"invalid_argument", Errc::invalid_argument},
+      {"protocol_error", Errc::protocol_error},
+      {"io_error", Errc::io_error},
+      {"would_block", Errc::would_block},
+      {"connection_closed", Errc::connection_closed},
+      {"timed_out", Errc::timed_out},
+      {"unsupported", Errc::unsupported},
+      {"busy", Errc::busy},
+      {"internal", Errc::internal},
+      // errno aliases
+      {"EIO", Errc::io_error},
+      {"EPIPE", Errc::connection_closed},
+      {"ECONNRESET", Errc::connection_closed},
+      {"ECONNREFUSED", Errc::connection_closed},
+      {"ENOSPC", Errc::no_space},
+      {"EDQUOT", Errc::no_space},
+      {"EACCES", Errc::permission_denied},
+      {"EPERM", Errc::permission_denied},
+      {"ETIMEDOUT", Errc::timed_out},
+      {"EAGAIN", Errc::would_block},
+      {"EWOULDBLOCK", Errc::would_block},
+      {"ENOENT", Errc::not_found},
+      {"EEXIST", Errc::exists},
+      {"ENOTDIR", Errc::not_dir},
+      {"EISDIR", Errc::is_dir},
+      {"EBUSY", Errc::busy},
+      {"EINTR", Errc::io_error},
+  };
+  auto it = kNames.find(s);
+  if (it == kNames.end()) return std::nullopt;
+  return it->second;
+}
+
+// Consumes "keyword(" at `pos`; returns the argument text up to the matching
+// ')' and advances pos past it.
+bool take_paren_arg(const std::string& s, std::size_t& pos, std::string* arg) {
+  if (pos >= s.size() || s[pos] != '(') return false;
+  const std::size_t close = s.find(')', pos);
+  if (close == std::string::npos) return false;
+  *arg = s.substr(pos + 1, close - pos - 1);
+  pos = close + 1;
+  return true;
+}
+
+}  // namespace
+
+Result<Action> parse_action(const std::string& spec) {
+  Action a;
+  a.spec = spec;
+  if (spec.empty() || spec == "off") {
+    a.kind = Action::Kind::off;
+    a.spec = "off";
+    return a;
+  }
+  std::size_t pos = 0;
+  auto bad = [&](const std::string& why) {
+    return Error{Errc::invalid_argument, "failpoint spec '" + spec + "': " + why};
+  };
+  // Modifiers.
+  while (true) {
+    if (spec.compare(pos, 5, "prob(") == 0) {
+      pos += 4;
+      std::string arg;
+      if (!take_paren_arg(spec, pos, &arg)) return bad("unclosed prob(");
+      char* end = nullptr;
+      a.prob = std::strtod(arg.c_str(), &end);
+      if (end == arg.c_str() || *end != '\0' || a.prob < 0.0 || a.prob > 1.0)
+        return bad("prob wants a probability in [0,1]");
+    } else if (spec.compare(pos, 6, "after(") == 0) {
+      pos += 5;
+      std::string arg;
+      if (!take_paren_arg(spec, pos, &arg)) return bad("unclosed after(");
+      char* end = nullptr;
+      // strtoull silently wraps negatives; reject any sign explicitly.
+      const unsigned long long n = std::strtoull(arg.c_str(), &end, 10);
+      if (end == arg.c_str() || *end != '\0' || arg.find_first_of("+-") !=
+          std::string::npos)
+        return bad("after wants a count");
+      a.after = n;
+    } else {
+      break;
+    }
+  }
+  // Terminal.
+  if (spec.compare(pos, 6, "return") == 0) {
+    pos += 6;
+    a.kind = Action::Kind::ret;
+    a.errc = Errc::io_error;
+    if (pos < spec.size()) {
+      std::string arg;
+      if (!take_paren_arg(spec, pos, &arg)) return bad("junk after return");
+      if (!arg.empty()) {
+        auto e = errc_by_name(arg);
+        if (!e) return bad("unknown error name '" + arg + "'");
+        a.errc = *e;
+      }
+    }
+  } else if (spec.compare(pos, 6, "sleep(") == 0) {
+    pos += 5;
+    a.kind = Action::Kind::sleep;
+    std::string arg;
+    if (!take_paren_arg(spec, pos, &arg)) return bad("unclosed sleep(");
+    char* end = nullptr;
+    const long ms = std::strtol(arg.c_str(), &end, 10);
+    if (end == arg.c_str() || *end != '\0' || ms < 0 || ms > 60'000)
+      return bad("sleep wants millis in [0,60000]");
+    a.sleep_ms = static_cast<int>(ms);
+  } else if (spec.compare(pos, 5, "crash") == 0) {
+    pos += 5;
+    a.kind = Action::Kind::crash;
+  } else {
+    return bad("expected return/sleep/crash terminal");
+  }
+  if (pos != spec.size()) return bad("trailing junk");
+  return a;
+}
+
+FailPoint::FailPoint(std::string name, std::uint64_t seed)
+    : name_(std::move(name)),
+      rng_(seed ^ std::hash<std::string>{}(name_)) {}
+
+std::optional<Error> FailPoint::fire() {
+  evals_.fetch_add(1, std::memory_order_relaxed);
+  Action act;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (action_.kind == Action::Kind::off) return std::nullopt;
+    if (remaining_after_ > 0) {
+      --remaining_after_;
+      return std::nullopt;
+    }
+    if (action_.prob < 1.0 && !rng_.bernoulli(action_.prob))
+      return std::nullopt;
+    act = action_;
+  }
+  trips_.fetch_add(1, std::memory_order_relaxed);
+  switch (act.kind) {
+    case Action::Kind::sleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(act.sleep_ms));
+      return std::nullopt;
+    case Action::Kind::crash:
+      NEST_LOG_ERROR("fault", "failpoint %s: crash", name_.c_str());
+      std::_Exit(134);
+    case Action::Kind::ret:
+      return Error{act.errc, "failpoint " + name_};
+    case Action::Kind::off:
+      break;
+  }
+  return std::nullopt;
+}
+
+void FailPoint::arm(const Action& action) {
+  std::lock_guard<std::mutex> lk(mu_);
+  action_ = action;
+  remaining_after_ = action.after;
+  armed_.store(action.kind != Action::Kind::off, std::memory_order_relaxed);
+}
+
+void FailPoint::disarm() {
+  std::lock_guard<std::mutex> lk(mu_);
+  action_ = Action{};
+  remaining_after_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+std::string FailPoint::spec() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return action_.kind == Action::Kind::off ? "off" : action_.spec;
+}
+
+void FailPoint::reseed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rng_ = Rng(seed ^ std::hash<std::string>{}(name_));
+}
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry();  // never destroyed: points outlive exit
+  return *r;
+}
+
+FailPoint& Registry::point(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_
+             .emplace(name, std::make_unique<FailPoint>(name, seed_))
+             .first;
+  }
+  return *it->second;
+}
+
+Status Registry::arm(const std::string& name, const std::string& spec) {
+  if (name.empty())
+    return Status{Errc::invalid_argument, "failpoint name is empty"};
+  auto action = parse_action(spec);
+  if (!action.ok()) return Status{action.error()};
+  point(name).arm(*action);
+  NEST_LOG_INFO("fault", "failpoint %s = %s", name.c_str(),
+                action->spec.c_str());
+  return {};
+}
+
+Status Registry::arm_many(const std::string& specs) {
+  std::size_t start = 0;
+  while (start <= specs.size()) {
+    std::size_t end = specs.find(';', start);
+    if (end == std::string::npos) end = specs.size();
+    std::string item = specs.substr(start, end - start);
+    start = end + 1;
+    // Trim surrounding whitespace.
+    const std::size_t b = item.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    const std::size_t e = item.find_last_not_of(" \t");
+    item = item.substr(b, e - b + 1);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      return Status{Errc::invalid_argument,
+                    "failpoint list item '" + item + "': expected name=spec"};
+    if (auto s = arm(item.substr(0, eq), item.substr(eq + 1)); !s.ok())
+      return s;
+  }
+  return {};
+}
+
+void Registry::disarm_all() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, fp] : points_) fp->disarm();
+}
+
+std::vector<FailPointInfo> Registry::list() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<FailPointInfo> out;
+  out.reserve(points_.size());
+  for (const auto& [name, fp] : points_)
+    out.push_back({name, fp->spec(), fp->evals(), fp->trips()});
+  return out;
+}
+
+void Registry::apply_env(const char* var) {
+  const char* v = std::getenv(var);
+  if (!v || !*v) return;
+  if (auto s = arm_many(v); !s.ok())
+    NEST_LOG_WARN("fault", "%s: %s", var, s.to_string().c_str());
+}
+
+void Registry::seed(std::uint64_t s) {
+  std::lock_guard<std::mutex> lk(mu_);
+  seed_ = s;
+  for (auto& [name, fp] : points_) fp->reseed(s);
+}
+
+}  // namespace nest::fault

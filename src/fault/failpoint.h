@@ -1,0 +1,143 @@
+// Failpoint fault-injection registry.
+//
+// Every place where NeST touches the outside world (journal I/O, backing
+// filesystem, sockets, transfer grants, dispatcher ads) declares a named
+// failpoint. A disarmed point costs one relaxed atomic load; an armed point
+// evaluates an action spec and may inject an error, a delay, or kill the
+// process. Points are armed from three surfaces:
+//
+//   env     NEST_FAILPOINTS="journal.fsync=after(3)crash;net.send=prob(0.01)return(EPIPE)"
+//   config  nestd `failpoints` key (same grammar)
+//   wire    Chirp FAULT SET/LIST (superuser only; nest-cli fault-set/fault-list)
+//
+// Action-spec grammar (no whitespace):
+//
+//   spec      := "off" | modifier* terminal
+//   modifier  := "prob(" float ")" | "after(" uint ")"
+//   terminal  := "return" | "return(" err ")" | "sleep(" millis ")" | "crash"
+//   err       := Errc name ("io_error", "no_space", ...) or an errno alias
+//                ("EPIPE", "EIO", "ENOSPC", "ETIMEDOUT", ...)
+//
+// `after(n)` skips the first n evaluations, then the terminal applies to
+// every later one (subject to `prob`). `return` with no argument injects
+// io_error. `sleep` delays but does not fail. `crash` calls _Exit(134) —
+// only meaningful for out-of-process drills. See docs/fault-injection.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace nest::fault {
+
+struct Action {
+  enum class Kind { off, ret, sleep, crash };
+  Kind kind = Kind::off;
+  double prob = 1.0;          // fire probability once past `after`
+  std::uint64_t after = 0;    // evaluations to skip before firing
+  Errc errc = Errc::io_error; // for Kind::ret
+  int sleep_ms = 0;           // for Kind::sleep
+  std::string spec;           // normalized source text, for fault-list
+};
+
+// Parses the grammar above; invalid_argument on malformed specs.
+Result<Action> parse_action(const std::string& spec);
+
+class FailPoint {
+ public:
+  explicit FailPoint(std::string name, std::uint64_t seed);
+
+  const std::string& name() const { return name_; }
+
+  // Hot-path gate: one relaxed load when disarmed.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Evaluates the armed action. Returns the injected error for `return`
+  // actions; nullopt when the point does not fire this time (prob/after
+  // filtered it out, or the action is sleep — which blocks first).
+  std::optional<Error> fire();
+
+  void arm(const Action& action);
+  void disarm();
+
+  std::string spec() const;                 // "off" when disarmed
+  std::uint64_t evals() const { return evals_.load(std::memory_order_relaxed); }
+  std::uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+  void reseed(std::uint64_t seed);
+
+ private:
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> evals_{0};
+  std::atomic<std::uint64_t> trips_{0};
+  mutable std::mutex mu_;  // guards action_, remaining_, rng_
+  Action action_;
+  std::uint64_t remaining_after_ = 0;
+  Rng rng_;
+};
+
+struct FailPointInfo {
+  std::string name;
+  std::string spec;
+  std::uint64_t evals = 0;
+  std::uint64_t trips = 0;
+};
+
+// Process-wide registry. Points are created on first reference and never
+// destroyed, so NEST_FAILPOINT call sites can cache a reference in a
+// function-local static.
+class Registry {
+ public:
+  static Registry& instance();
+
+  FailPoint& point(const std::string& name);
+
+  // "off" (or "") disarms. Arming an unknown name creates the point — it
+  // simply never fires until code references it.
+  Status arm(const std::string& name, const std::string& spec);
+  // "name=spec;name=spec" lists (';'-separated, blanks skipped).
+  Status arm_many(const std::string& specs);
+  void disarm_all();
+
+  std::vector<FailPointInfo> list() const;
+
+  // Applies $NEST_FAILPOINTS if set. Malformed specs are logged, not fatal.
+  void apply_env(const char* var = "NEST_FAILPOINTS");
+
+  // Reseeds every point's private RNG (prob draws) for deterministic runs.
+  void seed(std::uint64_t s);
+
+ private:
+  Registry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<FailPoint>> points_;
+  std::uint64_t seed_ = 0;
+};
+
+inline Registry& registry() { return Registry::instance(); }
+
+}  // namespace nest::fault
+
+// Injection site. `stmt` runs only when a `return` action fires; within it,
+// `err` names the injected Error. Sleep actions block inside fire() and then
+// let the call site continue; crash never returns. Disarmed cost: one
+// static-init guard check plus one relaxed atomic load.
+#define NEST_FAILPOINT(point_name, stmt)                             \
+  do {                                                               \
+    static ::nest::fault::FailPoint& nest_fp_ =                      \
+        ::nest::fault::registry().point(point_name);                 \
+    if (nest_fp_.armed()) {                                          \
+      if (auto nest_fired_ = nest_fp_.fire()) {                      \
+        [[maybe_unused]] const ::nest::Error& err = *nest_fired_;    \
+        stmt;                                                        \
+      }                                                              \
+    }                                                                \
+  } while (0)

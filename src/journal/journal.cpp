@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "fault/failpoint.h"
 #include "journal/crc32c.h"
 #include "journal/record.h"
 
@@ -120,6 +121,11 @@ Result<SyncMode> sync_mode_by_name(const std::string& name) {
 }
 
 void JournalOptions::apply_env() {
+  // Compat shim: JOURNAL_CRASH_AFTER predates the failpoint registry and
+  // stays supported because it arms a *per-instance* counter — test loops
+  // that open many journals in one process rely on that isolation. New
+  // code should arm `journal.crash=after(n)return()` instead (same
+  // semantics, process-wide; see docs/fault-injection.md).
   if (const char* v = std::getenv("JOURNAL_CRASH_AFTER")) {
     crash_after_frames = std::strtol(v, nullptr, 10);
   }
@@ -291,6 +297,7 @@ Status Journal::recover() {
 }
 
 Status Journal::open_segment_locked(Lsn start_lsn) {
+  NEST_FAILPOINT("journal.segment_roll", return Status{err});
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -327,6 +334,15 @@ Status Journal::open_segment_locked(Lsn start_lsn) {
 Result<Lsn> Journal::append(std::string payload) {
   std::lock_guard lock(mu_);
   if (dead_) return Error{Errc::io_error, "journal is dead (injected crash)"};
+  // An append-layer failure kills the journal: the storage layer has
+  // already mutated in-memory state when it seals a batch, so "record
+  // refused but journal still live" would let later acked ops diverge
+  // from what replay reconstructs.
+  NEST_FAILPOINT("journal.append", {
+    dead_ = true;
+    durable_cv_.notify_all();
+    return err;
+  });
   const Lsn lsn = next_lsn_++;
   if (pending_.empty()) pending_first_lsn_ = lsn;
   pending_.push_back(encode_frame(lsn, payload));
@@ -341,12 +357,37 @@ Status Journal::flush_locked() {
   // Roll when the live segment is over the threshold; the new segment
   // starts at the first pending LSN.
   if (seg_size_ >= options_.segment_bytes) {
-    if (auto s = open_segment_locked(pending_first_lsn_); !s.ok()) return s;
+    if (auto s = open_segment_locked(pending_first_lsn_); !s.ok()) {
+      // A WAL that cannot open its next segment is broken: marking it dead
+      // keeps the pending frames from becoming durable on a later retry
+      // after their ops were already reported as failed.
+      dead_ = true;
+      durable_cv_.notify_all();
+      return s;
+    }
   }
   Lsn written_upto = durable_lsn_;
+  // A failed write or fsync leaves durability unknown for everything
+  // since the last successful fsync: those ops were (or will be)
+  // reported as failed, so the bytes must not survive into recovery.
+  // Discard them before going dead, exactly like the crash path.
+  const auto fail_discarding = [&](Status s) {
+    const std::int64_t keep =
+        seg_durable_size_ > 0
+            ? seg_durable_size_
+            : static_cast<std::int64_t>(kSegmentHeaderBytes);
+    (void)::ftruncate(fd_, static_cast<off_t>(keep));
+    (void)::lseek(fd_, 0, SEEK_END);
+    seg_size_ = keep;
+    dead_ = true;
+    durable_cv_.notify_all();
+    return s;
+  };
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     const std::string& frame = pending_[i];
-    if (options_.crash_after_frames == 0) {
+    bool tear = options_.crash_after_frames == 0;
+    NEST_FAILPOINT("journal.crash", tear = true);
+    if (tear) {
       // Injected crash: discard everything past the last fsync (emulating
       // page-cache loss — frames written earlier in this very flush die
       // too) and leave a torn half-frame behind for recovery to truncate.
@@ -363,20 +404,19 @@ Status Journal::flush_locked() {
       return Status{Errc::io_error, "journal crashed (injected)"};
     }
     if (options_.crash_after_frames > 0) --options_.crash_after_frames;
-    if (auto s = write_all_fd(fd_, frame.data(), frame.size()); !s.ok()) {
-      dead_ = true;
-      durable_cv_.notify_all();
-      return s;
-    }
+    Status ws;
+    NEST_FAILPOINT("journal.write", ws = Status{err});
+    if (ws.ok()) ws = write_all_fd(fd_, frame.data(), frame.size());
+    if (!ws.ok()) return fail_discarding(ws);
     seg_size_ += static_cast<std::int64_t>(frame.size());
     ++written_upto;
   }
   if (options_.sync != SyncMode::none) {
-    if (::fsync(fd_) != 0) {
-      dead_ = true;
-      durable_cv_.notify_all();
-      return Status{Errc::io_error, "fsync " + seg_path_};
-    }
+    Status fs;
+    NEST_FAILPOINT("journal.fsync", fs = Status{err});
+    if (fs.ok() && ::fsync(fd_) != 0)
+      fs = Status{Errc::io_error, "fsync " + seg_path_};
+    if (!fs.ok()) return fail_discarding(fs);
     ++fsyncs_;
   }
   seg_durable_size_ = seg_size_;
@@ -452,6 +492,9 @@ Status Journal::write_snapshot(const std::string& payload) {
   // The snapshot covers every appended record: flush them first so the
   // on-disk state never goes backwards if the snapshot write dies.
   if (auto s = flush_locked(); !s.ok()) return s;
+  // Snapshot failures are non-fatal: segments are intact, replay stays
+  // complete, the caller just keeps the longer tail.
+  NEST_FAILPOINT("journal.snapshot", return Status{err});
   const Lsn snap_lsn = next_lsn_ - 1;
 
   const std::string path =

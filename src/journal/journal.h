@@ -59,11 +59,15 @@ struct JournalOptions {
   SyncMode sync = SyncMode::always;
   Nanos commit_interval = 5 * kMillisecond;  // group-commit fsync cadence
   std::int64_t segment_bytes = 4 * 1024 * 1024;  // roll threshold
-  // Fault injection: tear the (N+1)th frame written to the OS and go
-  // dead. -1 disables.
+  // Legacy per-instance crash point: tear the (N+1)th frame written to
+  // the OS and go dead. -1 disables. New code should arm the process-wide
+  // `journal.crash=after(n)return()` failpoint instead (same tear
+  // semantics); this counter remains for test loops that need per-journal
+  // isolation. Additional journal failpoints: journal.append,
+  // journal.write, journal.fsync, journal.segment_roll, journal.snapshot.
   long crash_after_frames = -1;
 
-  // Overlay JOURNAL_CRASH_AFTER from the environment (crash harness hook).
+  // Compat shim: overlay JOURNAL_CRASH_AFTER from the environment.
   void apply_env();
 };
 

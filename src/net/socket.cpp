@@ -1,5 +1,7 @@
 #include "net/socket.h"
 
+#include "fault/failpoint.h"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -47,6 +49,7 @@ void Fd::reset() {
 }
 
 Result<TcpStream> TcpStream::connect(const std::string& host, uint16_t port) {
+  NEST_FAILPOINT("net.connect", return err);
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return sys_error("socket");
   sockaddr_in addr{};
@@ -64,6 +67,7 @@ Result<TcpStream> TcpStream::connect(const std::string& host, uint16_t port) {
 }
 
 Result<std::int64_t> TcpStream::read_some(std::span<char> buf) {
+  NEST_FAILPOINT("net.recv", return err);
   if (!buffer_.empty()) {
     const std::size_t n = std::min(buf.size(), buffer_.size());
     std::memcpy(buf.data(), buffer_.data(), n);
@@ -90,6 +94,7 @@ Status TcpStream::read_exact(std::span<char> buf) {
 }
 
 Status TcpStream::write_all(std::span<const char> data) {
+  NEST_FAILPOINT("net.send", return Status{err});
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n =
@@ -104,6 +109,7 @@ Status TcpStream::write_all(std::span<const char> data) {
 }
 
 Result<std::string> TcpStream::read_line(std::size_t max_len) {
+  NEST_FAILPOINT("net.recv", return err);
   while (true) {
     const std::size_t pos = buffer_.find('\n');
     if (pos != std::string::npos) {
@@ -162,6 +168,15 @@ Result<TcpStream> TcpListener::accept() {
   while (true) {
     const int cfd = ::accept(fd_.get(), nullptr, nullptr);
     if (cfd >= 0) {
+      // Injected accept failure drops the fresh connection instead of
+      // returning an error: server accept loops treat an accept() error
+      // as listener shutdown, and a drill must not kill the acceptor.
+      bool drop = false;
+      NEST_FAILPOINT("net.accept", drop = true);
+      if (drop) {
+        ::close(cfd);
+        continue;
+      }
       const int one = 1;
       ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       return TcpStream(Fd(cfd));
@@ -193,6 +208,7 @@ Result<UdpSocket> UdpSocket::bind(uint16_t port) {
 Result<std::int64_t> UdpSocket::recv_from(std::span<char> buf,
                                           std::string& from_ip,
                                           uint16_t& from_port) {
+  NEST_FAILPOINT("net.recv", return err);
   sockaddr_in addr{};
   socklen_t len = sizeof addr;
   while (true) {
@@ -212,6 +228,7 @@ Result<std::int64_t> UdpSocket::recv_from(std::span<char> buf,
 
 Status UdpSocket::send_to(std::span<const char> data, const std::string& ip,
                           uint16_t port) {
+  NEST_FAILPOINT("net.send", return Status{err});
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);

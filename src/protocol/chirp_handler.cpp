@@ -276,6 +276,18 @@ void ChirpHandler::serve(net::TcpStream& stream) {
       req.op = NestOp::journal_stat;
     } else if (cmd == "stats" && words.size() == 1) {
       req.op = NestOp::stats_query;
+    } else if (cmd == "fault" && words.size() >= 2) {
+      const std::string sub = to_lower(words[1]);
+      if (sub == "set" && words.size() == 4) {
+        // FAULT SET <point> <spec>; the action grammar has no whitespace.
+        req.op = NestOp::fault_set;
+        req.path = words[2];
+        req.acl_entry = words[3];
+      } else if (sub == "list" && words.size() == 2) {
+        req.op = NestOp::fault_list;
+      } else {
+        parsed = false;
+      }
     } else if (cmd == "acl" && words.size() >= 3) {
       const std::string sub = to_lower(words[1]);
       if (sub == "set" && words.size() >= 4) {
@@ -316,6 +328,7 @@ void ChirpHandler::serve(net::TcpStream& stream) {
       case NestOp::query_ad:
       case NestOp::lot_list:
       case NestOp::stats_query:
+      case NestOp::fault_list:
         if (!reply_payload(stream, r.text)) return;
         break;
       case NestOp::lot_create:

@@ -5,10 +5,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/log.h"
+#include "fault/failpoint.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 
@@ -129,10 +131,21 @@ Status TransferExecutor::move_blocks(const std::string& protocol,
   const Nanos start = clock_.now();
   Status result;
 
+  // transfer.grant models the scheduler refusing (or stalling) a block
+  // admission — fired before every acquire so an armed point starves the
+  // transfer, not the slot accounting.
+  std::optional<Error> grant_err;
   if (model == ConcurrencyModel::processes) {
     // Whole-transfer delegation: one admission, then a child streams the
     // file (wu-ftpd style). Block-level rescheduling does not apply to a
     // transfer once handed to a process.
+    NEST_FAILPOINT("transfer.grant", grant_err = err);
+    if (grant_err) {
+      result = Status{*grant_err};
+      core_.complete(req);
+      record_request(protocol, clock_.now() - start, false);
+      return result;
+    }
     core_.acquire(req);
     const pid_t pid = ::fork();
     if (pid == 0) {
@@ -172,6 +185,11 @@ Status TransferExecutor::move_blocks(const std::string& protocol,
       const std::int64_t len = std::min(block_bytes_, size - off);
       obs::Span qspan(obs::Layer::transfer, "quantum");
       qspan.set_value(len);
+      NEST_FAILPOINT("transfer.grant", grant_err = err);
+      if (grant_err) {
+        result = Status{*grant_err};
+        break;
+      }
       core_.acquire(req);
       auto file_part = [&]() -> Status {
         if (send) {
@@ -296,6 +314,12 @@ Result<std::int64_t> TransferExecutor::recv_until_eof(
   Status result;
   while (true) {
     obs::Span qspan(obs::Layer::transfer, "quantum");
+    std::optional<Error> grant_err;
+    NEST_FAILPOINT("transfer.grant", grant_err = err);
+    if (grant_err) {
+      result = Status{*grant_err};
+      break;
+    }
     core_.acquire(req);
     std::int64_t got = 0;
     const Status s = run_block(model, [&]() -> Status {
@@ -338,6 +362,15 @@ Result<std::int64_t> TransferExecutor::read_block(
       static_cast<std::int64_t>(buf.size()), ticket.user);
   ConcurrencyModel model = core_.pick_model();
   if (model == ConcurrencyModel::processes) model = ConcurrencyModel::threads;
+  {
+    std::optional<Error> grant_err;
+    NEST_FAILPOINT("transfer.grant", grant_err = err);
+    if (grant_err) {
+      core_.complete(req);
+      record_request(protocol, clock_.now() - start, false);
+      return *grant_err;
+    }
+  }
   core_.acquire(req);
   Result<std::int64_t> n = std::int64_t{0};
   const Status s = run_block(model, [&]() -> Status {
@@ -363,6 +396,15 @@ Result<std::int64_t> TransferExecutor::write_block(
       static_cast<std::int64_t>(buf.size()), ticket.user);
   ConcurrencyModel model = core_.pick_model();
   if (model == ConcurrencyModel::processes) model = ConcurrencyModel::threads;
+  {
+    std::optional<Error> grant_err;
+    NEST_FAILPOINT("transfer.grant", grant_err = err);
+    if (grant_err) {
+      core_.complete(req);
+      record_request(protocol, clock_.now() - start, false);
+      return *grant_err;
+    }
+  }
   core_.acquire(req);
   Result<std::int64_t> n = std::int64_t{0};
   const Status s = run_block(model, [&]() -> Status {

@@ -26,6 +26,8 @@ const char* op_name(NestOp op) noexcept {
     case NestOp::query_ad: return "query_ad";
     case NestOp::journal_stat: return "journal_stat";
     case NestOp::stats_query: return "stats";
+    case NestOp::fault_set: return "fault_set";
+    case NestOp::fault_list: return "fault_list";
   }
   return "?";
 }

@@ -37,6 +37,8 @@ enum class NestOp {
   query_ad,       // fetch the appliance's resource ClassAd
   journal_stat,   // metadata journal statistics (admin)
   stats_query,    // live appliance statistics as JSON (admin/monitoring)
+  fault_set,      // arm/disarm a failpoint (superuser; path=name, acl_entry=spec)
+  fault_list,     // list failpoints with specs and counters (superuser)
 };
 
 const char* op_name(NestOp op) noexcept;

@@ -51,6 +51,9 @@ Result<NestdConfig> options_from_config(const Config& cfg) {
                  "journal_sync set but no journal directory"};
   }
 
+  // Startup failpoint drills, "name=spec;..." — validated at server init.
+  opts.failpoints = cfg.get_string("failpoints");
+
   const std::string scheduler = cfg.get_string("scheduler", "fifo");
   {
     // Validate via the factory the transfer manager itself uses.

@@ -69,6 +69,12 @@ struct NestServerOptions {
   journal::SyncMode journal_sync = journal::SyncMode::always;
   Nanos journal_commit_interval = 5 * kMillisecond;  // group-commit cadence
   std::uint64_t journal_snapshot_every = 4096;       // compaction cadence
+
+  // Failpoints to arm at startup, "name=spec;name=spec" (action grammar:
+  // docs/fault-injection.md). Armed in init() before any endpoint binds;
+  // the process-wide registry can also be driven at runtime via the Chirp
+  // FAULT op and $NEST_FAILPOINTS.
+  std::string failpoints;
 };
 
 class NestServer {

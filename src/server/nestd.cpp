@@ -19,6 +19,9 @@
 //   journal_sync= always | group | none
 //   journal_commit = 5ms                      (group-commit fsync cadence)
 //   journal_snapshot_every = 4096             (records between snapshots)
+//   failpoints  = journal.fsync=after(3)crash;net.send=prob(0.01)return(EPIPE)
+//                 (fault drills; $NEST_FAILPOINTS overlays this at startup
+//                  and the Chirp FAULT op re-arms at runtime)
 //   tickets.<class> = <n>                     (stride share per class)
 //   user.<name> = <secret>[:group1,group2]    (GSI subjects)
 #include <csignal>
@@ -26,6 +29,7 @@
 #include <semaphore>
 
 #include "common/config.h"
+#include "fault/failpoint.h"
 #include "server/config.h"
 #include "server/nest_server.h"
 
@@ -59,6 +63,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   server::apply_runtime_config(*parsed, **server);
+
+  // $NEST_FAILPOINTS overlays (and wins over) config-armed failpoints:
+  // it is the operator's one-shot drill hook, applied after startup so a
+  // drill cannot be silently overridden by the config file.
+  nest::fault::registry().apply_env();
 
   std::printf("nestd '%s' listening: chirp=%u http=%u ftp=%u gridftp=%u "
               "nfs(udp)=%u\n",

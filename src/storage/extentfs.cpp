@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 
 namespace nest::storage {
 
@@ -77,27 +78,54 @@ ExtentFs::~ExtentFs() {
   if (volume_fd_ >= 0) ::close(volume_fd_);
 }
 
-void ExtentFs::volume_read(std::int64_t extent, std::int64_t offset,
-                           char* out, std::int64_t len) const {
+Status ExtentFs::volume_read(std::int64_t extent, std::int64_t offset,
+                             char* out, std::int64_t len) const {
   const std::int64_t pos = extent * kExtentBytes + offset;
   if (volume_fd_ >= 0) {
-    (void)::pread(volume_fd_, out, static_cast<std::size_t>(len),
-                  static_cast<off_t>(pos));
+    std::int64_t done = 0;
+    while (done < len) {
+      const ssize_t n = ::pread(volume_fd_, out + done,
+                                static_cast<std::size_t>(len - done),
+                                static_cast<off_t>(pos + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status{Errc::io_error,
+                      "volume pread: " + std::string(std::strerror(errno))};
+      }
+      if (n == 0) {
+        // The volume file is pre-sized at open; reading past it means the
+        // backing device shrank underneath us.
+        return Status{Errc::io_error, "volume pread: unexpected EOF"};
+      }
+      done += n;
+    }
   } else {
     std::memcpy(out, mem_volume_.data() + pos, static_cast<std::size_t>(len));
   }
+  return {};
 }
 
-void ExtentFs::volume_write(std::int64_t extent, std::int64_t offset,
-                            const char* data, std::int64_t len) {
+Status ExtentFs::volume_write(std::int64_t extent, std::int64_t offset,
+                              const char* data, std::int64_t len) {
   const std::int64_t pos = extent * kExtentBytes + offset;
   if (volume_fd_ >= 0) {
-    (void)::pwrite(volume_fd_, data, static_cast<std::size_t>(len),
-                   static_cast<off_t>(pos));
+    std::int64_t done = 0;
+    while (done < len) {
+      const ssize_t n = ::pwrite(volume_fd_, data + done,
+                                 static_cast<std::size_t>(len - done),
+                                 static_cast<off_t>(pos + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status{Errc::io_error,
+                      "volume pwrite: " + std::string(std::strerror(errno))};
+      }
+      done += n;
+    }
   } else {
     std::memcpy(mem_volume_.data() + pos, data,
                 static_cast<std::size_t>(len));
   }
+  return {};
 }
 
 Status ExtentFs::check_parent(const std::string& path) const {
@@ -121,7 +149,11 @@ Status ExtentFs::reserve(Inode& inode, std::int64_t new_size) {
       free_list_.erase(free_list_.begin());
       // Zero-fill on allocation: holes read as zeros, and a reused extent
       // must never leak another user's deleted data.
-      volume_write(extent, 0, zeros.data(), kExtentBytes);
+      if (auto s = volume_write(extent, 0, zeros.data(), kExtentBytes);
+          !s.ok()) {
+        free_list_.insert(extent);
+        return s;
+      }
       inode.extents.push_back(extent);
     }
   } else {
@@ -173,6 +205,7 @@ Status ExtentFs::remove(const std::string& raw) {
   const auto it = inodes_.find(path);
   if (it == inodes_.end()) return Status{Errc::not_found, path};
   if (it->second.is_dir) return Status{Errc::is_dir, path};
+  NEST_FAILPOINT("fs.unlink", return Status{err});
   release_extents(it->second);
   inodes_.erase(it);
   return {};
@@ -222,6 +255,7 @@ Status ExtentFs::rename(const std::string& from_raw,
 }
 
 Result<FileHandlePtr> ExtentFs::open(const std::string& raw) {
+  NEST_FAILPOINT("fs.open", return err);
   const std::string path = normalize_path(raw);
   const auto it = inodes_.find(path);
   if (it == inodes_.end()) return Error{Errc::not_found, path};
@@ -230,6 +264,7 @@ Result<FileHandlePtr> ExtentFs::open(const std::string& raw) {
 }
 
 Result<FileHandlePtr> ExtentFs::create(const std::string& raw) {
+  NEST_FAILPOINT("fs.create", return err);
   const std::string path = normalize_path(raw);
   if (auto s = check_parent(path); !s.ok()) return Error{s.error()};
   auto& inode = inodes_[path];
@@ -264,6 +299,11 @@ Result<std::int64_t> ExtentFs::file_io(const std::string& path,
   if (it == inodes_.end()) return Error{Errc::not_found, path};
   Inode& inode = it->second;
   const bool writing = wbuf != nullptr;
+  if (writing) {
+    NEST_FAILPOINT("fs.pwrite", return err);
+  } else {
+    NEST_FAILPOINT("fs.pread", return err);
+  }
 
   if (!writing) {
     if (offset >= inode.size) return std::int64_t{0};
@@ -282,11 +322,9 @@ Result<std::int64_t> ExtentFs::file_io(const std::string& path,
     const std::int64_t within = pos % kExtentBytes;
     const std::int64_t chunk = std::min(len - done, kExtentBytes - within);
     const std::int64_t extent = inode.extents[static_cast<std::size_t>(idx)];
-    if (writing) {
-      volume_write(extent, within, wbuf + done, chunk);
-    } else {
-      volume_read(extent, within, rbuf + done, chunk);
-    }
+    const Status s = writing ? volume_write(extent, within, wbuf + done, chunk)
+                             : volume_read(extent, within, rbuf + done, chunk);
+    if (!s.ok()) return s.error();
     done += chunk;
   }
   if (writing) {

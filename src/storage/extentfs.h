@@ -78,11 +78,13 @@ class ExtentFs final : public VirtualFs {
   Status reserve(Inode& inode, std::int64_t new_size);
   void release_extents(Inode& inode);
 
-  // Volume I/O at a (extent, offset-in-extent) location.
-  void volume_read(std::int64_t extent, std::int64_t offset, char* out,
-                   std::int64_t len) const;
-  void volume_write(std::int64_t extent, std::int64_t offset,
-                    const char* data, std::int64_t len);
+  // Volume I/O at a (extent, offset-in-extent) location. On the fd-backed
+  // volume these loop over EINTR and short counts; any residual failure is
+  // a real device error and propagates (never silent truncation).
+  Status volume_read(std::int64_t extent, std::int64_t offset, char* out,
+                     std::int64_t len) const;
+  Status volume_write(std::int64_t extent, std::int64_t offset,
+                      const char* data, std::int64_t len);
 
   Clock& clock_;
   std::int64_t volume_bytes_;

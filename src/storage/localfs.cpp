@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 
 namespace nest::storage {
 namespace {
@@ -43,18 +44,39 @@ class LocalFileHandle final : public FileHandle {
 
   Result<std::int64_t> pread(std::span<char> buf,
                              std::int64_t offset) override {
-    const ssize_t n = ::pread(fd_, buf.data(), buf.size(),
-                              static_cast<off_t>(offset));
-    if (n < 0) return sys_error("pread");
-    return static_cast<std::int64_t>(n);
+    NEST_FAILPOINT("fs.pread", return err);
+    // Loop over EINTR and short reads; a short count only ever means EOF.
+    std::size_t done = 0;
+    while (done < buf.size()) {
+      const ssize_t n = ::pread(fd_, buf.data() + done, buf.size() - done,
+                                static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return sys_error("pread");
+      }
+      if (n == 0) break;
+      done += static_cast<std::size_t>(n);
+    }
+    return static_cast<std::int64_t>(done);
   }
 
   Result<std::int64_t> pwrite(std::span<const char> buf,
                               std::int64_t offset) override {
-    const ssize_t n = ::pwrite(fd_, buf.data(), buf.size(),
-                               static_cast<off_t>(offset));
-    if (n < 0) return sys_error("pwrite");
-    return static_cast<std::int64_t>(n);
+    NEST_FAILPOINT("fs.pwrite", return err);
+    // Loop over EINTR and short writes: a partial pwrite silently
+    // truncating a block is exactly the corruption the transfer layer
+    // cannot detect on its own.
+    std::size_t done = 0;
+    while (done < buf.size()) {
+      const ssize_t n = ::pwrite(fd_, buf.data() + done, buf.size() - done,
+                                 static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return sys_error("pwrite");
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return static_cast<std::int64_t>(done);
   }
 
   Result<std::int64_t> size() const override {
@@ -111,6 +133,7 @@ Status LocalFs::remove(const std::string& path) {
   struct stat st{};
   if (::stat(hp.c_str(), &st) != 0) return Status{sys_error("stat " + path)};
   if (S_ISDIR(st.st_mode)) return Status{Errc::is_dir, path};
+  NEST_FAILPOINT("fs.unlink", return Status{err});
   if (::unlink(hp.c_str()) != 0) return Status{sys_error("unlink " + path)};
   owners_.erase(normalize_path(path));
   return {};
@@ -157,6 +180,7 @@ Status LocalFs::rename(const std::string& from, const std::string& to) {
 }
 
 Result<FileHandlePtr> LocalFs::open(const std::string& path) {
+  NEST_FAILPOINT("fs.open", return err);
   const int fd = ::open(host_path(path).c_str(), O_RDWR);
   if (fd < 0) {
     // Allow read-only files too.
@@ -168,6 +192,7 @@ Result<FileHandlePtr> LocalFs::open(const std::string& path) {
 }
 
 Result<FileHandlePtr> LocalFs::create(const std::string& path) {
+  NEST_FAILPOINT("fs.create", return err);
   const int fd =
       ::open(host_path(path).c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return sys_error("create " + path);

@@ -1,6 +1,8 @@
 #include "storage/memfs.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/string_util.h"
 
@@ -10,19 +12,19 @@ namespace {
 
 class MemFileHandle final : public FileHandle {
  public:
-  MemFileHandle(std::shared_ptr<std::vector<char>> data, Clock& clock,
-                Nanos* mtime)
-      : data_(std::move(data)), clock_(clock), mtime_(mtime) {}
+  MemFileHandle(std::shared_ptr<MemFs::FileData> data, Clock& clock)
+      : data_(std::move(data)), clock_(clock) {}
 
   Result<std::int64_t> pread(std::span<char> buf,
                              std::int64_t offset) override {
     if (offset < 0) return Error{Errc::invalid_argument, "negative offset"};
-    const auto size = static_cast<std::int64_t>(data_->size());
+    std::shared_lock lk(data_->mu);
+    const auto size = static_cast<std::int64_t>(data_->bytes.size());
     if (offset >= size) return std::int64_t{0};
     const std::int64_t n =
         std::min<std::int64_t>(static_cast<std::int64_t>(buf.size()),
                                size - offset);
-    std::copy_n(data_->begin() + offset, n, buf.begin());
+    std::copy_n(data_->bytes.begin() + offset, n, buf.begin());
     return n;
   }
 
@@ -31,30 +33,43 @@ class MemFileHandle final : public FileHandle {
     if (offset < 0) return Error{Errc::invalid_argument, "negative offset"};
     const std::int64_t end =
         offset + static_cast<std::int64_t>(buf.size());
-    if (end > static_cast<std::int64_t>(data_->size())) {
-      data_->resize(static_cast<std::size_t>(end));
+    std::unique_lock lk(data_->mu);
+    if (end > static_cast<std::int64_t>(data_->bytes.size())) {
+      data_->bytes.resize(static_cast<std::size_t>(end));
     }
-    std::copy(buf.begin(), buf.end(), data_->begin() + offset);
-    *mtime_ = clock_.now();
+    std::copy(buf.begin(), buf.end(), data_->bytes.begin() + offset);
+    data_->mtime = clock_.now();
     return static_cast<std::int64_t>(buf.size());
   }
 
   Result<std::int64_t> size() const override {
-    return static_cast<std::int64_t>(data_->size());
+    std::shared_lock lk(data_->mu);
+    return static_cast<std::int64_t>(data_->bytes.size());
   }
 
   Status truncate(std::int64_t new_size) override {
     if (new_size < 0) return Status{Errc::invalid_argument, "negative size"};
-    data_->resize(static_cast<std::size_t>(new_size));
-    *mtime_ = clock_.now();
+    std::unique_lock lk(data_->mu);
+    data_->bytes.resize(static_cast<std::size_t>(new_size));
+    data_->mtime = clock_.now();
     return {};
   }
 
  private:
-  std::shared_ptr<std::vector<char>> data_;
+  std::shared_ptr<MemFs::FileData> data_;
   Clock& clock_;
-  Nanos* mtime_;
 };
+
+// Locked size/mtime reads for the metadata paths (stat/list/used_space),
+// which race against live handles otherwise.
+std::int64_t file_size(const std::shared_ptr<MemFs::FileData>& d) {
+  std::shared_lock lk(d->mu);
+  return static_cast<std::int64_t>(d->bytes.size());
+}
+Nanos file_mtime(const std::shared_ptr<MemFs::FileData>& d) {
+  std::shared_lock lk(d->mu);
+  return d->mtime;
+}
 
 }  // namespace
 
@@ -105,10 +120,8 @@ Result<FileStat> MemFs::stat(const std::string& raw) const {
   if (it == nodes_.end()) return Error{Errc::not_found, path};
   FileStat st;
   st.is_dir = it->second.is_dir;
-  st.size = it->second.data
-                ? static_cast<std::int64_t>(it->second.data->size())
-                : 0;
-  st.mtime = it->second.mtime;
+  st.size = it->second.data ? file_size(it->second.data) : 0;
+  st.mtime = it->second.data ? file_mtime(it->second.data) : it->second.mtime;
   st.owner = it->second.owner;
   return st;
 }
@@ -129,9 +142,7 @@ Result<std::vector<DirEntry>> MemFs::list(const std::string& raw) const {
     DirEntry e;
     e.name = p.substr(prefix.size());
     e.is_dir = i->second.is_dir;
-    e.size = i->second.data
-                 ? static_cast<std::int64_t>(i->second.data->size())
-                 : 0;
+    e.size = i->second.data ? file_size(i->second.data) : 0;
     out.push_back(std::move(e));
   }
   return out;
@@ -155,8 +166,8 @@ Result<FileHandlePtr> MemFs::open(const std::string& raw) {
   const auto it = nodes_.find(path);
   if (it == nodes_.end()) return Error{Errc::not_found, path};
   if (it->second.is_dir) return Error{Errc::is_dir, path};
-  return FileHandlePtr(std::make_shared<MemFileHandle>(
-      it->second.data, clock_, &it->second.mtime));
+  return FileHandlePtr(
+      std::make_shared<MemFileHandle>(it->second.data, clock_));
 }
 
 Result<FileHandlePtr> MemFs::create(const std::string& raw) {
@@ -164,11 +175,13 @@ Result<FileHandlePtr> MemFs::create(const std::string& raw) {
   if (auto s = check_parent(path); !s.ok()) return Error{s.error()};
   auto& node = nodes_[path];
   if (node.is_dir) return Error{Errc::is_dir, path};
-  if (!node.data) node.data = std::make_shared<std::vector<char>>();
-  node.data->clear();
-  node.mtime = clock_.now();
-  return FileHandlePtr(
-      std::make_shared<MemFileHandle>(node.data, clock_, &node.mtime));
+  if (!node.data) node.data = std::make_shared<FileData>();
+  {
+    std::unique_lock lk(node.data->mu);
+    node.data->bytes.clear();
+    node.data->mtime = clock_.now();
+  }
+  return FileHandlePtr(std::make_shared<MemFileHandle>(node.data, clock_));
 }
 
 void MemFs::set_owner(const std::string& raw, const std::string& owner) {
@@ -179,7 +192,7 @@ void MemFs::set_owner(const std::string& raw, const std::string& owner) {
 std::int64_t MemFs::used_space() const {
   std::int64_t used = 0;
   for (const auto& [path, node] : nodes_) {
-    if (node.data) used += static_cast<std::int64_t>(node.data->size());
+    if (node.data) used += file_size(node.data);
   }
   return used;
 }

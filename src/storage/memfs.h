@@ -5,7 +5,9 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <set>
+#include <shared_mutex>
 
 #include "common/clock.h"
 #include "storage/vfs.h"
@@ -32,12 +34,22 @@ class MemFs final : public VirtualFs {
   std::int64_t total_space() const override { return capacity_; }
   std::int64_t used_space() const override;
 
+  // File payloads carry their own lock: handles returned by open()/create()
+  // outlive any caller-side metadata lock and run data ops concurrently
+  // with stat/list (the transfer path is deliberately sharded off the
+  // storage-manager mutex). mtime lives here too so a handle can stamp it
+  // safely even after the node was renamed or removed.
+  struct FileData {
+    mutable std::shared_mutex mu;
+    std::vector<char> bytes;
+    Nanos mtime = 0;
+  };
+
  private:
-  friend class MemFileHandle;
   struct Node {
     bool is_dir = false;
-    std::shared_ptr<std::vector<char>> data;  // files only
-    Nanos mtime = 0;
+    std::shared_ptr<FileData> data;  // files only
+    Nanos mtime = 0;                 // directories only; files use data->mtime
     std::string owner;
   };
 
