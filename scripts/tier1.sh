@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 gate: full build + full test suite, then the concurrency-labelled
-# stress tests again under ThreadSanitizer and the recovery-labelled
-# journal/crash tests under Address+UB sanitizer (separate build trees so
-# instrumented objects never mix with the normal ones).
+# Tier-1 gate: lint, then full build + full test suite (lock-rank deadlock
+# detector armed), then the concurrency-labelled stress tests again under
+# ThreadSanitizer, the recovery-labelled journal/crash tests under
+# Address+UB sanitizer, and the whole suite once more under UBSan alone
+# (separate build trees so instrumented objects never mix).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
+echo "== tier1: lint (clang-tidy + nest-lint greps) =="
+# Runs before any build leg so cheap findings fail fast; clang-tidy skips
+# itself gracefully when not installed.
+scripts/lint.sh
+
 echo "== tier1: configure + build (default preset) =="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 
-echo "== tier1: full test suite =="
-ctest --preset default
+echo "== tier1: full test suite (lock-rank detector armed) =="
+NEST_LOCKRANK=1 ctest --preset default
 
 echo "== tier1: ThreadSanitizer pass over concurrency/obs/conformance/chaos tests =="
 cmake --preset tsan
@@ -28,5 +34,10 @@ cmake --preset asan
 cmake --build --preset asan -j "${JOBS}" \
   --target journal_test obs_test conformance_test fault_test chaos_test
 ASAN_OPTIONS="halt_on_error=1" ctest --preset asan
+
+echo "== tier1: UBSan pass over the full suite =="
+cmake --preset ubsan
+cmake --build --preset ubsan -j "${JOBS}"
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" ctest --preset ubsan
 
 echo "== tier1: OK =="

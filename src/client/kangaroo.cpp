@@ -13,7 +13,7 @@ KangarooMover::KangarooMover(Options options) : options_(std::move(options)) {
 
 KangarooMover::~KangarooMover() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -21,7 +21,7 @@ KangarooMover::~KangarooMover() {
 }
 
 Status KangarooMover::put(const std::string& remote_path, std::string data) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (stats_.spooled_bytes + static_cast<std::int64_t>(data.size()) >
       options_.spool_limit) {
     return Status{Errc::no_space, "kangaroo spool full"};
@@ -33,13 +33,13 @@ Status KangarooMover::put(const std::string& remote_path, std::string data) {
 }
 
 Status KangarooMover::flush() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   cv_.wait(lock, [this] { return queue_.empty(); });
   return first_failure_;
 }
 
 KangarooMover::Stats KangarooMover::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -52,7 +52,7 @@ bool KangarooMover::try_deliver(const SpoolEntry& entry) {
 
 void KangarooMover::run() {
   Nanos backoff = options_.initial_backoff;
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
     cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
     if (stop_) {

@@ -12,14 +12,13 @@
 // exponential backoff, and preserves per-destination FIFO order.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/result.h"
 
 namespace nest::client {
@@ -73,12 +72,12 @@ class KangarooMover {
   bool try_deliver(const SpoolEntry& entry);
 
   Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<SpoolEntry> queue_;
-  Stats stats_;
-  Status first_failure_;
-  bool stop_ = false;
+  mutable Mutex mu_{lockrank::Rank::kangaroo_spool, "kangaroo.mu"};
+  CondVar cv_;
+  std::deque<SpoolEntry> queue_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
+  Status first_failure_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread mover_;
 };
 

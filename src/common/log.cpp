@@ -25,7 +25,7 @@ void Logger::write(LogLevel lvl, std::string_view component,
   const auto now = std::chrono::system_clock::now().time_since_epoch();
   const auto ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::fprintf(stderr, "[%lld.%03lld] %s %.*s: %.*s\n",
                static_cast<long long>(ms / 1000),
                static_cast<long long>(ms % 1000), level_tag(lvl),

@@ -6,8 +6,9 @@
 
 #include <cstdarg>
 #include <cstdio>
-#include <mutex>
 #include <string_view>
+
+#include "common/mutex.h"
 
 namespace nest {
 
@@ -31,7 +32,8 @@ class Logger {
 
  private:
   LogLevel level_ = LogLevel::warn;
-  std::mutex mu_;
+  // Innermost rank: components log while holding any subsystem lock.
+  Mutex mu_{lockrank::Rank::logger, "log.mu"};
 };
 
 #define NEST_LOG_DEBUG(component, ...)                                     \

@@ -30,14 +30,14 @@ int metric_stripe_of_thread() {
 
 void LatencyRecorder::record(Nanos latency) {
   Stripe& s = stripes_[metric_stripe_of_thread()];
-  std::lock_guard lock(s.mu);
+  MutexLock lock(s.mu);
   s.samples.push_back(latency);
 }
 
 std::size_t LatencyRecorder::count() const {
   std::size_t n = 0;
   for (const Stripe& s : stripes_) {
-    std::lock_guard lock(s.mu);
+    MutexLock lock(s.mu);
     n += s.samples.size();
   }
   return n;
@@ -46,7 +46,7 @@ std::size_t LatencyRecorder::count() const {
 std::vector<Nanos> LatencyRecorder::snapshot() const {
   std::vector<Nanos> all;
   for (const Stripe& s : stripes_) {
-    std::lock_guard lock(s.mu);
+    MutexLock lock(s.mu);
     all.insert(all.end(), s.samples.begin(), s.samples.end());
   }
   return all;
@@ -138,7 +138,7 @@ double Histogram::Snapshot::percentile_ms(double p) const {
 void BandwidthMeter::add(const std::string& cls, std::int64_t bytes) {
   Stripe& s = stripes_[metric_stripe_of_thread()];
   {
-    std::lock_guard lock(s.mu);
+    MutexLock lock(s.mu);
     s.bytes[cls] += bytes;
   }
   total_.fetch_add(bytes, std::memory_order_relaxed);
@@ -151,7 +151,7 @@ double BandwidthMeter::total_mbps() const {
 double BandwidthMeter::class_mbps(const std::string& cls) const {
   std::int64_t bytes = 0;
   for (const Stripe& s : stripes_) {
-    std::lock_guard lock(s.mu);
+    MutexLock lock(s.mu);
     const auto it = s.bytes.find(cls);
     if (it != s.bytes.end()) bytes += it->second;
   }
@@ -161,7 +161,7 @@ double BandwidthMeter::class_mbps(const std::string& cls) const {
 std::map<std::string, std::int64_t> BandwidthMeter::per_class() const {
   std::map<std::string, std::int64_t> out;
   for (const Stripe& s : stripes_) {
-    std::lock_guard lock(s.mu);
+    MutexLock lock(s.mu);
     for (const auto& [cls, bytes] : s.bytes) out[cls] += bytes;
   }
   return out;

@@ -26,11 +26,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 
 namespace nest {
 
@@ -56,8 +56,8 @@ class LatencyRecorder {
 
  private:
   struct alignas(64) Stripe {
-    mutable std::mutex mu;
-    std::vector<Nanos> samples;
+    mutable Mutex mu{lockrank::Rank::metrics_stripe, "latency.stripe"};
+    std::vector<Nanos> samples GUARDED_BY(mu);
   };
   std::vector<Nanos> snapshot() const;
   std::array<Stripe, kMetricStripes> stripes_;
@@ -130,8 +130,8 @@ class BandwidthMeter {
 
  private:
   struct alignas(64) Stripe {
-    mutable std::mutex mu;
-    std::map<std::string, std::int64_t> bytes;
+    mutable Mutex mu{lockrank::Rank::metrics_stripe, "bandwidth.stripe"};
+    std::map<std::string, std::int64_t> bytes GUARDED_BY(mu);
   };
   std::array<Stripe, kMetricStripes> stripes_;
   std::atomic<std::int64_t> total_{0};

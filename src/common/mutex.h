@@ -1,0 +1,163 @@
+// nest::Mutex / nest::SharedMutex: the only lock types NeST code may use
+// (scripts/lint.sh rejects naked std::mutex outside this header).
+//
+// Each wrapper carries:
+//   * the Clang thread-safety CAPABILITY attribute, so members declared
+//     GUARDED_BY(mu_) and helpers declared REQUIRES(mu_) are checked at
+//     compile time under the `analyze` preset;
+//   * a lockrank::Rank, so acquisitions are checked at run time against
+//     the canonical lock order when the detector is enabled.
+//
+// Use the RAII guards (MutexLock / ReaderLock / WriterLock) rather than
+// calling lock()/unlock() directly; they carry the SCOPED_CAPABILITY
+// annotations the analysis needs. Condition waits go through nest::CondVar
+// (a condition_variable_any over MutexLock), which keeps the rank stack
+// exact across the unlock/relock inside wait().
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/lockrank.h"
+#include "common/thread_annotations.h"
+
+namespace nest {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  // `name` labels the lock in lock-rank diagnostics; static storage only.
+  explicit Mutex(lockrank::Rank rank, const char* name) noexcept
+      : rank_(rank), name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+    lockrank::check_acquire(rank_, name_);
+    mu_.lock();
+  }
+  void unlock() RELEASE() {
+    mu_.unlock();
+    lockrank::note_released(rank_);
+  }
+
+  lockrank::Rank rank() const noexcept { return rank_; }
+  const char* name() const noexcept { return name_; }
+
+ private:
+  std::mutex mu_;
+  const lockrank::Rank rank_;
+  const char* const name_;
+};
+
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(lockrank::Rank rank, const char* name) noexcept
+      : rank_(rank), name_(name) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() {
+    lockrank::check_acquire(rank_, name_);
+    mu_.lock();
+  }
+  void unlock() RELEASE() {
+    mu_.unlock();
+    lockrank::note_released(rank_);
+  }
+  // Shared (reader) side: rank rules are identical — readers and writers
+  // deadlock the same way when ordered inconsistently.
+  void lock_shared() ACQUIRE_SHARED() {
+    lockrank::check_acquire(rank_, name_);
+    mu_.lock_shared();
+  }
+  void unlock_shared() RELEASE_SHARED() {
+    mu_.unlock_shared();
+    lockrank::note_released(rank_);
+  }
+
+  lockrank::Rank rank() const noexcept { return rank_; }
+  const char* name() const noexcept { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const lockrank::Rank rank_;
+  const char* const name_;
+};
+
+// Scoped exclusive lock; re-lockable (std::unique_lock-style) so CondVar
+// can release/reacquire it inside wait().
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) ACQUIRE(m) : m_(&m) { m_->lock(); }
+  ~MutexLock() RELEASE() {
+    if (owns_) m_->unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() ACQUIRE() {
+    m_->lock();
+    owns_ = true;
+  }
+  void unlock() RELEASE() {
+    m_->unlock();
+    owns_ = false;
+  }
+  bool owns_lock() const noexcept { return owns_; }
+
+ private:
+  Mutex* m_;
+  bool owns_ = true;
+};
+
+// Scoped shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& m) ACQUIRE_SHARED(m) : m_(&m) {
+    m_->lock_shared();
+  }
+  ~ReaderLock() RELEASE() { m_->unlock_shared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* m_;
+};
+
+// Scoped exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& m) ACQUIRE(m) : m_(&m) { m_->lock(); }
+  ~WriterLock() RELEASE() { m_->unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* m_;
+};
+
+// Condition variable for nest::Mutex. Waits take the MutexLock guard, so
+// the wait's internal unlock/relock flows through the rank bookkeeping
+// (the thread's held-rank stack is exact while it sleeps).
+class CondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(MutexLock& lk) { cv_.wait(lk); }
+  template <typename Pred>
+  void wait(MutexLock& lk, Pred pred) {
+    cv_.wait(lk, std::move(pred));
+  }
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(MutexLock& lk, const std::chrono::duration<Rep, Period>& d,
+                Pred pred) {
+    return cv_.wait_for(lk, d, std::move(pred));
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace nest

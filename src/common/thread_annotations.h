@@ -1,0 +1,89 @@
+// Clang Thread Safety Analysis attribute shims.
+//
+// The macros below expand to Clang's -Wthread-safety attributes when the
+// compiler supports them and to nothing elsewhere (GCC builds see plain
+// C++). They are the *compile-time* half of NeST's lock discipline:
+//
+//   * data members protected by a lock are declared GUARDED_BY(mu_);
+//   * private helpers that assume the lock is held (the `_locked()`
+//     convention) are declared REQUIRES(mu_);
+//   * public entry points that must NOT be called with the lock held
+//     (they take it themselves) may be declared EXCLUDES(mu_).
+//
+// The `analyze` CMake preset builds the whole tree with clang and
+// -Wthread-safety -Werror, turning any unguarded access into a build
+// failure. The runtime half — lock-rank deadlock detection — lives in
+// common/lockrank.h and is wired into the nest::Mutex wrappers
+// (common/mutex.h), which are the only place std::mutex may appear
+// (enforced by scripts/lint.sh's nest-lint pass).
+//
+// Conventions and the canonical lock-rank order: docs/static-analysis.md.
+#pragma once
+
+#if defined(__clang__)
+#define NEST_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NEST_THREAD_ANNOTATION(x)  // no-op for non-Clang compilers
+#endif
+
+// Type attributes -----------------------------------------------------------
+
+// Marks a class as a lockable capability ("mutex" by convention).
+#define CAPABILITY(x) NEST_THREAD_ANNOTATION(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY NEST_THREAD_ANNOTATION(scoped_lockable)
+
+// Data member attributes ----------------------------------------------------
+
+// Reads and writes of the member require holding `x` (exclusively for
+// writes, at least shared for reads).
+#define GUARDED_BY(x) NEST_THREAD_ANNOTATION(guarded_by(x))
+
+// As GUARDED_BY, but for the data *pointed to* by a pointer/smart-pointer
+// member (the pointer itself is unguarded).
+#define PT_GUARDED_BY(x) NEST_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function attributes -------------------------------------------------------
+
+// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) NEST_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  NEST_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+// The function releases the capability (which must be held on entry).
+#define RELEASE(...) NEST_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  NEST_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  NEST_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+// Caller must hold the capability (exclusively / at least shared).
+#define REQUIRES(...) \
+  NEST_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  NEST_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (the function takes it itself, or
+// would deadlock / invert the rank order if it were already held).
+#define EXCLUDES(...) NEST_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// The function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) NEST_THREAD_ANNOTATION(lock_returned(x))
+
+// Runtime assertion that the calling thread holds the capability; tells
+// the analysis to treat it as held from here on. This is the preferred
+// "escape" for code the analysis cannot follow (e.g. a lock proven held
+// by an ownership protocol) — it keeps checking downstream accesses,
+// unlike NO_THREAD_SAFETY_ANALYSIS which turns the function off entirely.
+#define ASSERT_CAPABILITY(x) NEST_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  NEST_THREAD_ANNOTATION(assert_shared_capability(x))
+
+// Last resort: disables the analysis for one function. Each use must carry
+// a comment justifying why the analysis cannot model the code; the
+// acceptance budget is <= 3 uses in the whole tree.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  NEST_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -5,25 +5,25 @@
 namespace nest::discovery {
 
 void Collector::advertise(const std::string& name, classad::ClassAd ad) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ads_[name] = Entry{std::move(ad), clock_.now()};
 }
 
 void Collector::withdraw(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ads_.erase(name);
 }
 
 std::optional<classad::ClassAd> Collector::lookup(
     const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = ads_.find(name);
   if (it == ads_.end() || expired(it->second.stamped)) return std::nullopt;
   return it->second.ad;
 }
 
 std::vector<std::pair<std::string, classad::ClassAd>> Collector::ads() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, classad::ClassAd>> out;
   for (const auto& [name, entry] : ads_) {
     if (!expired(entry.stamped)) out.emplace_back(name, entry.ad);
@@ -33,7 +33,7 @@ std::vector<std::pair<std::string, classad::ClassAd>> Collector::ads() const {
 
 std::vector<std::string> Collector::match(
     const classad::ClassAd& query) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<double, std::string>> ranked;
   for (const auto& [name, entry] : ads_) {
     if (expired(entry.stamped)) continue;
@@ -52,7 +52,7 @@ std::vector<std::string> Collector::match(
 }
 
 std::size_t Collector::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [name, entry] : ads_) {
     if (!expired(entry.stamped)) ++n;

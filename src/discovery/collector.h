@@ -8,13 +8,13 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "classad/classad.h"
 #include "common/clock.h"
+#include "common/mutex.h"
 
 namespace nest::discovery {
 
@@ -45,12 +45,12 @@ class Collector {
 
   Clock& clock_;
   Nanos lifetime_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_{lockrank::Rank::discovery_collector, "collector.mu"};
   struct Entry {
     classad::ClassAd ad;
     Nanos stamped = 0;
   };
-  std::map<std::string, Entry> ads_;
+  std::map<std::string, Entry> ads_ GUARDED_BY(mu_);
 };
 
 }  // namespace nest::discovery

@@ -66,13 +66,9 @@ Reply Dispatcher::execute_impl(const NestRequest& req) {
       return Reply::ok(os.str());
     }
     case NestOp::rename:
-      // Rename = delete from old name + insert at new: require both.
-      if (auto s = storage_.acl().check(req.principal, req.path,
-                                        storage::Right::del);
-          !s.ok()) {
-        return Reply::fail(s);
-      }
-      return Reply{storage_.fs().rename(req.path, req.path2), {}, 0};
+      return Reply{storage_.rename(req.principal, req.path, req.path2),
+                   {},
+                   0};
     case NestOp::lot_create: {
       auto id = storage_.lot_create(req.principal, req.lot_capacity,
                                     req.lot_duration, req.group_lot);
@@ -197,7 +193,7 @@ Result<storage::TransferTicket> Dispatcher::approve_put(
 }
 
 std::pair<double, double> Dispatcher::observe_load(Nanos now) const {
-  std::lock_guard lock(load_mu_);
+  MutexLock lock(load_mu_);
   const double total_bps =
       total_rate_.observe(now, tm_.total_bytes());
   for (const auto& [cls, bytes] : tm_.meter().per_class()) {
@@ -234,7 +230,7 @@ classad::ClassAd Dispatcher::snapshot_ad() const {
   ad.insert("LoadAvg", classad::Value::real(load_avg));
   ad.insert("ThroughputMBps", classad::Value::real(mbps));
   {
-    std::lock_guard lock(load_mu_);
+    MutexLock lock(load_mu_);
     for (const auto& [cls, bytes] : tm_.meter().per_class()) {
       // Window-averaged per-protocol rate; attribute per protocol class.
       const double rate =
@@ -275,7 +271,7 @@ std::string Dispatcher::stats_json() const {
      << ",\"load\":{\"load_avg\":" << load_avg
      << ",\"throughput_mbps\":" << mbps << ",\"per_protocol_mbps\":{";
   {
-    std::lock_guard lock(load_mu_);
+    MutexLock lock(load_mu_);
     bool first = true;
     for (const auto& [cls, bytes] : tm_.meter().per_class()) {
       if (!first) os << ",";
@@ -323,11 +319,11 @@ void Dispatcher::publish_once(discovery::Collector& collector) {
 void Dispatcher::start_publishing(discovery::Collector& collector) {
   stop_publishing();
   {
-    std::lock_guard lock(pub_mu_);
+    MutexLock lock(pub_mu_);
     pub_stop_ = false;
   }
   publisher_ = std::thread([this, &collector] {
-    std::unique_lock lock(pub_mu_);
+    MutexLock lock(pub_mu_);
     while (!pub_stop_) {
       lock.unlock();
       publish_once(collector);
@@ -341,7 +337,7 @@ void Dispatcher::start_publishing(discovery::Collector& collector) {
 
 void Dispatcher::stop_publishing() {
   {
-    std::lock_guard lock(pub_mu_);
+    MutexLock lock(pub_mu_);
     pub_stop_ = true;
   }
   pub_cv_.notify_all();

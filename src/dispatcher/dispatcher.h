@@ -8,10 +8,8 @@
 // data availability and publishes it as a ClassAd into a discovery system.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -145,16 +143,19 @@ class Dispatcher {
   Nanos started_;
 
   // Rolling views over the monotone transfer counters; mutable because
-  // snapshot_ad()/stats_json() are conceptually const reads.
-  mutable std::mutex load_mu_;
-  mutable obs::RollingRate total_rate_;
-  mutable std::map<std::string, obs::RollingRate> proto_rates_;
-  mutable obs::LoadAverage load_;
+  // snapshot_ad()/stats_json() are conceptually const reads. The trackers
+  // carry their own obs_load-rank lock, acquired under load_mu_ (the map
+  // itself is what load_mu_ guards against concurrent growth).
+  mutable Mutex load_mu_{lockrank::Rank::dispatcher_load, "dispatcher.load"};
+  mutable obs::RollingRate total_rate_ GUARDED_BY(load_mu_);
+  mutable std::map<std::string, obs::RollingRate> proto_rates_
+      GUARDED_BY(load_mu_);
+  mutable obs::LoadAverage load_ GUARDED_BY(load_mu_);
 
   std::thread publisher_;
-  std::mutex pub_mu_;
-  std::condition_variable pub_cv_;
-  bool pub_stop_ = false;
+  Mutex pub_mu_{lockrank::Rank::dispatcher_pub, "dispatcher.pub"};
+  CondVar pub_cv_;
+  bool pub_stop_ GUARDED_BY(pub_mu_) = false;
 };
 
 }  // namespace nest::dispatcher

@@ -149,7 +149,7 @@ std::optional<Error> FailPoint::fire() {
   evals_.fetch_add(1, std::memory_order_relaxed);
   Action act;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (action_.kind == Action::Kind::off) return std::nullopt;
     if (remaining_after_ > 0) {
       --remaining_after_;
@@ -176,26 +176,26 @@ std::optional<Error> FailPoint::fire() {
 }
 
 void FailPoint::arm(const Action& action) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   action_ = action;
   remaining_after_ = action.after;
   armed_.store(action.kind != Action::Kind::off, std::memory_order_relaxed);
 }
 
 void FailPoint::disarm() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   action_ = Action{};
   remaining_after_ = 0;
   armed_.store(false, std::memory_order_relaxed);
 }
 
 std::string FailPoint::spec() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return action_.kind == Action::Kind::off ? "off" : action_.spec;
 }
 
 void FailPoint::reseed(std::uint64_t seed) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   rng_ = Rng(seed ^ std::hash<std::string>{}(name_));
 }
 
@@ -205,7 +205,7 @@ Registry& Registry::instance() {
 }
 
 FailPoint& Registry::point(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = points_.find(name);
   if (it == points_.end()) {
     it = points_
@@ -249,12 +249,12 @@ Status Registry::arm_many(const std::string& specs) {
 }
 
 void Registry::disarm_all() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (auto& [name, fp] : points_) fp->disarm();
 }
 
 std::vector<FailPointInfo> Registry::list() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::vector<FailPointInfo> out;
   out.reserve(points_.size());
   for (const auto& [name, fp] : points_)
@@ -270,7 +270,7 @@ void Registry::apply_env(const char* var) {
 }
 
 void Registry::seed(std::uint64_t s) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   seed_ = s;
   for (auto& [name, fp] : points_) fp->reseed(s);
 }

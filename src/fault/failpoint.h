@@ -28,11 +28,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/rng.h"
 
@@ -78,10 +78,10 @@ class FailPoint {
   std::atomic<bool> armed_{false};
   std::atomic<std::uint64_t> evals_{0};
   std::atomic<std::uint64_t> trips_{0};
-  mutable std::mutex mu_;  // guards action_, remaining_, rng_
-  Action action_;
-  std::uint64_t remaining_after_ = 0;
-  Rng rng_;
+  mutable Mutex mu_{lockrank::Rank::fault_point, "fault.point"};
+  Action action_ GUARDED_BY(mu_);
+  std::uint64_t remaining_after_ GUARDED_BY(mu_) = 0;
+  Rng rng_ GUARDED_BY(mu_);
 };
 
 struct FailPointInfo {
@@ -117,9 +117,12 @@ class Registry {
 
  private:
   Registry() = default;
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<FailPoint>> points_;
-  std::uint64_t seed_ = 0;
+  mutable Mutex mu_{lockrank::Rank::fault_registry, "fault.registry"};
+  // Unique_ptrs are guarded; the FailPoints they own carry their own lock
+  // (rank fault_point, above fault_registry: list() reads specs per point
+  // while holding the registry).
+  std::map<std::string, std::unique_ptr<FailPoint>> points_ GUARDED_BY(mu_);
+  std::uint64_t seed_ GUARDED_BY(mu_) = 0;
 };
 
 inline Registry& registry() { return Registry::instance(); }

@@ -83,13 +83,13 @@ void MiniServer::accept_loop() {
     auto stream = listener_->accept();
     if (!stream.ok()) return;
     (void)stream->set_read_timeout(30'000);
-    std::lock_guard lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     const int fd = stream->fd();
     conn_fds_.insert(fd);
     connections_.emplace_back([this, fd,
                                s = std::move(stream.value())]() mutable {
       serve(s);
-      std::lock_guard inner(conn_mu_);
+      MutexLock inner(conn_mu_);
       conn_fds_.erase(fd);
     });
   }
@@ -101,7 +101,7 @@ void MiniServer::stop() {
   if (acceptor_.joinable()) acceptor_.join();
   std::vector<std::thread> conns;
   {
-    std::lock_guard lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     conns.swap(connections_);
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }

@@ -8,11 +8,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "net/socket.h"
 #include "storage/vfs.h"
 
@@ -38,9 +38,9 @@ class MiniServer {
   void accept_loop();
   std::unique_ptr<net::TcpListener> listener_;
   std::thread acceptor_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> connections_;
-  std::set<int> conn_fds_;
+  Mutex conn_mu_{lockrank::Rank::jbos_conn, "jbos.conn"};
+  std::vector<std::thread> connections_ GUARDED_BY(conn_mu_);
+  std::set<int> conn_fds_ GUARDED_BY(conn_mu_);
   std::atomic<bool> stopping_{false};
   uint16_t port_ = 0;
 };

@@ -143,7 +143,11 @@ Result<std::unique_ptr<Journal>> Journal::open(Clock& clock,
                  "mkdir " + options.dir + ": " + std::strerror(errno)};
   }
   std::unique_ptr<Journal> j(new Journal(clock, std::move(options)));
-  if (auto s = j->recover(); !s.ok()) return Error{s.error()};
+  {
+    // No other thread exists yet; the lock is for analyzability only.
+    MutexLock lock(j->mu_);
+    if (auto s = j->recover(); !s.ok()) return Error{s.error()};
+  }
   if (j->options_.sync == SyncMode::group) {
     j->committer_ = std::thread([p = j.get()] { p->committer_main(); });
   }
@@ -152,13 +156,14 @@ Result<std::unique_ptr<Journal>> Journal::open(Clock& clock,
 
 Journal::~Journal() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
     if (!dead_ && !pending_.empty()) (void)flush_locked();
   }
   committer_cv_.notify_all();
   durable_cv_.notify_all();
   if (committer_.joinable()) committer_.join();
+  MutexLock lock(mu_);
   if (fd_ >= 0) ::close(fd_);
 }
 
@@ -292,7 +297,6 @@ Status Journal::recover() {
 
   // Append head: always start a fresh segment — cheap, and it never
   // reopens a file whose tail state we would otherwise have to trust.
-  std::lock_guard lock(mu_);
   return open_segment_locked(next_lsn_);
 }
 
@@ -332,7 +336,7 @@ Status Journal::open_segment_locked(Lsn start_lsn) {
 }
 
 Result<Lsn> Journal::append(std::string payload) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (dead_) return Error{Errc::io_error, "journal is dead (injected crash)"};
   // An append-layer failure kills the journal: the storage layer has
   // already mutated in-memory state when it seals a batch, so "record
@@ -433,19 +437,19 @@ Status Journal::commit(Lsn upto) {
     case SyncMode::none: {
       // No durability barrier; still push bytes to the OS so a clean
       // shutdown leaves a replayable log.
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (durable_lsn_ >= upto) return {};
       return flush_locked();
     }
     case SyncMode::always: {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (durable_lsn_ >= upto) return {};
       return flush_locked();
     }
     case SyncMode::group: {
       // Timer-driven batching: the committer fsyncs once per interval,
       // amortizing the flush across every record appended meanwhile.
-      std::unique_lock lock(mu_);
+      MutexLock lock(mu_);
       durable_cv_.wait(lock,
                        [&] { return durable_lsn_ >= upto || dead_ || stop_; });
       if (durable_lsn_ >= upto) return {};
@@ -463,7 +467,7 @@ Result<Lsn> Journal::append_commit(std::string payload) {
 }
 
 void Journal::committer_main() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   while (!stop_) {
     committer_cv_.wait_for(
         lock, std::chrono::nanoseconds(options_.commit_interval),
@@ -487,7 +491,7 @@ void Journal::drop_recovered_tail() {
 }
 
 Status Journal::write_snapshot(const std::string& payload) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   if (dead_) return Status{Errc::io_error, "journal is dead"};
   // The snapshot covers every appended record: flush them first so the
   // on-disk state never goes backwards if the snapshot write dies.
@@ -545,7 +549,7 @@ Status Journal::write_snapshot(const std::string& payload) {
 }
 
 JournalStats Journal::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   JournalStats st;
   st.last_lsn = next_lsn_ - 1;
   st.durable_lsn = durable_lsn_;
@@ -560,7 +564,7 @@ JournalStats Journal::stats() const {
 }
 
 bool Journal::dead() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return dead_;
 }
 

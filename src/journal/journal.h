@@ -34,14 +34,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <condition_variable>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/result.h"
 
 namespace nest::journal {
@@ -108,7 +107,10 @@ class Journal {
   const std::optional<std::string>& snapshot_payload() const {
     return snapshot_payload_;
   }
-  Lsn snapshot_lsn() const { return snapshot_lsn_; }
+  Lsn snapshot_lsn() const {
+    MutexLock lock(mu_);
+    return snapshot_lsn_;
+  }
   // Invoke `fn` for every recovered record with lsn > snapshot_lsn, in
   // LSN order. A failed callback aborts replay with its status.
   Status replay(const std::function<Status(Lsn, std::string_view)>& fn);
@@ -125,54 +127,66 @@ class Journal {
  private:
   explicit Journal(Clock& clock, JournalOptions options);
 
-  Status recover();
-  Status open_segment_locked(Lsn start_lsn);
-  Status flush_locked();       // write pending frames + fsync per mode
+  // Runs under mu_ from open(): no other thread exists yet, but holding
+  // the lock keeps every access to the guarded members analyzable.
+  Status recover() REQUIRES(mu_);
+  Status open_segment_locked(Lsn start_lsn) REQUIRES(mu_);
+  // Write pending frames + fsync per mode.
+  Status flush_locked() REQUIRES(mu_);
   void committer_main();
 
   Clock& clock_;
   JournalOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable durable_cv_;
-  std::condition_variable committer_cv_;
+  mutable Mutex mu_{lockrank::Rank::journal, "journal.mu"};
+  CondVar durable_cv_;
+  CondVar committer_cv_;
 
   // Append state.
-  Lsn next_lsn_ = 1;
-  Lsn durable_lsn_ = 0;
-  std::vector<std::string> pending_;   // encoded frames awaiting flush
-  Lsn pending_first_lsn_ = 0;
-  bool dead_ = false;
+  Lsn next_lsn_ GUARDED_BY(mu_) = 1;
+  Lsn durable_lsn_ GUARDED_BY(mu_) = 0;
+  // Encoded frames awaiting flush.
+  std::vector<std::string> pending_ GUARDED_BY(mu_);
+  Lsn pending_first_lsn_ GUARDED_BY(mu_) = 0;
+  bool dead_ GUARDED_BY(mu_) = false;
 
   // Current segment.
-  int fd_ = -1;
-  std::string seg_path_;
-  std::int64_t seg_size_ = 0;       // bytes written (incl. header)
-  std::int64_t seg_durable_size_ = 0;  // bytes covered by the last fsync
+  int fd_ GUARDED_BY(mu_) = -1;
+  std::string seg_path_ GUARDED_BY(mu_);
+  // Bytes written (incl. header).
+  std::int64_t seg_size_ GUARDED_BY(mu_) = 0;
+  // Bytes covered by the last fsync.
+  std::int64_t seg_durable_size_ GUARDED_BY(mu_) = 0;
 
   struct Segment {
     std::string path;
     Lsn start_lsn = 0;
   };
-  std::vector<Segment> segments_;  // in start-LSN order; back() is live
+  // In start-LSN order; back() is live.
+  std::vector<Segment> segments_ GUARDED_BY(mu_);
 
   // Snapshot state.
+  // snapshot_payload_ is a recovery artifact: written once under mu_ in
+  // recover(), read-only afterwards (the unlocked accessor above is the
+  // documented single-owner handoff to attach_journal before serving).
   std::optional<std::string> snapshot_payload_;
-  Lsn snapshot_lsn_ = 0;
-  std::string snapshot_path_;
-  Nanos snapshot_time_ = 0;
-  std::uint64_t records_since_snapshot_ = 0;
+  Lsn snapshot_lsn_ GUARDED_BY(mu_) = 0;
+  std::string snapshot_path_ GUARDED_BY(mu_);
+  Nanos snapshot_time_ GUARDED_BY(mu_) = 0;
+  std::uint64_t records_since_snapshot_ GUARDED_BY(mu_) = 0;
 
-  // Recovery tail (lsn > snapshot_lsn_).
+  // Recovery tail (lsn > snapshot_lsn_); same single-owner handoff as
+  // snapshot_payload_: filled in recover(), consumed via replay()/
+  // drop_recovered_tail() before the journal serves concurrent callers.
   std::vector<std::pair<Lsn, std::string>> recovered_;
 
   // Counters.
-  std::uint64_t appends_ = 0;
-  std::uint64_t commits_ = 0;
-  std::uint64_t fsyncs_ = 0;
+  std::uint64_t appends_ GUARDED_BY(mu_) = 0;
+  std::uint64_t commits_ GUARDED_BY(mu_) = 0;
+  std::uint64_t fsyncs_ GUARDED_BY(mu_) = 0;
 
   std::thread committer_;
-  bool stop_ = false;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace nest::journal

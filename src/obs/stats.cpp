@@ -6,7 +6,7 @@
 namespace nest::obs {
 
 double RollingRate::observe(Nanos now, std::int64_t cumulative) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   samples_.emplace_back(now, cumulative);
   while (samples_.size() > 1 && samples_.front().first < now - window_) {
     samples_.pop_front();
@@ -18,7 +18,7 @@ double RollingRate::observe(Nanos now, std::int64_t cumulative) {
 }
 
 double LoadAverage::observe(Nanos now, double instantaneous) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!primed_) {
     value_ = instantaneous;
     primed_ = true;
@@ -33,7 +33,7 @@ double LoadAverage::observe(Nanos now, double instantaneous) {
 }
 
 double LoadAverage::value() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return value_;
 }
 

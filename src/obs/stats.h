@@ -14,11 +14,11 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 
 namespace nest::obs {
 
@@ -34,8 +34,8 @@ class RollingRate {
 
  private:
   Nanos window_;
-  std::mutex mu_;
-  std::deque<std::pair<Nanos, std::int64_t>> samples_;
+  Mutex mu_{lockrank::Rank::obs_load, "obs.rolling_rate"};
+  std::deque<std::pair<Nanos, std::int64_t>> samples_ GUARDED_BY(mu_);
 };
 
 // Exponentially-weighted moving average with time constant `tau`; the
@@ -48,10 +48,10 @@ class LoadAverage {
 
  private:
   Nanos tau_;
-  mutable std::mutex mu_;
-  Nanos last_ = 0;
-  double value_ = 0.0;
-  bool primed_ = false;
+  mutable Mutex mu_{lockrank::Rank::obs_load, "obs.load_average"};
+  Nanos last_ GUARDED_BY(mu_) = 0;
+  double value_ GUARDED_BY(mu_) = 0.0;
+  bool primed_ GUARDED_BY(mu_) = false;
 };
 
 class Stats {

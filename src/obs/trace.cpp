@@ -13,8 +13,8 @@ namespace {
 // maps buffer id -> claimed ring. On thread exit the rings are returned to
 // their buffers' freelists — but only if the buffer still exists, which a
 // process-wide registry of live buffer ids tracks.
-std::mutex& live_mu() {
-  static std::mutex mu;
+Mutex& live_mu() {
+  static Mutex mu{lockrank::Rank::obs_live, "trace.live_buffers"};
   return mu;
 }
 std::map<std::uint64_t, TraceBuffer*>& live_buffers() {
@@ -23,13 +23,13 @@ std::map<std::uint64_t, TraceBuffer*>& live_buffers() {
 }
 std::uint64_t register_buffer(TraceBuffer* b) {
   static std::uint64_t next_id = 1;
-  std::lock_guard lock(live_mu());
+  MutexLock lock(live_mu());
   const std::uint64_t id = next_id++;
   live_buffers().emplace(id, b);
   return id;
 }
 void unregister_buffer(std::uint64_t id) {
-  std::lock_guard lock(live_mu());
+  MutexLock lock(live_mu());
   live_buffers().erase(id);
 }
 
@@ -73,7 +73,7 @@ Nanos TraceBuffer::now() const {
 }
 
 TraceBuffer::Ring* TraceBuffer::claim_ring() {
-  std::lock_guard lock(rings_mu_);
+  MutexLock lock(rings_mu_);
   for (auto& r : rings_) {
     if (!r->in_use.load(std::memory_order_relaxed)) {
       r->in_use.store(true, std::memory_order_relaxed);
@@ -94,7 +94,7 @@ TraceBuffer::Ring* TraceBuffer::local_ring() {
     std::vector<Entry> entries;
     ~Cache() {
       // Release claimed rings back to buffers that are still alive.
-      std::lock_guard lock(live_mu());
+      MutexLock lock(live_mu());
       for (const Entry& e : entries) {
         if (live_buffers().count(e.buffer_id) != 0) {
           e.ring->in_use.store(false, std::memory_order_relaxed);
@@ -133,7 +133,7 @@ void TraceBuffer::record(const SpanData& s) {
 
 std::vector<SpanData> TraceBuffer::snapshot() const {
   std::vector<SpanData> out;
-  std::lock_guard lock(rings_mu_);
+  MutexLock lock(rings_mu_);
   for (const auto& r : rings_) {
     const std::uint64_t head = r->head.load(std::memory_order_acquire);
     const std::uint64_t n = std::min<std::uint64_t>(head, cap_);
@@ -185,7 +185,7 @@ std::uint64_t TraceBuffer::find_trace(Layer layer,
 }
 
 std::size_t TraceBuffer::ring_count() const {
-  std::lock_guard lock(rings_mu_);
+  MutexLock lock(rings_mu_);
   return rings_.size();
 }
 

@@ -28,11 +28,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 
 namespace nest::obs {
 
@@ -132,8 +132,10 @@ class TraceBuffer {
   std::atomic<std::uint64_t> next_trace_{1};
   std::atomic<std::uint64_t> next_span_{1};
   std::atomic<Clock*> clock_;
-  mutable std::mutex rings_mu_;
-  std::vector<std::unique_ptr<Ring>> rings_;
+  mutable Mutex rings_mu_{lockrank::Rank::obs_rings, "trace.rings"};
+  // The vector (not the rings it points at) is guarded: writers record
+  // into their claimed ring's atomic slots with no lock held.
+  std::vector<std::unique_ptr<Ring>> rings_ GUARDED_BY(rings_mu_);
 };
 
 // RAII span. Construction captures the parent from the thread-local

@@ -28,7 +28,7 @@ EventLoop::EventLoop(int workers) {
 
 EventLoop::~EventLoop() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -36,7 +36,7 @@ EventLoop::~EventLoop() {
 }
 
 void EventLoop::run() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
     cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
     if (stop_) return;
@@ -55,7 +55,7 @@ void EventLoop::run_sync(const std::function<void()>& fn) {
     fn();
     done = true;
   };
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   queue_.push_back(&wrapped);
   cv_.notify_all();
   cv_.wait(lock, [&done] { return done; });
@@ -79,7 +79,7 @@ void TransferExecutor::throttle(std::int64_t bytes) {
   if (max_total_bw_ <= 0 || bytes <= 0) return;
   Nanos wait_until = 0;
   {
-    std::lock_guard lock(throttle_mu_);
+    MutexLock lock(throttle_mu_);
     const Nanos now = clock_.now();
     const Nanos cost = from_seconds(static_cast<double>(bytes) /
                                     static_cast<double>(max_total_bw_));

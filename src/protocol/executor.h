@@ -13,15 +13,14 @@
 //               (classic wu-ftpd style; charging happens on completion).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "net/socket.h"
 #include "storage/storage_manager.h"
 #include "transfer/core.h"
@@ -43,10 +42,10 @@ class EventLoop {
 
  private:
   void run();
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>*> queue_;
-  bool stop_ = false;
+  Mutex mu_{lockrank::Rank::executor_queue, "eventloop.mu"};
+  CondVar cv_;
+  std::deque<std::function<void()>*> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   // Started in the constructor body, after every member they touch exists.
   std::vector<std::thread> workers_;
 };
@@ -115,8 +114,8 @@ class TransferExecutor {
   transfer::TransferCore& core_;
   std::int64_t block_bytes_;
   std::int64_t max_total_bw_;
-  std::mutex throttle_mu_;
-  Nanos next_send_time_ = 0;
+  Mutex throttle_mu_{lockrank::Rank::executor_throttle, "executor.throttle"};
+  Nanos next_send_time_ GUARDED_BY(throttle_mu_) = 0;
   EventLoop loop_;        // the single loop of the events model
   EventLoop disk_stage_;  // staged model: file-I/O stage pool
   EventLoop net_stage_;   // staged model: socket-I/O stage pool

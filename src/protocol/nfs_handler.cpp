@@ -72,7 +72,7 @@ void NfsService::run() {
 
 std::uint64_t NfsService::handle_for(const std::string& path) {
   const std::string norm = normalize_path(path);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = path_to_id_.find(norm);
   if (it != path_to_id_.end()) return it->second;
   const std::uint64_t id = next_id_++;
@@ -86,7 +86,7 @@ Result<std::string> NfsService::path_for(std::span<const char> fh) {
     return Error{Errc::protocol_error, "bad fh size"};
   std::uint64_t id = 0;
   std::memcpy(&id, fh.data(), sizeof id);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = id_to_path_.find(id);
   if (it == id_to_path_.end()) return Error{Errc::not_found, "stale fh"};
   return it->second;
@@ -282,13 +282,8 @@ void NfsService::handle_nfs(const xdr::RpcCall& call, xdr::Decoder& args,
         return fail(NFSERR_STALE);
       // NFS writes arrive block-by-block with no whole-file size; open
       // without truncating and extend (write semantics differ from PUT).
-      auto handle = dispatcher_.storage().fs().open(*path);
+      auto handle = dispatcher_.storage().open_for_append(who, *path);
       if (!handle.ok()) return fail(errc_to_nfs(handle.code()));
-      if (auto s = dispatcher_.storage().acl().check(
-              who, parent_path(*path), storage::Right::write);
-          !s.ok()) {
-        return fail(NFSERR_ACCES);
-      }
       storage::TransferTicket ticket;
       ticket.path = *path;
       ticket.handle = std::move(handle.value());
@@ -401,16 +396,16 @@ void NfsService::handle_nfs(const xdr::RpcCall& call, xdr::Decoder& args,
       auto path = get_fh_path();
       xdr::encode_accepted_reply(out, call.xid, xdr::kAcceptSuccess);
       if (!path.ok()) return fail(NFSERR_STALE);
-      auto& fs = dispatcher_.storage().fs();
+      auto& storage = dispatcher_.storage();
+      const std::int64_t free_blocks =
+          storage.free_space() / kNfsBlockSize;
       out.put_u32(NFS_OK);
       out.put_u32(8192);  // tsize: optimal transfer size
       out.put_u32(static_cast<std::uint32_t>(kNfsBlockSize));
       out.put_u32(static_cast<std::uint32_t>(
-          fs.total_space() / kNfsBlockSize));
-      out.put_u32(static_cast<std::uint32_t>(
-          fs.free_space() / kNfsBlockSize));
-      out.put_u32(static_cast<std::uint32_t>(
-          fs.free_space() / kNfsBlockSize));
+          storage.total_space() / kNfsBlockSize));
+      out.put_u32(static_cast<std::uint32_t>(free_blocks));
+      out.put_u32(static_cast<std::uint32_t>(free_blocks));
       return;
     }
 

@@ -15,7 +15,6 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "dispatcher/dispatcher.h"
@@ -112,10 +111,10 @@ class NfsService {
   std::atomic<bool> stopping_{false};
   uint16_t port_ = 0;
 
-  std::mutex mu_;
-  std::map<std::uint64_t, std::string> id_to_path_;
-  std::map<std::string, std::uint64_t> path_to_id_;
-  std::uint64_t next_id_ = 2;  // 1 is the root handle
+  Mutex mu_{lockrank::Rank::nfs_handles, "nfs.handles"};
+  std::map<std::uint64_t, std::string> id_to_path_ GUARDED_BY(mu_);
+  std::map<std::string, std::uint64_t> path_to_id_ GUARDED_BY(mu_);
+  std::uint64_t next_id_ GUARDED_BY(mu_) = 2;  // 1 is the root handle
 };
 
 }  // namespace nest::protocol

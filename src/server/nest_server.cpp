@@ -145,7 +145,7 @@ void NestServer::accept_loop(net::TcpListener* listener,
     auto stream = listener->accept();
     if (!stream.ok()) return;  // listener closed: shutting down
     (void)stream->set_read_timeout(options_.idle_timeout_ms);
-    std::lock_guard lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     const int fd = stream->fd();
     conn_fds_.insert(fd);
     connections_.emplace_back(
@@ -153,7 +153,7 @@ void NestServer::accept_loop(net::TcpListener* listener,
           handler->serve(s);
           // The lambda still owns the stream, so the fd stays open (and
           // thus unrecycled) until after it is unregistered.
-          std::lock_guard inner(conn_mu_);
+          MutexLock inner(conn_mu_);
           conn_fds_.erase(fd);
         });
   }
@@ -168,7 +168,7 @@ void NestServer::stop() {
   if (nfs_) nfs_->stop();
   std::vector<std::thread> conns;
   {
-    std::lock_guard lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     conns.swap(connections_);
     // Kick handler threads out of blocking reads on idle connections.
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);

@@ -11,11 +11,11 @@
 #include <atomic>
 #include <set>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "dispatcher/dispatcher.h"
 #include "journal/journal.h"
 #include "net/socket.h"
@@ -124,9 +124,10 @@ class NestServer {
   std::vector<Endpoint> endpoints_;
   std::unique_ptr<protocol::NfsService> nfs_;  // UDP RPC service
 
-  std::mutex conn_mu_;
-  std::vector<std::thread> connections_;
-  std::set<int> conn_fds_;  // live connection sockets, for shutdown-on-stop
+  Mutex conn_mu_{lockrank::Rank::server_conn, "server.conn"};
+  std::vector<std::thread> connections_ GUARDED_BY(conn_mu_);
+  // Live connection sockets, for shutdown-on-stop.
+  std::set<int> conn_fds_ GUARDED_BY(conn_mu_);
   std::atomic<bool> stopping_{false};
 
   uint16_t chirp_port_ = 0;

@@ -28,8 +28,10 @@ Errc errno_to_errc(int err) {
 }
 
 Error sys_error(const std::string& what) {
-  return Error{errno_to_errc(errno),
-               what + ": " + std::strerror(errno)};
+  // One errno read: the unspecified evaluation order of the braced pair
+  // would otherwise let strerror() (or the string allocation) clobber it.
+  const int err = errno;
+  return Error{errno_to_errc(err), what + ": " + std::strerror(err)};
 }
 
 // RAII fd-backed file handle using pread/pwrite.

@@ -1,8 +1,6 @@
 #include "storage/memfs.h"
 
 #include <algorithm>
-#include <mutex>
-#include <shared_mutex>
 
 #include "common/string_util.h"
 
@@ -18,7 +16,7 @@ class MemFileHandle final : public FileHandle {
   Result<std::int64_t> pread(std::span<char> buf,
                              std::int64_t offset) override {
     if (offset < 0) return Error{Errc::invalid_argument, "negative offset"};
-    std::shared_lock lk(data_->mu);
+    ReaderLock lk(data_->mu);
     const auto size = static_cast<std::int64_t>(data_->bytes.size());
     if (offset >= size) return std::int64_t{0};
     const std::int64_t n =
@@ -33,7 +31,7 @@ class MemFileHandle final : public FileHandle {
     if (offset < 0) return Error{Errc::invalid_argument, "negative offset"};
     const std::int64_t end =
         offset + static_cast<std::int64_t>(buf.size());
-    std::unique_lock lk(data_->mu);
+    WriterLock lk(data_->mu);
     if (end > static_cast<std::int64_t>(data_->bytes.size())) {
       data_->bytes.resize(static_cast<std::size_t>(end));
     }
@@ -43,13 +41,13 @@ class MemFileHandle final : public FileHandle {
   }
 
   Result<std::int64_t> size() const override {
-    std::shared_lock lk(data_->mu);
+    ReaderLock lk(data_->mu);
     return static_cast<std::int64_t>(data_->bytes.size());
   }
 
   Status truncate(std::int64_t new_size) override {
     if (new_size < 0) return Status{Errc::invalid_argument, "negative size"};
-    std::unique_lock lk(data_->mu);
+    WriterLock lk(data_->mu);
     data_->bytes.resize(static_cast<std::size_t>(new_size));
     data_->mtime = clock_.now();
     return {};
@@ -63,11 +61,11 @@ class MemFileHandle final : public FileHandle {
 // Locked size/mtime reads for the metadata paths (stat/list/used_space),
 // which race against live handles otherwise.
 std::int64_t file_size(const std::shared_ptr<MemFs::FileData>& d) {
-  std::shared_lock lk(d->mu);
+  ReaderLock lk(d->mu);
   return static_cast<std::int64_t>(d->bytes.size());
 }
 Nanos file_mtime(const std::shared_ptr<MemFs::FileData>& d) {
-  std::shared_lock lk(d->mu);
+  ReaderLock lk(d->mu);
   return d->mtime;
 }
 
@@ -177,7 +175,7 @@ Result<FileHandlePtr> MemFs::create(const std::string& raw) {
   if (node.is_dir) return Error{Errc::is_dir, path};
   if (!node.data) node.data = std::make_shared<FileData>();
   {
-    std::unique_lock lk(node.data->mu);
+    WriterLock lk(node.data->mu);
     node.data->bytes.clear();
     node.data->mtime = clock_.now();
   }

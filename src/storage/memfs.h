@@ -7,9 +7,9 @@
 #include <map>
 #include <memory>
 #include <set>
-#include <shared_mutex>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "storage/vfs.h"
 
 namespace nest::storage {
@@ -40,9 +40,9 @@ class MemFs final : public VirtualFs {
   // storage-manager mutex). mtime lives here too so a handle can stamp it
   // safely even after the node was renamed or removed.
   struct FileData {
-    mutable std::shared_mutex mu;
-    std::vector<char> bytes;
-    Nanos mtime = 0;
+    mutable SharedMutex mu{lockrank::Rank::storage_file, "memfs.file"};
+    std::vector<char> bytes GUARDED_BY(mu);
+    Nanos mtime GUARDED_BY(mu) = 0;
   };
 
  private:

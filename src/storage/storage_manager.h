@@ -21,13 +21,13 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "classad/classad.h"
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "journal/journal.h"
 #include "storage/acl.h"
@@ -100,6 +100,18 @@ class StorageManager {
   Result<FileStat> stat(const Principal& who, const std::string& path) const;
   Result<std::vector<DirEntry>> list(const Principal& who,
                                      const std::string& path) const;
+  // Rename = delete from old name + insert at new; the delete right on the
+  // old path gates it (matching the historical dispatcher check).
+  Status rename(const Principal& who, const std::string& from,
+                const std::string& to);
+  // Open an existing file for in-place block writes (NFS WRITE: no
+  // truncate, no whole-file size). ACL-checked and mutex-protected like
+  // every other path into the VirtualFs.
+  Result<FileHandlePtr> open_for_append(const Principal& who,
+                                        const std::string& path);
+  // Space totals under the metadata lock (NFS STATFS).
+  std::int64_t total_space() const;
+  std::int64_t free_space() const;
 
   // --- Transfer approval ---
   Result<TransferTicket> approve_read(const Principal& who,
@@ -135,48 +147,58 @@ class StorageManager {
   // Resource description published by the dispatcher (paper Section 2.1).
   classad::ClassAd resource_ad() const;
 
-  AccessControl& acl() { return acl_; }
-  LotManager& lots() { return lots_; }
-  VirtualFs& fs() { return *fs_; }
   const StorageOptions& options() const { return options_; }
 
  private:
   Status check(const Principal& who, const std::string& path,
-               Right needed) const;
-  MetaState meta_state() { return MetaState{lots_, acl_, quota_}; }
+               Right needed) const REQUIRES(mu_);
+  MetaState meta_state() REQUIRES(mu_) {
+    return MetaState{lots_, acl_, quota_};
+  }
 
   // Journal the current lot state of `id` (erase record if it vanished).
-  void record_lot_locked(LotId id);
-  void record_quota_locked(const std::string& owner);
+  void record_lot_locked(LotId id) REQUIRES(mu_);
+  void record_quota_locked(const std::string& owner) REQUIRES(mu_);
   // Append the accumulated batch (one record per client operation);
   // returns 0 when there is nothing to journal or no journal attached.
-  Result<journal::Lsn> seal_batch_locked();
-  void maybe_snapshot_locked();
+  Result<journal::Lsn> seal_batch_locked() REQUIRES(mu_);
+  void maybe_snapshot_locked() REQUIRES(mu_);
   // Durability barrier, called WITHOUT mu_ so concurrent operations share
-  // a group-commit fsync.
-  Status barrier(journal::Lsn lsn);
+  // a group-commit fsync. journal_ is read unguarded here: it is set once
+  // in attach_journal (before the server serves) and never reassigned.
+  Status barrier(journal::Lsn lsn) EXCLUDES(mu_);
 
   // Operation bodies, run under mu_ with batch recording.
-  Status remove_locked(const Principal& who, const std::string& path);
+  Status remove_locked(const Principal& who, const std::string& path)
+      REQUIRES(mu_);
   Result<TransferTicket> approve_write_locked(const Principal& who,
                                               const std::string& path,
-                                              std::int64_t size);
+                                              std::int64_t size)
+      REQUIRES(mu_);
   Status charge_written_locked(const Principal& who, const std::string& path,
-                               std::int64_t bytes);
+                               std::int64_t bytes) REQUIRES(mu_);
   Result<LotId> lot_create_locked(const Principal& who, std::int64_t capacity,
-                                  Nanos duration, bool group_lot);
-  Status lot_renew_locked(const Principal& who, LotId id, Nanos duration);
-  Status lot_terminate_locked(const Principal& who, LotId id);
+                                  Nanos duration, bool group_lot)
+      REQUIRES(mu_);
+  Status lot_renew_locked(const Principal& who, LotId id, Nanos duration)
+      REQUIRES(mu_);
+  Status lot_terminate_locked(const Principal& who, LotId id) REQUIRES(mu_);
 
   Clock& clock_;
-  std::unique_ptr<VirtualFs> fs_;
+  // The VirtualFs object itself (MemFs node table, LocalFs dirfd state) is
+  // externally serialized by mu_; only per-file payloads carry their own
+  // lock (rank storage_file, acquired under mu_ by stat/list).
+  std::unique_ptr<VirtualFs> fs_ PT_GUARDED_BY(mu_);
   StorageOptions options_;
-  AccessControl acl_;
-  LotManager lots_;
-  QuotaLedger quota_;
+  AccessControl acl_ GUARDED_BY(mu_);
+  LotManager lots_ GUARDED_BY(mu_);
+  QuotaLedger quota_ GUARDED_BY(mu_);
+  // Set once by attach_journal() before the server accepts connections,
+  // read-only afterwards; barrier() reads it outside mu_ by design (the
+  // commit wait must not hold the metadata lock), so it stays unguarded.
   journal::Journal* journal_ = nullptr;
-  MetaBatch batch_;
-  mutable std::mutex mu_;
+  MetaBatch batch_ GUARDED_BY(mu_);
+  mutable Mutex mu_{lockrank::Rank::storage_meta, "storage.mu"};
 };
 
 }  // namespace nest::storage

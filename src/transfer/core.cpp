@@ -22,14 +22,14 @@ void TransferCore::push_op(TransferRequest* r, OpKind kind,
   Op op{seq_.fetch_add(1, std::memory_order_relaxed), r, kind, bytes};
   if (kind == OpKind::submit) r->submit_seq = op.seq;
   Shard& s = shard_for(r);
-  std::lock_guard lock(s.mu);
+  MutexLock lock(s.mu);
   s.ops.push_back(op);
 }
 
 void TransferCore::drain_locked() {
   drain_buf_.clear();
   for (Shard& s : shards_) {
-    std::lock_guard lock(s.mu);
+    MutexLock lock(s.mu);
     if (s.ops.empty()) continue;
     drain_buf_.insert(drain_buf_.end(), s.ops.begin(), s.ops.end());
     s.ops.clear();
@@ -57,8 +57,10 @@ TransferRequest* TransferCore::create_request(const std::string& protocol,
   TransferRequest* r;
   {
     // Registry insert + cache-model residency probe happen inside
-    // TransferManager::create_request; hold both domains.
-    std::scoped_lock lock(reg_mu_, cache_mu_);
+    // TransferManager::create_request; hold both domains, acquired in
+    // rank order (registry, then cache).
+    MutexLock reg(reg_mu_);
+    MutexLock cache(cache_mu_);
     r = tm_.create_request(protocol, dir, path, size, user);
   }
   auto& stats = obs::Stats::global();
@@ -84,7 +86,7 @@ void TransferCore::charge(TransferRequest* r, std::int64_t bytes) {
   r->done += bytes;  // owner-thread field
   tm_.account_bytes(r->protocol, bytes);
   {
-    std::lock_guard lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     tm_.cache_model().observe_access(r->path, r->done - bytes, bytes);
   }
   push_op(r, OpKind::charge, bytes);
@@ -106,10 +108,10 @@ void TransferCore::complete(TransferRequest* r) {
   // a pump stores/notifies the grant word only under sched_mu_, so it can
   // never touch `r` after this complete() starts erasing it.
   {
-    std::lock_guard lock(sched_mu_);
+    MutexLock lock(sched_mu_);
     drain_locked();
   }
-  std::lock_guard reg(reg_mu_);
+  MutexLock reg(reg_mu_);
   tm_.complete(r);
 }
 
@@ -143,7 +145,7 @@ void TransferCore::release() {
 }
 
 TransferRequest* TransferCore::try_grant() {
-  std::lock_guard lock(sched_mu_);
+  MutexLock lock(sched_mu_);
   drain_locked();
   if (free_.load(std::memory_order_relaxed) <= 0) return nullptr;
   TransferRequest* r = tm_.next();
@@ -160,7 +162,7 @@ void TransferCore::pump() {
   do {
     handled = pump_pending_.load(std::memory_order_acquire);
     {
-      std::lock_guard lock(sched_mu_);
+      MutexLock lock(sched_mu_);
       drain_locked();
       while (free_.load(std::memory_order_relaxed) > 0) {
         TransferRequest* r = tm_.next();
@@ -176,12 +178,12 @@ void TransferCore::pump() {
 }
 
 ConcurrencyModel TransferCore::pick_model() {
-  std::lock_guard lock(sel_mu_);
+  MutexLock lock(sel_mu_);
   return tm_.pick_model();
 }
 
 void TransferCore::report_model(ConcurrencyModel m, double metric_value) {
-  std::lock_guard lock(sel_mu_);
+  MutexLock lock(sel_mu_);
   tm_.report_model(m, metric_value);
 }
 

@@ -31,10 +31,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "transfer/transfer_manager.h"
 
 namespace nest::transfer {
@@ -94,16 +94,16 @@ class TransferCore {
     std::int64_t bytes = 0;
   };
   struct alignas(64) Shard {
-    std::mutex mu;
-    std::vector<Op> ops;
+    Mutex mu{lockrank::Rank::transfer_shard, "transfer.shard"};
+    std::vector<Op> ops GUARDED_BY(mu);
   };
   static constexpr int kShards = 8;
 
   Shard& shard_for(const TransferRequest* r);
   void push_op(TransferRequest* r, OpKind kind, std::int64_t bytes);
   // Move every pending shard op into drain_buf_, restore global submission
-  // order, and apply to the scheduler. Caller holds sched_mu_.
-  void drain_locked();
+  // order, and apply to the scheduler.
+  void drain_locked() REQUIRES(sched_mu_);
   // Drain + grant free slots to scheduled requests, waking their threads.
   // Loops until no pump request raced in behind it.
   void pump();
@@ -115,11 +115,15 @@ class TransferCore {
   // Outstanding pump requests; the thread whose increment finds 0 pumps on
   // behalf of everyone who piles on meanwhile.
   std::atomic<std::int64_t> pump_pending_{0};
-  std::mutex sched_mu_;   // scheduler + drain (single writer)
-  std::mutex reg_mu_;     // request registry (create/complete)
-  std::mutex cache_mu_;   // gray-box cache model (create/charge)
-  std::mutex sel_mu_;     // adaptive selector
-  std::vector<Op> drain_buf_;  // guarded by sched_mu_
+  // Scheduler + drain (single writer).
+  Mutex sched_mu_{lockrank::Rank::transfer_sched, "transfer.sched"};
+  // Request registry (create/complete).
+  Mutex reg_mu_{lockrank::Rank::transfer_registry, "transfer.registry"};
+  // Gray-box cache model (create/charge).
+  Mutex cache_mu_{lockrank::Rank::transfer_cache, "transfer.cache"};
+  // Adaptive selector.
+  Mutex sel_mu_{lockrank::Rank::transfer_selector, "transfer.selector"};
+  std::vector<Op> drain_buf_ GUARDED_BY(sched_mu_);
 };
 
 }  // namespace nest::transfer
