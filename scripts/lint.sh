@@ -46,6 +46,22 @@ else
   echo "   ok"
 fi
 
+# --- nest-lint rule 3: raw socket-data syscalls outside src/net/ ----------
+# All wire I/O goes through the net layer (docs/net.md) so the vectored and
+# zero-copy paths, failpoints, and fallback semantics stay in one place.
+# The leading-context class rejects qualified member names (Foo::send().
+echo "== lint: raw socket syscalls outside src/net/ =="
+raw=$(grep -rnE --include='*.h' --include='*.cpp' \
+  '(^|[^A-Za-z0-9_>])::(send|recv|sendto|recvfrom|sendfile|writev|sendmsg|recvmsg)[[:space:]]*\(' \
+  src/ | grep -v '^src/net/' || true)
+if [[ -n "${raw}" ]]; then
+  echo "${raw}"
+  echo "error: use net::TcpStream / net::UdpSocket (src/net/socket.h) instead"
+  fail=1
+else
+  echo "   ok"
+fi
+
 # --- clang-tidy over the compilation database ----------------------------
 echo "== lint: clang-tidy (.clang-tidy checks) =="
 if ! command -v clang-tidy >/dev/null 2>&1; then

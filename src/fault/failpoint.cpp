@@ -50,6 +50,8 @@ std::optional<Errc> errc_by_name(const std::string& s) {
       {"ENOTDIR", Errc::not_dir},
       {"EISDIR", Errc::is_dir},
       {"EBUSY", Errc::busy},
+      {"EMFILE", Errc::busy},
+      {"ENFILE", Errc::busy},
       {"EINTR", Errc::io_error},
   };
   auto it = kNames.find(s);

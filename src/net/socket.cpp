@@ -5,14 +5,20 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/sendfile.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 namespace nest::net {
 namespace {
+
+std::atomic<bool> g_zero_copy{true};
 
 Error sys_error(const std::string& what) {
   const int err = errno;
@@ -20,6 +26,8 @@ Error sys_error(const std::string& what) {
   if (err == EAGAIN || err == EWOULDBLOCK) code = Errc::timed_out;
   if (err == ECONNREFUSED || err == ECONNRESET || err == EPIPE)
     code = Errc::connection_closed;
+  if (err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM)
+    code = Errc::busy;  // transient resource exhaustion: retryable
   return Error{code, what + ": " + std::strerror(err)};
 }
 
@@ -40,6 +48,14 @@ uint16_t bound_port(int fd) {
 }
 
 }  // namespace
+
+bool zero_copy_enabled() noexcept {
+  return g_zero_copy.load(std::memory_order_relaxed);
+}
+
+void set_zero_copy(bool enabled) noexcept {
+  g_zero_copy.store(enabled, std::memory_order_relaxed);
+}
 
 void Fd::reset() {
   if (fd_ >= 0) {
@@ -108,6 +124,95 @@ Status TcpStream::write_all(std::span<const char> data) {
   return {};
 }
 
+Status TcpStream::send_vecs(std::span<const std::span<const char>> vecs) {
+  NEST_FAILPOINT("net.writev", return Status{err});
+  // iovec count is bounded by IOV_MAX; callers pass a handful (header +
+  // body), so a fixed stack array suffices.
+  iovec iov[16];
+  std::size_t n_iov = 0;
+  std::size_t total = 0;
+  for (const auto& v : vecs) {
+    if (v.empty()) continue;
+    if (n_iov == sizeof iov / sizeof iov[0])
+      return Status{Errc::invalid_argument, "too many iovecs"};
+    iov[n_iov].iov_base = const_cast<char*>(v.data());
+    iov[n_iov].iov_len = v.size();
+    ++n_iov;
+    total += v.size();
+  }
+  std::size_t sent = 0;
+  std::size_t first = 0;  // first iovec with bytes left
+  while (sent < total) {
+    const ssize_t n = ::writev(fd_.get(), iov + first,
+                               static_cast<int>(n_iov - first));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE) return Status{Errc::connection_closed, "writev"};
+      return Status{sys_error("writev")};
+    }
+    sent += static_cast<std::size_t>(n);
+    // Consume fully-written iovecs, then trim the partial one.
+    std::size_t left = static_cast<std::size_t>(n);
+    while (first < n_iov && left >= iov[first].iov_len) {
+      left -= iov[first].iov_len;
+      ++first;
+    }
+    if (first < n_iov && left > 0) {
+      iov[first].iov_base = static_cast<char*>(iov[first].iov_base) + left;
+      iov[first].iov_len -= left;
+    }
+  }
+  return {};
+}
+
+Result<std::int64_t> TcpStream::send_file(int fd, std::int64_t offset,
+                                          std::int64_t len) {
+  NEST_FAILPOINT("net.sendfile", return err);
+  std::int64_t sent = 0;
+  bool use_sendfile = zero_copy_enabled();
+  while (sent < len && use_sendfile) {
+    off_t off = static_cast<off_t>(offset + sent);
+    const ssize_t n = ::sendfile(fd_.get(), fd, &off,
+                                 static_cast<std::size_t>(len - sent));
+    if (n > 0) {
+      sent += n;
+      continue;
+    }
+    if (n == 0) return sent;  // file ended early: short send, caller decides
+    const int err_no = errno;
+    if (err_no == EINTR || err_no == EAGAIN) continue;
+    if (err_no == EINVAL || err_no == ENOSYS || err_no == EOPNOTSUPP) {
+      // This fd/socket pairing cannot sendfile; finish buffered.
+      use_sendfile = false;
+      break;
+    }
+    return sys_error("sendfile");
+  }
+  // Buffered fallback (also the whole path when zero-copy is disabled):
+  // pread+send in page-sized-multiples, same bytes on the wire.
+  std::vector<char> buf;
+  while (sent < len) {
+    if (buf.empty()) buf.resize(256 * 1024);
+    const std::int64_t want = std::min<std::int64_t>(
+        static_cast<std::int64_t>(buf.size()), len - sent);
+    const ssize_t n = ::pread(fd, buf.data(),
+                              static_cast<std::size_t>(want),
+                              static_cast<off_t>(offset + sent));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return sys_error("sendfile fallback pread");
+    }
+    if (n == 0) return sent;  // short: file truncated under us
+    if (auto s = write_all(std::span<const char>(
+            buf.data(), static_cast<std::size_t>(n)));
+        !s.ok()) {
+      return s.error();
+    }
+    sent += n;
+  }
+  return sent;
+}
+
 Result<std::string> TcpStream::read_line(std::size_t max_len) {
   NEST_FAILPOINT("net.recv", return err);
   while (true) {
@@ -134,6 +239,31 @@ Result<std::string> TcpStream::read_line(std::size_t max_len) {
   }
 }
 
+Result<std::int64_t> TcpStream::discard(std::int64_t max_len) {
+  NEST_FAILPOINT("net.recv", return err);
+  if (max_len <= 0) return std::int64_t{0};
+  if (!buffer_.empty()) {
+    const auto n = std::min<std::int64_t>(
+        max_len, static_cast<std::int64_t>(buffer_.size()));
+    buffer_.erase(0, static_cast<std::size_t>(n));
+    return n;
+  }
+  while (true) {
+    const ssize_t n = ::recv(fd_.get(), nullptr,
+                             static_cast<std::size_t>(max_len), MSG_TRUNC);
+    if (n >= 0) return static_cast<std::int64_t>(n);
+    if (errno == EINTR) continue;
+    return sys_error("recv");
+  }
+}
+
+Status TcpStream::set_receive_lowat(int bytes) {
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVLOWAT, &bytes,
+                   sizeof bytes) != 0)
+    return Status{sys_error("SO_RCVLOWAT")};
+  return {};
+}
+
 Status TcpStream::set_read_timeout(int millis) {
   timeval tv{};
   tv.tv_sec = millis / 1000;
@@ -152,20 +282,34 @@ std::string TcpStream::local_address() const {
 uint16_t TcpStream::local_port() const { return bound_port(fd_.get()); }
 
 Result<TcpListener> TcpListener::bind(uint16_t port) {
+  return bind(port, ListenOptions{});
+}
+
+Result<TcpListener> TcpListener::bind(uint16_t port,
+                                      const ListenOptions& opts) {
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return sys_error("socket");
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (opts.reuseport &&
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) !=
+          0) {
+    return sys_error("SO_REUSEPORT");
+  }
   sockaddr_in addr = loopback(port);
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
     return sys_error("bind " + std::to_string(port));
-  if (::listen(fd.get(), 64) != 0) return sys_error("listen");
+  if (::listen(fd.get(), opts.backlog) != 0) return sys_error("listen");
   const uint16_t actual = bound_port(fd.get());
   return TcpListener(std::move(fd), actual);
 }
 
 Result<TcpStream> TcpListener::accept() {
   while (true) {
+    // Injected accept *errors* (net.accept_err) model fd exhaustion —
+    // EMFILE and friends — before the kernel hands us a connection; the
+    // pending connection stays in the backlog for the post-backoff retry.
+    NEST_FAILPOINT("net.accept_err", return err);
     const int cfd = ::accept(fd_.get(), nullptr, nullptr);
     if (cfd >= 0) {
       // Injected accept failure drops the fresh connection instead of
@@ -181,7 +325,8 @@ Result<TcpStream> TcpListener::accept() {
       ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       return TcpStream(Fd(cfd));
     }
-    if (errno == EINTR) continue;
+    const int err_no = errno;
+    if (err_no == EINTR || err_no == ECONNABORTED) continue;
     return sys_error("accept");
   }
 }

@@ -151,17 +151,38 @@ Status TransferExecutor::move_blocks(const std::string& protocol,
     if (pid == 0) {
       std::vector<char> buf(static_cast<std::size_t>(block_bytes_));
       std::int64_t off = 0;
+      bool zero_copy = net::zero_copy_enabled();
       while (off < size) {
         const std::int64_t len = std::min(block_bytes_, size - off);
-        auto n = ticket.handle->pread(
-            std::span(buf.data(), static_cast<std::size_t>(len)),
-            start_offset + off);
-        if (!n.ok() || *n != len) ::_exit(1);
-        if (!stream.write_all(std::span<const char>(buf.data(),
-                                                    static_cast<std::size_t>(
-                                                        len)))
-                 .ok()) {
-          ::_exit(1);
+        bool block_sent = false;
+        if (zero_copy) {
+          auto segs = ticket.handle->sendfile_map(start_offset + off, len);
+          if (segs.ok()) {
+            std::int64_t mapped = 0;
+            for (const auto& seg : *segs) mapped += seg.len;
+            if (mapped != len) ::_exit(1);
+            for (const auto& seg : *segs) {
+              auto sent = stream.send_file(seg.fd, seg.offset, seg.len);
+              if (!sent.ok() || *sent != seg.len) ::_exit(1);
+            }
+            block_sent = true;
+          } else if (segs.error().code == Errc::unsupported) {
+            zero_copy = false;
+          } else {
+            ::_exit(1);
+          }
+        }
+        if (!block_sent) {
+          auto n = ticket.handle->pread(
+              std::span(buf.data(), static_cast<std::size_t>(len)),
+              start_offset + off);
+          if (!n.ok() || *n != len) ::_exit(1);
+          if (!stream.write_all(std::span<const char>(
+                                    buf.data(),
+                                    static_cast<std::size_t>(len)))
+                   .ok()) {
+            ::_exit(1);
+          }
         }
         off += len;
       }
@@ -180,6 +201,10 @@ Status TransferExecutor::move_blocks(const std::string& protocol,
     if (result.ok()) core_.charge(req, size);
   } else {
     std::vector<char> buf(static_cast<std::size_t>(block_bytes_));
+    // Zero-copy is decided per transfer: the first sendfile_map that
+    // answers `unsupported` (MemFs, memory-backed ExtentFs) pins the rest
+    // of this transfer to the buffered path — no per-block re-probing.
+    bool try_zero_copy = send && net::zero_copy_enabled();
     std::int64_t off = 0;
     while (off < size) {
       const std::int64_t len = std::min(block_bytes_, size - off);
@@ -213,6 +238,33 @@ Status TransferExecutor::move_blocks(const std::string& protocol,
         return stream.read_exact(
             std::span(buf.data(), static_cast<std::size_t>(len)));
       };
+      // Sends go kernel-to-kernel when the backend lends an fd: map this
+      // block onto volume/file segments and sendfile each one. A map or
+      // send shorter than the admitted block means the file shrank under
+      // the transfer — same "short file read" the buffered path reports.
+      auto send_part = [&]() -> Status {
+        if (try_zero_copy) {
+          auto segs = ticket.handle->sendfile_map(start_offset + off, len);
+          if (segs.ok()) {
+            std::int64_t mapped = 0;
+            for (const auto& seg : *segs) mapped += seg.len;
+            if (mapped != len)
+              return Status{Errc::io_error, "short file read"};
+            for (const auto& seg : *segs) {
+              auto sent = stream.send_file(seg.fd, seg.offset, seg.len);
+              if (!sent.ok()) return Status{sent.error()};
+              if (*sent != seg.len)
+                return Status{Errc::io_error, "short file read"};
+            }
+            return {};
+          }
+          if (segs.error().code != Errc::unsupported)
+            return Status{segs.error()};
+          try_zero_copy = false;
+        }
+        if (auto fs_ = file_part(); !fs_.ok()) return fs_;
+        return net_part();
+      };
       Status s;
       if (model == ConcurrencyModel::staged) {
         // SEDA-style: each half runs on its stage's pool; a blocking file
@@ -224,18 +276,21 @@ Status TransferExecutor::move_blocks(const std::string& protocol,
           return r;
         };
         if (send) {
-          s = run_stage(disk_stage_, file_part);
-          if (s.ok()) s = run_stage(net_stage_, net_part);
+          if (try_zero_copy) {
+            // Zero-copy has no separate disk half — the kernel does both
+            // sides of the move — so the block runs on the network stage.
+            s = run_stage(net_stage_, send_part);
+          } else {
+            s = run_stage(disk_stage_, file_part);
+            if (s.ok()) s = run_stage(net_stage_, net_part);
+          }
         } else {
           s = run_stage(net_stage_, net_part);
           if (s.ok()) s = run_stage(disk_stage_, file_part);
         }
       } else {
         s = run_block(model, [&]() -> Status {
-          if (send) {
-            if (auto fs_ = file_part(); !fs_.ok()) return fs_;
-            return net_part();
-          }
+          if (send) return send_part();
           if (auto ns_ = net_part(); !ns_.ok()) return ns_;
           return file_part();
         });

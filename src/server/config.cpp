@@ -31,6 +31,15 @@ Result<NestdConfig> options_from_config(const Config& cfg) {
   opts.allow_anonymous = cfg.get_bool("anonymous", true);
   opts.transfer_slots = static_cast<int>(cfg.get_int("slots", 8));
   opts.bandwidth_limit = cfg.get_size("bandwidth", 0);
+  opts.acceptor_shards = static_cast<int>(cfg.get_int("acceptor_shards", 1));
+  if (opts.acceptor_shards < 1 || opts.acceptor_shards > 64) {
+    return Error{Errc::invalid_argument,
+                 "acceptor_shards must be in [1, 64]"};
+  }
+  opts.block_bytes = cfg.get_size("block_bytes", 64 * 1024);
+  if (opts.block_bytes < 4096) {
+    return Error{Errc::invalid_argument, "block_bytes must be >= 4096"};
+  }
 
   // Metadata journal (empty journal = disabled).
   opts.journal_dir = cfg.get_string("journal");

@@ -2,6 +2,10 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/log.h"
 #include "fault/failpoint.h"
 #include "protocol/chirp_handler.h"
@@ -84,8 +88,8 @@ Status NestServer::init() {
   dispatcher_ = std::make_unique<dispatcher::Dispatcher>(
       RealClock::instance(), *storage_, *tm_, dopts);
   executor_ = std::make_unique<protocol::TransferExecutor>(
-      RealClock::instance(), *tm_, dispatcher_->core(), 64 * 1024,
-      options_.bandwidth_limit);
+      RealClock::instance(), *tm_, dispatcher_->core(),
+      options_.block_bytes, options_.bandwidth_limit);
 
   protocol::ServerContext ctx;
   ctx.dispatcher = dispatcher_.get();
@@ -128,22 +132,51 @@ Status NestServer::init() {
 Status NestServer::bind_endpoint(
     int port, std::unique_ptr<ProtocolHandler> handler, uint16_t* out_port) {
   if (port < 0) return {};
-  auto listener = net::TcpListener::bind(static_cast<uint16_t>(port));
+  const int shards = std::max(1, options_.acceptor_shards);
+  net::ListenOptions lopts;
+  lopts.reuseport = shards > 1;
+  auto listener = net::TcpListener::bind(static_cast<uint16_t>(port), lopts);
   if (!listener.ok()) return Status{listener.error()};
+  // Shard 0 resolves an ephemeral request to a concrete port; the other
+  // shards REUSEPORT-bind that same port and the kernel load-balances
+  // connections across all of their accept queues.
   *out_port = listener->port();
+  std::shared_ptr<ProtocolHandler> shared(std::move(handler));
   Endpoint ep;
   ep.listener =
       std::make_unique<net::TcpListener>(std::move(listener.value()));
-  ep.handler = std::move(handler);
+  ep.handler = shared;
   endpoints_.push_back(std::move(ep));
+  for (int i = 1; i < shards; ++i) {
+    auto shard = net::TcpListener::bind(*out_port, lopts);
+    if (!shard.ok()) return Status{shard.error()};
+    Endpoint extra;
+    extra.listener =
+        std::make_unique<net::TcpListener>(std::move(shard.value()));
+    extra.handler = shared;
+    endpoints_.push_back(std::move(extra));
+  }
   return {};
 }
 
 void NestServer::accept_loop(net::TcpListener* listener,
                              ProtocolHandler* handler) {
+  net::AcceptBackoff backoff;
   while (!stopping_) {
     auto stream = listener->accept();
-    if (!stream.ok()) return;  // listener closed: shutting down
+    if (!stream.ok()) {
+      // Transient exhaustion (EMFILE/ENFILE/ENOBUFS) surfaces as busy:
+      // sleep-and-retry with bounded exponential backoff instead of
+      // spinning a core or killing the acceptor. Anything else means the
+      // listener itself is gone (normally: shutdown closed it).
+      if (stream.code() == Errc::busy && !stopping_) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff.next_delay_ms()));
+        continue;
+      }
+      return;
+    }
+    backoff.reset();
     (void)stream->set_read_timeout(options_.idle_timeout_ms);
     MutexLock lock(conn_mu_);
     const int fd = stream->fd();

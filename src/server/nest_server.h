@@ -44,6 +44,12 @@ struct NestServerOptions {
   // Total transfer-rate cap in bytes/sec (0 = unlimited). Scheduling
   // policies bind at this rate even on networks faster than it.
   std::int64_t bandwidth_limit = 0;
+  // Acceptor shards per TCP endpoint: with > 1, each endpoint binds N
+  // SO_REUSEPORT listeners and the kernel load-balances incoming
+  // connections across their acceptor threads (no shared accept lock).
+  int acceptor_shards = 1;
+  // Transfer quantum: bytes moved (and charged) per scheduler admission.
+  std::int64_t block_bytes = 64 * 1024;
   bool allow_anonymous = true;
   std::string name = "nest";
   // Appliance identity used when this NeST initiates transfers to peers
@@ -118,7 +124,9 @@ class NestServer {
 
   struct Endpoint {
     std::unique_ptr<net::TcpListener> listener;
-    std::unique_ptr<protocol::ProtocolHandler> handler;
+    // Shared because REUSEPORT shards of one port serve through the same
+    // handler instance (handlers keep per-connection state on the stack).
+    std::shared_ptr<protocol::ProtocolHandler> handler;
     std::thread acceptor;
   };
   std::vector<Endpoint> endpoints_;

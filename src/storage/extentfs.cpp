@@ -27,6 +27,8 @@ class ExtentFileHandle final : public FileHandle {
                               std::int64_t offset) override;
   Result<std::int64_t> size() const override;
   Status truncate(std::int64_t new_size) override;
+  Result<std::vector<SendSegment>> sendfile_map(std::int64_t offset,
+                                                std::int64_t len) override;
 
  private:
   ExtentFs& fs_;
@@ -334,6 +336,41 @@ Result<std::int64_t> ExtentFs::file_io(const std::string& path,
   return done;
 }
 
+Result<std::vector<SendSegment>> ExtentFs::map_for_send(
+    const std::string& path, std::int64_t offset, std::int64_t len) {
+  if (volume_fd_ < 0)
+    return Error{Errc::unsupported, "memory-backed volume has no fd"};
+  if (offset < 0 || len < 0)
+    return Error{Errc::invalid_argument, "negative map_for_send range"};
+  const auto it = inodes_.find(path);
+  if (it == inodes_.end()) return Error{Errc::not_found, path};
+  const Inode& inode = it->second;
+  if (inode.is_dir) return Error{Errc::is_dir, path};
+
+  std::vector<SendSegment> out;
+  if (offset >= inode.size) return out;
+  len = std::min(len, inode.size - offset);
+  std::int64_t done = 0;
+  while (done < len) {
+    const std::int64_t pos = offset + done;
+    const std::int64_t idx = pos / kExtentBytes;
+    const std::int64_t within = pos % kExtentBytes;
+    const std::int64_t chunk = std::min(len - done, kExtentBytes - within);
+    const std::int64_t extent = inode.extents[static_cast<std::size_t>(idx)];
+    const std::int64_t vol_off = extent * kExtentBytes + within;
+    // Merge with the previous segment when the extents happen to be
+    // adjacent on the volume — one sendfile() instead of one per extent.
+    if (!out.empty() &&
+        out.back().offset + out.back().len == vol_off) {
+      out.back().len += chunk;
+    } else {
+      out.push_back(SendSegment{volume_fd_, vol_off, chunk});
+    }
+    done += chunk;
+  }
+  return out;
+}
+
 Status ExtentFs::file_truncate(const std::string& path,
                                std::int64_t new_size) {
   const auto it = inodes_.find(path);
@@ -367,6 +404,11 @@ Result<std::int64_t> ExtentFileHandle::size() const {
 Status ExtentFileHandle::truncate(std::int64_t new_size) {
   if (new_size < 0) return Status{Errc::invalid_argument, "negative size"};
   return fs_.file_truncate(path_, new_size);
+}
+
+Result<std::vector<SendSegment>> ExtentFileHandle::sendfile_map(
+    std::int64_t offset, std::int64_t len) {
+  return fs_.map_for_send(path_, offset, len);
 }
 
 }  // namespace nest::storage

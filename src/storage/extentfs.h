@@ -64,6 +64,14 @@ class ExtentFs final : public VirtualFs {
                                std::int64_t len);
   Status file_truncate(const std::string& path, std::int64_t new_size);
 
+  // Zero-copy support: map a logical byte range of `path` onto volume-fd
+  // segments (one per extent run, adjacent extents merged), clamped to the
+  // inode size. Unsupported on memory-backed volumes — there is no fd to
+  // lend, so callers fall back to buffered reads.
+  Result<std::vector<SendSegment>> map_for_send(const std::string& path,
+                                                std::int64_t offset,
+                                                std::int64_t len);
+
  private:
   struct Inode {
     bool is_dir = false;

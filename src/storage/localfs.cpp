@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -91,6 +92,20 @@ class LocalFileHandle final : public FileHandle {
     if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0)
       return Status{sys_error("ftruncate")};
     return {};
+  }
+
+  Result<std::vector<SendSegment>> sendfile_map(std::int64_t offset,
+                                                std::int64_t len) override {
+    if (offset < 0 || len < 0)
+      return Error{Errc::invalid_argument, "negative sendfile_map range"};
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0) return sys_error("fstat");
+    const auto file_size = static_cast<std::int64_t>(st.st_size);
+    std::vector<SendSegment> out;
+    const std::int64_t avail = std::min(len, std::max<std::int64_t>(
+                                                 0, file_size - offset));
+    if (avail > 0) out.push_back(SendSegment{fd_, offset, avail});
+    return out;
   }
 
  private:

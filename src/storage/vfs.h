@@ -31,6 +31,16 @@ struct DirEntry {
   std::int64_t size = 0;
 };
 
+// One kernel-visible byte range backing part of a file: the handle lends
+// its fd (borrowed, not owned — valid only while the handle lives) so the
+// net layer can sendfile(2) straight from the page cache without a
+// user-space copy.
+struct SendSegment {
+  int fd = -1;
+  std::int64_t offset = 0;  // offset within fd, not within the file
+  std::int64_t len = 0;
+};
+
 // Random-access handle to an open file.
 class FileHandle {
  public:
@@ -41,6 +51,19 @@ class FileHandle {
                                       std::int64_t offset) = 0;
   virtual Result<std::int64_t> size() const = 0;
   virtual Status truncate(std::int64_t new_size) = 0;
+
+  // Map [offset, offset+len) of the file onto fd-backed segments for
+  // zero-copy send, clamped to the current file size (a sum shorter than
+  // `len` means the file is shorter than the caller believed). Backends
+  // with no kernel-visible fd (MemFs, memory-backed ExtentFs volumes)
+  // return unsupported and callers take the buffered pread path — sim and
+  // tests stay deterministic.
+  virtual Result<std::vector<SendSegment>> sendfile_map(std::int64_t offset,
+                                                        std::int64_t len) {
+    (void)offset;
+    (void)len;
+    return Error{Errc::unsupported, "backend cannot lend an fd"};
+  }
 };
 
 using FileHandlePtr = std::shared_ptr<FileHandle>;

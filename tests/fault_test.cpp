@@ -3,10 +3,15 @@
 // journal/storage/transfer integration points, and the Chirp FAULT op.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <thread>
 
 #include "client/chirp_client.h"
 #include "common/clock.h"
@@ -468,6 +473,84 @@ TEST_F(FaultServerTest, AcceptDropRefusesNewConnectionsOnly) {
   ASSERT_TRUE(root->fault_set("net.accept", "off").ok());
   auto again = connect("alice", "alice-secret");
   EXPECT_TRUE(again.ok());
+}
+
+// ---------- zero-copy data path (net.writev / net.sendfile) ----------
+
+// Loopback pair for driving TcpStream directly.
+struct FaultStreamPair {
+  net::TcpStream a;
+  net::TcpStream b;
+};
+
+FaultStreamPair fault_stream_pair() {
+  auto listener = net::TcpListener::bind(0);
+  EXPECT_TRUE(listener.ok());
+  auto client = net::TcpStream::connect("127.0.0.1", listener->port());
+  EXPECT_TRUE(client.ok());
+  auto served = listener->accept();
+  EXPECT_TRUE(served.ok());
+  return FaultStreamPair{std::move(client.value()),
+                         std::move(served.value())};
+}
+
+TEST_F(FaultTest, WritevFailpointFailsCoalescedSends) {
+  auto pair = fault_stream_pair();
+  ASSERT_TRUE(fault::registry().arm("net.writev", "return(EPIPE)").ok());
+  const std::string head = "HTTP/1.0 200 OK\r\n\r\n";
+  const std::string body = "payload";
+  EXPECT_EQ(pair.a
+                .send_vecs({std::span<const char>(head.data(), head.size()),
+                            std::span<const char>(body.data(), body.size())})
+                .code(),
+            Errc::connection_closed);
+  fault::registry().disarm_all();
+  EXPECT_TRUE(pair.a
+                  .send_vecs({std::span<const char>(head.data(), head.size()),
+                              std::span<const char>(body.data(), body.size())})
+                  .ok());
+}
+
+TEST_F(FaultDirTest, SendfileFailpointFailsZeroCopySends) {
+  const std::string path = dir_ + "/f";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const std::string data(4096, 'z');
+    ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+    std::fclose(f);
+  }
+  auto pair = fault_stream_pair();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(fault::registry().arm("net.sendfile", "return(EIO)").ok());
+  EXPECT_EQ(pair.a.send_file(fd, 0, 4096).error().code, Errc::io_error);
+  fault::registry().disarm_all();
+  auto sent = pair.a.send_file(fd, 0, 4096);
+  ::close(fd);
+  ASSERT_TRUE(sent.ok());
+  EXPECT_EQ(*sent, 4096);
+}
+
+// ---------- accept backoff (net.accept_err) ----------
+
+TEST_F(FaultServerTest, FdExhaustionBacksOffInsteadOfSpinningOrDying) {
+  auto& fp = fault::registry().point("net.accept_err");
+  ASSERT_TRUE(fault::registry().arm("net.accept_err", "return(EMFILE)").ok());
+  const auto before = fp.trips();
+  // Let the acceptor retry under the armed point. With exponential backoff
+  // (1→200 ms) ~400 ms admits only a handful of attempts; a busy-spin
+  // would rack up tens of thousands, and the pre-fix acceptor would have
+  // exited on the first one.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const auto attempts = fp.trips() - before;
+  EXPECT_GE(attempts, 2u);
+  EXPECT_LE(attempts, 50u);
+  fault::registry().disarm_all();
+  // The acceptor thread survived the drill: new connections are served.
+  auto alice = connect("alice", "alice-secret");
+  ASSERT_TRUE(alice.ok());
+  EXPECT_TRUE(alice->put("/after-exhaustion", "data").ok());
 }
 
 }  // namespace
