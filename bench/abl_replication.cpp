@@ -1,0 +1,290 @@
+// Ablation A12 — cluster replication: journal-ship throughput and
+// failover-to-first-byte latency over the live Chirp wire.
+//
+// Topology: one primary + one follower, socket-backed, loopback TCP.
+// Part 1 measures how fast acked writes become servable on the follower:
+// a client PUTs a batch of files to the primary and we time from the
+// first PUT to full convergence (follower's applied LSN reaches the
+// primary's last shipped LSN and every content push has drained), at
+// several file sizes. Part 2 measures what a replica death costs a
+// reader: ClusterClient GET latency with the ranked-first replica
+// healthy versus stopped-but-still-advertised (the client burns one
+// failed connect, demotes the node, and takes the bytes from the next
+// candidate). The heartbeat timeout is set long so the primary keeps
+// ranking the corpse — the bench isolates the client-side failover cost,
+// not the membership detector.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/chirp_client.h"
+#include "client/cluster_client.h"
+#include "common/clock.h"
+#include "server/nest_server.h"
+
+using namespace nest;
+
+namespace {
+
+struct Pair {
+  std::unique_ptr<server::NestServer> follower;
+  std::unique_ptr<server::NestServer> primary;
+};
+
+// Follower first (its port seeds the primary's peer list); identities
+// cross-registered so the REPL stream authorizes.
+Pair start_pair(const std::string& scratch) {
+  Pair pair;
+  server::NestServerOptions fopts;
+  fopts.name = "nest-f";
+  fopts.chirp_port = 0;
+  fopts.http_port = fopts.ftp_port = fopts.gridftp_port = fopts.nfs_port = -1;
+  fopts.journal_dir = scratch + "/journal-f";
+  fopts.journal_sync = journal::SyncMode::none;
+  fopts.own_subject = "nest-f";
+  fopts.own_secret = "fsecret";
+  fopts.cluster.role = cluster::Role::follower;
+  fopts.cluster.heartbeat_interval = 10 * kMillisecond;
+  fopts.cluster.heartbeat_timeout = 600 * kSecond;
+  fopts.cluster.peers.push_back(
+      cluster::PeerAddress{"nest-p", "127.0.0.1", 1});
+  auto f = server::NestServer::start(fopts);
+  if (!f.ok()) return pair;
+  pair.follower = std::move(f.value());
+  pair.follower->gsi().add_user("nest-p", "psecret", {});
+  pair.follower->gsi().add_user("alice", "wonder", {});
+
+  server::NestServerOptions popts;
+  popts.name = "nest-p";
+  popts.chirp_port = 0;
+  popts.http_port = popts.ftp_port = popts.gridftp_port = popts.nfs_port = -1;
+  popts.journal_dir = scratch + "/journal-p";
+  popts.journal_sync = journal::SyncMode::none;
+  popts.own_subject = "nest-p";
+  popts.own_secret = "psecret";
+  popts.cluster.role = cluster::Role::primary;
+  popts.cluster.heartbeat_interval = 10 * kMillisecond;
+  popts.cluster.heartbeat_timeout = 600 * kSecond;
+  popts.cluster.peers.push_back(cluster::PeerAddress{
+      "nest-f", "127.0.0.1", pair.follower->chirp_port()});
+  auto p = server::NestServer::start(popts);
+  if (!p.ok()) {
+    pair.follower.reset();
+    return pair;
+  }
+  pair.primary = std::move(p.value());
+  pair.primary->gsi().add_user("nest-f", "fsecret", {});
+  pair.primary->gsi().add_user("alice", "wonder", {});
+  return pair;
+}
+
+template <typename Pred>
+bool wait_for(Pred pred, int ms = 30'000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct ShipRow {
+  std::int64_t file_kb = 0;
+  int files = 0;
+  double put_mbps = 0;
+  double repl_mbps = 0;
+  std::uint64_t batches = 0;
+  double batches_per_sec = 0;
+};
+
+// PUT `files` files of `file_kb` KB each to the primary; time from the
+// first PUT until the follower has applied every shipped batch and the
+// content push queue has drained.
+ShipRow run_ship(const std::string& scratch, std::int64_t file_kb,
+                 int files) {
+  auto pair = start_pair(scratch);
+  if (!pair.primary || !pair.follower) {
+    std::fprintf(stderr, "server pair failed to start\n");
+    std::exit(1);
+  }
+  auto cli = client::ChirpClient::connect(
+      "127.0.0.1", pair.primary->chirp_port(), "alice", "wonder");
+  if (!cli.ok()) std::exit(1);
+  auto lot = cli->lot_create(file_kb * 1024 * files + 1'000'000, 3600);
+  if (!lot.ok() || !cli->lot_set_replicas(*lot, 1).ok()) std::exit(1);
+
+  const std::string body(static_cast<std::size_t>(file_kb) * 1024, 'S');
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < files; ++i) {
+    if (auto s = cli->put("/s" + std::to_string(i), body); !s.ok()) {
+      std::fprintf(stderr, "put failed: %s\n", s.to_string().c_str());
+      std::exit(1);
+    }
+  }
+  const double put_ms = ms_since(t0);
+
+  auto* pc = pair.primary->cluster();
+  auto* fc = pair.follower->cluster();
+  const bool converged = wait_for([&] {
+    return fc->applied_primary_lsn() == pc->last_shipped_lsn() &&
+           pc->pending_pushes() == 0;
+  });
+  if (!converged) {
+    std::fprintf(stderr, "follower never converged\n");
+    std::exit(1);
+  }
+  const double total_ms = ms_since(t0);
+
+  const double mb = static_cast<double>(file_kb) * files / 1024.0;
+  ShipRow row;
+  row.file_kb = file_kb;
+  row.files = files;
+  row.put_mbps = mb / (put_ms / 1000.0);
+  row.repl_mbps = mb / (total_ms / 1000.0);
+  row.batches = pc->last_shipped_lsn();
+  row.batches_per_sec = static_cast<double>(row.batches) / (total_ms / 1000.0);
+  return row;
+}
+
+struct LatRow {
+  double median_ms = 0;
+  double p99_ms = 0;
+};
+
+LatRow summarize(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  LatRow row;
+  row.median_ms = samples[samples.size() / 2];
+  row.p99_ms = samples[samples.size() - 1 - (samples.size() - 1) / 100];
+  return row;
+}
+
+// GET latency through ClusterClient with both nodes healthy (the ranked
+// replica — the follower, the only peer in the primary's table — serves)
+// versus with the follower stopped (one refused connect, then the
+// primary serves). A fresh client per sample keeps the EWMA from
+// learning the corpse away after the first failover.
+void run_failover(const std::string& scratch, int samples, LatRow* healthy,
+                  LatRow* failover) {
+  auto pair = start_pair(scratch);
+  if (!pair.primary || !pair.follower) std::exit(1);
+  auto cli = client::ChirpClient::connect(
+      "127.0.0.1", pair.primary->chirp_port(), "alice", "wonder");
+  if (!cli.ok()) std::exit(1);
+  auto lot = cli->lot_create(1'000'000, 3600);
+  if (!lot.ok() || !cli->lot_set_replicas(*lot, 1).ok()) std::exit(1);
+  const std::string body(64 * 1024, 'F');
+  if (!cli->put("/hot.bin", body).ok()) std::exit(1);
+  if (!wait_for([&] {
+        return pair.follower->cluster()->applied_primary_lsn() ==
+                   pair.primary->cluster()->last_shipped_lsn() &&
+               pair.primary->cluster()->pending_pushes() == 0;
+      })) {
+    std::fprintf(stderr, "replica never converged\n");
+    std::exit(1);
+  }
+
+  const std::vector<client::ClusterClient::Contact> contacts = {
+      {"nest-f", "127.0.0.1", pair.follower->chirp_port()},
+      {"nest-p", "127.0.0.1", pair.primary->chirp_port()},
+  };
+  auto measure = [&](const char* phase) {
+    std::vector<double> lat;
+    for (int i = 0; i < samples; ++i) {
+      client::ClusterClient cc(RealClock::instance(), contacts, "alice",
+                               "wonder");
+      const auto t0 = std::chrono::steady_clock::now();
+      auto got = cc.get("/hot.bin");
+      if (!got.ok() || got->size() != body.size()) {
+        std::fprintf(stderr, "%s get failed\n", phase);
+        std::exit(1);
+      }
+      lat.push_back(ms_since(t0));
+    }
+    return summarize(std::move(lat));
+  };
+
+  *healthy = measure("healthy");
+  // Stop the follower. The long heartbeat timeout keeps it "alive" in the
+  // primary's ranking, so every sample walks the failover path.
+  pair.follower->stop();
+  *failover = measure("failover");
+}
+
+}  // namespace
+
+int main() {
+  const auto scratch_root =
+      std::filesystem::temp_directory_path() /
+      ("nest_abl_replication_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(scratch_root);
+  int run = 0;
+  auto scratch = [&] {
+    auto dir = scratch_root / std::to_string(run++);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+  };
+
+  std::printf("Ablation A12: journal-shipped replication "
+              "(live Chirp wire, primary + follower)\n\n");
+
+  std::printf("  ship throughput (PUT batch -> follower convergence)\n");
+  std::printf("  %-8s  %-6s  %10s  %10s  %8s  %12s\n", "file_kb", "files",
+              "put_MB/s", "repl_MB/s", "batches", "batches/s");
+  std::vector<ShipRow> ship;
+  for (auto [kb, files] : {std::pair<std::int64_t, int>{4, 128},
+                           {64, 64},
+                           {256, 32}}) {
+    auto row = run_ship(scratch(), kb, files);
+    ship.push_back(row);
+    std::printf("  %-8lld  %-6d  %10.1f  %10.1f  %8llu  %12.0f\n",
+                static_cast<long long>(row.file_kb), row.files, row.put_mbps,
+                row.repl_mbps, static_cast<unsigned long long>(row.batches),
+                row.batches_per_sec);
+  }
+
+  LatRow healthy, failover;
+  run_failover(scratch(), 40, &healthy, &failover);
+  std::printf("\n  failover-to-first-byte (ClusterClient GET, 64 KB)\n");
+  std::printf("  %-14s  %10s  %10s\n", "mode", "median_ms", "p99_ms");
+  std::printf("  %-14s  %10.2f  %10.2f\n", "healthy", healthy.median_ms,
+              healthy.p99_ms);
+  std::printf("  %-14s  %10.2f  %10.2f\n", "replica_down", failover.median_ms,
+              failover.p99_ms);
+  std::printf("\n");
+
+  for (const auto& row : ship) {
+    std::printf(
+        "{\"bench\":\"abl_replication\",\"metric\":\"ship\","
+        "\"file_kb\":%lld,\"files\":%d,\"put_mbps\":%.1f,"
+        "\"repl_mbps\":%.1f,\"batches\":%llu,\"batches_per_sec\":%.0f}\n",
+        static_cast<long long>(row.file_kb), row.files, row.put_mbps,
+        row.repl_mbps, static_cast<unsigned long long>(row.batches),
+        row.batches_per_sec);
+  }
+  std::printf(
+      "{\"bench\":\"abl_replication\",\"metric\":\"failover\","
+      "\"mode\":\"healthy\",\"median_ms\":%.2f,\"p99_ms\":%.2f}\n",
+      healthy.median_ms, healthy.p99_ms);
+  std::printf(
+      "{\"bench\":\"abl_replication\",\"metric\":\"failover\","
+      "\"mode\":\"replica_down\",\"median_ms\":%.2f,\"p99_ms\":%.2f}\n",
+      failover.median_ms, failover.p99_ms);
+
+  std::filesystem::remove_all(scratch_root);
+  return 0;
+}

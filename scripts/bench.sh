@@ -20,7 +20,7 @@ shift $(( $# > 2 ? 2 : $# )) || true
 BENCHES=("$@")
 if [ "${#BENCHES[@]}" -eq 0 ]; then
   BENCHES=(fig3_multiprotocol fig4_proportional fig5_adaptive
-           abl_journal_commit abl_wire_speed)
+           abl_journal_commit abl_wire_speed abl_replication)
 fi
 
 if [ ! -d "$BUILD_DIR" ]; then

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "classad/classad.h"
 
@@ -29,8 +30,16 @@ std::string Value::to_string() const {
     case ValueType::boolean: return as_bool() ? "true" : "false";
     case ValueType::integer: return std::to_string(as_int());
     case ValueType::real: {
+      // Shortest representation that parses back to the same double: a
+      // printed ad is a wire format (discovery ads feed peer load views),
+      // so printing must not quantize. %g alone truncates to 6 significant
+      // digits, which broke the load-ad round trip.
       char buf[64];
-      std::snprintf(buf, sizeof buf, "%g", as_real());
+      const double v = as_real();
+      for (const int prec : {6, 15, 17}) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v) break;
+      }
       // Ensure reals round-trip as reals.
       std::string s = buf;
       if (s.find_first_of(".eE") == std::string::npos) s += ".0";

@@ -133,8 +133,27 @@ Result<std::vector<std::string>> ChirpClient::list(const std::string& path) {
 }
 
 Result<std::string> ChirpClient::get(const std::string& path) {
+  return get(path, nullptr);
+}
+
+Result<std::string> ChirpClient::get(const std::string& path,
+                                     std::optional<Redirect>* redirect) {
+  if (redirect) redirect->reset();
   auto r = command("GET " + path);
   if (!r.ok()) return r.error();
+  if (r->code == 350 && redirect) {
+    // "350 redirect <name> <host> <port>"
+    const auto words = split_ws(r->text);
+    if (words.size() == 4 && words[0] == "redirect") {
+      const auto port = parse_int(words[3]);
+      if (port && *port > 0 && *port <= 65535) {
+        *redirect = Redirect{words[1], words[2],
+                             static_cast<std::uint16_t>(*port)};
+        return std::string{};
+      }
+    }
+    return Error{Errc::protocol_error, "bad redirect: " + r->text};
+  }
   if (r->code != 150) return Error{code_to_errc(r->code), r->text};
   const auto size = parse_int(r->text);
   if (!size || *size < 0) return Error{Errc::protocol_error, "bad 150"};
@@ -199,6 +218,26 @@ Result<std::string> ChirpClient::lot_query(std::uint64_t id) {
 
 Result<std::string> ChirpClient::lot_list() {
   auto r = command("LOT LIST");
+  if (!r.ok()) return r.error();
+  return read_payload(*r);
+}
+
+Status ChirpClient::lot_set_replicas(std::uint64_t id,
+                                     std::int64_t replicas) {
+  auto r = command("LOT REPLICAS " + std::to_string(id) + " " +
+                   std::to_string(replicas));
+  return r.ok() ? to_status(*r) : Status{r.error()};
+}
+
+Result<std::string> ChirpClient::cluster_status() {
+  auto r = command("CLUSTER STATUS");
+  if (!r.ok()) return r.error();
+  return read_payload(*r);
+}
+
+Result<std::string> ChirpClient::replica_list(const std::string& path) {
+  auto r = command(path.empty() ? std::string("REPLICA LIST")
+                                : "REPLICA LIST " + path);
   if (!r.ok()) return r.error();
   return read_payload(*r);
 }

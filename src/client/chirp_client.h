@@ -35,6 +35,17 @@ class ChirpClient {
   Result<std::vector<std::string>> list(const std::string& path);
 
   Result<std::string> get(const std::string& path);
+  // GET that surfaces a cluster redirect ("350 redirect <name> <host>
+  // <port>") through `redirect` instead of failing: when it comes back
+  // engaged the server does not hold the file and points at the replica
+  // it ranks best. Pass null to treat redirects as errors.
+  struct Redirect {
+    std::string name;
+    std::string host;
+    std::uint16_t port = 0;
+  };
+  Result<std::string> get(const std::string& path,
+                          std::optional<Redirect>* redirect);
   Status put(const std::string& path, const std::string& data);
 
   // Three-party transfer: ask this server to push its file to another
@@ -50,6 +61,14 @@ class ChirpClient {
   Result<std::string> lot_query(std::uint64_t id);
   // One line per visible lot (all lots for the superuser, own otherwise).
   Result<std::string> lot_list();
+  // Per-lot replication policy (cluster federation); 0 = cluster default.
+  Status lot_set_replicas(std::uint64_t id, std::int64_t replicas);
+
+  // Cluster federation status: one "self ..." line plus one "peer ..."
+  // line per configured peer (role, liveness, acked LSN lag, score).
+  Result<std::string> cluster_status();
+  // Ranked replica candidates, best first (optionally for one path).
+  Result<std::string> replica_list(const std::string& path = {});
 
   // ACL management (entry is a ClassAd in text form).
   Status acl_set(const std::string& dir, const std::string& entry);

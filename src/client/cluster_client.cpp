@@ -1,0 +1,180 @@
+#include "client/cluster_client.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace nest::client {
+
+namespace {
+
+// Pull "key=value" out of a status line; empty when absent.
+std::string field(const std::string& line, const std::string& key) {
+  const std::string needle = key + "=";
+  auto pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  pos += needle.size();
+  const auto end = line.find(' ', pos);
+  return line.substr(pos, end == std::string::npos ? end : end - pos);
+}
+
+}  // namespace
+
+Result<std::string> ClusterClient::get(const std::string& path) {
+  Error last{Errc::not_found, "no replica served " + path};
+  auto candidates = ranked_candidates(path);
+  // The ranked list names the *other* holders the answering node knows
+  // about; the answering node itself (and any contact the locate missed)
+  // is still a legitimate last resort when every listed replica fails —
+  // e.g. the one listed replica died between the locate and the GET.
+  for (const auto& c : contacts_) {
+    const bool queued =
+        std::any_of(candidates.begin(), candidates.end(),
+                    [&](const Contact& q) { return q.name == c.name; });
+    if (!queued) candidates.push_back(c);
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& c = candidates[i];
+    auto cli = ChirpClient::connect(c.host, c.port, user_, secret_);
+    if (!cli.ok()) {
+      note_failure(c.name);
+      last = cli.error();
+      continue;
+    }
+    std::optional<ChirpClient::Redirect> redirect;
+    const Nanos t0 = clock_.now();
+    auto data = cli->get(path, &redirect);
+    if (data.ok() && redirect) {
+      // The node lacks the file and named a better holder: try it next
+      // (ahead of the rest of the ranking) unless it is already queued.
+      const bool queued =
+          std::any_of(candidates.begin() + i + 1, candidates.end(),
+                      [&](const Contact& q) { return q.name == redirect->name; });
+      if (!queued) {
+        candidates.insert(
+            candidates.begin() + i + 1,
+            Contact{redirect->name, redirect->host, redirect->port});
+      }
+      last = Error{Errc::not_found, c.name + " redirected"};
+      continue;
+    }
+    if (!data.ok()) {
+      // Connection died mid-transfer or the node refused: demote and move
+      // to the next replica.
+      note_failure(c.name);
+      last = data.error();
+      continue;
+    }
+    note_success(c.name, static_cast<std::int64_t>(data->size()),
+                 clock_.now() - t0);
+    return data;
+  }
+  return last;
+}
+
+Result<std::string> ClusterClient::cluster_status() {
+  Error last{Errc::connection_closed, "no contact reachable"};
+  for (const auto& c : contacts_) {
+    auto cli = ChirpClient::connect(c.host, c.port, user_, secret_);
+    if (!cli.ok()) {
+      last = cli.error();
+      continue;
+    }
+    return cli->cluster_status();
+  }
+  return last;
+}
+
+Result<std::string> ClusterClient::replica_list(const std::string& path) {
+  Error last{Errc::connection_closed, "no contact reachable"};
+  for (const auto& c : contacts_) {
+    auto cli = ChirpClient::connect(c.host, c.port, user_, secret_);
+    if (!cli.ok()) {
+      last = cli.error();
+      continue;
+    }
+    return cli->replica_list(path);
+  }
+  return last;
+}
+
+double ClusterClient::measured_mbps(const std::string& name) const {
+  auto it = ewma_mbps_.find(name);
+  return it == ewma_mbps_.end() ? 0.0 : it->second;
+}
+
+std::vector<ClusterClient::Contact> ClusterClient::plan(
+    const std::string& path) {
+  return ranked_candidates(path);
+}
+
+std::vector<ClusterClient::Contact> ClusterClient::ranked_candidates(
+    const std::string& path) {
+  struct Scored {
+    Contact contact;
+    double cost = 0.0;
+  };
+  std::vector<Scored> scored;
+  auto listing = replica_list(path);
+  if (listing.ok()) {
+    for (const auto& line : split(*listing, '\n')) {
+      const std::string name = field(line, "name");
+      const std::string addr = field(line, "addr");
+      const auto colon = addr.rfind(':');
+      if (name.empty() || colon == std::string::npos) continue;
+      const auto port = parse_int(addr.substr(colon + 1));
+      if (!port || *port <= 0 || *port > 65535) continue;
+      double cost = 1.0;
+      if (const auto s = field(line, "score"); !s.empty()) {
+        try {
+          cost = std::stod(s);
+        } catch (...) {
+          cost = 1.0;
+        }
+      }
+      // Fold in this client's own history: a node we have measured fast
+      // gets cheaper, one we have watched fail gets dearer — regardless
+      // of what the server side advertises about itself.
+      const double mine = measured_mbps(name);
+      if (mine > 0.0) cost /= mine;
+      scored.push_back(Scored{
+          Contact{name, addr.substr(0, colon),
+                  static_cast<std::uint16_t>(*port)},
+          cost});
+    }
+  }
+  if (scored.empty()) {
+    // No node answered the locate (cold start or full partition): walk
+    // the static contact list, best-measured first.
+    for (const auto& c : contacts_)
+      scored.push_back(Scored{c, 1.0 / std::max(1.0, measured_mbps(c.name))});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.cost < b.cost;
+                   });
+  std::vector<Contact> out;
+  out.reserve(scored.size());
+  for (auto& s : scored) out.push_back(std::move(s.contact));
+  return out;
+}
+
+void ClusterClient::note_success(const std::string& name, std::int64_t bytes,
+                                 Nanos elapsed) {
+  const double secs = to_seconds(std::max<Nanos>(elapsed, 1));
+  const double mbps =
+      static_cast<double>(bytes) / (1024.0 * 1024.0) / secs;
+  auto it = ewma_mbps_.find(name);
+  if (it == ewma_mbps_.end()) {
+    ewma_mbps_[name] = mbps;
+  } else {
+    it->second = alpha_ * mbps + (1.0 - alpha_) * it->second;
+  }
+}
+
+void ClusterClient::note_failure(const std::string& name) {
+  auto it = ewma_mbps_.find(name);
+  if (it != ewma_mbps_.end()) it->second *= 0.5;
+}
+
+}  // namespace nest::client

@@ -1,0 +1,71 @@
+// ClusterClient: replica-selecting Chirp client for a federated NeST.
+//
+// Given the contact list of a cluster, a GET first asks a reachable node
+// for its ranked replica list (server side of the Globus selection:
+// advertised load + tail latency), folds in this client's own measured
+// throughput history (an EWMA per node — the client-observed half of the
+// Globus result), and then walks the candidates best-first. A dead or
+// partitioned replica costs one failed attempt and a demoted EWMA; the
+// next candidate serves the bytes. Redirects ("350 redirect ...") from a
+// node that lacks the file are followed the same way.
+//
+// Single-threaded by design, like ChirpClient.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "client/chirp_client.h"
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace nest::client {
+
+class ClusterClient {
+ public:
+  struct Contact {
+    std::string name;
+    std::string host;
+    std::uint16_t port = 0;
+  };
+
+  // `clock` times transfers for the throughput EWMA (tests pass a
+  // ManualClock to keep scoring deterministic).
+  ClusterClient(Clock& clock, std::vector<Contact> contacts,
+                std::string user = {}, std::string secret = {},
+                double ewma_alpha = 0.3)
+      : clock_(clock),
+        contacts_(std::move(contacts)),
+        user_(std::move(user)),
+        secret_(std::move(secret)),
+        alpha_(ewma_alpha) {}
+
+  // Fetch `path` from the best replica, failing over down the ranking.
+  Result<std::string> get(const std::string& path);
+
+  // Status surfaces, served by the first reachable contact.
+  Result<std::string> cluster_status();
+  Result<std::string> replica_list(const std::string& path = {});
+
+  double measured_mbps(const std::string& name) const;
+  // Candidate order the next get() would try (exposed for tests).
+  std::vector<Contact> plan(const std::string& path);
+
+ private:
+  // Ranked candidates: the server list re-scored with local EWMAs, or the
+  // raw contact list when no node answers the locate.
+  std::vector<Contact> ranked_candidates(const std::string& path);
+  void note_success(const std::string& name, std::int64_t bytes,
+                    Nanos elapsed);
+  void note_failure(const std::string& name);
+
+  Clock& clock_;
+  std::vector<Contact> contacts_;
+  std::string user_;
+  std::string secret_;
+  const double alpha_;
+  std::map<std::string, double> ewma_mbps_;
+};
+
+}  // namespace nest::client

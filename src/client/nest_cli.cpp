@@ -13,6 +13,8 @@
 //   acl-get <dir>            acl-set <dir> <classad-entry...>
 //   acl-clear <dir> <principal>
 //   fault-set <point> <spec>  fault-list
+//   cluster-status           replica-list [path]
+//   lot-replicas <id> <count>
 //   ad
 #include <cstdio>
 #include <fstream>
@@ -32,7 +34,8 @@ int usage() {
                "commands: ls stat mkdir rmdir rm mv get put lot-create\n"
                "          lot-renew lot-terminate lot-query lot-list\n"
                "          acl-get acl-set acl-clear journal-stat stats ad\n"
-               "          fault-set fault-list\n");
+               "          fault-set fault-list cluster-status replica-list\n"
+               "          lot-replicas\n");
   return 2;
 }
 
@@ -194,6 +197,26 @@ int main(int argc, char** argv) {
     auto points = client->fault_list();
     if (!points.ok()) return fail(points.error());
     std::printf("%s", points->c_str());
+    return 0;
+  }
+  if (cmd == "lot-replicas" && rest.size() == 2) {
+    const auto id = parse_int(rest[0]);
+    const auto n = parse_int(rest[1]);
+    if (!id || !n) return usage();
+    const auto s =
+        client->lot_set_replicas(static_cast<std::uint64_t>(*id), *n);
+    return s.ok() ? 0 : fail(s);
+  }
+  if (cmd == "cluster-status" && rest.empty()) {
+    auto status = client->cluster_status();
+    if (!status.ok()) return fail(status.error());
+    std::printf("%s", status->c_str());
+    return 0;
+  }
+  if (cmd == "replica-list" && rest.size() <= 1) {
+    auto replicas = client->replica_list(rest.empty() ? "" : rest[0]);
+    if (!replicas.ok()) return fail(replicas.error());
+    std::printf("%s", replicas->c_str());
     return 0;
   }
   if (cmd == "ad" && rest.empty()) {

@@ -1,0 +1,137 @@
+#include "cluster/chirp_link.h"
+
+#include <span>
+
+#include "common/string_util.h"
+
+namespace nest::cluster {
+
+namespace {
+
+int reply_code(const std::string& line) {
+  return static_cast<int>(parse_int(line.substr(0, 3)).value_or(-1));
+}
+
+// Text after "NNN " (empty when the line is just a code).
+std::string reply_text(const std::string& line) {
+  return line.size() > 4 ? line.substr(4) : std::string{};
+}
+
+}  // namespace
+
+Status ChirpLink::ensure_connected() {
+  if (stream_) return {};
+  auto s = net::TcpStream::connect(addr_.host, addr_.chirp_port);
+  if (!s.ok()) return Status{s.error()};
+  (void)s->set_read_timeout(io_timeout_ms_);
+  auto banner = s->read_line();
+  if (!banner.ok() || reply_code(*banner) != 220)
+    return Status{Errc::protocol_error, "no chirp banner from " + addr_.name};
+  if (authenticate_) {
+    if (auto a = authenticate_(*s); !a.ok()) return a;
+  }
+  stream_ = std::move(*s);
+  return {};
+}
+
+Result<std::string> ChirpLink::roundtrip(const std::string& cmd,
+                                         const std::string* payload) {
+  if (auto c = ensure_connected(); !c.ok()) return c.error();
+  const std::string head = cmd + "\r\n";
+  Status sent = payload
+                    ? stream_->send_vecs(
+                          {std::span<const char>(head.data(), head.size()),
+                           std::span<const char>(payload->data(),
+                                                 payload->size())})
+                    : stream_->write_all(head);
+  if (!sent.ok()) {
+    stream_.reset();
+    return sent.error();
+  }
+  auto line = stream_->read_line();
+  if (!line.ok()) {
+    stream_.reset();
+    return line.error();
+  }
+  return *line;
+}
+
+Result<journal::Lsn> ChirpLink::handshake(const std::string& primary) {
+  auto line = roundtrip("REPL HELLO " + primary);
+  if (!line.ok()) return line.error();
+  if (reply_code(*line) != 200) {
+    stream_.reset();
+    return Error{Errc::protocol_error,
+                 addr_.name + " rejected hello: " + *line};
+  }
+  auto lsn = parse_int(reply_text(*line));
+  if (!lsn || *lsn < 0)
+    return Error{Errc::protocol_error, "bad hello reply: " + *line};
+  return static_cast<journal::Lsn>(*lsn);
+}
+
+Status ChirpLink::install_snapshot(journal::Lsn at,
+                                   const std::string& payload) {
+  auto line = roundtrip("REPL SNAP " + std::to_string(at) + " " +
+                            std::to_string(payload.size()),
+                        &payload);
+  if (!line.ok()) return Status{line.error()};
+  if (reply_code(*line) != 200) {
+    stream_.reset();
+    return Status{Errc::protocol_error,
+                  addr_.name + " rejected snapshot: " + *line};
+  }
+  return {};
+}
+
+Result<journal::Lsn> ChirpLink::ship(journal::Lsn lsn,
+                                     const std::string& payload) {
+  auto line = roundtrip("REPL SHIP " + std::to_string(lsn) + " " +
+                            std::to_string(payload.size()),
+                        &payload);
+  if (!line.ok()) return line.error();
+  const int code = reply_code(*line);
+  if (code == 554) return Error{Errc::not_found, reply_text(*line)};
+  if (code != 200) {
+    stream_.reset();
+    return Error{Errc::protocol_error,
+                 addr_.name + " rejected ship: " + *line};
+  }
+  auto acked = parse_int(reply_text(*line));
+  if (!acked || *acked < 0)
+    return Error{Errc::protocol_error, "bad ship reply: " + *line};
+  return static_cast<journal::Lsn>(*acked);
+}
+
+Status ChirpLink::push_file(const std::string& path,
+                            const std::string& data) {
+  auto line = roundtrip(
+      "REPL PUSH " + path + " " + std::to_string(data.size()), &data);
+  if (!line.ok()) return Status{line.error()};
+  if (reply_code(*line) != 200) {
+    stream_.reset();
+    return Status{Errc::protocol_error,
+                  addr_.name + " rejected push: " + *line};
+  }
+  return {};
+}
+
+Result<classad::ClassAd> ChirpLink::fetch_ad() {
+  auto line = roundtrip("AD");
+  if (!line.ok()) return line.error();
+  if (reply_code(*line) != 213)
+    return Error{Errc::protocol_error, "bad AD reply: " + *line};
+  const auto len = parse_int(reply_text(*line));
+  if (!len || *len < 0 || *len > 16 * 1024 * 1024)
+    return Error{Errc::protocol_error, "bad AD length: " + *line};
+  std::string payload(static_cast<std::size_t>(*len), '\0');
+  if (auto s = stream_->read_exact(
+          std::span<char>(payload.data(), payload.size()));
+      !s.ok()) {
+    stream_.reset();
+    return s.error();
+  }
+  return classad::ClassAd::parse(payload);
+}
+
+}  // namespace nest::cluster

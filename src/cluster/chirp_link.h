@@ -1,0 +1,63 @@
+// ChirpLink: the real-wire ReplicaLink, speaking the REPL extension of
+// the Chirp control protocol to a peer appliance.
+//
+//   REPL HELLO <primary>            -> 200 <applied_lsn>
+//   REPL SHIP <lsn> <len> + bytes   -> 200 <applied_lsn> | 554 lsn gap
+//   REPL SNAP <lsn> <len> + bytes   -> 200 ok
+//   REPL PUSH <path> <len> + bytes  -> 200 ok
+//   AD                              -> 213 <len> + ad text
+//
+// Payload framing follows the existing Chirp convention: the size travels
+// on the command line, the raw bytes follow the CRLF. A 554 reply to SHIP
+// maps to Errc::not_found — the caller's cue to re-seed via snapshot.
+//
+// Authentication is injected: the server wires a callback that runs its
+// GSI challenge/response with the appliance identity over the fresh
+// stream (the cluster layer stays independent of the protocol library).
+// Connections are lazy and are dropped on any error; the next call
+// redials. Each link is used from one thread.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "cluster/cluster_node.h"
+#include "net/socket.h"
+
+namespace nest::cluster {
+
+class ChirpLink final : public ReplicaLink {
+ public:
+  // `authenticate` runs after the 220 banner; it must leave the stream
+  // inside an authenticated session (or fail).
+  using Authenticator = std::function<Status(net::TcpStream&)>;
+
+  ChirpLink(PeerAddress addr, Authenticator authenticate,
+            int io_timeout_ms = 5000)
+      : addr_(std::move(addr)),
+        authenticate_(std::move(authenticate)),
+        io_timeout_ms_(io_timeout_ms) {}
+
+  Result<journal::Lsn> handshake(const std::string& primary) override;
+  Status install_snapshot(journal::Lsn at,
+                          const std::string& payload) override;
+  Result<journal::Lsn> ship(journal::Lsn lsn,
+                            const std::string& payload) override;
+  Status push_file(const std::string& path,
+                   const std::string& data) override;
+  Result<classad::ClassAd> fetch_ad() override;
+
+ private:
+  Status ensure_connected();
+  // Send "<cmd>\r\n" (+ optional payload in the same writev) and read the
+  // one-line reply; drops the connection on transport errors.
+  Result<std::string> roundtrip(const std::string& cmd,
+                                const std::string* payload = nullptr);
+
+  PeerAddress addr_;
+  Authenticator authenticate_;
+  int io_timeout_ms_;
+  std::optional<net::TcpStream> stream_;
+};
+
+}  // namespace nest::cluster

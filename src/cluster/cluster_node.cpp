@@ -1,0 +1,342 @@
+#include "cluster/cluster_node.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/log.h"
+#include "fault/failpoint.h"
+
+namespace nest::cluster {
+
+ClusterNode::ClusterNode(Clock& clock, ClusterConfig cfg)
+    : clock_(clock),
+      cfg_(std::move(cfg)),
+      peers_(clock, cfg_.heartbeat_timeout),
+      selector_(peers_),
+      queue_(cfg_.ship_queue_capacity) {
+  for (const auto& p : cfg_.peers) {
+    peers_.add_static_peer(p);
+    if (cfg_.role == Role::primary) {
+      followers_.push_back(FollowerState{p, nullptr, 0, false});
+    }
+  }
+}
+
+ClusterNode::~ClusterNode() { stop(); }
+
+void ClusterNode::attach_storage(storage::StorageManager* storage) {
+  storage_ = storage;
+  if (cfg_.role == Role::primary) {
+    storage_->set_replication_hook(
+        [this](journal::Lsn lsn, const std::string& payload) {
+          queue_.push(lsn, payload);
+        });
+  }
+}
+
+bool ClusterNode::authorize_repl(const std::string& principal) const {
+  if (principal.empty()) return false;
+  for (const auto& p : cfg_.peers) {
+    if (p.name == principal) return true;
+  }
+  return false;
+}
+
+void ClusterNode::heartbeat_once() {
+  if (heartbeat_links_.empty() && link_factory_) {
+    for (const auto& p : cfg_.peers) heartbeat_links_.emplace_back(p, nullptr);
+  }
+  for (auto& [addr, link] : heartbeat_links_) {
+    bool injected = false;
+    NEST_FAILPOINT("cluster.heartbeat", {
+      (void)err;
+      injected = true;
+    });
+    if (injected) {
+      peers_.observe_failure(addr.name);
+      link.reset();
+      continue;
+    }
+    if (!link) link = link_factory_ ? link_factory_(addr) : nullptr;
+    if (!link) {
+      peers_.observe_failure(addr.name);
+      continue;
+    }
+    auto ad = link->fetch_ad();
+    if (!ad.ok()) {
+      peers_.observe_failure(addr.name);
+      link.reset();
+      continue;
+    }
+    peers_.observe_ad(addr.name, *ad);
+  }
+  peers_.tick();
+}
+
+void ClusterNode::ship_once() {
+  if (cfg_.role != Role::primary || !storage_) return;
+  drain_push_queue();
+  for (auto& f : followers_) ship_follower(f);
+}
+
+void ClusterNode::ship_follower(FollowerState& f) {
+  if (f.synced) {
+    // A caught-up follower generates no ship traffic, so a death would
+    // go unnoticed here until the next write — and a *wipe-restart*
+    // would leave the follower empty indefinitely on an idle primary.
+    // The heartbeat's liveness view is the probe: once it declared the
+    // peer dead, force a re-handshake so a restarted follower is
+    // re-seeded (and re-replicated, below) even before new writes.
+    const auto info = peers_.peer(f.addr.name);
+    if (info && !info->alive) {
+      f.synced = false;
+      f.link.reset();
+    }
+  }
+  if (!f.link) {
+    f.link = link_factory_ ? link_factory_(f.addr) : nullptr;
+    f.synced = false;
+    if (!f.link) {
+      peers_.observe_failure(f.addr.name);
+      return;
+    }
+  }
+  if (!f.synced) {
+    auto hello = f.link->handshake(cfg_.name);
+    if (!hello.ok()) {
+      peers_.observe_failure(f.addr.name);
+      f.link.reset();
+      return;
+    }
+    if (*hello < f.acked) requeue_replicated_content(f.addr.name);
+    f.acked = *hello;
+    f.synced = true;
+  }
+  for (;;) {
+    auto pull = queue_.after(f.acked);
+    if (pull.needs_snapshot) {
+      if (!send_snapshot(f)) return;
+      continue;  // re-pull from the snapshot's LSN
+    }
+    if (pull.batches.empty()) return;  // caught up
+    for (const auto& b : pull.batches) {
+      NEST_FAILPOINT("cluster.ship", {
+        (void)err;
+        peers_.observe_failure(f.addr.name);
+        f.link.reset();
+        return;
+      });
+      auto acked = f.link->ship(b.lsn, b.payload);
+      if (!acked.ok()) {
+        if (acked.error().code == Errc::not_found) {
+          // Follower reports an LSN gap (it restarted under us). Shipped
+          // batches arrive in order starting at f.acked+1, so a gap means
+          // the follower's applied LSN regressed: state loss.
+          requeue_replicated_content(f.addr.name);
+          if (!send_snapshot(f)) return;
+          break;
+        }
+        peers_.observe_failure(f.addr.name);
+        f.link.reset();
+        return;
+      }
+      f.acked = *acked;
+      peers_.observe_ack(f.addr.name, f.acked, f.acked);
+    }
+  }
+}
+
+void ClusterNode::requeue_replicated_content(const std::string& peer) {
+  // A follower regressed (restart with state loss): metadata catches up
+  // by replay or snapshot, but file content does not ride the journal —
+  // re-queue everything ever replicated so its bytes flow again.
+  // Re-pushes to followers that already hold them are idempotent
+  // overwrites.
+  NEST_LOG_INFO("cluster", "%s regressed; re-replicating content",
+                peer.c_str());
+  MutexLock lock(push_mu_);
+  for (const auto& path : replicated_paths_) push_queue_.push_back(path);
+}
+
+bool ClusterNode::send_snapshot(FollowerState& f) {
+  const auto snap = storage_->replica_snapshot();
+  if (auto s = f.link->install_snapshot(snap.lsn, snap.payload); !s.ok()) {
+    peers_.observe_failure(f.addr.name);
+    f.link.reset();
+    return false;
+  }
+  f.acked = snap.lsn;
+  peers_.observe_ack(f.addr.name, f.acked, f.acked);
+  NEST_LOG_INFO("cluster", "re-seeded %s from snapshot at lsn %llu",
+                f.addr.name.c_str(),
+                static_cast<unsigned long long>(snap.lsn));
+  return true;
+}
+
+void ClusterNode::note_file_written(const std::string& path) {
+  if (cfg_.role != Role::primary) return;
+  MutexLock lock(push_mu_);
+  push_queue_.push_back(path);
+  replicated_paths_.insert(path);
+}
+
+std::size_t ClusterNode::pending_pushes() const {
+  MutexLock lock(push_mu_);
+  return push_queue_.size();
+}
+
+void ClusterNode::drain_push_queue() {
+  // Bound the drain to what was queued at entry: push_content re-queues a
+  // path it could not fan out fully (not enough connected followers yet),
+  // and an unbounded loop would chase its own re-queues forever.
+  std::size_t budget;
+  {
+    MutexLock lock(push_mu_);
+    budget = push_queue_.size();
+  }
+  while (budget-- > 0) {
+    std::string path;
+    {
+      MutexLock lock(push_mu_);
+      if (push_queue_.empty()) return;
+      path = std::move(push_queue_.front());
+      push_queue_.pop_front();
+    }
+    push_content(path);
+  }
+}
+
+void ClusterNode::push_content(const std::string& path) {
+  if (!file_reader_) return;
+  auto data = file_reader_(path);
+  if (!data.ok()) {
+    NEST_LOG_WARN("cluster", "cannot read %s for replication: %s",
+                  path.c_str(), data.error().to_string().c_str());
+    return;
+  }
+  // Per-lot policy caps the content fan-out; metadata still ships to every
+  // follower (the catalog must agree even where the bytes do not land).
+  std::int64_t want = storage_->replicas_for(path);
+  if (want == 0) want = cfg_.replication_factor;
+  std::int64_t pushed = 0;
+  for (auto& f : followers_) {
+    if (pushed >= want) break;
+    if (!f.link || !f.synced) continue;  // ship_follower will (re)connect
+    if (auto s = f.link->push_file(path, *data); !s.ok()) {
+      NEST_LOG_WARN("cluster", "content push of %s to %s failed: %s",
+                    path.c_str(), f.addr.name.c_str(),
+                    s.to_string().c_str());
+      continue;
+    }
+    ++pushed;
+  }
+  if (pushed < want) {
+    // Not enough connected followers yet: retry on the next ship tick
+    // rather than silently under-replicating.
+    MutexLock lock(push_mu_);
+    push_queue_.push_back(path);
+  }
+}
+
+Result<journal::Lsn> ClusterNode::accept_hello(const std::string& primary) {
+  if (cfg_.role != Role::follower)
+    return Error{Errc::unsupported,
+                 "node " + cfg_.name + " is not a follower"};
+  peers_.set_role(primary, Role::primary);
+  return applied_primary_lsn();
+}
+
+Result<journal::Lsn> ClusterNode::accept_ship(journal::Lsn lsn,
+                                              std::string_view payload) {
+  if (cfg_.role != Role::follower || !storage_)
+    return Error{Errc::unsupported, "not an attached follower"};
+  const journal::Lsn applied = applied_primary_lsn();
+  if (lsn <= applied) return applied;  // duplicate from a retried ship
+  if (lsn != applied + 1) {
+    return Error{Errc::not_found,
+                 "lsn gap: applied " + std::to_string(applied) + ", got " +
+                     std::to_string(lsn)};
+  }
+  NEST_FAILPOINT("cluster.apply", { return err; });
+  if (auto s = storage_->apply_replicated_batch(payload); !s.ok())
+    return s.error();
+  applied_primary_lsn_.store(lsn, std::memory_order_release);
+  return lsn;
+}
+
+Status ClusterNode::accept_snapshot(journal::Lsn lsn,
+                                    std::string_view payload) {
+  if (cfg_.role != Role::follower || !storage_)
+    return Status{Errc::unsupported, "not an attached follower"};
+  if (auto s = storage_->install_replica_snapshot(payload); !s.ok()) return s;
+  applied_primary_lsn_.store(lsn, std::memory_order_release);
+  return {};
+}
+
+Status ClusterNode::accept_file(const std::string& path,
+                                std::string_view data) {
+  if (cfg_.role != Role::follower || !storage_)
+    return Status{Errc::unsupported, "not an attached follower"};
+  return storage_->install_replica_file(path, data);
+}
+
+std::vector<PeerInfo> ClusterNode::status() {
+  auto rows = peers_.peers();
+  for (auto& r : rows) r.score = selector_.score(r);
+  return rows;
+}
+
+std::vector<Candidate> ClusterNode::locate(const std::string& path) {
+  (void)path;  // every live peer is a candidate; clients fail over on 550
+  return selector_.rank_candidates();
+}
+
+journal::Lsn ClusterNode::quorum_acked_lsn() const {
+  journal::Lsn acked = 0;
+  bool any = false;
+  for (const auto& p : peers_.peers()) {
+    if (!p.alive) continue;
+    acked = any ? std::min(acked, p.acked_lsn) : p.acked_lsn;
+    any = true;
+  }
+  return any ? acked : 0;
+}
+
+void ClusterNode::start() {
+  // Any node with peers heartbeats them (a standalone member still wants
+  // the load view for selection); only a primary ships.
+  if (cfg_.peers.empty()) return;
+  stop_.store(false);
+  const auto interval = std::chrono::nanoseconds(cfg_.heartbeat_interval);
+  heartbeat_thread_ = std::thread([this, interval] {
+    while (!stop_.load()) {
+      heartbeat_once();
+      MutexLock lock(stop_mu_);
+      stop_cv_.wait_for(lock, interval, [this] { return stop_.load(); });
+    }
+  });
+  if (cfg_.role == Role::primary) {
+    // The shipper spins faster than the heartbeat: ship latency bounds
+    // the replication lag every acked write rides on.
+    const auto ship_interval = interval / 4 + std::chrono::nanoseconds(1);
+    ship_thread_ = std::thread([this, ship_interval] {
+      while (!stop_.load()) {
+        ship_once();
+        MutexLock lock(stop_mu_);
+        stop_cv_.wait_for(lock, ship_interval, [this] { return stop_.load(); });
+      }
+    });
+  }
+}
+
+void ClusterNode::stop() {
+  stop_.store(true);
+  {
+    MutexLock lock(stop_mu_);
+    stop_cv_.notify_all();
+  }
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  if (ship_thread_.joinable()) ship_thread_.join();
+}
+
+}  // namespace nest::cluster

@@ -1,0 +1,193 @@
+// ClusterNode: one appliance's view of the federation.
+//
+// The paper's appliances are designed to be composed — discovery ads make
+// each NeST visible to Grid middleware. This layer federates them
+// directly: a configured *primary* streams every sealed metadata batch
+// (journal_ops.h) to its *followers* over a replica link, pushes the file
+// content behind those batches, and tracks each follower's acknowledged
+// LSN; followers apply the stream through the same blind-install path
+// crash recovery uses. Reads then have a choice of replica, ranked by the
+// Globus-style selector (advertised load + measured throughput EWMA).
+//
+// Determinism: the node never acts on its own. All work happens in
+// single-step methods — heartbeat_once(), ship_once() — that a sim
+// harness drives explicitly under a ManualClock with loopback links. The
+// real server calls start(), which merely wraps the same steps in two
+// timer threads. Nothing in this class reads the wall clock directly.
+//
+// Threading: heartbeat and ship state are confined to their respective
+// threads (links are NOT shared between them — each keeps its own
+// connections). Cross-thread state lives in PeerTable / ReplicaSelector /
+// ShipQueue (each with its own ranked lock) and two small queues here.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/membership.h"
+#include "cluster/replication.h"
+#include "cluster/selection.h"
+#include "storage/storage_manager.h"
+
+namespace nest::cluster {
+
+struct ClusterConfig {
+  std::string name;  // this node's name (also its GSI subject in-cluster)
+  Role role = Role::standalone;
+  std::vector<PeerAddress> peers;
+  // Default content copies for files whose lots set no `replicas` policy.
+  int replication_factor = 1;
+  Nanos heartbeat_interval = 2 * kSecond;
+  Nanos heartbeat_timeout = 15 * kSecond;
+  std::size_t ship_queue_capacity = 1024;
+};
+
+// Transport to one peer. Implementations: ChirpLink (chirp_link.h, the
+// real wire) and the loopback links test harnesses build over direct
+// ClusterNode method calls. A link is used from a single thread.
+class ReplicaLink {
+ public:
+  virtual ~ReplicaLink() = default;
+  // Announce this primary; returns the follower's applied-through LSN in
+  // the PRIMARY's sequence (0 for a fresh or restarted follower).
+  virtual Result<journal::Lsn> handshake(const std::string& primary) = 0;
+  // Re-seed the follower with a full snapshot covering LSN `at`.
+  virtual Status install_snapshot(journal::Lsn at,
+                                  const std::string& payload) = 0;
+  // Ship one sealed batch; returns the follower's new applied LSN.
+  // An Errc::not_found error means "LSN gap — send a snapshot".
+  virtual Result<journal::Lsn> ship(journal::Lsn lsn,
+                                    const std::string& payload) = 0;
+  // Push replicated file content.
+  virtual Status push_file(const std::string& path,
+                           const std::string& data) = 0;
+  // Fetch the peer's discovery ad (heartbeat + load refresh).
+  virtual Result<classad::ClassAd> fetch_ad() = 0;
+};
+
+class ClusterNode {
+ public:
+  using LinkFactory =
+      std::function<std::unique_ptr<ReplicaLink>(const PeerAddress&)>;
+  using FileReader = std::function<Result<std::string>(const std::string&)>;
+
+  ClusterNode(Clock& clock, ClusterConfig cfg);
+  ~ClusterNode();
+
+  // Install the replication hook (primary) and the apply target
+  // (follower). Call before serving, like StorageManager::attach_journal.
+  void attach_storage(storage::StorageManager* storage);
+  void set_link_factory(LinkFactory factory) {
+    link_factory_ = std::move(factory);
+  }
+  void set_file_reader(FileReader reader) {
+    file_reader_ = std::move(reader);
+  }
+
+  const ClusterConfig& config() const { return cfg_; }
+  Role role() const { return cfg_.role; }
+  const std::string& name() const { return cfg_.name; }
+  PeerTable& peers() { return peers_; }
+  ReplicaSelector& selector() { return selector_; }
+
+  // True when `principal` may drive REPL ops against this node: it names
+  // a configured peer (cluster identities double as GSI subjects).
+  bool authorize_repl(const std::string& principal) const;
+
+  // --- Single-step drivers (sim harness; start() wraps them in threads).
+  // Poll every peer's ad, refresh the load view, expire silent peers.
+  void heartbeat_once();
+  // Primary: push pending file content, then ship batches to every
+  // follower, re-seeding via snapshot where the queue was trimmed.
+  void ship_once();
+
+  // A client write to `path` completed: queue its content for push
+  // replication (primary; no-op otherwise).
+  void note_file_written(const std::string& path);
+  // Pending content pushes (0 = every follower has current bytes).
+  std::size_t pending_pushes() const;
+
+  // --- Follower-side entry points (wire handler / loopback links).
+  Result<journal::Lsn> accept_hello(const std::string& primary);
+  Result<journal::Lsn> accept_ship(journal::Lsn lsn,
+                                   std::string_view payload);
+  Status accept_snapshot(journal::Lsn lsn, std::string_view payload);
+  Status accept_file(const std::string& path, std::string_view data);
+  // Applied-through LSN in the primary's sequence. Deliberately not
+  // persisted: a restarted follower re-handshakes at 0 and the primary
+  // re-seeds it from a snapshot.
+  journal::Lsn applied_primary_lsn() const {
+    return applied_primary_lsn_.load(std::memory_order_acquire);
+  }
+
+  // --- Status / selection surfaces.
+  // Peer rows with selection scores refreshed (cluster-status CLI).
+  std::vector<PeerInfo> status();
+  // Ranked live candidates for a GET of `path` (locate + redirect).
+  std::vector<Candidate> locate(const std::string& path);
+  // Primary: highest sealed LSN entering the ship stream.
+  journal::Lsn last_shipped_lsn() const { return queue_.last_lsn(); }
+  // Primary: highest LSN every live follower has acknowledged (the
+  // surviving-quorum watermark the chaos harness asserts against).
+  journal::Lsn quorum_acked_lsn() const;
+
+  // --- Real mode: wrap the single-step drivers in timer threads.
+  void start();
+  void stop();
+
+ private:
+  struct FollowerState {
+    PeerAddress addr;
+    std::unique_ptr<ReplicaLink> link;
+    journal::Lsn acked = 0;
+    bool synced = false;  // handshake completed on the current link
+  };
+  // Shipper-thread-only.
+  void ship_follower(FollowerState& f);
+  bool send_snapshot(FollowerState& f);
+  void requeue_replicated_content(const std::string& peer);
+  void drain_push_queue();
+  void push_content(const std::string& path);
+
+  Clock& clock_;
+  ClusterConfig cfg_;
+  PeerTable peers_;
+  ReplicaSelector selector_;
+  ShipQueue queue_;
+  storage::StorageManager* storage_ = nullptr;
+  LinkFactory link_factory_;
+  FileReader file_reader_;
+
+  std::atomic<journal::Lsn> applied_primary_lsn_{0};
+
+  // Confined to the ship driver (sim caller or ship thread).
+  std::vector<FollowerState> followers_;
+  // Confined to the heartbeat driver; separate connections from the
+  // shipper's so the two threads never share a stream.
+  std::vector<std::pair<PeerAddress, std::unique_ptr<ReplicaLink>>>
+      heartbeat_links_;
+
+  // Written paths awaiting content replication. Same rank as the ship
+  // queue (they are one subsystem; the two locks are never nested).
+  mutable Mutex push_mu_{lockrank::Rank::cluster_ship, "cluster.push"};
+  std::deque<std::string> push_queue_ GUARDED_BY(push_mu_);
+  // Every path this primary has ever queued for replication. When a
+  // follower is re-seeded from a snapshot (it restarted empty), the
+  // snapshot restores metadata only — the whole set is re-queued so the
+  // follower's file content is re-replicated too.
+  std::set<std::string> replicated_paths_ GUARDED_BY(push_mu_);
+
+  std::atomic<bool> stop_{false};
+  std::thread heartbeat_thread_;
+  std::thread ship_thread_;
+  Mutex stop_mu_{lockrank::Rank::cluster_membership, "cluster.stop"};
+  CondVar stop_cv_;
+};
+
+}  // namespace nest::cluster

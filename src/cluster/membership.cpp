@@ -1,0 +1,96 @@
+#include "cluster/membership.h"
+
+#include <algorithm>
+
+namespace nest::cluster {
+
+void PeerTable::add_static_peer(const PeerAddress& addr) {
+  MutexLock lock(mu_);
+  auto& row = peers_[addr.name];
+  row.name = addr.name;
+  row.host = addr.host;
+  row.chirp_port = addr.chirp_port;
+}
+
+void PeerTable::observe_ad(const std::string& name,
+                           const classad::ClassAd& ad) {
+  observe_load(name, PeerLoad::from_ad(ad));
+}
+
+void PeerTable::observe_load(const std::string& name, const PeerLoad& load) {
+  MutexLock lock(mu_);
+  auto& row = peers_[name];
+  if (row.name.empty()) row.name = name;
+  row.load = load;
+  row.alive = true;
+  row.last_heard = clock_.now();
+}
+
+void PeerTable::observe_ack(const std::string& name, journal::Lsn acked,
+                            journal::Lsn applied) {
+  MutexLock lock(mu_);
+  auto& row = peers_[name];
+  if (row.name.empty()) row.name = name;
+  // Acks only move forward; a stale ack from a retried ship must not
+  // rewind the progress the fan-out already counted.
+  row.acked_lsn = std::max(row.acked_lsn, acked);
+  row.applied_lsn = std::max(row.applied_lsn, applied);
+  row.alive = true;
+  row.last_heard = clock_.now();
+}
+
+void PeerTable::observe_failure(const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = peers_.find(name);
+  if (it != peers_.end()) it->second.alive = false;
+}
+
+void PeerTable::set_role(const std::string& name, Role role) {
+  MutexLock lock(mu_);
+  auto& row = peers_[name];
+  if (row.name.empty()) row.name = name;
+  row.role = role;
+}
+
+void PeerTable::tick() {
+  MutexLock lock(mu_);
+  tick_locked();
+}
+
+void PeerTable::tick_locked() {
+  const Nanos now = clock_.now();
+  for (auto& [name, row] : peers_) {
+    if (row.alive && now - row.last_heard > timeout_) row.alive = false;
+  }
+}
+
+std::optional<PeerInfo> PeerTable::peer(const std::string& name) const {
+  MutexLock lock(mu_);
+  auto it = peers_.find(name);
+  if (it == peers_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<PeerInfo> PeerTable::peers() const {
+  MutexLock lock(mu_);
+  std::vector<PeerInfo> out;
+  out.reserve(peers_.size());
+  for (const auto& [name, row] : peers_) out.push_back(row);
+  return out;
+}
+
+std::vector<PeerInfo> PeerTable::live_peers() const {
+  MutexLock lock(mu_);
+  std::vector<PeerInfo> out;
+  for (const auto& [name, row] : peers_) {
+    if (row.alive) out.push_back(row);
+  }
+  return out;
+}
+
+std::size_t PeerTable::size() const {
+  MutexLock lock(mu_);
+  return peers_.size();
+}
+
+}  // namespace nest::cluster

@@ -1,0 +1,68 @@
+// Cluster membership: the liveness/load view every node keeps of its
+// peers.
+//
+// Peers enter the table from the static `cluster_peers` config list; rows
+// are refreshed whenever a peer's discovery ad is parsed (heartbeat poll
+// over the ad channel, or an ad pushed through a collector) and whenever a
+// replication ack carries progress. A peer whose ad has not been seen for
+// `heartbeat_timeout` is marked dead and drops out of replica selection
+// and ship fan-out until it is heard from again.
+//
+// Lock rank: cluster_membership, BELOW storage_meta and journal — the
+// canonical order is membership before journal, never the inverse (the
+// lockrank death tests pin this edge). Callers must not hold storage or
+// journal locks when entering the table.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/peer.h"
+#include "common/clock.h"
+#include "common/mutex.h"
+
+namespace nest::cluster {
+
+class PeerTable {
+ public:
+  PeerTable(Clock& clock, Nanos heartbeat_timeout = 15 * kSecond)
+      : clock_(clock), timeout_(heartbeat_timeout) {}
+
+  // Seed a row from static configuration (not yet alive).
+  void add_static_peer(const PeerAddress& addr);
+
+  // A full discovery ad arrived from `name`: refresh load + liveness.
+  void observe_ad(const std::string& name, const classad::ClassAd& ad);
+  // Same, from an already-parsed load section.
+  void observe_load(const std::string& name, const PeerLoad& load);
+  // Replication progress from an ack.
+  void observe_ack(const std::string& name, journal::Lsn acked,
+                   journal::Lsn applied);
+  // A probe failed outright (connect refused): mark dead immediately
+  // instead of waiting out the timeout.
+  void observe_failure(const std::string& name);
+  void set_role(const std::string& name, Role role);
+
+  // Mark rows past the heartbeat timeout dead. Called from the heartbeat
+  // tick; cheap enough for every selection too.
+  void tick();
+
+  std::optional<PeerInfo> peer(const std::string& name) const;
+  // Every row, name order (deterministic for status surfaces and tests).
+  std::vector<PeerInfo> peers() const;
+  // Live peers only, name order.
+  std::vector<PeerInfo> live_peers() const;
+  std::size_t size() const;
+
+ private:
+  void tick_locked() REQUIRES(mu_);
+
+  Clock& clock_;
+  Nanos timeout_;
+  mutable Mutex mu_{lockrank::Rank::cluster_membership, "cluster.members"};
+  std::map<std::string, PeerInfo> peers_ GUARDED_BY(mu_);
+};
+
+}  // namespace nest::cluster

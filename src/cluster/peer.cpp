@@ -1,0 +1,68 @@
+#include "cluster/peer.h"
+
+#include "common/string_util.h"
+
+namespace nest::cluster {
+
+const char* role_name(Role r) noexcept {
+  switch (r) {
+    case Role::standalone: return "standalone";
+    case Role::primary: return "primary";
+    case Role::follower: return "follower";
+  }
+  return "?";
+}
+
+Result<Role> role_by_name(const std::string& name) {
+  if (name == "standalone" || name.empty()) return Role::standalone;
+  if (name == "primary") return Role::primary;
+  if (name == "follower") return Role::follower;
+  return Error{Errc::invalid_argument, "unknown cluster role '" + name + "'"};
+}
+
+Result<PeerAddress> parse_peer_address(const std::string& text) {
+  const auto at = text.find('@');
+  const auto colon = text.rfind(':');
+  if (at == std::string::npos || colon == std::string::npos || colon < at ||
+      at == 0 || colon == at + 1) {
+    return Error{Errc::invalid_argument,
+                 "peer must be name@host:port, got '" + text + "'"};
+  }
+  PeerAddress p;
+  p.name = text.substr(0, at);
+  p.host = text.substr(at + 1, colon - at - 1);
+  const auto port = parse_int(text.substr(colon + 1));
+  if (!port || *port <= 0 || *port > 65535) {
+    return Error{Errc::invalid_argument, "bad peer port in '" + text + "'"};
+  }
+  p.chirp_port = static_cast<std::uint16_t>(*port);
+  return p;
+}
+
+PeerLoad PeerLoad::from_ad(const classad::ClassAd& ad) {
+  PeerLoad l;
+  l.load_avg = ad.eval_real("LoadAvg").value_or(0.0);
+  l.throughput_mbps = ad.eval_real("ThroughputMBps").value_or(0.0);
+  l.mean_request_ms = ad.eval_real("MeanRequestMs").value_or(0.0);
+  l.p99_request_ms = ad.eval_real("P99RequestMs").value_or(0.0);
+  l.bytes_queued = ad.eval_int("BytesQueued").value_or(0);
+  l.requests = ad.eval_int("Requests").value_or(0);
+  l.errors = ad.eval_int("Errors").value_or(0);
+  l.active_transfers = ad.eval_int("ActiveTransfers").value_or(0);
+  l.free_space = ad.eval_int("FreeSpace").value_or(0);
+  return l;
+}
+
+void PeerLoad::to_ad(classad::ClassAd& ad) const {
+  ad.insert("LoadAvg", classad::Value::real(load_avg));
+  ad.insert("ThroughputMBps", classad::Value::real(throughput_mbps));
+  ad.insert("MeanRequestMs", classad::Value::real(mean_request_ms));
+  ad.insert("P99RequestMs", classad::Value::real(p99_request_ms));
+  ad.insert("BytesQueued", classad::Value::integer(bytes_queued));
+  ad.insert("Requests", classad::Value::integer(requests));
+  ad.insert("Errors", classad::Value::integer(errors));
+  ad.insert("ActiveTransfers", classad::Value::integer(active_transfers));
+  ad.insert("FreeSpace", classad::Value::integer(free_space));
+}
+
+}  // namespace nest::cluster

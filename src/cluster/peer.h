@@ -1,0 +1,80 @@
+// Peer identity and advertised-load view for cluster federation.
+//
+// The paper positions NeST appliances as building blocks that grid
+// middleware composes into larger storage fabrics through their ClassAd
+// discovery ads (Section 2.1). The cluster layer is the first consumer of
+// the load section those ads carry (LoadAvg, ThroughputMBps, P99RequestMs,
+// published by the dispatcher since the observability PR): PeerLoad is the
+// typed round-trip of that section, and PeerInfo is one row of a node's
+// membership view — identity, role, liveness, replication progress, and
+// the advertised load the replica selector scores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "classad/classad.h"
+#include "common/clock.h"
+#include "journal/journal.h"
+
+namespace nest::cluster {
+
+// Role a node plays in the replication topology. No election in this
+// design: roles come from configuration, as in the EU DataGrid replica
+// management service (one master catalog, many read replicas).
+enum class Role { standalone, primary, follower };
+
+const char* role_name(Role r) noexcept;
+// "standalone" | "primary" | "follower"; invalid_argument otherwise.
+Result<Role> role_by_name(const std::string& name);
+
+// Static peer address from the `cluster_peers` config list:
+// "name@host:chirp_port".
+struct PeerAddress {
+  std::string name;
+  std::string host;
+  std::uint16_t chirp_port = 0;
+};
+
+// "name@host:port" -> PeerAddress; invalid_argument on malformed input.
+Result<PeerAddress> parse_peer_address(const std::string& text);
+
+// Typed view of the load section of a discovery ad. from_ad/to_ad are an
+// exact round-trip for every field below (the satellite codec test covers
+// the section end to end; any asymmetry between what the dispatcher
+// publishes and what peers parse shows up there).
+struct PeerLoad {
+  double load_avg = 0.0;          // LoadAvg: EWMA of slot occupancy
+  double throughput_mbps = 0.0;   // ThroughputMBps: rolling total rate
+  double mean_request_ms = 0.0;   // MeanRequestMs
+  double p99_request_ms = 0.0;    // P99RequestMs
+  std::int64_t bytes_queued = 0;  // BytesQueued
+  std::int64_t requests = 0;      // Requests (monotone)
+  std::int64_t errors = 0;        // Errors (monotone)
+  std::int64_t active_transfers = 0;  // ActiveTransfers
+  std::int64_t free_space = 0;        // FreeSpace
+
+  // Parse the load section out of a full discovery ad (missing numeric
+  // attributes read as 0, matching an ad from a node that has not served
+  // traffic yet).
+  static PeerLoad from_ad(const classad::ClassAd& ad);
+  // Insert the section into `ad` under the same attribute names the
+  // dispatcher publishes.
+  void to_ad(classad::ClassAd& ad) const;
+};
+
+// One row of the membership/liveness view.
+struct PeerInfo {
+  std::string name;
+  std::string host;
+  std::uint16_t chirp_port = 0;
+  Role role = Role::standalone;
+  PeerLoad load;
+  bool alive = false;
+  Nanos last_heard = 0;      // clock time of the last parsed ad/ack
+  journal::Lsn acked_lsn = 0;    // highest LSN this peer acknowledged
+  journal::Lsn applied_lsn = 0;  // follower-reported applied LSN
+  double score = 0.0;            // selection score at last update
+};
+
+}  // namespace nest::cluster

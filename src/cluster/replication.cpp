@@ -1,0 +1,45 @@
+#include "cluster/replication.h"
+
+namespace nest::cluster {
+
+void ShipQueue::push(journal::Lsn lsn, std::string payload) {
+  MutexLock lock(mu_);
+  batches_.push_back(ShipBatch{lsn, std::move(payload)});
+  last_ = lsn;
+  while (batches_.size() > capacity_) {
+    floor_ = batches_.front().lsn;
+    batches_.pop_front();
+  }
+}
+
+ShipQueue::Pull ShipQueue::after(journal::Lsn cursor, std::size_t max) const {
+  MutexLock lock(mu_);
+  Pull out;
+  if (cursor < floor_) {
+    out.needs_snapshot = true;
+    return out;
+  }
+  for (const auto& b : batches_) {
+    if (b.lsn <= cursor) continue;
+    out.batches.push_back(b);
+    if (out.batches.size() >= max) break;
+  }
+  return out;
+}
+
+journal::Lsn ShipQueue::last_lsn() const {
+  MutexLock lock(mu_);
+  return last_;
+}
+
+journal::Lsn ShipQueue::floor_lsn() const {
+  MutexLock lock(mu_);
+  return floor_;
+}
+
+std::size_t ShipQueue::size() const {
+  MutexLock lock(mu_);
+  return batches_.size();
+}
+
+}  // namespace nest::cluster

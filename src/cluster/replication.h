@@ -1,0 +1,69 @@
+// Journal shipping, primary side: the bounded buffer between the storage
+// manager's write path and the replication fan-out.
+//
+// Every client-visible metadata operation on the primary seals exactly one
+// journal batch (journal_ops.h); the storage manager's replication hook
+// hands that sealed payload — with the LSN the local journal assigned —
+// to this queue while still holding the storage lock. Shipper threads (or
+// the sim's single-step driver) later pull per-follower slices by cursor
+// and push them over a ReplicaLink.
+//
+// The queue is bounded: once `capacity` batches are held, the oldest are
+// trimmed and the trim floor advances. A follower whose cursor sits at or
+// below the floor cannot be caught up record-by-record any more and must
+// be re-seeded from a full snapshot (StorageManager::serialize_meta ->
+// install_replica_snapshot), exactly the path a restarted follower takes.
+//
+// Lock rank: cluster_ship, ABOVE storage_meta — push() runs under the
+// storage lock by design (the batch must enter the queue in LSN order,
+// which the storage lock already guarantees).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "journal/journal.h"
+
+namespace nest::cluster {
+
+// One sealed metadata batch, as shipped: the primary's LSN plus the exact
+// journal payload (followers apply and journal it verbatim).
+struct ShipBatch {
+  journal::Lsn lsn = 0;
+  std::string payload;
+};
+
+class ShipQueue {
+ public:
+  explicit ShipQueue(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  // Enqueue a sealed batch. LSNs must arrive in increasing order (the
+  // storage lock serializes callers).
+  void push(journal::Lsn lsn, std::string payload);
+
+  struct Pull {
+    std::vector<ShipBatch> batches;
+    // The cursor predates the trim floor: record-by-record catch-up is
+    // impossible, re-seed the follower from a snapshot.
+    bool needs_snapshot = false;
+  };
+  // Batches with lsn > cursor, oldest first, at most `max`.
+  Pull after(journal::Lsn cursor, std::size_t max = 64) const;
+
+  journal::Lsn last_lsn() const;
+  // Highest LSN ever trimmed out of the buffer (0 = nothing trimmed).
+  journal::Lsn floor_lsn() const;
+  std::size_t size() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mu_{lockrank::Rank::cluster_ship, "cluster.ship"};
+  std::deque<ShipBatch> batches_ GUARDED_BY(mu_);
+  journal::Lsn floor_ GUARDED_BY(mu_) = 0;
+  journal::Lsn last_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace nest::cluster

@@ -1,0 +1,82 @@
+#include "cluster/selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nest::cluster {
+
+void ReplicaSelector::observe_throughput(const std::string& name,
+                                         double mbps) {
+  if (!(mbps >= 0.0)) return;  // reject negatives and NaN
+  MutexLock lock(mu_);
+  auto it = ewma_mbps_.find(name);
+  if (it == ewma_mbps_.end()) {
+    ewma_mbps_[name] = mbps;
+  } else {
+    it->second = alpha_ * mbps + (1.0 - alpha_) * it->second;
+  }
+}
+
+void ReplicaSelector::observe_failure(const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = ewma_mbps_.find(name);
+  // Halve the estimate rather than folding in a zero sample: one refused
+  // connection should demote, not erase, the history.
+  if (it != ewma_mbps_.end()) it->second *= 0.5;
+}
+
+double ReplicaSelector::measured_mbps(const std::string& name) const {
+  MutexLock lock(mu_);
+  auto it = ewma_mbps_.find(name);
+  return it == ewma_mbps_.end() ? 0.0 : it->second;
+}
+
+double ReplicaSelector::score(const PeerInfo& peer) const {
+  MutexLock lock(mu_);
+  return score_locked(peer);
+}
+
+double ReplicaSelector::score_locked(const PeerInfo& peer) const {
+  // Server-side cost: how long the replica itself expects to make us
+  // wait. Load average and active transfers scale the queueing delay; the
+  // advertised p99 is the base service time.
+  const double queue =
+      1.0 + peer.load.load_avg +
+      0.25 * static_cast<double>(peer.load.active_transfers);
+  const double service_ms = std::max(1.0, peer.load.p99_request_ms);
+  double cost = queue * service_ms;
+
+  // Path cost: divide by the better of (advertised rate, our measured
+  // EWMA to this peer). Measurements dominate when present — the Globus
+  // result was precisely that client-observed bandwidth beats server
+  // self-reports for ranking.
+  auto it = ewma_mbps_.find(peer.name);
+  const double measured = it == ewma_mbps_.end() ? 0.0 : it->second;
+  const double advertised = peer.load.throughput_mbps;
+  const double rate = measured > 0.0 ? (0.75 * measured + 0.25 * advertised)
+                                     : advertised;
+  cost /= std::max(1.0, rate);
+  return cost;
+}
+
+std::vector<Candidate> ReplicaSelector::rank_candidates(
+    const std::vector<std::string>& replicas) const {
+  const auto live = peers_.live_peers();
+  MutexLock lock(mu_);
+  std::vector<Candidate> out;
+  for (const auto& p : live) {
+    if (!replicas.empty() &&
+        std::find(replicas.begin(), replicas.end(), p.name) ==
+            replicas.end()) {
+      continue;
+    }
+    out.push_back(Candidate{p.name, p.host, p.chirp_port, score_locked(p)});
+  }
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+}  // namespace nest::cluster

@@ -1,0 +1,72 @@
+// Load-aware replica selection, after the Globus replica-selection model:
+// combine what the server advertises about itself (load average, queue
+// depth, tail latency from its discovery ad) with what this client has
+// measured about the server (an EWMA of achieved GET throughput). The
+// advertised side catches a replica that is busy before we ever talk to
+// it; the measured side catches a network path that is slow regardless of
+// how idle the far end claims to be.
+//
+// Scores are "estimated cost" — lower is better. rank_candidates() returns
+// live replicas cheapest-first, which doubles as the failover order: when
+// the chosen replica dies mid-transfer the caller simply moves to the next
+// entry.
+//
+// Lock rank: cluster_selector (above cluster_membership, below
+// storage_meta) — selection reads the peer table, never the inverse.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/membership.h"
+#include "common/mutex.h"
+
+namespace nest::cluster {
+
+// One scored candidate, ready for a connection attempt.
+struct Candidate {
+  std::string name;
+  std::string host;
+  std::uint16_t chirp_port = 0;
+  double score = 0.0;  // estimated cost; lower is better
+};
+
+class ReplicaSelector {
+ public:
+  // `ewma_alpha` weights the newest throughput sample; 0.3 follows the
+  // NWS-style forecasters the Globus selector consumed.
+  explicit ReplicaSelector(PeerTable& peers, double ewma_alpha = 0.3)
+      : peers_(peers), alpha_(ewma_alpha) {}
+
+  // Record an achieved transfer rate against `name` (bytes over wall
+  // time, from a finished or aborted GET).
+  void observe_throughput(const std::string& name, double mbps);
+  // A transfer to `name` failed before any byte moved: decay its EWMA so
+  // repeated failures push it down the ranking even while its ad still
+  // looks healthy.
+  void observe_failure(const std::string& name);
+
+  // Measured EWMA for a peer, or 0 if never measured.
+  double measured_mbps(const std::string& name) const;
+
+  // Estimated cost of fetching from this peer. Pure function of the row
+  // and this client's EWMA state; exposed for the status surfaces so the
+  // numbers shown match the numbers used.
+  double score(const PeerInfo& peer) const;
+
+  // Live peers whose names appear in `replicas` (empty = all live peers),
+  // cheapest-first; ties broken by name for determinism.
+  std::vector<Candidate> rank_candidates(
+      const std::vector<std::string>& replicas = {}) const;
+
+ private:
+  double score_locked(const PeerInfo& peer) const REQUIRES(mu_);
+
+  PeerTable& peers_;
+  const double alpha_;
+  mutable Mutex mu_{lockrank::Rank::cluster_selector, "cluster.selector"};
+  std::unordered_map<std::string, double> ewma_mbps_ GUARDED_BY(mu_);
+};
+
+}  // namespace nest::cluster

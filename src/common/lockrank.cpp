@@ -95,8 +95,11 @@ const char* rank_name(Rank r) noexcept {
     case Rank::executor_throttle: return "executor_throttle";
     case Rank::dispatcher_load: return "dispatcher_load";
     case Rank::discovery_collector: return "discovery_collector";
+    case Rank::cluster_membership: return "cluster_membership";
+    case Rank::cluster_selector: return "cluster_selector";
     case Rank::storage_meta: return "storage_meta";
     case Rank::storage_file: return "storage_file";
+    case Rank::cluster_ship: return "cluster_ship";
     case Rank::journal: return "journal";
     case Rank::transfer_sched: return "transfer_sched";
     case Rank::transfer_shard: return "transfer_shard";

@@ -34,6 +34,12 @@ namespace nest::lockrank {
 //   storage_meta < storage_file   (stat/create touch file data under mu_)
 //   storage_meta < journal        (seal_batch appends under mu_)
 //   journal < fault_point         (journal I/O failpoints fire under mu_)
+//   cluster_membership < storage_meta/journal  (membership before journal,
+//       never inverse: the heartbeat/status paths read the peer table and
+//       then consult storage/journal state; the apply path must never hold
+//       journal state while taking membership)
+//   storage_meta < cluster_ship   (the replication hook enqueues sealed
+//       batches under storage mu_)
 //   transfer_sched < transfer_shard   (drain empties shards under sched)
 //   dispatcher_load < obs_load    (observe_load samples trackers)
 //   fault_registry < fault_point  (fault-list reads specs per point)
@@ -48,8 +54,11 @@ enum class Rank : int {
   executor_throttle = 22,    // TransferExecutor token bucket
   dispatcher_load = 24,      // Dispatcher rolling load trackers
   discovery_collector = 26,  // discovery::Collector ad table
+  cluster_membership = 27,   // cluster::PeerTable peer/liveness view
+  cluster_selector = 28,     // cluster::ReplicaSelector EWMA state
   storage_meta = 30,         // StorageManager lot/ACL/quota state
   storage_file = 34,         // MemFs per-file payload (shared)
+  cluster_ship = 36,         // cluster replication ship queue + cursors
   journal = 38,              // journal::Journal append/commit state
   transfer_sched = 42,       // TransferCore scheduler + drain
   transfer_shard = 44,       // TransferCore per-class op shards

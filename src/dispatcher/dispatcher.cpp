@@ -82,6 +82,11 @@ Reply Dispatcher::execute_impl(const NestRequest& req) {
           0};
     case NestOp::lot_terminate:
       return Reply{storage_.lot_terminate(req.principal, req.lot_id), {}, 0};
+    case NestOp::lot_set_replicas:
+      return Reply{storage_.lot_set_replicas(req.principal, req.lot_id,
+                                             req.lot_replicas),
+                   {},
+                   0};
     case NestOp::lot_query: {
       auto lot = storage_.lot_query(req.principal, req.lot_id);
       if (!lot.ok()) return Reply::fail(Status{lot.error()});
@@ -89,7 +94,8 @@ Reply Dispatcher::execute_impl(const NestRequest& req) {
       os << "owner=" << lot->owner << " capacity=" << lot->capacity
          << " used=" << lot->used
          << " best_effort=" << (lot->best_effort ? 1 : 0)
-         << " files=" << lot->files.size();
+         << " files=" << lot->files.size()
+         << " replicas=" << lot->replicas;
       return Reply::ok(os.str(), lot->capacity - lot->used);
     }
     case NestOp::lot_list: {
@@ -99,7 +105,8 @@ Reply Dispatcher::execute_impl(const NestRequest& req) {
            << (lot.group_lot ? " group" : "") << " capacity=" << lot.capacity
            << " used=" << lot.used
            << " best_effort=" << (lot.best_effort ? 1 : 0)
-           << " files=" << lot.files.size() << "\n";
+           << " files=" << lot.files.size()
+           << " replicas=" << lot.replicas << "\n";
       }
       return Reply::ok(os.str());
     }

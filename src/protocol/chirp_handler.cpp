@@ -1,5 +1,7 @@
 #include "protocol/chirp_handler.h"
 
+#include <iomanip>
+#include <sstream>
 #include <vector>
 
 #include "common/log.h"
@@ -132,6 +134,19 @@ void ChirpHandler::serve(net::TcpStream& stream) {
       req.path = words[1];
       auto ticket = ctx_.dispatcher->approve_get(req);
       if (!ticket.ok()) {
+        // Federation: a file this replica lacks (or cannot serve) may be
+        // available from a peer — redirect the client to the best one
+        // instead of failing the read (Globus-style replica selection).
+        if (ticket.error().code == Errc::not_found && ctx_.cluster &&
+            ctx_.cluster->role() != cluster::Role::standalone) {
+          const auto cands = ctx_.cluster->locate(words[1]);
+          if (!cands.empty()) {
+            reply(stream, "350 redirect " + cands.front().name + " " +
+                              cands.front().host + " " +
+                              std::to_string(cands.front().chirp_port));
+            continue;
+          }
+        }
         reply(stream, chirp_error_line(Status{ticket.error()}));
         continue;
       }
@@ -223,6 +238,132 @@ void ChirpHandler::serve(net::TcpStream& stream) {
           ctx_.executor->recv_file("chirp", *ticket, stream, *size);
       if (!s.ok()) return;
       reply(stream, "226 stored " + std::to_string(*size));
+      // Replicate the new content to followers (primary only; no-op
+      // otherwise). Queued after the ack: replication is asynchronous,
+      // the durability barrier the client waited on is the journal's.
+      if (ctx_.cluster) ctx_.cluster->note_file_written(words[1]);
+      continue;
+    }
+
+    if (cmd == "repl" && words.size() >= 2) {
+      // Replication stream ops, driven by a peer appliance's ChirpLink.
+      if (!ctx_.cluster) {
+        reply(stream, "502 not clustered");
+        continue;
+      }
+      if (!who.authenticated || !ctx_.cluster->authorize_repl(who.name)) {
+        reply(stream, "530 repl requires a configured peer identity");
+        continue;
+      }
+      const std::string sub = to_lower(words[1]);
+      if (sub == "hello" && words.size() == 3) {
+        auto lsn = ctx_.cluster->accept_hello(words[2]);
+        if (!lsn.ok()) {
+          reply(stream, chirp_error_line(Status{lsn.error()}));
+        } else {
+          reply(stream, "200 " + std::to_string(*lsn));
+        }
+        continue;
+      }
+      if ((sub == "ship" || sub == "snap") && words.size() == 4) {
+        const auto lsn = parse_int(words[2]);
+        const auto len = parse_int(words[3]);
+        constexpr std::int64_t kMaxReplPayload = 256 * 1024 * 1024;
+        if (!lsn || *lsn < 0 || !len || *len < 0 || *len > kMaxReplPayload) {
+          // The payload length is unknown — the stream is beyond
+          // recovery, close it.
+          reply(stream, "501 bad repl frame");
+          return;
+        }
+        std::string payload(static_cast<std::size_t>(*len), '\0');
+        if (!stream.read_exact(std::span<char>(payload.data(),
+                                               payload.size()))
+                 .ok()) {
+          return;
+        }
+        if (sub == "ship") {
+          auto r = ctx_.cluster->accept_ship(
+              static_cast<journal::Lsn>(*lsn), payload);
+          if (!r.ok()) {
+            // 554 = LSN gap: tells the primary to re-seed us from a
+            // snapshot rather than retrying the same batch.
+            if (r.error().code == Errc::not_found) {
+              reply(stream, "554 " + r.error().to_string());
+            } else {
+              reply(stream, chirp_error_line(Status{r.error()}));
+            }
+          } else {
+            reply(stream, "200 " + std::to_string(*r));
+          }
+        } else {
+          auto s = ctx_.cluster->accept_snapshot(
+              static_cast<journal::Lsn>(*lsn), payload);
+          reply(stream, s.ok() ? "200 ok" : chirp_error_line(s));
+        }
+        continue;
+      }
+      if (sub == "push" && words.size() == 4) {
+        const auto len = parse_int(words[3]);
+        constexpr std::int64_t kMaxPushPayload = 1024 * 1024 * 1024;
+        if (!len || *len < 0 || *len > kMaxPushPayload) {
+          reply(stream, "501 bad push frame");
+          return;
+        }
+        std::string payload(static_cast<std::size_t>(*len), '\0');
+        if (!stream.read_exact(std::span<char>(payload.data(),
+                                               payload.size()))
+                 .ok()) {
+          return;
+        }
+        const Status s = ctx_.cluster->accept_file(words[2], payload);
+        reply(stream, s.ok() ? "200 ok" : chirp_error_line(s));
+        continue;
+      }
+      reply(stream, "500 unrecognized repl op");
+      continue;
+    }
+
+    if (cmd == "cluster" && words.size() == 2 &&
+        to_lower(words[1]) == "status") {
+      if (!ctx_.cluster) {
+        reply(stream, "502 not clustered");
+        continue;
+      }
+      std::ostringstream os;
+      const auto last = ctx_.cluster->last_shipped_lsn();
+      os << "self name=" << ctx_.cluster->name()
+         << " role=" << cluster::role_name(ctx_.cluster->role())
+         << " last_lsn=" << last
+         << " quorum_acked=" << ctx_.cluster->quorum_acked_lsn() << "\n";
+      for (const auto& p : ctx_.cluster->status()) {
+        os << "peer name=" << p.name << " role=" << cluster::role_name(p.role)
+           << " alive=" << (p.alive ? 1 : 0) << " addr=" << p.host << ":"
+           << p.chirp_port << " acked_lsn=" << p.acked_lsn << " lag="
+           << (last > p.acked_lsn ? last - p.acked_lsn : 0) << " score="
+           << std::fixed << std::setprecision(3) << p.score << "\n";
+      }
+      if (!reply_payload(stream, os.str())) return;
+      continue;
+    }
+
+    if ((cmd == "replica" && words.size() >= 2 &&
+         to_lower(words[1]) == "list") ||
+        (cmd == "locate" && words.size() == 2)) {
+      if (!ctx_.cluster) {
+        reply(stream, "502 not clustered");
+        continue;
+      }
+      const std::string path =
+          cmd == "locate" ? words[1] : (words.size() > 2 ? words[2] : "");
+      std::ostringstream os;
+      int rank = 0;
+      for (const auto& c : ctx_.cluster->locate(path)) {
+        os << ++rank << " name=" << c.name << " addr=" << c.host << ":"
+           << c.chirp_port << " score=" << std::fixed << std::setprecision(3)
+           << c.score << " measured_mbps=" << std::setprecision(1)
+           << ctx_.cluster->selector().measured_mbps(c.name) << "\n";
+      }
+      if (!reply_payload(stream, os.str())) return;
       continue;
     }
 
@@ -271,6 +412,12 @@ void ChirpHandler::serve(net::TcpStream& stream) {
             parse_int(words[2]).value_or(0));
       } else if (sub == "list" && words.size() == 2) {
         req.op = NestOp::lot_list;
+      } else if (sub == "replicas" && words.size() == 4) {
+        // LOT REPLICAS <id> <count>: per-lot replication policy.
+        req.op = NestOp::lot_set_replicas;
+        req.lot_id =
+            static_cast<std::uint64_t>(parse_int(words[2]).value_or(0));
+        req.lot_replicas = parse_int(words[3]).value_or(-1);
       } else {
         parsed = false;
       }

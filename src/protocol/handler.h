@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "cluster/cluster_node.h"
 #include "dispatcher/dispatcher.h"
 #include "net/socket.h"
 #include "protocol/executor.h"
@@ -21,6 +22,9 @@ struct ServerContext {
   dispatcher::Dispatcher* dispatcher = nullptr;
   GsiRegistry* gsi = nullptr;
   TransferExecutor* executor = nullptr;
+  // Cluster federation (null when the appliance runs standalone): REPL
+  // stream ops, status surfaces, and GET redirection to better replicas.
+  cluster::ClusterNode* cluster = nullptr;
   // Allow anonymous access on non-GSI protocols (paper default: yes).
   bool allow_anonymous = true;
   // Identity this appliance presents when it acts as a *client* in

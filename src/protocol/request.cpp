@@ -20,6 +20,7 @@ const char* op_name(NestOp op) noexcept {
     case NestOp::lot_terminate: return "lot_terminate";
     case NestOp::lot_query: return "lot_query";
     case NestOp::lot_list: return "lot_list";
+    case NestOp::lot_set_replicas: return "lot_set_replicas";
     case NestOp::acl_set: return "acl_set";
     case NestOp::acl_clear: return "acl_clear";
     case NestOp::acl_get: return "acl_get";

@@ -31,6 +31,7 @@ enum class NestOp {
   lot_terminate,
   lot_query,
   lot_list,       // list lots (all for the superuser, own otherwise)
+  lot_set_replicas,  // per-lot replica policy (cluster federation)
   acl_set,
   acl_clear,      // remove a principal's entries from a directory ACL
   acl_get,
@@ -59,6 +60,7 @@ struct NestRequest {
   std::int64_t lot_capacity = 0;
   Nanos lot_duration = 0;
   bool group_lot = false;
+  std::int64_t lot_replicas = 0;  // lot_set_replicas argument
 
   // ACL arguments: a ClassAd entry in text form.
   std::string acl_entry;

@@ -63,6 +63,50 @@ Result<NestdConfig> options_from_config(const Config& cfg) {
   // Startup failpoint drills, "name=spec;..." — validated at server init.
   opts.failpoints = cfg.get_string("failpoints");
 
+  // Cluster federation (docs/cluster.md). The node name doubles as its
+  // in-cluster identity; peers are "name@host:chirp_port".
+  if (cfg.has("cluster_role")) {
+    auto role = cluster::role_by_name(cfg.get_string("cluster_role"));
+    if (!role.ok()) return role.error();
+    opts.cluster.role = *role;
+  }
+  for (const auto& entry : split(cfg.get_string("cluster_peers"), ',')) {
+    const auto text = trim(entry);
+    if (text.empty()) continue;
+    auto addr = cluster::parse_peer_address(std::string(text));
+    if (!addr.ok()) return addr.error();
+    opts.cluster.peers.push_back(std::move(*addr));
+  }
+  if (opts.cluster.role != cluster::Role::standalone &&
+      opts.cluster.peers.empty()) {
+    return Error{Errc::invalid_argument,
+                 "cluster_role set but cluster_peers is empty"};
+  }
+  opts.cluster.replication_factor =
+      static_cast<int>(cfg.get_int("replication_factor", 1));
+  if (opts.cluster.replication_factor < 1) {
+    return Error{Errc::invalid_argument,
+                 "replication_factor must be >= 1"};
+  }
+  opts.cluster.heartbeat_interval =
+      cfg.get_duration("cluster_heartbeat", 2 * kSecond);
+  opts.cluster.heartbeat_timeout =
+      cfg.get_duration("cluster_heartbeat_timeout", 15 * kSecond);
+  if (opts.cluster.heartbeat_interval <= 0 ||
+      opts.cluster.heartbeat_timeout < opts.cluster.heartbeat_interval) {
+    return Error{Errc::invalid_argument,
+                 "cluster heartbeat timeout must be >= interval > 0"};
+  }
+  opts.cluster.name = opts.name;
+  // Outbound identity for peer links (REPL) and third-party transfers.
+  // The subject defaults to the node name whenever a secret is given —
+  // peers register each other under their node names.
+  opts.own_subject = cfg.get_string("own_subject");
+  opts.own_secret = cfg.get_string("own_secret");
+  if (opts.own_subject.empty() && !opts.own_secret.empty()) {
+    opts.own_subject = opts.name;
+  }
+
   const std::string scheduler = cfg.get_string("scheduler", "fifo");
   {
     // Validate via the factory the transfer manager itself uses.

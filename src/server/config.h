@@ -6,6 +6,8 @@
 //   root capacity name chirp_port http_port ftp_port gridftp_port nfs_port
 //   scheduler adaptive anonymous slots models
 //   journal journal_sync journal_commit journal_snapshot_every
+//   cluster_role cluster_peers replication_factor
+//   cluster_heartbeat cluster_heartbeat_timeout
 //   tickets.<class> = <n>          (stride tickets per protocol/user class)
 //   user.<name>     = <secret>[:group1,group2]
 #pragma once

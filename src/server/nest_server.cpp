@@ -6,6 +6,7 @@
 #include <chrono>
 #include <thread>
 
+#include "cluster/chirp_link.h"
 #include "common/log.h"
 #include "fault/failpoint.h"
 #include "protocol/chirp_handler.h"
@@ -16,6 +17,41 @@
 namespace nest::server {
 
 using protocol::ProtocolHandler;
+
+namespace {
+
+// GSI challenge/response over a fresh Chirp stream (banner already
+// consumed), used by outbound cluster replica links. Mirrors the
+// ChirpClient login sequence.
+Status gsi_login(net::TcpStream& stream, const std::string& subject,
+                 const std::string& secret) {
+  if (subject.empty()) {
+    if (auto s = stream.write_all(std::string("AUTH anonymous\r\n")); !s.ok())
+      return s;
+    auto reply = stream.read_line();
+    if (!reply.ok()) return Status{reply.error()};
+    if (reply->rfind("230", 0) != 0)
+      return Status{Errc::not_authenticated, *reply};
+    return {};
+  }
+  if (auto s = stream.write_all("AUTH " + subject + "\r\n"); !s.ok())
+    return s;
+  auto challenge = stream.read_line();
+  if (!challenge.ok()) return Status{challenge.error()};
+  if (challenge->rfind("334 ", 0) != 0)
+    return Status{Errc::not_authenticated, *challenge};
+  const std::string response =
+      protocol::GsiRegistry::respond(secret, challenge->substr(4));
+  if (auto s = stream.write_all("RESPONSE " + response + "\r\n"); !s.ok())
+    return s;
+  auto reply = stream.read_line();
+  if (!reply.ok()) return Status{reply.error()};
+  if (reply->rfind("230", 0) != 0)
+    return Status{Errc::not_authenticated, *reply};
+  return {};
+}
+
+}  // namespace
 
 NestServer::NestServer(NestServerOptions options)
     : options_(std::move(options)) {}
@@ -91,6 +127,50 @@ Status NestServer::init() {
       RealClock::instance(), *tm_, dispatcher_->core(),
       options_.block_bytes, options_.bandwidth_limit);
 
+  // Cluster federation: built whenever peers are configured (a standalone
+  // node with peers still heartbeats them so replica selection has a load
+  // view), started only after every endpoint is up.
+  if (!options_.cluster.peers.empty() ||
+      options_.cluster.role != cluster::Role::standalone) {
+    if (options_.cluster.name.empty()) options_.cluster.name = options_.name;
+    cluster_ = std::make_unique<cluster::ClusterNode>(RealClock::instance(),
+                                                      options_.cluster);
+    cluster_->attach_storage(storage_.get());
+    const std::string subject = options_.own_subject;
+    const std::string secret = options_.own_secret;
+    cluster_->set_link_factory(
+        [subject, secret](const cluster::PeerAddress& addr)
+            -> std::unique_ptr<cluster::ReplicaLink> {
+          return std::make_unique<cluster::ChirpLink>(
+              addr, [subject, secret](net::TcpStream& s) {
+                return gsi_login(s, subject, secret);
+              });
+        });
+    cluster_->set_file_reader(
+        [this](const std::string& path) -> Result<std::string> {
+          // Content pushes run as the appliance itself: superuser read,
+          // outside any client session.
+          storage::Principal self;
+          self.name = storage_->options().superuser;
+          self.authenticated = true;
+          self.protocol = "cluster";
+          auto ticket = storage_->approve_read(self, path);
+          if (!ticket.ok()) return ticket.error();
+          std::string data(static_cast<std::size_t>(ticket->size), '\0');
+          std::size_t off = 0;
+          while (off < data.size()) {
+            auto n = ticket->handle->pread(
+                std::span(data.data() + off, data.size() - off),
+                static_cast<std::int64_t>(off));
+            if (!n.ok()) return n.error();
+            if (*n <= 0)
+              return Error{Errc::io_error, "short read of " + path};
+            off += static_cast<std::size_t>(*n);
+          }
+          return data;
+        });
+  }
+
   protocol::ServerContext ctx;
   ctx.dispatcher = dispatcher_.get();
   ctx.gsi = &gsi_;
@@ -98,6 +178,7 @@ Status NestServer::init() {
   ctx.allow_anonymous = options_.allow_anonymous;
   ctx.own_subject = options_.own_subject;
   ctx.own_secret = options_.own_secret;
+  ctx.cluster = cluster_.get();
 
   if (auto s = bind_endpoint(options_.chirp_port,
                              std::make_unique<protocol::ChirpHandler>(ctx),
@@ -122,6 +203,9 @@ Status NestServer::init() {
     ep.acceptor = std::thread(
         [this, &ep] { accept_loop(ep.listener.get(), ep.handler.get()); });
   }
+  // Heartbeat/ship timers start only once this node can itself answer
+  // REPL and AD requests (peers dial back concurrently).
+  if (cluster_) cluster_->start();
   NEST_LOG_INFO("server", "nest '%s' up (chirp=%u http=%u ftp=%u gftp=%u "
                           "nfs=%u)",
                 options_.name.c_str(), chirp_port_, http_port_, ftp_port_,
@@ -194,6 +278,7 @@ void NestServer::accept_loop(net::TcpListener* listener,
 
 void NestServer::stop() {
   if (stopping_.exchange(true)) return;
+  if (cluster_) cluster_->stop();
   for (Endpoint& ep : endpoints_) ep.listener->close();
   for (Endpoint& ep : endpoints_) {
     if (ep.acceptor.joinable()) ep.acceptor.join();

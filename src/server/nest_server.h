@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster_node.h"
 #include "common/mutex.h"
 #include "dispatcher/dispatcher.h"
 #include "journal/journal.h"
@@ -53,9 +54,15 @@ struct NestServerOptions {
   bool allow_anonymous = true;
   std::string name = "nest";
   // Appliance identity used when this NeST initiates transfers to peers
-  // (Chirp THIRDPUT). Register it in the peers' GSI registries.
+  // (Chirp THIRDPUT and cluster replica links). Register it in the peers'
+  // GSI registries.
   std::string own_subject;
   std::string own_secret;
+
+  // Cluster federation (docs/cluster.md). A node joins a cluster when
+  // `peers` is non-empty or its role is not standalone; `cluster.name`
+  // defaults to `name` when left empty.
+  cluster::ClusterConfig cluster;
 
   // Listener ports: 0 = ephemeral (query after start), -1 = disabled.
   int chirp_port = 0;
@@ -102,6 +109,8 @@ class NestServer {
   dispatcher::Dispatcher& dispatcher() { return *dispatcher_; }
   storage::StorageManager& storage() { return *storage_; }
   transfer::TransferManager& tm() { return *tm_; }
+  // Null when the node is not clustered.
+  cluster::ClusterNode* cluster() { return cluster_.get(); }
 
  private:
   explicit NestServer(NestServerOptions options);
@@ -121,6 +130,7 @@ class NestServer {
   std::unique_ptr<transfer::TransferManager> tm_;
   std::unique_ptr<dispatcher::Dispatcher> dispatcher_;
   std::unique_ptr<protocol::TransferExecutor> executor_;
+  std::unique_ptr<cluster::ClusterNode> cluster_;
 
   struct Endpoint {
     std::unique_ptr<net::TcpListener> listener;

@@ -22,8 +22,14 @@
 //   failpoints  = journal.fsync=after(3)crash;net.send=prob(0.01)return(EPIPE)
 //                 (fault drills; $NEST_FAILPOINTS overlays this at startup
 //                  and the Chirp FAULT op re-arms at runtime)
+//   cluster_role  = standalone | primary | follower
+//   cluster_peers = n1@host1:9094,n2@host2:9094   (other cluster members)
+//   replication_factor = 2                    (default content copies)
+//   cluster_heartbeat  = 2s                   (ad poll cadence)
+//   cluster_heartbeat_timeout = 15s           (silence before peer is dead)
 //   tickets.<class> = <n>                     (stride share per class)
-//   user.<name> = <secret>[:group1,group2]    (GSI subjects)
+//   user.<name> = <secret>[:group1,group2]    (GSI subjects; cluster peers
+//                  authenticate with their node names as subjects)
 #include <csignal>
 #include <cstdio>
 #include <semaphore>

@@ -1,0 +1,296 @@
+#include "simnest/sim_cluster.h"
+
+#include <filesystem>
+
+#include "classad/classad.h"
+#include "storage/memfs.h"
+
+namespace nest::simnest {
+
+namespace {
+
+storage::Principal appliance_self(const storage::StorageManager& s) {
+  storage::Principal self;
+  self.name = s.options().superuser;
+  self.authenticated = true;
+  self.protocol = "cluster";
+  return self;
+}
+
+// In-process ReplicaLink: every call resolves the target node by name
+// through the SimCluster (so a restarted node's fresh ClusterNode is
+// reached) and fails like a dropped connection when the target is dead or
+// the pair is partitioned.
+class LoopbackLink final : public cluster::ReplicaLink {
+ public:
+  LoopbackLink(SimCluster& net, std::string from, std::string to)
+      : net_(net), from_(std::move(from)), to_(std::move(to)) {}
+
+  Result<journal::Lsn> handshake(const std::string& primary) override {
+    if (auto s = check(); !s.ok()) return s.error();
+    return net_.node(to_).accept_hello(primary);
+  }
+  Status install_snapshot(journal::Lsn at,
+                          const std::string& payload) override {
+    if (auto s = check(); !s.ok()) return s;
+    return net_.node(to_).accept_snapshot(at, payload);
+  }
+  Result<journal::Lsn> ship(journal::Lsn lsn,
+                            const std::string& payload) override {
+    if (auto s = check(); !s.ok()) return s.error();
+    return net_.node(to_).accept_ship(lsn, payload);
+  }
+  Status push_file(const std::string& path,
+                   const std::string& data) override {
+    if (auto s = check(); !s.ok()) return s;
+    return net_.node(to_).accept_file(path, data);
+  }
+  Result<classad::ClassAd> fetch_ad() override {
+    if (auto s = check(); !s.ok()) return s.error();
+    classad::ClassAd ad;
+    ad.insert("Name", classad::Value::string(to_));
+    net_.load(to_).to_ad(ad);
+    return ad;
+  }
+
+ private:
+  Status check() const {
+    if (!net_.alive(to_) || !net_.reachable(from_, to_)) {
+      return Status{Errc::io_error, from_ + " cannot reach " + to_};
+    }
+    return {};
+  }
+
+  SimCluster& net_;
+  const std::string from_;
+  const std::string to_;
+};
+
+}  // namespace
+
+SimCluster::SimCluster(std::string workdir,
+                       const std::vector<NodeSpec>& specs, Options options)
+    : workdir_(std::move(workdir)), options_(options) {
+  std::filesystem::create_directories(workdir_);
+  for (const auto& spec : specs) nodes_[spec.name].spec = spec;
+  for (auto& [name, n] : nodes_) build_node(n);
+}
+
+SimCluster::SimCluster(std::string workdir,
+                       const std::vector<NodeSpec>& specs)
+    : SimCluster(std::move(workdir), specs, Options{}) {}
+
+SimCluster::~SimCluster() = default;
+
+void SimCluster::build_node(Node& n) {
+  const std::string& name = n.spec.name;
+  journal::JournalOptions jopts;
+  jopts.dir = workdir_ + "/" + name + "-g" + std::to_string(n.generation);
+  jopts.sync = journal::SyncMode::none;  // durability is not under test
+  auto j = journal::Journal::open(clock_, jopts);
+  if (!j.ok()) {
+    // Construction-time invariant: a scratch dir we just created must
+    // accept a journal. Surface loudly rather than limp along.
+    std::abort();
+  }
+  n.journal = std::move(j.value());
+  n.storage = std::make_unique<storage::StorageManager>(
+      clock_,
+      std::make_unique<storage::MemFs>(clock_, options_.node_capacity));
+  // rebase_clock=false: the chaos shadow model compares raw lot state
+  // across restarts, so recovered timestamps must not shift.
+  if (auto s = n.storage->attach_journal(*n.journal, false); !s.ok())
+    std::abort();
+
+  cluster::ClusterConfig cfg;
+  cfg.name = name;
+  cfg.role = n.spec.role;
+  cfg.replication_factor = options_.replication_factor;
+  cfg.heartbeat_interval = options_.heartbeat_interval;
+  cfg.heartbeat_timeout = options_.heartbeat_timeout;
+  cfg.ship_queue_capacity = options_.ship_queue_capacity;
+  std::uint16_t port = 1;
+  for (const auto& [peer_name, peer] : nodes_) {
+    if (peer_name != name) {
+      cfg.peers.push_back(cluster::PeerAddress{peer_name, "sim", port});
+    }
+    ++port;
+  }
+  n.cluster = std::make_unique<cluster::ClusterNode>(clock_, std::move(cfg));
+  n.cluster->attach_storage(n.storage.get());
+  n.cluster->set_link_factory(
+      [this, name](const cluster::PeerAddress& addr)
+          -> std::unique_ptr<cluster::ReplicaLink> {
+        return std::make_unique<LoopbackLink>(*this, name, addr.name);
+      });
+  n.cluster->set_file_reader(
+      [this, name](const std::string& path) -> Result<std::string> {
+        auto& self = require(name);
+        auto ticket =
+            self.storage->approve_read(appliance_self(*self.storage), path);
+        if (!ticket.ok()) return ticket.error();
+        std::string data(static_cast<std::size_t>(ticket->size), '\0');
+        auto got = ticket->handle->pread(
+            std::span(data.data(), data.size()), 0);
+        if (!got.ok()) return got.error();
+        if (*got != ticket->size)
+          return Error{Errc::io_error, "short read of " + path};
+        return data;
+      });
+}
+
+SimCluster::Node& SimCluster::require(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) std::abort();  // test harness misuse
+  return it->second;
+}
+
+const SimCluster::Node& SimCluster::require(const std::string& name) const {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) std::abort();
+  return it->second;
+}
+
+cluster::ClusterNode& SimCluster::node(const std::string& name) {
+  return *require(name).cluster;
+}
+
+storage::StorageManager& SimCluster::storage(const std::string& name) {
+  return *require(name).storage;
+}
+
+cluster::PeerLoad& SimCluster::load(const std::string& name) {
+  return require(name).load;
+}
+
+std::vector<std::string> SimCluster::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, n] : nodes_) out.push_back(name);
+  return out;
+}
+
+void SimCluster::kill(const std::string& name) { require(name).alive = false; }
+
+void SimCluster::revive(const std::string& name) {
+  require(name).alive = true;
+}
+
+void SimCluster::restart(const std::string& name) {
+  Node& n = require(name);
+  n.cluster.reset();  // drops the replication hook before storage dies
+  n.storage.reset();
+  n.journal.reset();
+  ++n.generation;
+  build_node(n);
+  n.alive = true;
+}
+
+void SimCluster::partition(const std::string& a, const std::string& b,
+                           bool on) {
+  if (on) {
+    partitions_.insert({a, b});
+    partitions_.insert({b, a});
+  } else {
+    partitions_.erase({a, b});
+    partitions_.erase({b, a});
+  }
+}
+
+void SimCluster::heal_all() { partitions_.clear(); }
+
+bool SimCluster::alive(const std::string& name) const {
+  return require(name).alive;
+}
+
+bool SimCluster::reachable(const std::string& from,
+                           const std::string& to) const {
+  return partitions_.find({from, to}) == partitions_.end();
+}
+
+void SimCluster::step(Nanos dt) {
+  clock_.advance(dt);
+  for (auto& [name, n] : nodes_) {
+    if (!n.alive) continue;
+    n.cluster->heartbeat_once();
+    n.cluster->ship_once();
+  }
+}
+
+Result<std::string> SimCluster::client_get(
+    const std::string& via, const std::string& path,
+    const MidTransferHook& hook, std::vector<std::string>* attempts) {
+  Error last{Errc::not_found, "no replica served " + path};
+  std::set<std::string> tried;
+  cluster::ClusterNode& ranker = node(via);
+  // Re-select after every failed attempt: the failure observation demotes
+  // (or kills) the row, so the next locate() produces a fresh ranking.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto candidates = ranker.locate(path);
+    const cluster::Candidate* pick = nullptr;
+    for (const auto& c : candidates) {
+      if (tried.find(c.name) == tried.end()) {
+        pick = &c;
+        break;
+      }
+    }
+    if (!pick) break;
+    tried.insert(pick->name);
+    if (attempts) attempts->push_back(pick->name);
+    auto data = read_via(pick->name, path, hook);
+    if (data.ok()) return data;
+    last = data.error();
+    ranker.selector().observe_failure(pick->name);
+    ranker.peers().observe_failure(pick->name);
+  }
+  return last;
+}
+
+Result<std::string> SimCluster::read_via(const std::string& serving,
+                                         const std::string& path,
+                                         const MidTransferHook& hook) {
+  Node& n = require(serving);
+  if (!n.alive)
+    return Error{Errc::connection_closed, serving + " is down"};
+  auto ticket = n.storage->approve_read(appliance_self(*n.storage), path);
+  if (!ticket.ok()) return ticket.error();
+  std::string data(static_cast<std::size_t>(ticket->size), '\0');
+  // Deliver in two chunks with the hook between them: a hook that kills
+  // the serving node models death mid-transfer, which the aliveness
+  // check before the second chunk turns into a dropped connection.
+  const std::int64_t half = ticket->size / 2;
+  const std::int64_t parts[2][2] = {{0, half}, {half, ticket->size - half}};
+  for (int i = 0; i < 2; ++i) {
+    if (!require(serving).alive) {
+      return Error{Errc::connection_closed, serving + " died mid-transfer"};
+    }
+    const std::int64_t off = parts[i][0], len = parts[i][1];
+    if (len > 0) {
+      auto got = ticket->handle->pread(
+          std::span(data.data() + off, static_cast<std::size_t>(len)), off);
+      if (!got.ok()) return got.error();
+      if (*got != len) return Error{Errc::io_error, "short read"};
+    }
+    if (i == 0 && hook) hook(serving, half);
+  }
+  return data;
+}
+
+Status SimCluster::client_put(const std::string& name,
+                              const storage::Principal& user,
+                              const std::string& path,
+                              const std::string& data) {
+  Node& n = require(name);
+  if (!n.alive) return Status{Errc::connection_closed, name + " is down"};
+  auto ticket = n.storage->approve_write(
+      user, path, static_cast<std::int64_t>(data.size()));
+  if (!ticket.ok()) return Status{ticket.error()};
+  auto wrote =
+      ticket->handle->pwrite(std::span(data.data(), data.size()), 0);
+  if (!wrote.ok()) return Status{wrote.error()};
+  if (*wrote != static_cast<std::int64_t>(data.size()))
+    return Status{Errc::io_error, "short write"};
+  n.cluster->note_file_written(path);
+  return {};
+}
+
+}  // namespace nest::simnest

@@ -1,0 +1,126 @@
+// SimCluster: a deterministic multi-node cluster topology.
+//
+// N ClusterNodes run over in-memory storage backends and real (temp-dir)
+// journals, all sharing one ManualClock. Links between nodes are loopback
+// ReplicaLinks that call straight into the target node's accept_*
+// entry points — no sockets, no threads — gated by a kill flag per node
+// and a partition flag per ordered pair. Time only moves when step() is
+// called, and each step runs every node's heartbeat and ship drivers in
+// name order, so a given schedule of kills, partitions, and heals replays
+// exactly (the chaos harness seeds schedules from a PRNG and asserts
+// convergence against a shadow model; the sim test in cluster_test drives
+// the acceptance scenario).
+//
+// The "client" here is client_get(): the same locate -> attempt ->
+// on-failure re-select loop ClusterClient runs over sockets, with a hook
+// for killing the serving node mid-transfer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster_node.h"
+#include "common/clock.h"
+#include "journal/journal.h"
+#include "storage/storage_manager.h"
+
+namespace nest::simnest {
+
+class SimCluster {
+ public:
+  struct NodeSpec {
+    std::string name;
+    cluster::Role role = cluster::Role::follower;
+  };
+  struct Options {
+    std::size_t ship_queue_capacity = 1024;
+    int replication_factor = 1;
+    Nanos heartbeat_interval = 2 * kSecond;
+    Nanos heartbeat_timeout = 15 * kSecond;
+    std::int64_t node_capacity = 64 * 1024 * 1024;
+  };
+
+  // `workdir` hosts one journal directory per node generation; created if
+  // missing, removed by the caller (tests use a scratch dir).
+  SimCluster(std::string workdir, const std::vector<NodeSpec>& specs,
+             Options options);
+  SimCluster(std::string workdir, const std::vector<NodeSpec>& specs);
+  ~SimCluster();
+
+  ManualClock& clock() { return clock_; }
+  cluster::ClusterNode& node(const std::string& name);
+  storage::StorageManager& storage(const std::string& name);
+  // Synthetic load the node's ad advertises (tests steer selection).
+  cluster::PeerLoad& load(const std::string& name);
+  std::vector<std::string> names() const;
+
+  // --- fault controls (all take effect on the next link call) ---
+  void kill(const std::string& name);
+  // Bring a killed node back with its state intact (it was partitioned,
+  // not wiped).
+  void revive(const std::string& name);
+  // Bring a node back with storage, journal, and cluster state rebuilt
+  // from scratch: the restarted-follower path (handshakes at LSN 0, the
+  // primary re-seeds it from a snapshot).
+  void restart(const std::string& name);
+  void partition(const std::string& a, const std::string& b, bool on);
+  void heal_all();
+  bool alive(const std::string& name) const;
+  bool reachable(const std::string& from, const std::string& to) const;
+
+  // Advance virtual time by `dt`, then run heartbeat_once + ship_once on
+  // every live node, name order.
+  void step(Nanos dt = 2 * kSecond);
+
+  // --- deterministic client ---
+  // Called after each delivered chunk of an attempted transfer; kill() the
+  // serving node here to model death mid-transfer.
+  using MidTransferHook =
+      std::function<void(const std::string& serving, std::int64_t bytes)>;
+  // Fetch `path` through the replica ranking node `via` computes,
+  // failing over (and re-selecting) past dead or partial replicas.
+  // `attempts`, when given, records the serving-node order tried.
+  Result<std::string> client_get(const std::string& via,
+                                 const std::string& path,
+                                 const MidTransferHook& hook = {},
+                                 std::vector<std::string>* attempts = nullptr);
+
+  // Write `data` as `user` on `name` (charging its lots) and queue it for
+  // content replication when the node is a primary.
+  Status client_put(const std::string& name, const storage::Principal& user,
+                    const std::string& path, const std::string& data);
+
+ private:
+  struct Node {
+    NodeSpec spec;
+    int generation = 0;
+    bool alive = true;
+    cluster::PeerLoad load;
+    std::unique_ptr<journal::Journal> journal;
+    std::unique_ptr<storage::StorageManager> storage;
+    std::unique_ptr<cluster::ClusterNode> cluster;
+  };
+
+  void build_node(Node& n);
+  Node& require(const std::string& name);
+  const Node& require(const std::string& name) const;
+  Result<std::string> read_via(const std::string& serving,
+                               const std::string& path,
+                               const MidTransferHook& hook);
+
+  const std::string workdir_;
+  const Options options_;
+  ManualClock clock_;
+  // Node order is construction order (name order in tests); storage for
+  // the map is stable because nodes are never erased.
+  std::map<std::string, Node> nodes_;
+  std::set<std::pair<std::string, std::string>> partitions_;
+};
+
+}  // namespace nest::simnest

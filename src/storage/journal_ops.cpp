@@ -19,7 +19,10 @@ enum class Tag : std::uint8_t {
   quota_put = 7,
 };
 
-constexpr std::uint32_t kSnapshotVersion = 1;
+// v2 added the per-lot replica policy to the lot record (cluster
+// federation). Journals are rewritten from a fresh snapshot on every
+// compaction, so no cross-version reader is kept.
+constexpr std::uint32_t kSnapshotVersion = 2;
 
 void encode_lot(RecordWriter& w, const Lot& lot) {
   w.u64(lot.id);
@@ -30,6 +33,7 @@ void encode_lot(RecordWriter& w, const Lot& lot) {
   w.i64(lot.expiry);
   w.u8(lot.best_effort ? 1 : 0);
   w.i64(lot.last_use);
+  w.i64(lot.replicas);
   w.u32(static_cast<std::uint32_t>(lot.files.size()));
   for (const auto& [path, bytes] : lot.files) {
     w.str(path);
@@ -63,6 +67,9 @@ Result<Lot> decode_lot(RecordReader& r) {
   auto last_use = r.i64();
   if (!last_use.ok()) return last_use.error();
   lot.last_use = *last_use;
+  auto replicas = r.i64();
+  if (!replicas.ok()) return replicas.error();
+  lot.replicas = *replicas;
   auto nfiles = r.u32();
   if (!nfiles.ok()) return nfiles.error();
   for (std::uint32_t i = 0; i < *nfiles; ++i) {

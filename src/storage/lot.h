@@ -39,6 +39,11 @@ struct Lot {
   Nanos expiry = 0;          // absolute time the guarantee lapses
   bool best_effort = false;  // duration elapsed; space is reclaimable
   Nanos last_use = 0;
+  // Desired replica count for files charged to this lot when the
+  // appliance runs federated (0 = use the cluster-wide replication
+  // factor). Journaled with the rest of the lot state, so followers see
+  // the same policy the primary enforces.
+  std::int64_t replicas = 0;
   // File -> bytes charged to this lot (a file may appear in several lots).
   std::map<std::string, std::int64_t> files;
 };
@@ -108,6 +113,9 @@ class LotManager {
   void rebase(Nanos delta);
   LotId next_id() const { return next_id_; }
   void set_next_id(LotId id) { next_id_ = id; }
+  // Drop every lot (snapshot install on a replica replaces, not merges,
+  // the state). next_id_ is kept: ids only need to stay unique.
+  void clear() { lots_.clear(); }
 
   // Space currently guaranteed to live lots.
   std::int64_t reserved_bytes() const;

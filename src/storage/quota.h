@@ -37,6 +37,9 @@ class QuotaLedger {
   // account state, not the delta, so replay never re-runs admission).
   void restore(const std::string& owner, std::int64_t limit,
                std::int64_t used);
+  // Drop every account (snapshot install on a replica replaces, not
+  // merges, the state).
+  void clear() { accounts_.clear(); }
   const std::map<std::string, Account>& accounts() const {
     return accounts_;
   }

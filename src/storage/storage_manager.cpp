@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 
@@ -109,10 +110,93 @@ Result<journal::Lsn> StorageManager::seal_batch_locked() {
     batch_.clear();
     return journal::Lsn{0};
   }
-  auto lsn = journal_->append(batch_.seal(clock_.now()));
+  std::string payload = batch_.seal(clock_.now());
+  auto lsn = journal_->append(payload);
   if (!lsn.ok()) return lsn;
+  // Replication fan-out sees every sealed batch in LSN order because mu_
+  // is still held here; the hook only enqueues (rank cluster_ship).
+  if (replication_hook_) replication_hook_(*lsn, payload);
   maybe_snapshot_locked();
   return lsn;
+}
+
+void StorageManager::set_replication_hook(ReplicationHook hook) {
+  MutexLock lock(mu_);
+  replication_hook_ = std::move(hook);
+}
+
+Status StorageManager::apply_replicated_batch(std::string_view payload) {
+  NEST_FAILPOINT("cluster.apply", return Status{err});
+  journal::Lsn lsn = 0;
+  {
+    MutexLock lock(mu_);
+    auto ts = apply_meta_batch(payload, meta_state());
+    if (!ts.ok()) return Status{ts.error()};
+    if (journal_) {
+      // The shipped payload is journaled verbatim under the follower's
+      // own LSN sequence, so a follower restart replays through the same
+      // blind-install path as a primary restart.
+      auto local = journal_->append(std::string(payload));
+      if (!local.ok()) return Status{local.error()};
+      lsn = *local;
+      maybe_snapshot_locked();
+    }
+  }
+  return barrier(lsn);
+}
+
+StorageManager::MetaSnapshot StorageManager::replica_snapshot() {
+  MutexLock lock(mu_);
+  MetaSnapshot out;
+  out.payload = encode_meta_snapshot(clock_.now(), meta_state());
+  if (journal_) out.lsn = journal_->stats().last_lsn;
+  return out;
+}
+
+Status StorageManager::install_replica_file(const std::string& path,
+                                            std::string_view data) {
+  MutexLock lock(mu_);
+  const std::string norm = normalize_path(path);
+  // Materialize missing parents: the content push can outrun the mkdir
+  // that created the directory on the primary (directories are not
+  // journaled metadata).
+  std::vector<std::string> missing;
+  for (std::string dir = parent_path(norm); dir != "/" && !dir.empty();
+       dir = parent_path(dir)) {
+    auto st = fs_->stat(dir);
+    if (st.ok()) break;
+    missing.push_back(dir);
+  }
+  for (auto it = missing.rbegin(); it != missing.rend(); ++it) {
+    if (auto s = fs_->mkdir(*it); !s.ok()) return s;
+  }
+  auto handle = fs_->create(norm);
+  if (!handle.ok()) return Status{handle.error()};
+  auto wrote =
+      (*handle)->pwrite(std::span<const char>(data.data(), data.size()), 0);
+  if (!wrote.ok()) return Status{wrote.error()};
+  if (*wrote != static_cast<std::int64_t>(data.size()))
+    return Status{Errc::io_error, "short replica write"};
+  return {};
+}
+
+Status StorageManager::install_replica_snapshot(std::string_view payload) {
+  MutexLock lock(mu_);
+  // A snapshot replaces the state wholesale: the follower may hold lots
+  // or accounts the primary has since erased, and restore-on-top would
+  // leak them past the catch-up. (ACLs need no clear: apply_meta_snapshot
+  // imports them wholesale already.)
+  lots_.clear();
+  quota_.clear();
+  auto ts = apply_meta_snapshot(payload, meta_state());
+  if (!ts.ok()) return Status{ts.error()};
+  batch_.clear();
+  if (journal_) {
+    // Persist as the local snapshot so a later restart recovers from it
+    // (and the journal retires any pre-catch-up segments).
+    return journal_->write_snapshot(std::string(payload));
+  }
+  return {};
 }
 
 void StorageManager::maybe_snapshot_locked() {
@@ -446,6 +530,45 @@ Status StorageManager::lot_terminate_locked(const Principal& who, LotId id) {
   // the resulting state is what gets journaled.
   if (s.ok()) record_lot_locked(id);
   return s;
+}
+
+Status StorageManager::lot_set_replicas(const Principal& who, LotId id,
+                                        std::int64_t replicas) {
+  MutexLock lock(mu_);
+  const Status out = lot_set_replicas_locked(who, id, replicas);
+  auto sealed = seal_batch_locked();
+  if (!sealed.ok()) return Status{sealed.error()};
+  lock.unlock();
+  if (auto b = barrier(*sealed); !b.ok()) return b;
+  return out;
+}
+
+Status StorageManager::lot_set_replicas_locked(const Principal& who, LotId id,
+                                               std::int64_t replicas) {
+  if (replicas < 0)
+    return Status{Errc::invalid_argument, "replicas must be >= 0"};
+  auto lot = lots_.query(id);
+  if (!lot.ok()) return lot.error();
+  if (who.name != lot->owner && who.name != options_.superuser &&
+      !(lot->group_lot &&
+        std::find(who.groups.begin(), who.groups.end(), lot->owner) !=
+            who.groups.end())) {
+    return Status{Errc::permission_denied, "not lot owner"};
+  }
+  lot->replicas = replicas;
+  lots_.restore_lot(*lot);
+  record_lot_locked(id);
+  return {};
+}
+
+std::int64_t StorageManager::replicas_for(const std::string& path) const {
+  MutexLock lock(mu_);
+  std::int64_t want = 0;
+  const std::string norm = normalize_path(path);
+  for (const auto& lot : lots_.all_lots()) {
+    if (lot.replicas > want && lot.files.count(norm)) want = lot.replicas;
+  }
+  return want;
 }
 
 Result<Lot> StorageManager::lot_query(const Principal& who, LotId id) const {

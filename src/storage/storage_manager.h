@@ -20,6 +20,7 @@
 // commit can batch concurrent operations into one fsync.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -90,8 +91,43 @@ class StorageManager {
   // snapshots automatically every journal_snapshot_every batches).
   Status write_journal_snapshot();
   // Serialized lot/ACL/quota state stamped with `at` (recovery tests
-  // compare shadow and replayed state byte-for-byte).
+  // compare shadow and replayed state byte-for-byte; the cluster layer
+  // ships it to re-seed followers).
   std::string serialize_meta(Nanos at);
+
+  // --- Cluster replication (primary streams sealed batches to followers;
+  // src/cluster/ owns the transport, this class owns the hooks) ---
+  // Primary side: invoked with every sealed batch — the LSN the local
+  // journal assigned plus the exact payload — while mu_ is still held, so
+  // batches enter the ship queue in LSN order. Set once at startup before
+  // the server serves (like attach_journal); the hook must only enqueue
+  // (rank cluster_ship sits above storage_meta for exactly this call).
+  using ReplicationHook =
+      std::function<void(journal::Lsn, const std::string&)>;
+  void set_replication_hook(ReplicationHook hook);
+  // Follower side: apply one shipped batch to the managers and append it
+  // verbatim to the local journal (the follower's own LSN sequence), then
+  // wait out the durability barrier. Guarded by the cluster.apply
+  // failpoint.
+  Status apply_replicated_batch(std::string_view payload);
+  // Follower side: replace the entire metadata state with a primary
+  // snapshot (restart / lagging-follower catch-up), journaling it as the
+  // local snapshot so the follower recovers from it too.
+  Status install_replica_snapshot(std::string_view payload);
+  // Primary side: full-state snapshot plus the journal LSN it covers,
+  // captured atomically with respect to concurrent mutations (the pair is
+  // what re-seeds a follower whose cursor fell behind the ship queue).
+  struct MetaSnapshot {
+    std::string payload;
+    journal::Lsn lsn = 0;
+  };
+  MetaSnapshot replica_snapshot();
+  // Follower side: install replicated file *content* verbatim — no ACL
+  // check, no lot/quota accounting, no journal batch. The charges arrived
+  // through the journal stream already; the bytes are the primary's push,
+  // not a client write, so admitting them through the write path would
+  // double-account every replicated file.
+  Status install_replica_file(const std::string& path, std::string_view data);
 
   // --- Non-transfer requests (synchronous; paper Section 2.1) ---
   Status mkdir(const Principal& who, const std::string& path);
@@ -131,6 +167,14 @@ class StorageManager {
                            Nanos duration, bool group_lot = false);
   Status lot_renew(const Principal& who, LotId id, Nanos duration);
   Status lot_terminate(const Principal& who, LotId id);
+  // Per-lot replication policy (cluster federation): how many replicas
+  // files charged to this lot want (0 = cluster default). Owner or
+  // superuser only; journaled like every other lot mutation.
+  Status lot_set_replicas(const Principal& who, LotId id,
+                          std::int64_t replicas);
+  // Effective replica policy for a path: the max `replicas` across lots
+  // charging it (0 when no charging lot sets one).
+  std::int64_t replicas_for(const std::string& path) const;
   Result<Lot> lot_query(const Principal& who, LotId id) const;
   std::vector<Lot> lots_of(const Principal& who) const;
   // Operator listing: the superuser sees every lot, others their own.
@@ -183,6 +227,8 @@ class StorageManager {
   Status lot_renew_locked(const Principal& who, LotId id, Nanos duration)
       REQUIRES(mu_);
   Status lot_terminate_locked(const Principal& who, LotId id) REQUIRES(mu_);
+  Status lot_set_replicas_locked(const Principal& who, LotId id,
+                                 std::int64_t replicas) REQUIRES(mu_);
 
   Clock& clock_;
   // The VirtualFs object itself (MemFs node table, LocalFs dirfd state) is
@@ -197,6 +243,9 @@ class StorageManager {
   // read-only afterwards; barrier() reads it outside mu_ by design (the
   // commit wait must not hold the metadata lock), so it stays unguarded.
   journal::Journal* journal_ = nullptr;
+  // Same single-assignment discipline as journal_: set before serving,
+  // invoked under mu_ from seal_batch_locked.
+  ReplicationHook replication_hook_;
   MetaBatch batch_ GUARDED_BY(mu_);
   mutable Mutex mu_{lockrank::Rank::storage_meta, "storage.mu"};
 };

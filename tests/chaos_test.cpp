@@ -41,6 +41,7 @@
 #include "fault/failpoint.h"
 #include "journal/journal.h"
 #include "server/nest_server.h"
+#include "simnest/sim_cluster.h"
 #include "storage/memfs.h"
 #include "storage/storage_manager.h"
 
@@ -714,6 +715,173 @@ TEST_P(ServerRestartChaos, AckedLotsSurviveServerRestartCycles) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ServerRestartChaos, ::testing::Range(0, 3));
+
+// ---------- Phase C: cluster federation chaos ----------
+//
+// A seeded schedule of writes, follower kills, wipe-restarts, and
+// partition/heal cycles over the deterministic SimCluster topology. The
+// shadow model is a plain map of every write the primary acknowledged;
+// after the schedule heals, a bounded number of steps must converge every
+// follower to the primary's shipped LSN, byte-identical metadata, and a
+// verbatim copy of every acknowledged file. Each episode also performs a
+// kill-mid-transfer GET: the serving replica dies between chunks and
+// re-selection must still hand the client the correct bytes.
+
+void run_cluster_episode(std::uint64_t seed) {
+  FpGuard guard;
+  Rng rng(seed);
+  const std::string dir =
+      scratch_dir("cluster_" + std::to_string(seed & 0xffff));
+  fsys::remove_all(dir);
+
+  simnest::SimCluster::Options opts;
+  opts.replication_factor = 2;
+  opts.heartbeat_timeout = 5 * kSecond;  // dead within two missed beats
+  simnest::SimCluster net(
+      dir,
+      {{"f1", cluster::Role::follower},
+       {"f2", cluster::Role::follower},
+       {"p", cluster::Role::primary}},
+      opts);
+  const std::vector<std::string> followers = {"f1", "f2"};
+  net.step();
+
+  std::map<std::string, std::string> shadow;  // acked writes, path -> bytes
+  int counter = 0;
+  const int rounds = static_cast<int>(rng.uniform(25, 45));
+  for (int round = 0; round < rounds; ++round) {
+    const std::int64_t pick = rng.uniform(0, 99);
+    if (pick < 40) {
+      // A write the primary acknowledges enters the shadow model (mostly
+      // fresh paths; sometimes an overwrite, which must converge to the
+      // newest bytes).
+      std::string path;
+      if (!shadow.empty() && rng.uniform(0, 3) == 0) {
+        auto it = shadow.begin();
+        std::advance(it, rng.uniform(0, static_cast<std::int64_t>(
+                                            shadow.size()) - 1));
+        path = it->first;
+      } else {
+        path = "/c" + std::to_string(counter++);
+      }
+      std::string data(static_cast<std::size_t>(rng.uniform(16, 512)), '\0');
+      for (auto& ch : data)
+        ch = static_cast<char>('a' + rng.uniform(0, 25));
+      if (net.client_put("p", alice(), path, data).ok()) shadow[path] = data;
+    } else if (pick < 50) {
+      // Journaled metadata beyond plain writes: lots and replica policy.
+      auto lot = net.storage("p").lot_create(
+          alice(), rng.uniform(500, 5000), rng.uniform(60, 600) * kSecond);
+      if (lot.ok() && rng.uniform(0, 1) == 0) {
+        (void)net.storage("p").lot_set_replicas(alice(), *lot, 2);
+      }
+    } else if (pick < 60) {
+      const auto& victim = followers[rng.uniform(0, 1)];
+      if (net.alive(victim)) net.kill(victim);
+    } else if (pick < 70) {
+      const auto& victim = followers[rng.uniform(0, 1)];
+      if (!net.alive(victim)) {
+        // Revive keeps the follower's state (it catches up by replay);
+        // restart wipes it (it must be re-seeded from a snapshot).
+        if (rng.uniform(0, 1) == 0) {
+          net.revive(victim);
+        } else {
+          net.restart(victim);
+        }
+      }
+    } else if (pick < 80) {
+      const auto& target = followers[rng.uniform(0, 1)];
+      net.partition("p", target, rng.uniform(0, 1) == 0);
+    } else {
+      net.step();
+    }
+  }
+
+  // Heal the world, then a bounded number of deterministic steps must
+  // converge every follower (10 covers: link re-establish + handshake,
+  // snapshot re-seed, batch replay, and content re-push rounds).
+  net.heal_all();
+  for (const auto& f : followers) {
+    if (!net.alive(f)) {
+      if (rng.uniform(0, 1) == 0) {
+        net.revive(f);
+      } else {
+        net.restart(f);
+      }
+    }
+  }
+  for (int i = 0; i < 10; ++i) net.step();
+
+  const auto last = net.node("p").last_shipped_lsn();
+  EXPECT_EQ(net.node("p").quorum_acked_lsn(), last) << "seed " << seed;
+  const Nanos stamp = net.clock().now();
+  const std::string want_meta = net.storage("p").serialize_meta(stamp);
+  for (const auto& f : followers) {
+    EXPECT_EQ(net.node(f).applied_primary_lsn(), last)
+        << "seed " << seed << ": " << f << " lagging";
+    EXPECT_EQ(net.storage(f).serialize_meta(stamp), want_meta)
+        << "seed " << seed << ": " << f << " metadata diverged";
+    // Every acknowledged write reads back verbatim on every follower.
+    for (const auto& [path, data] : shadow) {
+      auto ticket = net.storage(f).approve_read(root_principal(), path);
+      ASSERT_TRUE(ticket.ok())
+          << "seed " << seed << ": acked " << path << " missing on " << f;
+      std::string got(static_cast<std::size_t>(ticket->size), '\0');
+      auto n = ticket->handle->pread(std::span(got.data(), got.size()), 0);
+      ASSERT_TRUE(n.ok()) << "seed " << seed;
+      EXPECT_EQ(got, data)
+          << "seed " << seed << ": " << path << " corrupt on " << f;
+    }
+  }
+
+  // Kill-mid-transfer: with the cluster healthy, a GET through the
+  // primary's ranking must survive the serving replica dying between
+  // chunks, via re-selection — and still return the shadow bytes.
+  if (!shadow.empty()) {
+    auto it = shadow.begin();
+    std::advance(it, rng.uniform(0, static_cast<std::int64_t>(
+                                        shadow.size()) - 1));
+    bool killed = false;
+    std::vector<std::string> attempts;
+    auto got = net.client_get(
+        "p", it->first,
+        [&](const std::string& serving, std::int64_t) {
+          if (!killed) {
+            killed = true;
+            net.kill(serving);
+          }
+        },
+        &attempts);
+    ASSERT_TRUE(got.ok()) << "seed " << seed << ": "
+                          << got.error().to_string();
+    EXPECT_EQ(*got, it->second) << "seed " << seed;
+    EXPECT_TRUE(killed) << "seed " << seed;
+    EXPECT_GE(attempts.size(), 2u) << "seed " << seed;
+  }
+
+  fsys::remove_all(dir);
+}
+
+class ClusterChaos : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterChaos, AckedWritesSurviveKillsAndPartitions) {
+  run_cluster_episode(kSeedBase ^ (0xc105ull + GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterChaos, ::testing::Range(0, 6));
+
+// Extended cluster soak, same switch as the metadata soak.
+TEST(ClusterChaosSoak, ExtraSeeds) {
+  const char* env = std::getenv("CHAOS_SEEDS");
+  if (!env || !*env) {
+    GTEST_SKIP() << "set CHAOS_SEEDS=<n> to run the extended soak";
+  }
+  const long n = std::strtol(env, nullptr, 10);
+  ASSERT_GT(n, 0) << "CHAOS_SEEDS must be a positive count";
+  for (long i = 0; i < n; ++i) {
+    run_cluster_episode(kSeedBase ^ (0xc105ull + 1000 + i));
+  }
+}
 
 }  // namespace
 }  // namespace nest

@@ -68,8 +68,13 @@ class CliTest : public ::testing::Test {
   // Runs `nest-cli <host> <port> [auth] <args...>`, capturing all output.
   CliResult cli_as(const std::string& user, const std::string& secret,
                    const std::vector<std::string>& args) {
-    std::string cmd = std::string(NEST_CLI_PATH) + " 127.0.0.1 " +
-                      std::to_string(server_->chirp_port());
+    return cli_at(server_->chirp_port(), user, secret, args);
+  }
+  CliResult cli_at(std::uint16_t port, const std::string& user,
+                   const std::string& secret,
+                   const std::vector<std::string>& args) {
+    std::string cmd =
+        std::string(NEST_CLI_PATH) + " 127.0.0.1 " + std::to_string(port);
     if (!user.empty()) {
       cmd += " -u " + shell_quote(user) + " -k " + shell_quote(secret);
     }
@@ -233,6 +238,66 @@ TEST_F(CliTest, FaultOpsRequireSuperuser) {
   EXPECT_EQ(cli_as("root", "root-secret", {"fault-set", "test.cli", "zap"})
                 .code,
             1);
+}
+
+TEST_F(CliTest, ClusterCommands) {
+  // The fixture server is not clustered: the cluster surfaces fail with a
+  // diagnostic, not a crash.
+  {
+    const auto r = cli({"cluster-status"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.out.find("not clustered"), std::string::npos) << r.out;
+  }
+  EXPECT_EQ(cli({"replica-list"}).code, 1);
+
+  // Arity and numeric validation exit 2 (usage), like every other family.
+  EXPECT_EQ(cli({"cluster-status", "extra"}).code, 2);
+  EXPECT_EQ(cli({"replica-list", "/a", "/b"}).code, 2);
+  EXPECT_EQ(cli({"lot-replicas", "1"}).code, 2);
+  EXPECT_EQ(cli({"lot-replicas", "one", "2"}).code, 2);
+
+  // lot-replicas is journaled storage state and works unclustered: the
+  // policy is set ahead of federating the node.
+  const auto created = cli({"lot-create", "1000", "600"});
+  ASSERT_EQ(created.code, 0) << created.out;
+  const std::string id =
+      std::to_string(std::strtoull(created.out.c_str(), nullptr, 10));
+  EXPECT_EQ(cli({"lot-replicas", id, "2"}).code, 0);
+  {
+    const auto r = cli({"lot-query", id});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("replicas=2"), std::string::npos) << r.out;
+  }
+  // Unknown lot fails over the wire with an error, not usage.
+  EXPECT_EQ(cli({"lot-replicas", "999999", "2"}).code, 1);
+
+  // Against a clustered node the status surfaces render: one self line
+  // and a row for the (unreachable, hence dead) configured peer.
+  server::NestServerOptions opts;
+  opts.name = "cli-p";
+  opts.http_port = opts.ftp_port = opts.gridftp_port = opts.nfs_port = -1;
+  opts.cluster.role = cluster::Role::primary;
+  opts.cluster.peers.push_back(cluster::PeerAddress{"ghost", "127.0.0.1", 1});
+  auto clustered = server::NestServer::start(opts);
+  ASSERT_TRUE(clustered.ok()) << clustered.error().to_string();
+  (*clustered)->gsi().add_user("alice", "alice-secret", {"physics"});
+  {
+    const auto r = cli_at((*clustered)->chirp_port(), "alice", "alice-secret",
+                          {"cluster-status"});
+    EXPECT_EQ(r.code, 0) << r.out;
+    EXPECT_NE(r.out.find("self name=cli-p role=primary"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("peer name=ghost"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("alive=0"), std::string::npos) << r.out;
+  }
+  {
+    // No live peers: an empty (but successful) replica list.
+    const auto r = cli_at((*clustered)->chirp_port(), "alice", "alice-secret",
+                          {"replica-list", "/any"});
+    EXPECT_EQ(r.code, 0) << r.out;
+    EXPECT_EQ(r.out.find("name="), std::string::npos) << r.out;
+  }
+  (*clustered)->stop();
 }
 
 }  // namespace

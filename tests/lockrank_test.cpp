@@ -146,6 +146,99 @@ TEST_F(LockRankTest, RankNamesCoverTheRegistry) {
   EXPECT_STREQ(lockrank::rank_name(Rank::storage_meta), "storage_meta");
   EXPECT_STREQ(lockrank::rank_name(Rank::journal), "journal");
   EXPECT_STREQ(lockrank::rank_name(Rank::logger), "logger");
+  EXPECT_STREQ(lockrank::rank_name(Rank::cluster_membership),
+               "cluster_membership");
+  EXPECT_STREQ(lockrank::rank_name(Rank::cluster_selector),
+               "cluster_selector");
+  EXPECT_STREQ(lockrank::rank_name(Rank::cluster_ship), "cluster_ship");
+}
+
+// --- cluster federation edges ---
+// Canonical order: cluster_membership (27) < cluster_selector (28) <
+// storage_meta (30) < cluster_ship (36) < journal (38). Membership comes
+// before storage/journal, never the inverse; the replication hook pushes
+// into the ship queue while storage mu_ is held.
+
+struct ClusterLocks {
+  Mutex members{Rank::cluster_membership, "test.members"};
+  Mutex selector{Rank::cluster_selector, "test.selector"};
+  Mutex meta{Rank::storage_meta, "test.meta"};
+  Mutex ship{Rank::cluster_ship, "test.ship"};
+  Mutex jrnl{Rank::journal, "test.journal"};
+};
+
+TEST_F(LockRankTest, ClusterCanonicalOrderPassesThrough) {
+  ClusterLocks l;
+  MutexLock a(l.members);   // 27: heartbeat refreshes the peer row
+  MutexLock b(l.selector);  // 28: selection reads the refreshed view
+  MutexLock c(l.meta);      // 30: then consults storage state
+  MutexLock d(l.ship);      // 36: hook enqueues under storage mu_
+  MutexLock e(l.jrnl);      // 38: and the journal appends innermost
+  EXPECT_EQ(lockrank::held_count(), 5);
+}
+
+TEST_F(LockRankTest, ShipQueueUnderStorageMetaIsLegal) {
+  // The exact nesting of the primary's write path: seal_batch appends to
+  // the journal and hands the payload to the ship queue, all under mu_.
+  ClusterLocks l;
+  MutexLock a(l.meta);  // 30
+  MutexLock b(l.ship);  // 36
+  EXPECT_EQ(lockrank::held_count(), 2);
+}
+
+TEST_F(LockRankTest, JournalThenMembershipAborts) {
+  // The forbidden inverse: holding journal (or storage) state while
+  // entering the peer table would let the apply path deadlock against a
+  // concurrent heartbeat.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ClusterLocks l;
+  EXPECT_DEATH(
+      {
+        lockrank::set_enabled(true);
+        MutexLock j(l.jrnl);     // 38
+        MutexLock m(l.members);  // 27 while holding 38: inversion
+      },
+      "rank inversion");
+}
+
+TEST_F(LockRankTest, StorageMetaThenMembershipAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ClusterLocks l;
+  EXPECT_DEATH(
+      {
+        lockrank::set_enabled(true);
+        MutexLock s(l.meta);     // 30
+        MutexLock m(l.members);  // 27 while holding 30: inversion
+      },
+      "rank inversion");
+}
+
+TEST_F(LockRankTest, ShipThenStorageMetaAborts) {
+  // The ship queue may never call back into storage while holding its
+  // own lock (the hook direction is one-way by construction).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ClusterLocks l;
+  EXPECT_DEATH(
+      {
+        lockrank::set_enabled(true);
+        MutexLock q(l.ship);  // 36
+        MutexLock s(l.meta);  // 30 while holding 36: inversion
+      },
+      "rank inversion");
+}
+
+TEST_F(LockRankTest, SelectorThenMembershipAborts) {
+  // Selection must snapshot the peer table before taking its own lock
+  // (rank_candidates does exactly that); the nested inverse dies.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ClusterLocks l;
+  EXPECT_DEATH(
+      {
+        lockrank::set_enabled(true);
+        MutexLock s(l.selector);  // 28
+        MutexLock m(l.members);   // 27 while holding 28: inversion
+      },
+      "rank inversion");
 }
 
 }  // namespace
