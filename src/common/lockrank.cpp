@@ -94,6 +94,7 @@ const char* rank_name(Rank r) noexcept {
     case Rank::executor_queue: return "executor_queue";
     case Rank::executor_throttle: return "executor_throttle";
     case Rank::dispatcher_load: return "dispatcher_load";
+    case Rank::transfer_admission: return "transfer_admission";
     case Rank::discovery_collector: return "discovery_collector";
     case Rank::cluster_membership: return "cluster_membership";
     case Rank::cluster_selector: return "cluster_selector";

@@ -53,6 +53,7 @@ enum class Rank : int {
   executor_queue = 20,       // EventLoop work queue
   executor_throttle = 22,    // TransferExecutor token bucket
   dispatcher_load = 24,      // Dispatcher rolling load trackers
+  transfer_admission = 25,   // AdmissionController shed/outstanding state
   discovery_collector = 26,  // discovery::Collector ad table
   cluster_membership = 27,   // cluster::PeerTable peer/liveness view
   cluster_selector = 28,     // cluster::ReplicaSelector EWMA state

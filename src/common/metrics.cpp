@@ -29,12 +29,20 @@ int metric_stripe_of_thread() {
 }
 
 void LatencyRecorder::record(Nanos latency) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(latency, std::memory_order_relaxed);
   Stripe& s = stripes_[metric_stripe_of_thread()];
   MutexLock lock(s.mu);
-  s.samples.push_back(latency);
+  if (cap_ == 0 || s.samples.size() < cap_) {
+    s.samples.push_back(latency);
+  } else {
+    // Ring overwrite: the stripe holds the most recent cap_ samples.
+    s.samples[s.next] = latency;
+    s.next = (s.next + 1) % cap_;
+  }
 }
 
-std::size_t LatencyRecorder::count() const {
+std::size_t LatencyRecorder::retained() const {
   std::size_t n = 0;
   for (const Stripe& s : stripes_) {
     MutexLock lock(s.mu);
@@ -53,11 +61,10 @@ std::vector<Nanos> LatencyRecorder::snapshot() const {
 }
 
 double LatencyRecorder::mean_ms() const {
-  const std::vector<Nanos> all = snapshot();
-  if (all.empty()) return 0.0;
-  double total = 0.0;
-  for (const Nanos s : all) total += static_cast<double>(s);
-  return total / static_cast<double>(all.size()) / 1e6;
+  const std::int64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n) / 1e6;
 }
 
 double LatencyRecorder::percentile_ms(double p) const {

@@ -47,20 +47,42 @@ int metric_stripe_of_thread();
 
 // Records request latencies and reports mean / percentiles. Thread-safe
 // per the contract above.
+//
+// With the default capacity of 0 every sample is retained (exact
+// percentiles over the whole run — what the benches want). A non-zero
+// `max_samples_per_stripe` turns each stripe into a ring that overwrites
+// its oldest samples, bounding memory and snapshot cost no matter how
+// many requests churn through — the long-running-server configuration,
+// where monitoring surfaces poll mean/percentiles forever. count() and
+// mean_ms() always cover *every* sample recorded (running atomics, O(1));
+// percentiles cover the retained window.
 class LatencyRecorder {
  public:
+  LatencyRecorder() = default;
+  explicit LatencyRecorder(std::size_t max_samples_per_stripe)
+      : cap_(max_samples_per_stripe) {}
+
   void record(Nanos latency);
-  std::size_t count() const;
+  std::size_t count() const {
+    return static_cast<std::size_t>(count_.load(std::memory_order_relaxed));
+  }
   double mean_ms() const;
   double percentile_ms(double p) const;  // p in [0,100]
+  // Samples currently retained for percentile queries (= count() when
+  // unbounded; bounded by stripes * capacity otherwise).
+  std::size_t retained() const;
 
  private:
   struct alignas(64) Stripe {
     mutable Mutex mu{lockrank::Rank::metrics_stripe, "latency.stripe"};
     std::vector<Nanos> samples GUARDED_BY(mu);
+    std::size_t next GUARDED_BY(mu) = 0;  // ring cursor (bounded mode)
   };
   std::vector<Nanos> snapshot() const;
+  std::size_t cap_ = 0;  // per-stripe sample cap; 0 = unbounded
   std::array<Stripe, kMetricStripes> stripes_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};  // nanoseconds
 };
 
 // Fixed-size log2-bucketed latency histogram. Unlike LatencyRecorder it

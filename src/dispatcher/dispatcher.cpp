@@ -23,7 +23,10 @@ Dispatcher::Dispatcher(Clock& clock, storage::StorageManager& storage,
       tm_(tm),
       options_(std::move(options)),
       gate_(tm, options_.transfer_slots),
-      started_(clock.now()) {}
+      admission_(clock, options_.admission),
+      started_(clock.now()) {
+  gate_.core().set_admission(&admission_);
+}
 
 Dispatcher::~Dispatcher() { stop_publishing(); }
 
@@ -179,9 +182,32 @@ Reply Dispatcher::execute_impl(const NestRequest& req) {
   return Reply::fail(Status{Errc::unsupported, "unknown op"});
 }
 
+std::optional<Error> Dispatcher::admit(const NestRequest& req) {
+  // Forced shed for chaos drills: the failpoint models the controller
+  // rejecting, so the reply path (explicit busy, no queueing) is
+  // exercised without needing real overload.
+  bool force_shed = false;
+  NEST_FAILPOINT("dispatcher.admit", force_shed = true);
+  if (force_shed) {
+    obs::Stats::global().shed.fetch_add(1, std::memory_order_relaxed);
+    return Error{Errc::busy, "admission: shed (failpoint)"};
+  }
+  const auto v = admission_.admit(req.protocol, req.principal.name);
+  if (v == transfer::AdmissionController::Verdict::admitted) {
+    return std::nullopt;
+  }
+  return Error{Errc::busy,
+               std::string("admission: server overloaded (") +
+                   transfer::verdict_name(v) + ")"};
+}
+
 Result<storage::TransferTicket> Dispatcher::approve_get(
     const NestRequest& req) {
   obs::Span span(obs::Layer::dispatcher, "approve_get");
+  if (auto shed = admit(req)) {
+    obs::Stats::global().errors.fetch_add(1, std::memory_order_relaxed);
+    return *shed;
+  }
   auto t = storage_.approve_read(req.principal, req.path);
   if (!t.ok()) {
     obs::Stats::global().errors.fetch_add(1, std::memory_order_relaxed);
@@ -192,6 +218,10 @@ Result<storage::TransferTicket> Dispatcher::approve_get(
 Result<storage::TransferTicket> Dispatcher::approve_put(
     const NestRequest& req) {
   obs::Span span(obs::Layer::dispatcher, "approve_put");
+  if (auto shed = admit(req)) {
+    obs::Stats::global().errors.fetch_add(1, std::memory_order_relaxed);
+    return *shed;
+  }
   auto t = storage_.approve_write(req.principal, req.path, req.size);
   if (!t.ok()) {
     obs::Stats::global().errors.fetch_add(1, std::memory_order_relaxed);
@@ -259,6 +289,16 @@ classad::ClassAd Dispatcher::snapshot_ad() const {
             classad::Value::real(stats.request_all.mean_ms()));
   ad.insert("P99RequestMs",
             classad::Value::real(stats.request_all.percentile_ms(99)));
+  // Admission section: clients picking a replica can prefer an appliance
+  // that is not shedding. Every field is an O(1) counter read.
+  const auto adm = admission_.snapshot();
+  ad.insert("AdmissionEnabled",
+            classad::Value::boolean(admission_.enabled()));
+  ad.insert("AdmissionOutstanding",
+            classad::Value::integer(adm.outstanding));
+  ad.insert("AdmissionShed", classad::Value::integer(adm.shed));
+  ad.insert("AdmissionPredictedWaitMs",
+            classad::Value::real(adm.predicted_wait_ms));
   return ad;
 }
 
@@ -293,8 +333,21 @@ std::string Dispatcher::stats_json() const {
      << ",\"bytes_moved\":" << tm_.total_bytes()
      << ",\"bytes_queued\":"
      << stats.bytes_queued.load(std::memory_order_relaxed)
-     << ",\"slots\":" << options_.transfer_slots << "}"
-     << ",\"storage\":{\"total_space\":" << res_int("TotalSpace")
+     << ",\"slots\":" << options_.transfer_slots << "}";
+  {
+    const auto adm = admission_.snapshot();
+    os << ",\"admission\":{\"enabled\":"
+       << (admission_.enabled() ? "true" : "false")
+       << ",\"outstanding\":" << adm.outstanding
+       << ",\"admitted\":" << adm.admitted << ",\"shed\":" << adm.shed
+       << ",\"shed_queue\":" << adm.shed_queue
+       << ",\"shed_user\":" << adm.shed_user
+       << ",\"shed_latency\":" << adm.shed_latency
+       << ",\"predicted_wait_ms\":" << adm.predicted_wait_ms
+       << ",\"completion_rate_per_sec\":" << adm.completion_rate_per_sec
+       << ",\"active_users\":" << adm.active_users << "}";
+  }
+  os << ",\"storage\":{\"total_space\":" << res_int("TotalSpace")
      << ",\"used_space\":" << res_int("UsedSpace")
      << ",\"free_space\":" << res_int("FreeSpace")
      << ",\"free_lot_space\":" << res_int("AvailableLotSpace")

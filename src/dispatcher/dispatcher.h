@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -19,6 +20,7 @@
 #include "obs/stats.h"
 #include "protocol/request.h"
 #include "storage/storage_manager.h"
+#include "transfer/admission.h"
 #include "transfer/core.h"
 #include "transfer/transfer_manager.h"
 
@@ -89,6 +91,9 @@ class Dispatcher {
     int transfer_slots = 8;
     std::string advertised_name = "nest";
     Nanos publish_interval = 5 * kSecond;
+    // Overload shedding at transfer approval (admission_target_ms /
+    // admission_max_queue in the server config; disabled by default).
+    transfer::AdmissionOptions admission;
   };
 
   Dispatcher(Clock& clock, storage::StorageManager& storage,
@@ -111,6 +116,7 @@ class Dispatcher {
   storage::StorageManager& storage() { return storage_; }
   BlockGate& gate() { return gate_; }
   transfer::TransferCore& core() { return gate_.core(); }
+  transfer::AdmissionController& admission() { return admission_; }
 
   // Consolidated availability ad (storage state + transfer load +
   // rolling load averages / per-protocol throughput from obs::Stats).
@@ -129,6 +135,10 @@ class Dispatcher {
 
  private:
   Reply execute_impl(const protocol::NestRequest& req);
+  // Admission gate shared by the approve paths: nullopt admits, an Error
+  // (Errc::busy) sheds. Monitoring ops never pass through here, so the
+  // appliance stays observable while it sheds.
+  std::optional<Error> admit(const protocol::NestRequest& req);
   // Sample the rolling rate/load trackers at `now` (under load_mu_) and
   // report {total MBps, load average}. Every stats surface calls this, so
   // whichever of the publisher / /stats pollers runs keeps the windows
@@ -140,6 +150,9 @@ class Dispatcher {
   transfer::TransferManager& tm_;
   Options options_;
   BlockGate gate_;
+  // Latency-target shedder consulted by approve_get/approve_put; fed by
+  // TransferCore's create/complete hooks (wired in the constructor).
+  transfer::AdmissionController admission_;
   Nanos started_;
 
   // Rolling views over the monotone transfer counters; mutable because

@@ -1,0 +1,54 @@
+#include "loadgen/arrival.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nest::loadgen {
+
+ArrivalProcess::ArrivalProcess(ArrivalOptions opts) : opts_(opts) {
+  assert(opts_.rate_per_sec > 0);
+  assert(opts_.burst_factor >= 1.0);
+  assert(opts_.burst_fraction > 0.0 && opts_.burst_fraction < 1.0);
+  // Solve for the state rates so the time-weighted average equals
+  // rate_per_sec: f*burst + (1-f)*quiet = avg with burst = k*quiet.
+  const double f = opts_.burst_fraction;
+  const double k = opts_.burst_factor;
+  quiet_rate_ = opts_.rate_per_sec / (f * k + (1.0 - f));
+  burst_rate_ = k * quiet_rate_;
+}
+
+Nanos ArrivalProcess::next_interval(Rng& rng) {
+  if (opts_.burst_factor <= 1.0) {
+    const double sec = rng.exponential(1.0 / opts_.rate_per_sec);
+    return std::max<Nanos>(1, from_seconds(sec));
+  }
+  // MMPP-2: consume dwell time state by state until the next arrival
+  // lands inside the current state's remaining dwell.
+  Nanos elapsed = 0;
+  for (;;) {
+    if (state_left_ <= 0) {
+      // Enter the next state with an exponential dwell; quiet dwell is
+      // scaled so the long-run burst fraction comes out right.
+      in_burst_ = !in_burst_;
+      const double mean_dwell_sec =
+          in_burst_ ? to_seconds(opts_.burst_dwell)
+                    : to_seconds(opts_.burst_dwell) *
+                          (1.0 - opts_.burst_fraction) / opts_.burst_fraction;
+      state_left_ = std::max<Nanos>(1, from_seconds(rng.exponential(
+                                           mean_dwell_sec)));
+    }
+    const double rate = in_burst_ ? burst_rate_ : quiet_rate_;
+    const Nanos gap =
+        std::max<Nanos>(1, from_seconds(rng.exponential(1.0 / rate)));
+    if (gap <= state_left_) {
+      state_left_ -= gap;
+      return std::max<Nanos>(1, elapsed + gap);
+    }
+    // No arrival before the state flips; spend the dwell and redraw in
+    // the next state (memorylessness makes the redraw exact).
+    elapsed += state_left_;
+    state_left_ = 0;
+  }
+}
+
+}  // namespace nest::loadgen

@@ -1,0 +1,54 @@
+// Open-loop arrival processes for session generation.
+//
+// Open-loop means arrival times are drawn from the process alone — never
+// from the server's completion times — so offered load keeps arriving at
+// the configured rate even when the server saturates. That is precisely
+// the regime that exposes unbounded queueing (and that closed-loop bench
+// clients, which wait for each reply, can never produce).
+//
+// Two shapes:
+//  * Poisson — exponential inter-arrivals at `rate_per_sec` (burst_factor
+//    == 1).
+//  * MMPP-2 burst — a two-state Markov-modulated Poisson process: a base
+//    state at the quiet rate and a burst state at burst_factor times it,
+//    with exponentially distributed dwell times. The EU DataGrid traces
+//    motivate this: grid populations arrive in correlated bursts
+//    (production submissions), not as a smooth stream. Rates are derived
+//    so the long-run average stays rate_per_sec regardless of the
+//    burstiness knobs.
+#pragma once
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace nest::loadgen {
+
+struct ArrivalOptions {
+  double rate_per_sec = 1000.0;  // long-run average arrival rate
+  // > 1 enables MMPP-2: the burst state arrives this many times faster
+  // than the quiet state.
+  double burst_factor = 1.0;
+  // Long-run fraction of time spent in the burst state.
+  double burst_fraction = 0.1;
+  // Mean dwell per burst episode (quiet dwell follows from the fraction).
+  Nanos burst_dwell = 500 * kMillisecond;
+};
+
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(ArrivalOptions opts);
+
+  // Interval until the next arrival (>= 1 ns so sim time always moves).
+  Nanos next_interval(Rng& rng);
+
+  bool in_burst() const { return in_burst_; }
+
+ private:
+  ArrivalOptions opts_;
+  double quiet_rate_;  // per second
+  double burst_rate_;
+  bool in_burst_ = false;
+  Nanos state_left_ = 0;  // dwell remaining in the current state
+};
+
+}  // namespace nest::loadgen

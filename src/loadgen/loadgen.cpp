@@ -1,0 +1,88 @@
+#include "loadgen/loadgen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "sim/engine.h"
+
+namespace nest::loadgen {
+
+OpenLoopGenerator::OpenLoopGenerator(simnest::SimNest& server,
+                                     LoadGenOptions opts)
+    : server_(server),
+      opts_(std::move(opts)),
+      popularity_(opts_.files, opts_.zipf_theta),
+      model_(opts_.session),
+      arrivals_(opts_.arrivals),
+      arrival_rng_(opts_.seed) {
+  assert(opts_.files > 0);
+}
+
+void OpenLoopGenerator::start() {
+  for (std::size_t i = 0; i < opts_.files; ++i) {
+    server_.add_file(file_path(i), opts_.file_size, opts_.cached);
+  }
+  if (opts_.record_trace) trace_.reserve(opts_.sessions);
+  schedule_next_arrival();
+}
+
+void OpenLoopGenerator::schedule_next_arrival() {
+  if (next_session_ >= opts_.sessions) return;
+  auto& eng = server_.host().engine();
+  // The gap is drawn here, before any session work runs, from the RNG
+  // only this chain touches: the arrival sequence is fixed by the seed
+  // no matter how the server behaves in between.
+  const Nanos gap = arrivals_.next_interval(arrival_rng_);
+  eng.schedule_at(eng.now() + gap, [this] {
+    const std::uint64_t index = next_session_++;
+    auto script = model_.script(opts_.seed, index, popularity_);
+    if (opts_.record_trace) {
+      trace_.push_back(
+          {index, server_.host().engine().now(), script});
+    }
+    sim::spawn(run_session(index, std::move(script)));
+    schedule_next_arrival();
+  });
+}
+
+sim::Co<void> OpenLoopGenerator::run_session(std::uint64_t index,
+                                             std::vector<SessionOp> script) {
+  auto& eng = server_.host().engine();
+  ++stats_.sessions_started;
+  ++stats_.active_sessions;
+  stats_.peak_active_sessions =
+      std::max(stats_.peak_active_sessions, stats_.active_sessions);
+  const std::string user = user_name(index);
+  for (const SessionOp& op : script) {
+    if (op.think_before > 0) co_await eng.delay(op.think_before);
+    const std::string& proto_name =
+        opts_.session.protocol_mix[static_cast<std::size_t>(op.protocol)]
+            .first;
+    const auto proto = simnest::ProtocolBehavior::by_name(proto_name);
+    ++stats_.ops_issued;
+    ++stats_.issued_by_protocol[proto_name];
+    const Nanos begin = eng.now();
+    bool served;
+    if (op.put) {
+      ++stats_.puts;
+      served = co_await server_.client_put(proto, file_path(op.file_rank),
+                                           opts_.file_size, user);
+    } else {
+      ++stats_.gets;
+      served = co_await server_.client_get(proto, file_path(op.file_rank),
+                                           user);
+    }
+    if (served) {
+      ++stats_.ops_completed;
+      stats_.completed_latency_total += eng.now() - begin;
+    } else {
+      ++stats_.ops_shed;
+      ++stats_.shed_by_protocol[proto_name];
+    }
+  }
+  --stats_.active_sessions;
+  ++stats_.sessions_finished;
+}
+
+}  // namespace nest::loadgen

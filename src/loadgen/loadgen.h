@@ -1,0 +1,124 @@
+// Open-loop workload generator: 10^5–10^6 simulated users against a
+// SimNest appliance, cheaply (tentpole of ROADMAP item 4).
+//
+// Architecture — why this scales where thread-per-user cannot:
+//  * Session *arrivals* are one event chain in the discrete-event engine:
+//    a single callback draws the next inter-arrival gap from a dedicated
+//    arrival RNG and reschedules itself. A million registered users cost
+//    one pending event, not a million stacks.
+//  * Only *active* sessions (arrived, not yet departed) hold a coroutine
+//    frame. With think times and finite scripts, the active population is
+//    offered-load-sized — O(arrival rate × session length) — however many
+//    total users the run models.
+//  * Every random draw is partitioned by purpose: the arrival chain owns
+//    the arrival RNG; each session's script comes from a per-session RNG
+//    seeded by (seed, index). Service latency therefore cannot perturb
+//    what load is offered — the open-loop property (loadgen_test proves
+//    it by running identical seeds against servers of different speeds).
+//
+// The generator is a test instrument first: tests/scale_test.cpp drives
+// it to expose O(users) state growth and unbounded-queueing bugs, and
+// bench/abl_scale.cpp uses it for throughput-vs-offered-load curves.
+// docs/loadgen.md documents the knobs and the seed-repro workflow.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "loadgen/arrival.h"
+#include "loadgen/session.h"
+#include "loadgen/zipf.h"
+#include "simnest/simnest.h"
+
+namespace nest::loadgen {
+
+struct LoadGenOptions {
+  std::uint64_t seed = 1;
+  // Total user sessions to generate over the run.
+  std::uint64_t sessions = 1000;
+  ArrivalOptions arrivals;
+  SessionOptions session;
+  // Popularity set shared by all sessions, Zipf-ranked: rank 0 is the
+  // hottest file.
+  std::size_t files = 100;
+  std::int64_t file_size = 256 * 1024;
+  bool cached = true;
+  double zipf_theta = 0.8;
+  // Retain the full per-session trace (arrival time + op script) for
+  // determinism tests. Off by default: a 10^6-user soak should not hold
+  // its own history.
+  bool record_trace = false;
+};
+
+struct LoadGenStats {
+  std::uint64_t sessions_started = 0;
+  std::uint64_t sessions_finished = 0;
+  std::uint64_t ops_issued = 0;
+  std::uint64_t ops_completed = 0;  // served to the last byte
+  std::uint64_t ops_shed = 0;       // admission replied busy
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::int64_t active_sessions = 0;
+  std::int64_t peak_active_sessions = 0;
+  Nanos completed_latency_total = 0;
+  std::map<std::string, std::uint64_t> issued_by_protocol;
+  std::map<std::string, std::uint64_t> shed_by_protocol;
+
+  double mean_completed_ms() const {
+    return ops_completed == 0
+               ? 0.0
+               : static_cast<double>(completed_latency_total) /
+                     static_cast<double>(ops_completed) / 1e6;
+  }
+};
+
+// One session's deterministic offered load (recorded when record_trace).
+struct SessionTrace {
+  std::uint64_t index = 0;
+  Nanos arrival = 0;
+  std::vector<SessionOp> script;
+};
+
+class OpenLoopGenerator {
+ public:
+  OpenLoopGenerator(simnest::SimNest& server, LoadGenOptions opts);
+
+  // Create the popularity files and schedule the arrival chain. The
+  // caller then runs the engine (eng.run() or bounded run_until).
+  void start();
+
+  const LoadGenStats& stats() const { return stats_; }
+  const std::vector<SessionTrace>& trace() const { return trace_; }
+  const LoadGenOptions& options() const { return opts_; }
+
+  // Offered-load identity, independent of any server: the op script of
+  // session k under these options.
+  std::vector<SessionOp> script_of(std::uint64_t session_index) const {
+    return model_.script(opts_.seed, session_index, popularity_);
+  }
+  static std::string user_name(std::uint64_t session_index) {
+    return "u" + std::to_string(session_index);
+  }
+  std::string file_path(std::size_t rank) const {
+    return "/pop/f" + std::to_string(rank);
+  }
+
+ private:
+  void schedule_next_arrival();
+  sim::Co<void> run_session(std::uint64_t index,
+                            std::vector<SessionOp> script);
+
+  simnest::SimNest& server_;
+  LoadGenOptions opts_;
+  ZipfSampler popularity_;
+  SessionModel model_;
+  ArrivalProcess arrivals_;
+  Rng arrival_rng_;  // used ONLY by the arrival chain
+  std::uint64_t next_session_ = 0;
+  LoadGenStats stats_;
+  std::vector<SessionTrace> trace_;
+};
+
+}  // namespace nest::loadgen

@@ -1,0 +1,66 @@
+#include "loadgen/session.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "loadgen/zipf.h"
+
+namespace nest::loadgen {
+
+SessionModel::SessionModel(SessionOptions opts) : opts_(std::move(opts)) {
+  assert(!opts_.protocol_mix.empty());
+  double total = 0.0;
+  for (const auto& [name, w] : opts_.protocol_mix) total += w;
+  assert(total > 0.0);
+  double acc = 0.0;
+  for (const auto& [name, w] : opts_.protocol_mix) {
+    acc += w / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding at the top
+}
+
+std::uint64_t SessionModel::session_seed(std::uint64_t gen_seed,
+                                         std::uint64_t session_index) {
+  // splitmix64: cheap, well-distributed stream split.
+  std::uint64_t z = gen_seed + 0x9e3779b97f4a7c15ull * (session_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int SessionModel::pick_protocol(Rng& rng) const {
+  const double u = rng.uniform_real(0.0, 1.0);
+  for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+    if (u <= cumulative_[i]) return static_cast<int>(i);
+  }
+  return static_cast<int>(cumulative_.size() - 1);
+}
+
+std::vector<SessionOp> SessionModel::script(
+    std::uint64_t gen_seed, std::uint64_t session_index,
+    const ZipfSampler& popularity) const {
+  Rng rng(session_seed(gen_seed, session_index));
+  // 1 + geometric: draw exponential and floor — deterministic given the
+  // RNG stream, mean ≈ mean_extra_ops.
+  std::size_t ops = 1;
+  if (opts_.mean_extra_ops > 0) {
+    ops += static_cast<std::size_t>(
+        std::floor(rng.exponential(opts_.mean_extra_ops)));
+  }
+  std::vector<SessionOp> script;
+  script.reserve(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    SessionOp op;
+    op.put = rng.bernoulli(opts_.put_fraction);
+    op.file_rank = popularity.sample(rng);
+    op.protocol = pick_protocol(rng);
+    op.think_before =
+        i == 0 ? 0
+               : from_seconds(rng.exponential(to_seconds(opts_.think_mean)));
+    script.push_back(op);
+  }
+  return script;
+}
+
+}  // namespace nest::loadgen

@@ -1,0 +1,74 @@
+// Per-user session model: what one simulated user does between arriving
+// and departing.
+//
+// A session is a small state machine —
+//
+//   arrive -> [pick op -> issue -> (served | shed) -> think]* -> depart
+//
+// — whose every draw (op count, protocol, get/put, file rank, think time)
+// comes from a *per-session* RNG seeded from (generator seed, session
+// index). That isolation is the load generator's central invariant: the
+// op trace of session k is a pure function of (seed, k), so the offered
+// workload is bit-identical across runs and across server speeds — the
+// open-loop property the tests assert. Only the *issue times* of ops
+// after the first depend on service latency (a user thinks after the
+// previous reply), which is the standard semi-open session model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace nest::loadgen {
+
+struct SessionOptions {
+  // Ops per session: 1 + geometric(mean_extra_ops) — every session issues
+  // at least one op.
+  double mean_extra_ops = 3.0;
+  // Think time between a reply and the session's next op (exponential).
+  Nanos think_mean = 200 * kMillisecond;
+  // Fraction of ops that store data (the rest retrieve).
+  double put_fraction = 0.1;
+  // Per-protocol mix, weight-normalized at construction. Names must be
+  // ProtocolBehavior names ("chirp", "http", "ftp", "gridftp", "nfs").
+  std::vector<std::pair<std::string, double>> protocol_mix = {
+      {"http", 0.5}, {"chirp", 0.2}, {"ftp", 0.2}, {"nfs", 0.1}};
+};
+
+struct SessionOp {
+  bool put = false;
+  std::size_t file_rank = 0;  // Zipf rank into the popularity set
+  int protocol = 0;           // index into SessionOptions::protocol_mix
+  Nanos think_before = 0;     // think time preceding this op (0 for op 0)
+};
+
+// Draws a whole session's op script from its own RNG. Pure: no sim-time
+// or server state feeds in, so scripts are reproducible in isolation.
+class SessionModel {
+ public:
+  explicit SessionModel(SessionOptions opts);
+
+  // Deterministic per-session RNG seed (splitmix64 of generator seed and
+  // session index — adjacent indices give uncorrelated streams).
+  static std::uint64_t session_seed(std::uint64_t gen_seed,
+                                    std::uint64_t session_index);
+
+  // The complete op script of one session against a popularity set of
+  // `files` items.
+  std::vector<SessionOp> script(std::uint64_t gen_seed,
+                                std::uint64_t session_index,
+                                const class ZipfSampler& popularity) const;
+
+  const SessionOptions& options() const { return opts_; }
+
+ private:
+  int pick_protocol(Rng& rng) const;
+
+  SessionOptions opts_;
+  std::vector<double> cumulative_;  // normalized protocol-mix CDF
+};
+
+}  // namespace nest::loadgen

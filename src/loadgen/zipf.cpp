@@ -1,0 +1,42 @@
+#include "loadgen/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace nest::loadgen {
+
+namespace {
+double zeta(std::size_t n, double theta) {
+  double sum = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta)
+    : n_(n), theta_(theta), zetan_(zeta(n, theta)) {
+  assert(n >= 1);
+  assert(theta >= 0.0 && theta < 1.0);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta(2, theta) / zetan_);
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  const double u = rng.uniform_real(0.0, 1.0);
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::size_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  return 1.0 / std::pow(static_cast<double>(rank + 1), theta_) / zetan_;
+}
+
+}  // namespace nest::loadgen

@@ -84,6 +84,8 @@ std::string Stats::to_json() const {
      << ",\"bytes_queued\":" << bytes_queued.load(std::memory_order_relaxed)
      << ",\"cache_hot\":" << cache_hot.load(std::memory_order_relaxed)
      << ",\"cache_cold\":" << cache_cold.load(std::memory_order_relaxed)
+     << ",\"admitted\":" << admitted.load(std::memory_order_relaxed)
+     << ",\"shed\":" << shed.load(std::memory_order_relaxed)
      << ",\"request_latency\":";
   histogram_json(os, request_all);
   os << ",\"request_latency_by_protocol\":{";
@@ -110,6 +112,8 @@ void Stats::reset() {
   bytes_queued.store(0, std::memory_order_relaxed);
   cache_hot.store(0, std::memory_order_relaxed);
   cache_cold.store(0, std::memory_order_relaxed);
+  admitted.store(0, std::memory_order_relaxed);
+  shed.store(0, std::memory_order_relaxed);
   request_all.reset();
   sched_hold.reset();
   transfer_latency.reset();

@@ -41,6 +41,20 @@ Result<NestdConfig> options_from_config(const Config& cfg) {
     return Error{Errc::invalid_argument, "block_bytes must be >= 4096"};
   }
 
+  // Admission control (both default 0 = disabled: queue without bound).
+  opts.admission.target_ms =
+      static_cast<double>(cfg.get_int("admission_target_ms", 0));
+  if (opts.admission.target_ms < 0) {
+    return Error{Errc::invalid_argument,
+                 "admission_target_ms must be >= 0"};
+  }
+  opts.admission.max_queue =
+      static_cast<int>(cfg.get_int("admission_max_queue", 0));
+  if (opts.admission.max_queue < 0) {
+    return Error{Errc::invalid_argument,
+                 "admission_max_queue must be >= 0"};
+  }
+
   // Metadata journal (empty journal = disabled).
   opts.journal_dir = cfg.get_string("journal");
   if (cfg.has("journal_sync")) {

@@ -121,6 +121,7 @@ Status NestServer::init() {
   dispatcher::Dispatcher::Options dopts;
   dopts.transfer_slots = options_.transfer_slots;
   dopts.advertised_name = options_.name;
+  dopts.admission = options_.admission;
   dispatcher_ = std::make_unique<dispatcher::Dispatcher>(
       RealClock::instance(), *storage_, *tm_, dopts);
   executor_ = std::make_unique<protocol::TransferExecutor>(

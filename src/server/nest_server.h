@@ -42,6 +42,9 @@ struct NestServerOptions {
   storage::StorageOptions storage;
   transfer::TransferManager::Options tm;
   int transfer_slots = 8;
+  // Overload admission control (admission_target_ms / admission_max_queue
+  // in nest.conf; both zero = disabled, transfers queue without bound).
+  transfer::AdmissionOptions admission;
   // Total transfer-rate cap in bytes/sec (0 = unlimited). Scheduling
   // policies bind at this rate even on networks faster than it.
   std::int64_t bandwidth_limit = 0;

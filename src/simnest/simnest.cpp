@@ -25,10 +25,13 @@ SimNest::SimNest(SimHost& host, SimNestConfig config)
       config_(config),
       tm_(host.engine().clock(), config.tm),
       core_(tm_, config.service_slots),
+      admission_(host.engine().clock(), config.admission),
       gate_(host.engine(), core_),
       event_loop_(host.engine(), 1),
       disk_stage_(host.engine(), 2),
-      net_stage_(host.engine(), 2) {}
+      net_stage_(host.engine(), 2) {
+  core_.set_admission(&admission_);
+}
 
 void SimNest::ServiceGate::schedule_pump() {
   if (pump_pending_) return;
@@ -197,7 +200,7 @@ Co<void> SimNest::serve_write_block(const ProtocolBehavior& proto,
   if (proto.per_block_ack) co_await host_.link().round_trip(64);
 }
 
-Co<void> SimNest::client_get(ProtocolBehavior proto, std::string path,
+Co<bool> SimNest::client_get(ProtocolBehavior proto, std::string path,
                              std::string user) {
   auto& eng = host_.engine();
   const auto it = files_.find(path);
@@ -209,6 +212,14 @@ Co<void> SimNest::client_get(ProtocolBehavior proto, std::string path,
     co_await host_.link().round_trip(256);
   }
   co_await host_.link().round_trip(256);
+
+  // The dispatcher consults the shedder before registering the transfer;
+  // a shed request has paid the connection setup but moves no data (the
+  // busy reply rides the request round trip already awaited above).
+  if (admission_.admit(proto.name, user) !=
+      transfer::AdmissionController::Verdict::admitted) {
+    co_return false;
+  }
 
   TransferRequest* req = core_.create_request(proto.name, Direction::read,
                                               path, file.size, user);
@@ -232,19 +243,27 @@ Co<void> SimNest::client_get(ProtocolBehavior proto, std::string path,
   const Nanos latency = eng.now() - req->arrival;
   report_completion(model, latency, file.size);
   core_.complete(req);
+  co_return true;
 }
 
-Co<void> SimNest::client_put(ProtocolBehavior proto, std::string path,
+Co<bool> SimNest::client_put(ProtocolBehavior proto, std::string path,
                              std::int64_t size, std::string user) {
   auto& eng = host_.engine();
-  if (!files_.count(path)) files_[path] = FileInfo{next_file_id_++, size};
-  files_[path].size = size;
-  const FileInfo file = files_[path];
 
   for (int i = 0; i < proto.connect_rtts; ++i) {
     co_await host_.link().round_trip(256);
   }
   co_await host_.link().round_trip(256);  // PUT request + approval
+
+  if (admission_.admit(proto.name, user) !=
+      transfer::AdmissionController::Verdict::admitted) {
+    co_return false;
+  }
+
+  // The file springs into existence only once the store is admitted.
+  if (!files_.count(path)) files_[path] = FileInfo{next_file_id_++, size};
+  files_[path].size = size;
+  const FileInfo file = files_[path];
 
   TransferRequest* req = core_.create_request(proto.name, Direction::write,
                                               path, size, user);
@@ -267,6 +286,7 @@ Co<void> SimNest::client_put(ProtocolBehavior proto, std::string path,
   const Nanos latency = eng.now() - req->arrival;
   report_completion(model, latency, size);
   core_.complete(req);
+  co_return true;
 }
 
 }  // namespace nest::simnest

@@ -41,6 +41,9 @@ struct SimNestConfig {
   // routing); this is the "implementation penalty" Figure 3 shows to be
   // small. Zero for JBOS native servers.
   Nanos dispatch_overhead = 15 * kMicrosecond;
+  // Overload shedding, same policy object the real dispatcher consults
+  // (disabled by default — transfers queue without bound, as before).
+  transfer::AdmissionOptions admission;
 };
 
 // Configuration for a JBOS-style native single-protocol server.
@@ -56,16 +59,19 @@ class SimNest {
   std::int64_t file_size(const std::string& path) const;
 
   // --- simulated clients ---
-  // Whole-file retrieval via `proto`; returns when the client has all bytes.
-  // `user` feeds per-user proportional share when configured.
-  sim::Co<void> client_get(ProtocolBehavior proto, std::string path,
+  // Whole-file retrieval via `proto`; returns when the client has all
+  // bytes. `user` feeds per-user proportional share when configured.
+  // Returns false when admission control shed the request with `busy`
+  // (the client paid the connection round trips, moved no data).
+  sim::Co<bool> client_get(ProtocolBehavior proto, std::string path,
                            std::string user = {});
   // Whole-file store; bytes flow client -> server -> buffer cache/disk.
-  sim::Co<void> client_put(ProtocolBehavior proto, std::string path,
+  sim::Co<bool> client_put(ProtocolBehavior proto, std::string path,
                            std::int64_t size, std::string user = {});
 
   transfer::TransferManager& tm() { return tm_; }
   transfer::TransferCore& core() { return core_; }
+  transfer::AdmissionController& admission() { return admission_; }
   SimHost& host() { return host_; }
 
  private:
@@ -133,6 +139,7 @@ class SimNest {
   SimNestConfig config_;
   transfer::TransferManager tm_;
   transfer::TransferCore core_;
+  transfer::AdmissionController admission_;
   ServiceGate gate_;
   sim::Semaphore event_loop_;  // the single loop of the event model
   sim::Semaphore disk_stage_;  // staged model: file-I/O stage pool

@@ -1,0 +1,124 @@
+// Admission control: latency-target-driven load shedding (ROADMAP item 4).
+//
+// Under open-loop overload an appliance that queues everything has
+// unbounded latency: offered load above capacity grows the queue without
+// limit, so *every* client eventually times out. The fix is to shed at
+// admission — reply `busy` immediately instead of queueing — so the
+// requests that ARE admitted still complete within the latency target.
+//
+// The shedder is substrate-agnostic like the rest of src/transfer: the
+// real dispatcher consults it before approving a transfer, and the sim
+// server consults the same object from its coroutine client paths, so
+// policy behaviour is identical (and deterministically testable) in both.
+//
+// Decision logic, in order:
+//   1. Hard queue bound (`max_queue`): more than this many admitted
+//      transfers outstanding -> shed, unconditionally. This is the
+//      backstop that keeps memory bounded whatever the predictor thinks.
+//   2. Per-user fair share: a single user may hold at most
+//      max(1, max_queue / active_users) outstanding slots, so one
+//      aggressive client cannot monopolize admission while others are
+//      shed ("per-user fair shedding"). Only enforced when max_queue > 0.
+//   3. Latency prediction (Little's law): predicted wait for a new
+//      arrival is (outstanding + 1) / completion_rate, with the rate
+//      estimated over a trailing window. If the prediction exceeds
+//      headroom * target_ms the request is shed — EXCEPT when its
+//      protocol class has nothing outstanding, which guarantees no
+//      protocol is ever fully starved by the others' load.
+//
+// Bookkeeping is O(1) per decision and O(active classes + active users)
+// in space: per-class/per-user outstanding counts are erased when they
+// hit zero, so a million churning users leave nothing behind.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+
+namespace nest::transfer {
+
+struct AdmissionOptions {
+  // Latency target (ms) the shedder defends; <= 0 disables prediction.
+  double target_ms = 0.0;
+  // Hard cap on outstanding admitted transfers; <= 0 means unbounded.
+  int max_queue = 0;
+  // Fraction of target_ms the *mean* prediction may use. The predictor
+  // estimates mean wait; holding the mean at headroom * target keeps the
+  // tail (P99) under the target itself.
+  double headroom = 0.5;
+  // Completion-rate estimation window.
+  Nanos rate_window = 200 * kMillisecond;
+};
+
+class AdmissionController {
+ public:
+  enum class Verdict : std::uint8_t {
+    admitted,
+    shed_queue,    // hard queue bound
+    shed_user,     // per-user fair-share cap
+    shed_latency,  // predicted wait over target
+  };
+
+  AdmissionController(Clock& clock, AdmissionOptions opts)
+      : clock_(clock), opts_(opts) {}
+
+  bool enabled() const { return opts_.target_ms > 0 || opts_.max_queue > 0; }
+  const AdmissionOptions& options() const { return opts_; }
+
+  // Decide whether one more request of `protocol` from `user` may enter.
+  // Purely a decision + counters: the reservation happens when the caller
+  // actually creates the transfer (on_create) and is returned by
+  // on_complete, so a request shed — or failed between admit and create —
+  // never leaks an outstanding slot.
+  Verdict admit(const std::string& protocol, const std::string& user);
+
+  // Called by TransferCore for every created / completed transfer.
+  void on_create(const std::string& protocol, const std::string& user);
+  void on_complete(const std::string& protocol, const std::string& user);
+
+  struct Snapshot {
+    std::int64_t outstanding = 0;
+    std::int64_t admitted = 0;
+    std::int64_t shed = 0;  // all reasons
+    std::int64_t shed_queue = 0;
+    std::int64_t shed_user = 0;
+    std::int64_t shed_latency = 0;
+    double predicted_wait_ms = 0.0;      // for the next arrival, now
+    double completion_rate_per_sec = 0;  // trailing-window estimate
+    std::size_t active_users = 0;
+    std::size_t active_classes = 0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  // Completions per nanosecond over the last full window; 0 = no estimate
+  // yet (cold start admits — nothing to predict from).
+  double rate_per_ns_locked(Nanos now) const REQUIRES(mu_);
+  double predicted_wait_ns_locked(Nanos now) const REQUIRES(mu_);
+
+  Clock& clock_;
+  AdmissionOptions opts_;
+  mutable Mutex mu_{lockrank::Rank::transfer_admission, "transfer.admission"};
+  std::int64_t outstanding_ GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::string, std::int64_t> class_out_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::int64_t> user_out_ GUARDED_BY(mu_);
+  // Windowed completion-rate estimator: completions counted in the
+  // current window; on rollover the finished window becomes the estimate.
+  Nanos window_start_ GUARDED_BY(mu_) = -1;
+  std::int64_t window_count_ GUARDED_BY(mu_) = 0;
+  double rate_per_ns_ GUARDED_BY(mu_) = 0.0;
+  // Decision counters (exported via Snapshot into stats/ads).
+  std::int64_t admitted_ GUARDED_BY(mu_) = 0;
+  std::int64_t shed_queue_ GUARDED_BY(mu_) = 0;
+  std::int64_t shed_user_ GUARDED_BY(mu_) = 0;
+  std::int64_t shed_latency_ GUARDED_BY(mu_) = 0;
+};
+
+// Stable reason string for logs/stats ("admitted", "queue", "user",
+// "latency").
+const char* verdict_name(AdmissionController::Verdict v);
+
+}  // namespace nest::transfer

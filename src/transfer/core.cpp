@@ -69,6 +69,8 @@ TransferRequest* TransferCore::create_request(const std::string& protocol,
   if (size > 0) {
     stats.bytes_queued.fetch_add(size, std::memory_order_relaxed);
   }
+  // Outside reg/cache locks: the admission lock ranks below them.
+  if (admission_ != nullptr) admission_->on_create(protocol, user);
   return r;
 }
 
@@ -93,6 +95,9 @@ void TransferCore::charge(TransferRequest* r, std::int64_t bytes) {
 }
 
 void TransferCore::complete(TransferRequest* r) {
+  // Return the admission slot (and feed the completion-rate estimator)
+  // before any transfer lock: the admission lock ranks below them all.
+  if (admission_ != nullptr) admission_->on_complete(r->protocol, r->user);
   // Bytes that were admitted but never moved (failed/short transfer)
   // leave the queued-bytes gauge here; read r->done before the registry
   // frees the request.

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "transfer/admission.h"
 #include "transfer/transfer_manager.h"
 
 namespace nest::transfer {
@@ -85,6 +86,15 @@ class TransferCore {
   int free_slots() const { return free_.load(std::memory_order_relaxed); }
   TransferManager& tm() { return tm_; }
 
+  // --- admission control (optional) ---
+  // When set, every create_request/complete pair is reported to the
+  // controller, keeping its outstanding counts exact no matter which
+  // substrate (or protocol handler) drives the lifecycle. The admit()
+  // *decision* stays with the caller — the dispatcher or sim client
+  // consults the controller before creating the request at all.
+  void set_admission(AdmissionController* a) { admission_ = a; }
+  AdmissionController* admission() const { return admission_; }
+
  private:
   enum class OpKind : std::uint8_t { submit, charge };
   struct Op {
@@ -109,6 +119,7 @@ class TransferCore {
   void pump();
 
   TransferManager& tm_;
+  AdmissionController* admission_ = nullptr;
   std::atomic<int> free_;
   std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> seq_{1};

@@ -12,18 +12,27 @@ StrideScheduler::ClassState& StrideScheduler::cls(const std::string& name) {
 
 void StrideScheduler::set_tickets(const std::string& cls_name,
                                   std::int64_t tickets) {
-  classes_[cls_name].tickets = tickets < 1 ? 1 : tickets;
+  ClassState& c = classes_[cls_name];
+  c.tickets = tickets < 1 ? 1 : tickets;
+  if (!c.pinned) {
+    c.pinned = true;
+    ++pinned_;
+    if (c.in_lru) ++lru_pinned_;
+  }
 }
 
 void StrideScheduler::enqueue(TransferRequest* r) {
-  ClassState& c = cls(key_of(r));
+  const std::string& key = key_of(r);
+  ClassState& c = cls(key);
   if (c.q.empty()) {
     const Nanos now = clock_.now();
     const bool long_absent =
         c.last_seen < 0 || now - c.last_seen > opts_.rejoin_grace;
     if (long_absent) {
       // A class (re)joining after real absence starts at the global pass
-      // so it cannot claim credit for time it was gone.
+      // so it cannot claim credit for time it was gone. An LRU-evicted
+      // class re-enters through this same path (its erased state reads as
+      // never-seen), so eviction can never mint catch-up credit either.
       if (c.pass < global_pass_) c.pass = global_pass_;
     } else {
       // Momentary drains (sync block protocols between RPCs) keep their
@@ -33,53 +42,102 @@ void StrideScheduler::enqueue(TransferRequest* r) {
                              static_cast<double>(c.tickets);
       if (c.pass < min_pass) c.pass = min_pass;
     }
+    if (c.in_lru) {
+      if (c.pinned) --lru_pinned_;
+      lru_.erase(c.lru_it);
+      c.in_lru = false;
+    }
+    active_.insert({c.pass, key});
   }
   c.q.push_back(r);
   c.last_seen = clock_.now();
 }
 
 TransferRequest* StrideScheduler::next() {
-  // Find the pending class with minimum pass.
-  ClassState* best = nullptr;
-  for (auto& [name, c] : classes_) {
-    if (c.q.empty()) continue;
-    if (best == nullptr || c.pass < best->pass) best = &c;
-  }
   hold_until_ = 0;
-  if (best == nullptr) return nullptr;
+  if (active_.empty()) return nullptr;
+  // begin() is the pending class with minimum (pass, name) — exactly what
+  // the full scan over a name-ordered map used to pick.
+  const auto [best_pass, best_name] = *active_.begin();
+  ClassState& best = classes_.find(best_name)->second;
   if (!opts_.work_conserving) {
     // If some *absent* class is owed service (its pass is below the best
     // pending class) and it produced work recently, hold the server briefly
-    // rather than hand its slot to a competitor.
+    // rather than hand its slot to a competitor. Only drained classes can
+    // match, and last_seen <= drained_at, so the scan walks the LRU from
+    // the recently-drained end and stops once drains are older than
+    // idle_wait — O(recently drained), not O(classes).
     const Nanos now = clock_.now();
-    for (auto& [name, c] : classes_) {
-      if (!c.q.empty() || c.tickets <= 0) continue;
-      if (c.pass < best->pass && c.last_seen >= 0 &&
+    const std::string* held = nullptr;
+    Nanos held_until = 0;
+    for (const std::string& name : lru_) {
+      const ClassState& c = classes_.find(name)->second;
+      if (now - c.drained_at >= opts_.idle_wait) break;
+      if (c.tickets <= 0) continue;
+      if (c.pass < best_pass && c.last_seen >= 0 &&
           now - c.last_seen < opts_.idle_wait) {
-        hold_until_ = c.last_seen + opts_.idle_wait;
-        return nullptr;
+        // First match in name order, matching the old map-scan's pick.
+        if (held == nullptr || name < *held) {
+          held = &name;
+          held_until = c.last_seen + opts_.idle_wait;
+        }
       }
+    }
+    if (held != nullptr) {
+      hold_until_ = held_until;
+      return nullptr;
     }
   }
   // Global virtual time is the pass of the class being dispatched; classes
   // rejoining later clamp to it so absence earns no credit.
-  if (best->pass > global_pass_) global_pass_ = best->pass;
-  TransferRequest* r = best->q.front();
-  best->q.pop_front();
+  if (best.pass > global_pass_) global_pass_ = best.pass;
+  TransferRequest* r = best.q.front();
+  best.q.pop_front();
+  if (best.q.empty()) {
+    active_.erase(active_.begin());
+    retire(best_name, best);
+  }
   return r;
 }
 
 void StrideScheduler::charge(TransferRequest* r, std::int64_t bytes) {
-  ClassState& c = cls(key_of(r));
+  const std::string& key = key_of(r);
+  ClassState& c = cls(key);
+  const double old_pass = c.pass;
   c.pass += static_cast<double>(bytes) * kStride1 /
             static_cast<double>(c.tickets);
+  if (!c.q.empty()) {
+    // Reposition in the active index; the stored pass must track c.pass
+    // exactly or erase-by-value would miss.
+    active_.erase({old_pass, key});
+    active_.insert({c.pass, key});
+  }
 }
 
-bool StrideScheduler::empty() const {
-  for (const auto& [name, c] : classes_) {
-    if (!c.q.empty()) return false;
+bool StrideScheduler::empty() const { return active_.empty(); }
+
+void StrideScheduler::retire(const std::string& name, ClassState& c) {
+  c.drained_at = clock_.now();
+  lru_.push_front(name);
+  c.lru_it = lru_.begin();
+  c.in_lru = true;
+  if (c.pinned) ++lru_pinned_;
+  evict_past_capacity();
+}
+
+void StrideScheduler::evict_past_capacity() {
+  // Unpinned drained classes beyond capacity are forgotten entirely,
+  // least-recently-drained first. The loop condition guarantees an
+  // unpinned victim exists, so the tail walk terminates.
+  while (lru_.size() - lru_pinned_ > opts_.inactive_capacity) {
+    auto it = lru_.end();
+    do {
+      --it;
+    } while (classes_.find(*it)->second.pinned);
+    classes_.erase(*it);
+    lru_.erase(it);
+    ++evictions_;
   }
-  return true;
 }
 
 std::unique_ptr<Scheduler> make_scheduler(const std::string& kind,

@@ -17,9 +17,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
+#include <list>
 #include <memory>
+#include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -73,6 +76,18 @@ enum class ShareClass { by_protocol, by_user };
 // strides. Tickets are set per class ("NFS gets 4, others 1"); a class's
 // pass advances by bytes * stride1 / tickets when charged, and next()
 // serves the pending class with the minimum pass.
+//
+// Scale: class state is two-tier so by_user sharing survives million-user
+// populations. The *active* tier (classes with pending requests) lives in
+// an ordered index, so next() is O(log active) instead of a scan over
+// every class ever seen. The *inactive* tier (classes whose queues
+// drained) is a bounded LRU: beyond Options::inactive_capacity the
+// least-recently-drained class is forgotten entirely, and if it rejoins
+// later it re-clamps to the global pass exactly as a class absent longer
+// than rejoin_grace would — eviction can never mint catch-up credit.
+// Classes with explicitly configured tickets are pinned and never
+// evicted (protocol classes, per-user share grants). Total retained state
+// is O(active + inactive_capacity + pinned), observable via state_count().
 class StrideScheduler final : public Scheduler {
  public:
   struct Options {
@@ -91,6 +106,9 @@ class StrideScheduler final : public Scheduler {
     // Bound on how far a class's pass may lag the global pass, expressed
     // in bytes of service at its ticket count (limits catch-up bursts).
     std::int64_t max_lag_bytes = 2'000'000;
+    // Drained (inactive) classes retained before LRU eviction. Pinned
+    // classes (explicit set_tickets) do not count and are never evicted.
+    std::size_t inactive_capacity = 4096;
   };
 
   explicit StrideScheduler(Clock& clock);
@@ -112,23 +130,52 @@ class StrideScheduler final : public Scheduler {
   // Suggested wait when next() held back (non-work-conserving only).
   Nanos hold_until() const { return hold_until_; }
 
+  // --- scale observability (tests assert the O(active) bound) ---
+  // Classes currently holding any state (active + retained inactive).
+  std::size_t state_count() const { return classes_.size(); }
+  // Classes with pending requests.
+  std::size_t active_count() const { return active_.size(); }
+  // Drained classes retained in the LRU tier (pinned ones included).
+  std::size_t inactive_count() const { return lru_.size(); }
+  // Classes pinned by an explicit set_tickets (never evicted).
+  std::size_t pinned_count() const { return pinned_; }
+  // Inactive-tier evictions performed so far.
+  std::int64_t evictions() const { return evictions_; }
+
  private:
   struct ClassState {
     std::int64_t tickets = 1;
+    bool pinned = false;  // explicit set_tickets; exempt from eviction
     double pass = 0.0;
     std::deque<TransferRequest*> q;
-    Nanos last_seen = -1;  // last enqueue time (-1: never), for idle_wait
+    Nanos last_seen = -1;   // last enqueue time (-1: never), for idle_wait
+    Nanos drained_at = -1;  // when the queue last emptied (LRU recency)
+    std::list<std::string>::iterator lru_it;
+    bool in_lru = false;
   };
   const std::string& key_of(const TransferRequest* r) const {
     return opts_.share_class == ShareClass::by_user ? r->user : r->protocol;
   }
   ClassState& cls(const std::string& name);
+  // Move a just-drained class into the LRU tier and evict past capacity.
+  void retire(const std::string& name, ClassState& c);
+  void evict_past_capacity();
 
   static constexpr double kStride1 = 1 << 20;
 
   Clock& clock_;
   Options opts_;
-  std::map<std::string, ClassState> classes_;
+  // Only classes that are active or LRU-retained exist here; eviction
+  // erases the entry outright, so memory is O(active + capacity + pinned).
+  std::unordered_map<std::string, ClassState> classes_;
+  // Active classes ordered by (pass, name): begin() is exactly the class
+  // the old full scan picked (strictly-min pass, name-order tiebreak).
+  std::set<std::pair<double, std::string>> active_;
+  // Drained classes, most recently drained first; evicted from the tail.
+  std::list<std::string> lru_;
+  std::size_t pinned_ = 0;      // total pinned classes
+  std::size_t lru_pinned_ = 0;  // pinned classes currently in lru_
+  std::int64_t evictions_ = 0;
   double global_pass_ = 0.0;
   Nanos hold_until_ = 0;
 };

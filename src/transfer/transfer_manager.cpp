@@ -9,7 +9,8 @@ TransferManager::TransferManager(Clock& clock, Options options)
       options_(options),
       scheduler_(make_scheduler(options.scheduler, clock)),
       selector_(options.adapt),
-      cache_model_(options.cache_model_bytes, options.cache_model_page) {
+      cache_model_(options.cache_model_bytes, options.cache_model_page),
+      latencies_(options.latency_samples_per_stripe) {
   assert(scheduler_ != nullptr && "unknown scheduler kind");
 }
 

@@ -44,6 +44,11 @@ class TransferManager {
     // Gray-box cache model sizing (estimate of the kernel cache).
     std::int64_t cache_model_bytes = 64LL * 1024 * 1024;
     std::int64_t cache_model_page = 8 * 1024;
+    // Latency samples retained per recorder stripe for percentile
+    // queries (0 = retain everything). Bounded by default so the
+    // monitoring surfaces (discovery ads, /stats) stay O(1) amortized
+    // under unbounded request churn; mean/count stay exact regardless.
+    std::size_t latency_samples_per_stripe = 4096;
   };
 
   TransferManager(Clock& clock, Options options);
