@@ -1,0 +1,208 @@
+// Ablation — the cold tier (docs/hsm.md): what does CASTOR-style HSM
+// cost, and can migration be paced so live clients barely notice?
+//
+// Three sweeps on the simulated substrate:
+//   1. Recall latency: first read of a cold file pays the tape mount and
+//      stream; the follow-up hot read is the control.
+//   2. Recall storm: N concurrent readers of one cold file cost ONE
+//      staged pass (the fan-in contract), so per-client cost amortizes.
+//   3. Migration pacing: a 32 MB drain shares the stride scheduler with
+//      a live client at three ticket ratios; live P50/P99 per-get
+//      latency vs the no-migration baseline shows the pacing lever.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/platform.h"
+#include "simnest/simnest.h"
+
+using namespace nest;
+using namespace nest::simnest;
+
+namespace {
+
+double pct(std::vector<Nanos> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * (v.size() - 1) / 100.0);
+  return to_seconds(v[idx]) * 1e3;  // ms
+}
+
+// ---------- 1. recall latency vs file size ----------
+
+void recall_latency() {
+  std::printf("-- recall latency (tape2002 cold store: 2 s mount, "
+              "12 MB/s stream) --\n");
+  std::printf("  %8s  %12s  %12s\n", "size", "cold (s)", "hot (s)");
+  for (const std::int64_t mb : {1, 8, 32, 128}) {
+    sim::Engine eng;
+    SimHost host(eng, sim::PlatformProfile::linux2_2());
+    SimNestConfig cfg;
+    cfg.tm.adaptive = false;
+    SimNest server(host, cfg);
+    server.attach_cold_tier(sim::PlatformProfile::tape2002());
+    server.add_cold_file("/archive", mb * 1'000'000);
+
+    Nanos cold_done = 0;
+    sim::spawn([](sim::Engine& e, SimNest& s, Nanos& out) -> sim::Co<void> {
+      co_await s.client_get(ProtocolBehavior::chirp(), "/archive");
+      out = e.now();
+    }(eng, server, cold_done));
+    eng.run();
+
+    Nanos hot_done = 0;
+    sim::spawn([](sim::Engine& e, SimNest& s, Nanos& out) -> sim::Co<void> {
+      co_await s.client_get(ProtocolBehavior::chirp(), "/archive");
+      out = e.now();
+    }(eng, server, hot_done));
+    eng.run();
+    const double cold_s = to_seconds(cold_done);
+    const double hot_s = to_seconds(hot_done - cold_done);
+    std::printf("  %5lld MB  %12.2f  %12.2f\n",
+                static_cast<long long>(mb), cold_s, hot_s);
+    std::printf("{\"bench\":\"abl_hsm\",\"metric\":\"recall_latency\","
+                "\"size_mb\":%lld,\"cold_s\":%.3f,\"hot_s\":%.3f}\n",
+                static_cast<long long>(mb), cold_s, hot_s);
+  }
+}
+
+// ---------- 2. recall storm fan-in ----------
+
+void recall_storm() {
+  std::printf("\n-- recall storm: N clients, one 8 MB cold file --\n");
+  std::printf("  %4s  %8s  %6s  %14s\n", "N", "recalls", "joins",
+              "storm done (s)");
+  for (const int n : {1, 4, 16, 64}) {
+    sim::Engine eng;
+    SimHost host(eng, sim::PlatformProfile::linux2_2());
+    SimNestConfig cfg;
+    cfg.tm.adaptive = false;
+    SimNest server(host, cfg);
+    server.attach_cold_tier(sim::PlatformProfile::tape2002());
+    server.add_cold_file("/storm", 8'000'000);
+    for (int i = 0; i < n; ++i) {
+      sim::spawn([](SimNest& s) -> sim::Co<void> {
+        co_await s.client_get(ProtocolBehavior::chirp(), "/storm");
+      }(server));
+    }
+    eng.run();
+    const auto& c = server.hsm_counters();
+    const double done_s = to_seconds(eng.now());
+    std::printf("  %4d  %8lld  %6lld  %14.2f\n", n,
+                static_cast<long long>(c.recalls),
+                static_cast<long long>(c.recall_joins), done_s);
+    std::printf("{\"bench\":\"abl_hsm\",\"metric\":\"recall_storm\","
+                "\"clients\":%d,\"recalls\":%lld,\"joins\":%lld,"
+                "\"done_s\":%.3f}\n",
+                n, static_cast<long long>(c.recalls),
+                static_cast<long long>(c.recall_joins), done_s);
+  }
+}
+
+// ---------- 3. migration pacing vs live latency ----------
+
+struct PacingRow {
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double live_done_s = 0;
+  double mig_done_s = 0;
+  double mig_mbps = 0;
+};
+
+PacingRow run_pacing(std::int64_t live_tickets, std::int64_t mig_tickets,
+                     bool with_migration) {
+  sim::Engine eng;
+  SimHost host(eng, sim::PlatformProfile::linux2_2());
+  SimNestConfig cfg;
+  cfg.tm.adaptive = false;
+  cfg.tm.scheduler = "stride";
+  cfg.service_slots = 1;  // every grant goes through the scheduler
+  cfg.hsm_block = 64 * 1024;
+  SimNest server(host, cfg);
+  server.tm().stride()->set_tickets("chirp", live_tickets);
+  server.tm().stride()->set_tickets("migrate", mig_tickets);
+  // Nearline disk pool: pacing is under test, not the mount cost.
+  auto cold = sim::PlatformProfile::tape2002();
+  cold.disk_seek = kMillisecond;
+  cold.disk_bw = 20.0e6;
+  server.attach_cold_tier(cold);
+  server.add_file("/live", 1'000'000, /*cached=*/true);
+  server.add_file("/old", 32'000'000, /*cached=*/true);
+
+  std::vector<Nanos> lat;
+  Nanos live_done = 0;
+  Nanos mig_done = 0;
+  sim::spawn([](sim::Engine& e, SimNest& s, std::vector<Nanos>& l,
+                Nanos& out) -> sim::Co<void> {
+    for (int i = 0; i < 64; ++i) {
+      const Nanos t0 = e.now();
+      co_await s.client_get(ProtocolBehavior::chirp(), "/live");
+      l.push_back(e.now() - t0);
+    }
+    out = e.now();
+  }(eng, server, lat, live_done));
+  if (with_migration) {
+    sim::spawn([](sim::Engine& e, SimNest& s, Nanos& out) -> sim::Co<void> {
+      co_await s.migrate_file("/old");
+      out = e.now();
+    }(eng, server, mig_done));
+  }
+  eng.run();
+
+  PacingRow r;
+  r.p50_ms = pct(lat, 50);
+  r.p99_ms = pct(lat, 99);
+  r.live_done_s = to_seconds(live_done);
+  r.mig_done_s = to_seconds(mig_done);
+  if (mig_done > 0) {
+    r.mig_mbps = static_cast<double>(server.hsm_counters().bytes_migrated) /
+                 to_seconds(mig_done) / 1e6;
+  }
+  return r;
+}
+
+void migration_pacing() {
+  std::printf("\n-- migration pacing: 32 MB drain vs 64 x 1 MB live gets "
+              "(stride tickets live:migrate) --\n");
+  std::printf("  %10s  %10s  %10s  %12s  %12s\n", "tickets", "p50 (ms)",
+              "p99 (ms)", "drain (s)", "drain MB/s");
+  const PacingRow base = run_pacing(8, 1, /*with_migration=*/false);
+  std::printf("  %10s  %10.1f  %10.1f  %12s  %12s\n", "baseline",
+              base.p50_ms, base.p99_ms, "-", "-");
+  std::printf("{\"bench\":\"abl_hsm\",\"metric\":\"pacing\","
+              "\"live_tickets\":8,\"mig_tickets\":0,\"p50_ms\":%.2f,"
+              "\"p99_ms\":%.2f,\"mig_done_s\":0,\"mig_mbps\":0}\n",
+              base.p50_ms, base.p99_ms);
+  struct Level {
+    std::int64_t live, mig;
+    const char* label;
+  };
+  for (const Level lv : {Level{8, 1, "8:1"}, Level{1, 1, "1:1"},
+                         Level{1, 8, "1:8"}}) {
+    const PacingRow r = run_pacing(lv.live, lv.mig, /*with_migration=*/true);
+    std::printf("  %10s  %10.1f  %10.1f  %12.2f  %12.1f\n", lv.label,
+                r.p50_ms, r.p99_ms, r.mig_done_s, r.mig_mbps);
+    std::printf("{\"bench\":\"abl_hsm\",\"metric\":\"pacing\","
+                "\"live_tickets\":%lld,\"mig_tickets\":%lld,"
+                "\"p50_ms\":%.2f,\"p99_ms\":%.2f,\"mig_done_s\":%.2f,"
+                "\"mig_mbps\":%.2f}\n",
+                static_cast<long long>(lv.live),
+                static_cast<long long>(lv.mig), r.p50_ms, r.p99_ms,
+                r.mig_done_s, r.mig_mbps);
+  }
+  std::printf("\nExpectation: at 8:1 the drain trickles and live P99 stays "
+              "within 2x of\nbaseline; at 1:8 the drain finishes fastest "
+              "and live latency visibly\ndegrades — the pacing lever in "
+              "numbers.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: hierarchical cold tier (docs/hsm.md)\n\n");
+  recall_latency();
+  recall_storm();
+  migration_pacing();
+  return 0;
+}

@@ -7,7 +7,7 @@
 #
 # Defaults: build-dir=build, out-dir=., benches=fig3_multiprotocol
 # fig4_proportional fig5_adaptive abl_journal_commit abl_wire_speed
-# abl_replication abl_scale. Any
+# abl_replication abl_scale abl_hsm. Any
 # machine-readable
 # JSONL rows a bench prints are lifted into the "rows" array; the full
 # stdout/stderr transcript is preserved verbatim under "raw".
@@ -21,7 +21,8 @@ shift $(( $# > 2 ? 2 : $# )) || true
 BENCHES=("$@")
 if [ "${#BENCHES[@]}" -eq 0 ]; then
   BENCHES=(fig3_multiprotocol fig4_proportional fig5_adaptive
-           abl_journal_commit abl_wire_speed abl_replication abl_scale)
+           abl_journal_commit abl_wire_speed abl_replication abl_scale
+           abl_hsm)
 fi
 
 if [ ! -d "$BUILD_DIR" ]; then

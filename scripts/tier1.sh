@@ -21,20 +21,20 @@ cmake --build --preset default -j "${JOBS}"
 echo "== tier1: full test suite (lock-rank detector armed) =="
 NEST_LOCKRANK=1 ctest --preset default
 
-echo "== tier1: ThreadSanitizer pass over concurrency/obs/conformance/chaos/cluster/scale tests =="
+echo "== tier1: ThreadSanitizer pass over concurrency/obs/conformance/chaos/cluster/scale/hsm tests =="
 cmake --preset tsan
 # Only the labelled binaries need instrumenting; keeps the tsan tree cheap.
 cmake --build --preset tsan -j "${JOBS}" \
   --target transfer_core_test obs_test conformance_test chaos_test cluster_test \
-          scale_test loadgen_test
+          scale_test loadgen_test hsm_test
 TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan
 
-echo "== tier1: AddressSanitizer pass over recovery/obs/conformance/fault/chaos/cluster/scale tests =="
+echo "== tier1: AddressSanitizer pass over recovery/obs/conformance/fault/chaos/cluster/scale/hsm tests =="
 cmake --preset asan
 # Only the labelled binaries need instrumenting.
 cmake --build --preset asan -j "${JOBS}" \
   --target journal_test obs_test conformance_test fault_test chaos_test cluster_test \
-          scale_test loadgen_test
+          scale_test loadgen_test hsm_test
 ASAN_OPTIONS="halt_on_error=1" ctest --preset asan
 
 echo "== tier1: UBSan pass over the full suite =="

@@ -16,6 +16,7 @@ Errc code_to_errc(int code) {
     case 554: return Errc::lot_unknown;
     case 501: return Errc::invalid_argument;
     case 553: return Errc::busy;
+    case 455: return Errc::staging;
     case 555: return Errc::not_dir;
     default: return Errc::protocol_error;
   }
@@ -226,6 +227,29 @@ Status ChirpClient::lot_set_replicas(std::uint64_t id,
                                      std::int64_t replicas) {
   auto r = command("LOT REPLICAS " + std::to_string(id) + " " +
                    std::to_string(replicas));
+  return r.ok() ? to_status(*r) : Status{r.error()};
+}
+
+Status ChirpClient::lot_pin(std::uint64_t id, bool pinned) {
+  auto r = command("LOT PIN " + std::to_string(id) + " " +
+                   (pinned ? "1" : "0"));
+  return r.ok() ? to_status(*r) : Status{r.error()};
+}
+
+Result<std::string> ChirpClient::hsm_status(const std::string& path) {
+  auto r = command("HSM STATUS " + path);
+  if (!r.ok()) return r.error();
+  if (r->code != 200) return Error{code_to_errc(r->code), r->text};
+  return r->text;
+}
+
+Status ChirpClient::hsm_recall(const std::string& path) {
+  auto r = command("HSM RECALL " + path);
+  return r.ok() ? to_status(*r) : Status{r.error()};
+}
+
+Status ChirpClient::hsm_migrate(const std::string& path) {
+  auto r = command("HSM MIGRATE " + path);
   return r.ok() ? to_status(*r) : Status{r.error()};
 }
 

@@ -63,6 +63,15 @@ class ChirpClient {
   Result<std::string> lot_list();
   // Per-lot replication policy (cluster federation); 0 = cluster default.
   Status lot_set_replicas(std::uint64_t id, std::int64_t replicas);
+  // Pin the lot's files against cold-tier migration (owner/superuser).
+  Status lot_pin(std::uint64_t id, bool pinned);
+
+  // Hierarchical storage: "hot"/"cold"/"migrating"/"recalling" per file,
+  // synchronous recall (blocks until the file is hot again; joins an
+  // in-flight recall if one exists), explicit migrate.
+  Result<std::string> hsm_status(const std::string& path);
+  Status hsm_recall(const std::string& path);
+  Status hsm_migrate(const std::string& path);
 
   // Cluster federation status: one "self ..." line plus one "peer ..."
   // line per configured peer (role, liveness, acked LSN lag, score).

@@ -15,6 +15,8 @@
 //   fault-set <point> <spec>  fault-list
 //   cluster-status           replica-list [path]
 //   lot-replicas <id> <count>
+//   lot-pin <id> <0|1>       tier-status <path>
+//   recall <path>            migrate <path>
 //   ad
 #include <cstdio>
 #include <fstream>
@@ -35,7 +37,7 @@ int usage() {
                "          lot-renew lot-terminate lot-query lot-list\n"
                "          acl-get acl-set acl-clear journal-stat stats ad\n"
                "          fault-set fault-list cluster-status replica-list\n"
-               "          lot-replicas\n");
+               "          lot-replicas lot-pin tier-status recall migrate\n");
   return 2;
 }
 
@@ -205,6 +207,28 @@ int main(int argc, char** argv) {
     if (!id || !n) return usage();
     const auto s =
         client->lot_set_replicas(static_cast<std::uint64_t>(*id), *n);
+    return s.ok() ? 0 : fail(s);
+  }
+  if (cmd == "lot-pin" && rest.size() == 2) {
+    const auto id = parse_int(rest[0]);
+    const auto pin = parse_int(rest[1]);
+    if (!id || !pin) return usage();
+    const auto s =
+        client->lot_pin(static_cast<std::uint64_t>(*id), *pin != 0);
+    return s.ok() ? 0 : fail(s);
+  }
+  if (cmd == "tier-status" && rest.size() == 1) {
+    auto tier = client->hsm_status(rest[0]);
+    if (!tier.ok()) return fail(tier.error());
+    std::printf("%s\n", tier->c_str());
+    return 0;
+  }
+  if (cmd == "recall" && rest.size() == 1) {
+    const auto s = client->hsm_recall(rest[0]);
+    return s.ok() ? 0 : fail(s);
+  }
+  if (cmd == "migrate" && rest.size() == 1) {
+    const auto s = client->hsm_migrate(rest[0]);
     return s.ok() ? 0 : fail(s);
   }
   if (cmd == "cluster-status" && rest.empty()) {

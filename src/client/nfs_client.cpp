@@ -30,6 +30,7 @@ Status NfsClient::nfs_status(std::uint32_t st) {
     case protocol::NFSERR_ISDIR: return Status{Errc::is_dir, "nfs"};
     case protocol::NFSERR_NOSPC: return Status{Errc::no_space, "nfs"};
     case protocol::NFSERR_NOTEMPTY: return Status{Errc::busy, "nfs"};
+    case protocol::NFSERR_JUKEBOX: return Status{Errc::staging, "nfs"};
     case protocol::NFSERR_STALE: return Status{Errc::not_found, "stale fh"};
     default: return Status{Errc::io_error, "nfs error " + std::to_string(st)};
   }

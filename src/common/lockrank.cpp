@@ -91,6 +91,7 @@ const char* rank_name(Rank r) noexcept {
     case Rank::kangaroo_spool: return "kangaroo_spool";
     case Rank::nfs_handles: return "nfs_handles";
     case Rank::dispatcher_pub: return "dispatcher_pub";
+    case Rank::hsm_worker: return "hsm_worker";
     case Rank::executor_queue: return "executor_queue";
     case Rank::executor_throttle: return "executor_throttle";
     case Rank::dispatcher_load: return "dispatcher_load";
@@ -98,6 +99,7 @@ const char* rank_name(Rank r) noexcept {
     case Rank::discovery_collector: return "discovery_collector";
     case Rank::cluster_membership: return "cluster_membership";
     case Rank::cluster_selector: return "cluster_selector";
+    case Rank::hsm_state: return "hsm_state";
     case Rank::storage_meta: return "storage_meta";
     case Rank::storage_file: return "storage_file";
     case Rank::cluster_ship: return "cluster_ship";

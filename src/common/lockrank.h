@@ -40,6 +40,9 @@ namespace nest::lockrank {
 //       journal state while taking membership)
 //   storage_meta < cluster_ship   (the replication hook enqueues sealed
 //       batches under storage mu_)
+//   hsm_state < storage_meta      (the recall executor election holds the
+//       in-flight table while consulting residency; storage calls under
+//       hsm_state are legal, the inverse is not)
 //   transfer_sched < transfer_shard   (drain empties shards under sched)
 //   dispatcher_load < obs_load    (observe_load samples trackers)
 //   fault_registry < fault_point  (fault-list reads specs per point)
@@ -50,6 +53,7 @@ enum class Rank : int {
   kangaroo_spool = 14,       // KangarooMover spool queue
   nfs_handles = 16,          // NFS file-handle id maps
   dispatcher_pub = 18,       // Dispatcher publisher thread control
+  hsm_worker = 19,           // HsmManager background worker control
   executor_queue = 20,       // EventLoop work queue
   executor_throttle = 22,    // TransferExecutor token bucket
   dispatcher_load = 24,      // Dispatcher rolling load trackers
@@ -57,6 +61,7 @@ enum class Rank : int {
   discovery_collector = 26,  // discovery::Collector ad table
   cluster_membership = 27,   // cluster::PeerTable peer/liveness view
   cluster_selector = 28,     // cluster::ReplicaSelector EWMA state
+  hsm_state = 29,            // hsm::RecallManager in-flight recall table
   storage_meta = 30,         // StorageManager lot/ACL/quota state
   storage_file = 34,         // MemFs per-file payload (shared)
   cluster_ship = 36,         // cluster replication ship queue + cursors

@@ -22,6 +22,7 @@ const char* errc_name(Errc e) noexcept {
     case Errc::timed_out: return "timed_out";
     case Errc::unsupported: return "unsupported";
     case Errc::busy: return "busy";
+    case Errc::staging: return "staging";
     case Errc::internal: return "internal";
   }
   return "unknown";

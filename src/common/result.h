@@ -33,6 +33,7 @@ enum class Errc {
   timed_out,
   unsupported,
   busy,
+  staging,           // data is on the cold tier; recall in progress, retry
   internal,
 };
 

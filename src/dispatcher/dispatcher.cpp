@@ -90,6 +90,26 @@ Reply Dispatcher::execute_impl(const NestRequest& req) {
                                              req.lot_replicas),
                    {},
                    0};
+    case NestOp::lot_pin:
+      // lot_replicas carries the 0|1 pin flag on the wire.
+      return Reply{storage_.lot_set_pin(req.principal, req.lot_id,
+                                        req.lot_replicas != 0),
+                   {},
+                   0};
+    case NestOp::hsm_status: {
+      auto tier = storage_.hsm_tier(req.principal, req.path);
+      if (!tier.ok()) return Reply::fail(Status{tier.error()});
+      return Reply::ok(hsm::tier_name(*tier),
+                       static_cast<std::int64_t>(*tier));
+    }
+    case NestOp::hsm_recall: {
+      if (!hsm_) return Reply::fail(Status{Errc::unsupported, "no cold tier"});
+      return Reply{hsm_->recall(req.principal, req.path), {}, 0};
+    }
+    case NestOp::hsm_migrate: {
+      if (!hsm_) return Reply::fail(Status{Errc::unsupported, "no cold tier"});
+      return Reply{hsm_->migrate(req.principal, req.path), {}, 0};
+    }
     case NestOp::lot_query: {
       auto lot = storage_.lot_query(req.principal, req.lot_id);
       if (!lot.ok()) return Reply::fail(Status{lot.error()});
@@ -210,6 +230,12 @@ Result<storage::TransferTicket> Dispatcher::approve_get(
   }
   auto t = storage_.approve_read(req.principal, req.path);
   if (!t.ok()) {
+    // A read of cold data is answered with the retryable staging error,
+    // but it also *starts* the recall: the client's retry loop is the
+    // wait, the HSM worker is the motor (CASTOR-style implicit staging).
+    if (t.error().code == Errc::staging && hsm_) {
+      hsm_->note_cold_read(req.principal, req.path);
+    }
     obs::Stats::global().errors.fetch_add(1, std::memory_order_relaxed);
   }
   return t;
@@ -352,6 +378,15 @@ std::string Dispatcher::stats_json() const {
      << ",\"free_space\":" << res_int("FreeSpace")
      << ",\"free_lot_space\":" << res_int("AvailableLotSpace")
      << ",\"reclaimable_space\":" << res_int("ReclaimableSpace") << "}";
+  if (storage_.cold_tier_attached()) {
+    const auto hs = storage_.hsm_stats();
+    os << ",\"hsm\":{\"cold_files\":" << hs.cold_files
+       << ",\"cold_bytes\":" << hs.cold_bytes
+       << ",\"migrating\":" << hs.migrating
+       << ",\"recalling\":" << hs.recalling
+       << ",\"recalls_pending\":" << (hsm_ ? hsm_->recalls().pending() : 0)
+       << "}";
+  }
   os << ",\"journal\":";
   if (const auto js = storage_.journal_stats()) {
     os << "{\"last_lsn\":" << js->last_lsn

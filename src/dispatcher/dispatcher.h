@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "discovery/collector.h"
+#include "hsm/hsm_manager.h"
 #include "obs/stats.h"
 #include "protocol/request.h"
 #include "storage/storage_manager.h"
@@ -114,6 +115,11 @@ class Dispatcher {
 
   transfer::TransferManager& tm() { return tm_; }
   storage::StorageManager& storage() { return storage_; }
+  // Optional cold-tier subsystem. When set, reads that hit cold data get
+  // an automatic recall queued behind the retryable staging reply, and
+  // the HSM ops (hsm_status/recall/migrate, lot_pin) become live.
+  void set_hsm(hsm::HsmManager* hsm) { hsm_ = hsm; }
+  hsm::HsmManager* hsm() { return hsm_; }
   BlockGate& gate() { return gate_; }
   transfer::TransferCore& core() { return gate_.core(); }
   transfer::AdmissionController& admission() { return admission_; }
@@ -148,6 +154,7 @@ class Dispatcher {
   Clock& clock_;
   storage::StorageManager& storage_;
   transfer::TransferManager& tm_;
+  hsm::HsmManager* hsm_ = nullptr;
   Options options_;
   BlockGate gate_;
   // Latency-target shedder consulted by approve_get/approve_put; fed by

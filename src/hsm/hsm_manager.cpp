@@ -1,0 +1,72 @@
+#include "hsm/hsm_manager.h"
+
+#include <chrono>
+
+#include "obs/stats.h"
+
+namespace nest::hsm {
+
+HsmManager::HsmManager(Clock& clock, storage::StorageManager& sm,
+                       transfer::TransferCore* core, HsmOptions options)
+    : clock_(clock),
+      options_(options),
+      migrator_(clock, sm, core,
+                MigratorOptions{options.block_bytes, options.migrate_batch}),
+      recalls_(clock, sm, core, options.block_bytes) {}
+
+HsmManager::~HsmManager() { stop(); }
+
+void HsmManager::note_cold_read(const storage::Principal& who,
+                                const std::string& path) {
+  obs::Stats::global().hsm_staging_busy.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  recalls_.request(who, path);
+  {
+    MutexLock lock(mu_);
+    kicked_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t HsmManager::poll() {
+  std::size_t work = 0;
+  if (options_.auto_migrate) work += migrator_.run_pass();
+  work += recalls_.run_pending();
+  return work;
+}
+
+void HsmManager::start() {
+  MutexLock lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { worker(); });
+}
+
+void HsmManager::stop() {
+  {
+    MutexLock lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void HsmManager::worker() {
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      cv_.wait_for(lock, std::chrono::nanoseconds(options_.scan_interval),
+                   [this]() NO_THREAD_SAFETY_ANALYSIS {
+                     return stop_ || kicked_;
+                   });
+      if (stop_) return;
+      kicked_ = false;
+    }
+    poll();
+  }
+}
+
+}  // namespace nest::hsm

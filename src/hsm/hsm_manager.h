@@ -1,0 +1,71 @@
+// HsmManager: the cold-tier subsystem's front door (docs/hsm.md).
+//
+// Owns the TierMigrator and RecallManager, plus an optional background
+// worker that alternates policy migration passes with draining the
+// asynchronous recall queue the dispatcher feeds. Everything the worker
+// does is also reachable synchronously (poll()) so tests and the sim stay
+// deterministic without a thread.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "hsm/migrator.h"
+#include "hsm/recall.h"
+
+namespace nest::hsm {
+
+struct HsmOptions {
+  std::int64_t block_bytes = 256 * 1024;
+  std::size_t migrate_batch = 4;    // files per policy pass
+  Nanos scan_interval = 10 * kSecond;  // worker cadence (real time)
+  bool auto_migrate = true;         // worker runs policy passes
+};
+
+class HsmManager {
+ public:
+  HsmManager(Clock& clock, storage::StorageManager& sm,
+             transfer::TransferCore* core, HsmOptions options = {});
+  ~HsmManager();
+
+  // Synchronous surfaces (Chirp ops, CLI, tests).
+  Status recall(const storage::Principal& who, const std::string& path) {
+    return recalls_.recall(who, path);
+  }
+  Status migrate(const storage::Principal& who, const std::string& path) {
+    return migrator_.migrate(who, path);
+  }
+
+  // Dispatcher hook: a read hit cold data and was answered with the
+  // retryable staging error — queue the recall and nudge the worker.
+  void note_cold_read(const storage::Principal& who, const std::string& path);
+
+  // One worker iteration, inline: policy pass + drain the recall queue.
+  // Returns files migrated + recalls completed.
+  std::size_t poll();
+
+  void start();  // idempotent
+  void stop();   // idempotent; joins the worker
+
+  TierMigrator& migrator() { return migrator_; }
+  RecallManager& recalls() { return recalls_; }
+  const HsmOptions& options() const { return options_; }
+
+ private:
+  void worker();
+
+  Clock& clock_;
+  HsmOptions options_;
+  TierMigrator migrator_;
+  RecallManager recalls_;
+  Mutex mu_{lockrank::Rank::hsm_worker, "hsm.worker"};
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool kicked_ GUARDED_BY(mu_) = false;
+  bool running_ GUARDED_BY(mu_) = false;
+  std::thread thread_;
+};
+
+}  // namespace nest::hsm

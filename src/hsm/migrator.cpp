@@ -1,0 +1,88 @@
+#include "hsm/migrator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "fault/failpoint.h"
+#include "obs/stats.h"
+
+namespace nest::hsm {
+
+TierMigrator::TierMigrator(Clock& clock, storage::StorageManager& sm,
+                           transfer::TransferCore* core,
+                           MigratorOptions options)
+    : clock_(clock), sm_(sm), core_(core), options_(options) {}
+
+Status TierMigrator::copy_blocks(
+    const storage::StorageManager::HsmTicket& t) {
+  transfer::TransferRequest* req = nullptr;
+  if (core_) {
+    req = core_->create_request("migrate", transfer::Direction::read, t.path,
+                                t.size);
+  }
+  std::vector<char> buf(static_cast<std::size_t>(options_.block_bytes));
+  Status out;
+  for (std::int64_t off = 0; off < t.size && out.ok();) {
+    NEST_FAILPOINT("hsm.migrate", out = Status{err});
+    if (!out.ok()) break;
+    const std::int64_t want =
+        std::min<std::int64_t>(options_.block_bytes, t.size - off);
+    if (core_) core_->acquire(req);
+    auto n = t.src->pread(std::span<char>(buf.data(),
+                                          static_cast<std::size_t>(want)),
+                          off);
+    if (!n.ok()) {
+      out = Status{n.error()};
+    } else if (*n <= 0) {
+      out = Status{Errc::io_error, "short read during migration"};
+    } else {
+      auto w = t.dst->pwrite(
+          std::span<const char>(buf.data(), static_cast<std::size_t>(*n)),
+          off);
+      if (!w.ok()) {
+        out = Status{w.error()};
+      } else if (*w != *n) {
+        out = Status{Errc::io_error, "short write during migration"};
+      } else {
+        off += *n;
+      }
+    }
+    if (core_) {
+      if (out.ok()) core_->charge(req, want);
+      core_->release();
+    }
+  }
+  if (core_) core_->complete(req);
+  return out;
+}
+
+Status TierMigrator::migrate(const storage::Principal& who,
+                             const std::string& path) {
+  const Nanos start = clock_.now();
+  auto ticket = sm_.hsm_begin_migrate(who, path);
+  if (!ticket.ok()) return Status{ticket.error()};
+  if (Status copy = copy_blocks(*ticket); !copy.ok()) {
+    sm_.hsm_abort_migrate(ticket->path);
+    return copy;
+  }
+  if (auto s = sm_.hsm_commit_migrate(*ticket); !s.ok()) return s;
+  auto& st = obs::Stats::global();
+  st.hsm_migrations.fetch_add(1, std::memory_order_relaxed);
+  st.hsm_bytes_migrated.fetch_add(ticket->size, std::memory_order_relaxed);
+  st.hsm_migrate_time.record(clock_.now() - start);
+  return {};
+}
+
+std::size_t TierMigrator::run_pass() {
+  storage::Principal who;
+  who.name = sm_.options().superuser;
+  who.authenticated = true;
+  who.protocol = "hsm";
+  std::size_t moved = 0;
+  for (const auto& path : sm_.hsm_migration_candidates(options_.batch)) {
+    if (migrate(who, path).ok()) ++moved;
+  }
+  return moved;
+}
+
+}  // namespace nest::hsm

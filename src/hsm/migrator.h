@@ -1,0 +1,51 @@
+// TierMigrator: policy-driven hot->cold drain (docs/hsm.md).
+//
+// Policy: a file drains when every lot charging it is best-effort
+// (expired or terminated) and none is pinned — the CASTOR-style "cold
+// data behind lapsed guarantees" rule. The StorageManager owns the
+// candidate scan and the begin/commit/abort residency protocol; this
+// class owns the block copy, which runs OUTSIDE the metadata mutex and
+// paces every block through the transfer scheduler under the "migrate"
+// request class, so migration bandwidth is proportionally shared against
+// live client traffic (stride tickets pick the ratio).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "storage/storage_manager.h"
+#include "transfer/core.h"
+
+namespace nest::hsm {
+
+struct MigratorOptions {
+  std::int64_t block_bytes = 256 * 1024;
+  std::size_t batch = 4;  // files drained per policy pass
+};
+
+class TierMigrator {
+ public:
+  // `core` may be null (no pacing: tests that only exercise the residency
+  // protocol).
+  TierMigrator(Clock& clock, storage::StorageManager& sm,
+               transfer::TransferCore* core, MigratorOptions options = {});
+
+  // Drain one file. The storage layer enforces ownership, pin, and
+  // live-lot rules; failures mid-copy abort and leave the file hot.
+  Status migrate(const storage::Principal& who, const std::string& path);
+
+  // One policy pass as the superuser: drain up to `batch` candidates.
+  // Returns the number of files that went cold.
+  std::size_t run_pass();
+
+ private:
+  Status copy_blocks(const storage::StorageManager::HsmTicket& t);
+
+  Clock& clock_;
+  storage::StorageManager& sm_;
+  transfer::TransferCore* core_;
+  MigratorOptions options_;
+};
+
+}  // namespace nest::hsm

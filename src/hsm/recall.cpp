@@ -1,0 +1,158 @@
+#include "hsm/recall.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+#include "fault/failpoint.h"
+#include "hsm/residency.h"
+#include "obs/stats.h"
+
+namespace nest::hsm {
+
+RecallManager::RecallManager(Clock& clock, storage::StorageManager& sm,
+                             transfer::TransferCore* core,
+                             std::int64_t block_bytes)
+    : clock_(clock), sm_(sm), core_(core), block_bytes_(block_bytes) {}
+
+Status RecallManager::copy_blocks(
+    const storage::StorageManager::HsmTicket& t) {
+  transfer::TransferRequest* req = nullptr;
+  if (core_) {
+    req = core_->create_request("recall", transfer::Direction::read, t.path,
+                                t.size);
+  }
+  std::vector<char> buf(static_cast<std::size_t>(block_bytes_));
+  Status out;
+  for (std::int64_t off = 0; off < t.size && out.ok();) {
+    NEST_FAILPOINT("hsm.recall", out = Status{err});
+    if (!out.ok()) break;
+    const std::int64_t want =
+        std::min<std::int64_t>(block_bytes_, t.size - off);
+    if (core_) core_->acquire(req);
+    auto n = [&]() -> Result<std::int64_t> {
+      NEST_FAILPOINT("hsm.cold_read", return err);
+      return t.src->pread(
+          std::span<char>(buf.data(), static_cast<std::size_t>(want)), off);
+    }();
+    if (!n.ok()) {
+      out = Status{n.error()};
+    } else if (*n <= 0) {
+      out = Status{Errc::io_error, "short read during recall"};
+    } else {
+      auto w = t.dst->pwrite(
+          std::span<const char>(buf.data(), static_cast<std::size_t>(*n)),
+          off);
+      if (!w.ok()) {
+        out = Status{w.error()};
+      } else if (*w != *n) {
+        out = Status{Errc::io_error, "short write during recall"};
+      } else {
+        off += *n;
+      }
+    }
+    if (core_) {
+      if (out.ok()) core_->charge(req, want);
+      core_->release();
+    }
+  }
+  if (core_) core_->complete(req);
+  return out;
+}
+
+Status RecallManager::execute(const storage::Principal& who,
+                              const std::string& path) {
+  const Nanos start = clock_.now();
+  auto ticket = sm_.hsm_begin_recall(who, path);
+  if (!ticket.ok()) {
+    // A reader can race the file back to hot (another protocol's recall,
+    // an overwrite): hot is success from the caller's perspective.
+    if (ticket.code() == Errc::not_found) {
+      auto tier = sm_.hsm_tier(who, path);
+      if (tier.ok() && *tier == Tier::hot) return {};
+    }
+    return Status{ticket.error()};
+  }
+  if (Status copy = copy_blocks(*ticket); !copy.ok()) {
+    sm_.hsm_abort_recall(ticket->path);
+    return copy;
+  }
+  if (auto s = sm_.hsm_commit_recall(*ticket); !s.ok()) {
+    sm_.hsm_abort_recall(ticket->path);
+    return s;
+  }
+  auto& st = obs::Stats::global();
+  st.hsm_recalls.fetch_add(1, std::memory_order_relaxed);
+  st.hsm_bytes_recalled.fetch_add(ticket->size, std::memory_order_relaxed);
+  st.hsm_recall_wait.record(clock_.now() - start);
+  return {};
+}
+
+Status RecallManager::recall(const storage::Principal& who,
+                             const std::string& path) {
+  const std::string norm = normalize_path(path);
+  std::shared_ptr<Flight> flight;
+  {
+    MutexLock lock(mu_);
+    auto it = inflight_.find(norm);
+    if (it != inflight_.end()) {
+      // Fan-in: join the executor already staging this path.
+      flight = it->second;
+      obs::Stats::global().hsm_recall_joins.fetch_add(
+          1, std::memory_order_relaxed);
+      cv_.wait(lock, [&] { return flight->done; });
+      return flight->status;
+    }
+    flight = std::make_shared<Flight>();
+    inflight_[norm] = flight;
+  }
+  const Status out = execute(who, norm);
+  {
+    MutexLock lock(mu_);
+    flight->status = out;
+    flight->done = true;
+    inflight_.erase(norm);
+  }
+  cv_.notify_all();
+  return out;
+}
+
+void RecallManager::request(const storage::Principal& who,
+                            const std::string& path) {
+  const std::string norm = normalize_path(path);
+  MutexLock lock(mu_);
+  if (inflight_.count(norm) != 0) return;
+  for (const auto& [w, p] : queue_) {
+    if (p == norm) return;
+  }
+  queue_.emplace_back(who, norm);
+}
+
+std::size_t RecallManager::run_pending() {
+  std::size_t completed = 0;
+  for (;;) {
+    storage::Principal who;
+    std::string path;
+    {
+      MutexLock lock(mu_);
+      if (queue_.empty()) break;
+      who = std::move(queue_.front().first);
+      path = std::move(queue_.front().second);
+      queue_.pop_front();
+    }
+    if (recall(who, path).ok()) ++completed;
+  }
+  return completed;
+}
+
+std::size_t RecallManager::pending() const {
+  MutexLock lock(mu_);
+  return queue_.size();
+}
+
+std::size_t RecallManager::in_flight() const {
+  MutexLock lock(mu_);
+  return inflight_.size();
+}
+
+}  // namespace nest::hsm

@@ -1,0 +1,75 @@
+// RecallManager: staged cold->hot recall with recall-storm fan-in
+// (docs/hsm.md).
+//
+// Concurrent readers of one cold file elect exactly one executor; the
+// rest join its in-flight entry and share the outcome — a recall storm of
+// N clients costs ONE pass over the cold device. The copy itself paces
+// through the transfer scheduler under the "recall" request class, so
+// staging bandwidth is proportionally scheduled against live clients and
+// migration traffic.
+//
+// Two surfaces:
+//   recall()       synchronous (Chirp HSM RECALL, nest-cli, tests)
+//   request()/run_pending()  asynchronous: the dispatcher queues a recall
+//       when a read hits cold data and returns the retryable staging
+//       error; the HsmManager worker drains the queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "storage/storage_manager.h"
+#include "transfer/core.h"
+
+namespace nest::hsm {
+
+class RecallManager {
+ public:
+  // `core` may be null (no pacing).
+  RecallManager(Clock& clock, storage::StorageManager& sm,
+                transfer::TransferCore* core,
+                std::int64_t block_bytes = 256 * 1024);
+
+  // Stage `path` back to the hot tier; returns when the file is hot (or
+  // staging failed). Joins any recall already in flight for the path.
+  Status recall(const storage::Principal& who, const std::string& path);
+
+  // Queue an asynchronous recall (deduplicated against the queue and any
+  // in-flight recall).
+  void request(const storage::Principal& who, const std::string& path);
+  // Drain the queue synchronously; returns recalls that completed ok.
+  std::size_t run_pending();
+  std::size_t pending() const;
+  std::size_t in_flight() const;
+
+ private:
+  struct Flight {
+    bool done = false;
+    Status status;
+  };
+
+  Status execute(const storage::Principal& who, const std::string& path);
+  Status copy_blocks(const storage::StorageManager::HsmTicket& t);
+
+  Clock& clock_;
+  storage::StorageManager& sm_;
+  transfer::TransferCore* core_;
+  std::int64_t block_bytes_;
+  // Held only around the flight/queue tables, never across storage calls
+  // (rank hsm_state sits below storage_meta so holding it across them
+  // would be legal, but the executor drops it for the whole copy so
+  // joiners can park without serializing unrelated paths).
+  mutable Mutex mu_{lockrank::Rank::hsm_state, "hsm.recall"};
+  CondVar cv_;
+  std::map<std::string, std::shared_ptr<Flight>> inflight_ GUARDED_BY(mu_);
+  std::deque<std::pair<storage::Principal, std::string>> queue_
+      GUARDED_BY(mu_);
+};
+
+}  // namespace nest::hsm

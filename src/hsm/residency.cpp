@@ -1,0 +1,31 @@
+#include "hsm/residency.h"
+
+namespace nest::hsm {
+
+const char* tier_name(Tier t) noexcept {
+  switch (t) {
+    case Tier::hot: return "hot";
+    case Tier::cold: return "cold";
+    case Tier::migrating: return "migrating";
+    case Tier::recalling: return "recalling";
+  }
+  return "?";
+}
+
+std::int64_t ResidencyMap::cold_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& [path, e] : entries_) {
+    if (e.tier == Tier::cold) total += e.size;
+  }
+  return total;
+}
+
+std::size_t ResidencyMap::count(Tier tier) const {
+  std::size_t n = 0;
+  for (const auto& [path, e] : entries_) {
+    if (e.tier == tier) ++n;
+  }
+  return n;
+}
+
+}  // namespace nest::hsm

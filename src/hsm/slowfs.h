@@ -1,0 +1,49 @@
+// SlowFs: a throttling decorator that turns any VirtualFs into a "tape
+// robot" — the real-mode cold tier (docs/hsm.md).
+//
+// The CASTOR model the HSM reproduces has two cost components: a large
+// fixed positioning cost per open (mount + seek) and a low sustained
+// bandwidth. SlowFs charges both with real sleeps, so a slow directory on
+// the host behaves like the paper-era tape silo without needing one.
+// Throttles of 0 disable that component (useful in tests that want the
+// decorator in the stack but no wall-clock cost).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/vfs.h"
+
+namespace nest::hsm {
+
+struct SlowFsOptions {
+  std::int64_t bandwidth_bytes_per_sec = 12LL * 1024 * 1024;  // ~2002 tape
+  int open_latency_ms = 0;  // per-open positioning cost (mount/seek)
+};
+
+class SlowFs final : public storage::VirtualFs {
+ public:
+  SlowFs(std::unique_ptr<storage::VirtualFs> inner, SlowFsOptions options);
+
+  Status mkdir(const std::string& path) override;
+  Status rmdir(const std::string& path) override;
+  Status remove(const std::string& path) override;
+  Result<storage::FileStat> stat(const std::string& path) const override;
+  Result<std::vector<storage::DirEntry>> list(
+      const std::string& path) const override;
+  Status rename(const std::string& from, const std::string& to) override;
+  Result<storage::FileHandlePtr> open(const std::string& path) override;
+  Result<storage::FileHandlePtr> create(const std::string& path) override;
+  void set_owner(const std::string& path, const std::string& owner) override;
+  std::int64_t total_space() const override;
+  std::int64_t used_space() const override;
+
+ private:
+  Result<storage::FileHandlePtr> wrap(
+      Result<storage::FileHandlePtr> handle) const;
+
+  std::unique_ptr<storage::VirtualFs> inner_;
+  SlowFsOptions options_;
+};
+
+}  // namespace nest::hsm

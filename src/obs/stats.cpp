@@ -102,7 +102,22 @@ std::string Stats::to_json() const {
   histogram_json(os, transfer_latency);
   os << ",\"journal_fsync_wait\":";
   histogram_json(os, journal_fsync_wait);
-  os << "}";
+  os << ",\"hsm\":{\"migrations\":"
+     << hsm_migrations.load(std::memory_order_relaxed)
+     << ",\"recalls\":" << hsm_recalls.load(std::memory_order_relaxed)
+     << ",\"recall_joins\":"
+     << hsm_recall_joins.load(std::memory_order_relaxed)
+     << ",\"bytes_migrated\":"
+     << hsm_bytes_migrated.load(std::memory_order_relaxed)
+     << ",\"bytes_recalled\":"
+     << hsm_bytes_recalled.load(std::memory_order_relaxed)
+     << ",\"staging_busy\":"
+     << hsm_staging_busy.load(std::memory_order_relaxed)
+     << ",\"recall_wait\":";
+  histogram_json(os, hsm_recall_wait);
+  os << ",\"migrate_time\":";
+  histogram_json(os, hsm_migrate_time);
+  os << "}}";
   return os.str();
 }
 
@@ -114,10 +129,18 @@ void Stats::reset() {
   cache_cold.store(0, std::memory_order_relaxed);
   admitted.store(0, std::memory_order_relaxed);
   shed.store(0, std::memory_order_relaxed);
+  hsm_migrations.store(0, std::memory_order_relaxed);
+  hsm_recalls.store(0, std::memory_order_relaxed);
+  hsm_recall_joins.store(0, std::memory_order_relaxed);
+  hsm_bytes_migrated.store(0, std::memory_order_relaxed);
+  hsm_bytes_recalled.store(0, std::memory_order_relaxed);
+  hsm_staging_busy.store(0, std::memory_order_relaxed);
   request_all.reset();
   sched_hold.reset();
   transfer_latency.reset();
   journal_fsync_wait.reset();
+  hsm_recall_wait.reset();
+  hsm_migrate_time.reset();
   for (auto& [proto, hist] : per_protocol_) hist.reset();
 }
 

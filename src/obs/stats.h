@@ -88,6 +88,17 @@ class Stats {
   // --- journal ---
   Histogram journal_fsync_wait;  // barrier wait per durable metadata op
 
+  // --- HSM (cold tier) ---
+  Histogram hsm_recall_wait;   // cold->hot staging wall time per recall
+  Histogram hsm_migrate_time;  // hot->cold drain wall time per file
+  std::atomic<std::int64_t> hsm_migrations{0};     // files drained cold
+  std::atomic<std::int64_t> hsm_recalls{0};        // staged recalls executed
+  std::atomic<std::int64_t> hsm_recall_joins{0};   // readers that piggybacked
+  std::atomic<std::int64_t> hsm_bytes_migrated{0};
+  std::atomic<std::int64_t> hsm_bytes_recalled{0};
+  // Reads answered with the retryable staging error (recall pending).
+  std::atomic<std::int64_t> hsm_staging_busy{0};
+
   // Snapshot-consistent JSON export of everything above.
   std::string to_json() const;
   void reset();

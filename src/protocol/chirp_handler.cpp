@@ -25,6 +25,7 @@ std::string chirp_error_line(const Status& s) {
     case Errc::invalid_argument:
     case Errc::protocol_error: code = 501; break;
     case Errc::busy: code = 553; break;
+    case Errc::staging: code = 455; break;  // cold tier; retry after recall
     case Errc::is_dir:
     case Errc::not_dir: code = 555; break;
     default: code = 500; break;
@@ -418,6 +419,26 @@ void ChirpHandler::serve(net::TcpStream& stream) {
         req.lot_id =
             static_cast<std::uint64_t>(parse_int(words[2]).value_or(0));
         req.lot_replicas = parse_int(words[3]).value_or(-1);
+      } else if (sub == "pin" && words.size() == 4) {
+        // LOT PIN <id> <0|1>: hold the lot's files on the hot tier.
+        req.op = NestOp::lot_pin;
+        req.lot_id =
+            static_cast<std::uint64_t>(parse_int(words[2]).value_or(0));
+        req.lot_replicas = parse_int(words[3]).value_or(-1);
+      } else {
+        parsed = false;
+      }
+    } else if (cmd == "hsm" && words.size() == 3) {
+      const std::string sub = to_lower(words[1]);
+      if (sub == "status") {
+        req.op = NestOp::hsm_status;
+        req.path = words[2];
+      } else if (sub == "recall") {
+        req.op = NestOp::hsm_recall;
+        req.path = words[2];
+      } else if (sub == "migrate") {
+        req.op = NestOp::hsm_migrate;
+        req.path = words[2];
       } else {
         parsed = false;
       }
@@ -487,6 +508,7 @@ void ChirpHandler::serve(net::TcpStream& stream) {
       case NestOp::stat:
       case NestOp::lot_query:
       case NestOp::journal_stat:
+      case NestOp::hsm_status:
         reply(stream, "200 " + r.text);
         break;
       default:

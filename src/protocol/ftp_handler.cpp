@@ -24,7 +24,8 @@ int errc_to_ftp(Errc code) {
     case Errc::no_space:
     case Errc::lot_expired: return 552;
     case Errc::exists: return 553;
-    case Errc::busy: return 450;
+    case Errc::busy:
+    case Errc::staging: return 450;  // "file unavailable, try again" (tape)
     case Errc::invalid_argument:
     case Errc::protocol_error: return 501;
     default: return 550;

@@ -73,6 +73,7 @@ int errc_to_http(Errc code) {
     case Errc::lot_expired: return 507;
     case Errc::exists:
     case Errc::busy: return 409;
+    case Errc::staging: return 503;  // cold tier; Retry-After a recall
     case Errc::invalid_argument:
     case Errc::protocol_error: return 400;
     case Errc::is_dir:

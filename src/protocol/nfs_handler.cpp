@@ -24,6 +24,7 @@ NfsStat errc_to_nfs(Errc code) noexcept {
     case Errc::no_space:
     case Errc::lot_expired: return NFSERR_NOSPC;
     case Errc::busy: return NFSERR_NOTEMPTY;
+    case Errc::staging: return NFSERR_JUKEBOX;
     default: return NFSERR_PERM;
   }
 }

@@ -62,6 +62,9 @@ enum NfsStat : std::uint32_t {
   NFSERR_NOSPC = 28,
   NFSERR_NOTEMPTY = 66,
   NFSERR_STALE = 70,
+  // NFSv3's "media loaded by a jukebox/HSM, retry" code — the native way
+  // to tell a client that data is being staged from tertiary storage.
+  NFSERR_JUKEBOX = 10008,
 };
 
 constexpr std::size_t kFhSize = 32;

@@ -21,6 +21,10 @@ const char* op_name(NestOp op) noexcept {
     case NestOp::lot_query: return "lot_query";
     case NestOp::lot_list: return "lot_list";
     case NestOp::lot_set_replicas: return "lot_set_replicas";
+    case NestOp::lot_pin: return "lot_pin";
+    case NestOp::hsm_status: return "hsm_status";
+    case NestOp::hsm_recall: return "hsm_recall";
+    case NestOp::hsm_migrate: return "hsm_migrate";
     case NestOp::acl_set: return "acl_set";
     case NestOp::acl_clear: return "acl_clear";
     case NestOp::acl_get: return "acl_get";

@@ -32,6 +32,10 @@ enum class NestOp {
   lot_query,
   lot_list,       // list lots (all for the superuser, own otherwise)
   lot_set_replicas,  // per-lot replica policy (cluster federation)
+  lot_pin,        // pin/unpin a lot's files against cold-tier migration
+  hsm_status,     // which tier a file is resident on
+  hsm_recall,     // synchronously stage a cold file back to the hot tier
+  hsm_migrate,    // explicitly drain a file to the cold tier (superuser/owner)
   acl_set,
   acl_clear,      // remove a principal's entries from a directory ACL
   acl_get,

@@ -74,6 +74,34 @@ Result<NestdConfig> options_from_config(const Config& cfg) {
                  "journal_sync set but no journal directory"};
   }
 
+  // Hierarchical storage (docs/hsm.md); no cold_dir and no cold_backend
+  // means no cold tier.
+  opts.cold_dir = cfg.get_string("cold_dir");
+  opts.cold_backend = cfg.get_string("cold_backend");
+  opts.cold_capacity = cfg.get_size("cold_capacity", 10'000'000'000);
+  opts.cold_bandwidth = cfg.get_size("cold_bandwidth", 12LL * 1024 * 1024);
+  opts.cold_open_latency_ms =
+      static_cast<int>(cfg.get_int("cold_open_latency_ms", 0));
+  if (opts.cold_bandwidth < 0 || opts.cold_open_latency_ms < 0) {
+    return Error{Errc::invalid_argument, "cold throttles must be >= 0"};
+  }
+  opts.hsm_scan_interval = cfg.get_duration("hsm_scan", 10 * kSecond);
+  if (opts.hsm_scan_interval <= 0) {
+    return Error{Errc::invalid_argument, "hsm_scan must be positive"};
+  }
+  opts.hsm_auto_migrate = cfg.get_bool("hsm_auto_migrate", true);
+  opts.hsm_worker = cfg.get_bool("hsm_worker", true);
+  opts.hsm_migrate_tickets = cfg.get_int("hsm_migrate_tickets", 0);
+  opts.hsm_recall_tickets = cfg.get_int("hsm_recall_tickets", 0);
+  if (opts.hsm_migrate_tickets < 0 || opts.hsm_recall_tickets < 0) {
+    return Error{Errc::invalid_argument, "hsm tickets must be >= 0"};
+  }
+  if ((opts.hsm_migrate_tickets > 0 || opts.hsm_recall_tickets > 0) &&
+      cfg.get_string("scheduler", "fifo").rfind("stride", 0) != 0) {
+    return Error{Errc::invalid_argument,
+                 "hsm_*_tickets requires a stride scheduler"};
+  }
+
   // Startup failpoint drills, "name=spec;..." — validated at server init.
   opts.failpoints = cfg.get_string("failpoints");
 

@@ -8,6 +8,9 @@
 //   journal journal_sync journal_commit journal_snapshot_every
 //   cluster_role cluster_peers replication_factor
 //   cluster_heartbeat cluster_heartbeat_timeout
+//   cold_dir cold_backend cold_capacity cold_bandwidth cold_open_latency_ms
+//   hsm_scan hsm_auto_migrate hsm_worker hsm_migrate_tickets
+//   hsm_recall_tickets
 //   tickets.<class> = <n>          (stride tickets per protocol/user class)
 //   user.<name>     = <secret>[:group1,group2]
 #pragma once

@@ -8,6 +8,7 @@
 
 #include "cluster/chirp_link.h"
 #include "common/log.h"
+#include "hsm/slowfs.h"
 #include "fault/failpoint.h"
 #include "protocol/chirp_handler.h"
 #include "storage/extentfs.h"
@@ -101,6 +102,34 @@ Status NestServer::init() {
   storage_ = std::make_unique<storage::StorageManager>(
       RealClock::instance(), std::move(fs), options_.storage);
 
+  // Cold tier (attached before journal recovery so replayed residency
+  // records can be scrubbed against the actual cold store afterwards).
+  std::string cold_backend = options_.cold_backend;
+  if (cold_backend.empty() && !options_.cold_dir.empty())
+    cold_backend = "local";
+  if (!cold_backend.empty()) {
+    std::unique_ptr<storage::VirtualFs> cold;
+    if (cold_backend == "mem") {
+      cold = std::make_unique<storage::MemFs>(RealClock::instance(),
+                                              options_.cold_capacity);
+    } else if (cold_backend == "local") {
+      auto local = storage::LocalFs::open_root(options_.cold_dir,
+                                               options_.cold_capacity);
+      if (!local.ok()) return Status{local.error()};
+      cold = std::move(local.value());
+    } else {
+      return Status{Errc::invalid_argument,
+                    "unknown cold backend '" + cold_backend + "'"};
+    }
+    if (options_.cold_bandwidth > 0 || options_.cold_open_latency_ms > 0) {
+      cold = std::make_unique<hsm::SlowFs>(
+          std::move(cold),
+          hsm::SlowFsOptions{options_.cold_bandwidth,
+                             options_.cold_open_latency_ms});
+    }
+    storage_->attach_cold_tier(std::move(cold));
+  }
+
   // Metadata journal: recover lot/ACL/quota state and install the
   // write-ahead barrier before any endpoint can accept a request.
   if (!options_.journal_dir.empty()) {
@@ -114,6 +143,12 @@ Status NestServer::init() {
     if (!j.ok()) return Status{j.error()};
     journal_ = std::move(j.value());
     if (auto s = storage_->attach_journal(*journal_); !s.ok()) return s;
+    // Resolve any migration/recall the crash interrupted: the journal only
+    // records stable residency, so the scrub walks both tiers and deletes
+    // whichever half-copy the records disown.
+    if (storage_->cold_tier_attached()) {
+      if (auto s = storage_->hsm_recover(); !s.ok()) return s;
+    }
   }
 
   tm_ = std::make_unique<transfer::TransferManager>(RealClock::instance(),
@@ -127,6 +162,25 @@ Status NestServer::init() {
   executor_ = std::make_unique<protocol::TransferExecutor>(
       RealClock::instance(), *tm_, dispatcher_->core(),
       options_.block_bytes, options_.bandwidth_limit);
+
+  if (storage_->cold_tier_attached()) {
+    hsm::HsmOptions hopts;
+    hopts.block_bytes = options_.block_bytes;
+    hopts.scan_interval = options_.hsm_scan_interval;
+    hopts.auto_migrate = options_.hsm_auto_migrate;
+    hsm_ = std::make_unique<hsm::HsmManager>(RealClock::instance(), *storage_,
+                                             &dispatcher_->core(), hopts);
+    dispatcher_->set_hsm(hsm_.get());
+    // HSM traffic is just another scheduler class: pinning its tickets is
+    // how migration pacing trades against live client transfers.
+    if (auto* stride = tm_->stride()) {
+      if (options_.hsm_migrate_tickets > 0)
+        stride->set_tickets("migrate", options_.hsm_migrate_tickets);
+      if (options_.hsm_recall_tickets > 0)
+        stride->set_tickets("recall", options_.hsm_recall_tickets);
+    }
+    if (options_.hsm_worker) hsm_->start();
+  }
 
   // Cluster federation: built whenever peers are configured (a standalone
   // node with peers still heartbeats them so replica selection has a load
@@ -279,6 +333,7 @@ void NestServer::accept_loop(net::TcpListener* listener,
 
 void NestServer::stop() {
   if (stopping_.exchange(true)) return;
+  if (hsm_) hsm_->stop();
   if (cluster_) cluster_->stop();
   for (Endpoint& ep : endpoints_) ep.listener->close();
   for (Endpoint& ep : endpoints_) {

@@ -62,6 +62,26 @@ struct NestServerOptions {
   std::string own_subject;
   std::string own_secret;
 
+  // Hierarchical storage (docs/hsm.md). A cold tier is attached when
+  // cold_dir is set or cold_backend is "mem"; reads of cold data then get
+  // the retryable staging reply while the recall worker stages the file
+  // back, and the migrator drains expired best-effort lot data per scan.
+  std::string cold_backend;  // "mem" | "local" (default: by cold_dir)
+  std::string cold_dir;      // host directory for the "local" cold tier
+  std::int64_t cold_capacity = 10'000'000'000;
+  // SlowFs tape model: sustained bandwidth (bytes/sec) and per-open
+  // positioning cost. Zero disables the corresponding throttle.
+  std::int64_t cold_bandwidth = 12LL * 1024 * 1024;
+  int cold_open_latency_ms = 0;
+  Nanos hsm_scan_interval = 10 * kSecond;  // migration/recall worker cadence
+  bool hsm_auto_migrate = true;  // worker drains expired lots by policy
+  bool hsm_worker = true;        // background worker (off: poll via hsm())
+  // Stride tickets pinning the migrate/recall scheduler classes against
+  // live protocol classes (0 = leave the scheduler default). Requires a
+  // stride scheduler; this is the migration pacing lever.
+  std::int64_t hsm_migrate_tickets = 0;
+  std::int64_t hsm_recall_tickets = 0;
+
   // Cluster federation (docs/cluster.md). A node joins a cluster when
   // `peers` is non-empty or its role is not standalone; `cluster.name`
   // defaults to `name` when left empty.
@@ -114,6 +134,8 @@ class NestServer {
   transfer::TransferManager& tm() { return *tm_; }
   // Null when the node is not clustered.
   cluster::ClusterNode* cluster() { return cluster_.get(); }
+  // Null when no cold tier is configured.
+  hsm::HsmManager* hsm() { return hsm_.get(); }
 
  private:
   explicit NestServer(NestServerOptions options);
@@ -133,6 +155,7 @@ class NestServer {
   std::unique_ptr<transfer::TransferManager> tm_;
   std::unique_ptr<dispatcher::Dispatcher> dispatcher_;
   std::unique_ptr<protocol::TransferExecutor> executor_;
+  std::unique_ptr<hsm::HsmManager> hsm_;
   std::unique_ptr<cluster::ClusterNode> cluster_;
 
   struct Endpoint {

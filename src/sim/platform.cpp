@@ -42,4 +42,18 @@ PlatformProfile PlatformProfile::solaris8() {
   return p;
 }
 
+PlatformProfile PlatformProfile::tape2002() {
+  // Only the disk/cache section matters: this profile backs a SimStore
+  // used as the cold tier, never a full host. "Seek" stands in for the
+  // mount-and-position cycle of a tape robot, so it dominates any access.
+  PlatformProfile p = linux2_2();
+  p.name = "tape-2002-silo";
+  p.disk_seek = 2 * kSecond;
+  p.disk_rot = 0;
+  p.disk_bw = 12.0e6;
+  p.cache_bytes = 0;  // nothing stays mounted between recalls
+  p.dirty_limit_bytes = 0;
+  return p;
+}
+
 }  // namespace nest::sim

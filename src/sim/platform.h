@@ -58,6 +58,11 @@ struct PlatformProfile {
   // The paper's Solaris testbed: Netra T1 on 100 Mbit/s, expensive threads,
   // cheap event dispatch.
   static PlatformProfile solaris8();
+
+  // 2002-era tape silo (CASTOR-class HSM cold tier): seconds of
+  // positioning before the first byte, ~12 MB/s streaming once moving,
+  // and no cache — every recall pays the full cost.
+  static PlatformProfile tape2002();
 };
 
 }  // namespace nest::sim

@@ -83,6 +83,76 @@ std::int64_t SimNest::file_size(const std::string& path) const {
   return it == files_.end() ? -1 : it->second.size;
 }
 
+void SimNest::attach_cold_tier(const sim::PlatformProfile& profile) {
+  cold_store_ = std::make_unique<sim::SimStore>(host_.engine(), profile);
+}
+
+void SimNest::add_cold_file(const std::string& path, std::int64_t size) {
+  assert(cold_store_ != nullptr);
+  FileInfo info{next_file_id_++, size};
+  files_[path] = info;
+  cold_files_.insert(path);
+}
+
+Co<bool> SimNest::migrate_file(std::string path) {
+  const auto it = files_.find(path);
+  if (cold_store_ == nullptr || it == files_.end() ||
+      cold_files_.count(path)) {
+    co_return false;
+  }
+  const FileInfo file = it->second;
+  TransferRequest* req =
+      core_.create_request("migrate", Direction::read, path, file.size);
+  for (std::int64_t off = 0; off < file.size; off += config_.hsm_block) {
+    const std::int64_t len = std::min(config_.hsm_block, file.size - off);
+    co_await gate_.acquire(req);
+    co_await host_.store().read(file.id, off, len);
+    co_await cold_store_->write(file.id, off, len);
+    core_.charge(req, len);
+    gate_.release();
+  }
+  // The hot copy may go only once the cold copy is on media.
+  co_await cold_store_->sync();
+  core_.complete(req);
+  cold_files_.insert(path);
+  host_.store().evict_file(file.id, file.size);
+  ++hsm_.migrations;
+  hsm_.bytes_migrated += file.size;
+  co_return true;
+}
+
+Co<void> SimNest::ensure_hot(std::string path) {
+  if (cold_store_ == nullptr || !cold_files_.count(path)) co_return;
+  const auto fit = recall_flights_.find(path);
+  if (fit != recall_flights_.end()) {
+    ++hsm_.recall_joins;
+    co_await fit->second->wait();
+    co_return;
+  }
+  auto flight = std::make_unique<sim::SimEvent>(host_.engine());
+  sim::SimEvent* ev = flight.get();
+  recall_flights_[path] = std::move(flight);
+  const FileInfo file = files_[path];
+  TransferRequest* req =
+      core_.create_request("recall", Direction::write, path, file.size);
+  for (std::int64_t off = 0; off < file.size; off += config_.hsm_block) {
+    const std::int64_t len = std::min(config_.hsm_block, file.size - off);
+    co_await gate_.acquire(req);
+    co_await cold_store_->read(file.id, off, len);
+    co_await host_.store().write(file.id, off, len);
+    core_.charge(req, len);
+    gate_.release();
+  }
+  core_.complete(req);
+  cold_files_.erase(path);
+  ++hsm_.recalls;
+  hsm_.bytes_recalled += file.size;
+  // Erase the flight before waking joiners: a read arriving after this
+  // instant sees a hot file, not a phantom in-flight recall.
+  const auto node = recall_flights_.extract(path);
+  ev->set();
+}
+
 Nanos SimNest::model_block_cost(ConcurrencyModel model) const {
   const auto& p = host_.platform();
   switch (model) {
@@ -220,6 +290,10 @@ Co<bool> SimNest::client_get(ProtocolBehavior proto, std::string path,
       transfer::AdmissionController::Verdict::admitted) {
     co_return false;
   }
+
+  // Cold data must come back through the staged-recall path first; every
+  // concurrent reader of the same file shares one recall (fan-in).
+  if (cold_store_ && cold_files_.count(path)) co_await ensure_hot(path);
 
   TransferRequest* req = core_.create_request(proto.name, Direction::read,
                                               path, file.size, user);

@@ -20,6 +20,8 @@
 #include <coroutine>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 
@@ -44,6 +46,9 @@ struct SimNestConfig {
   // Overload shedding, same policy object the real dispatcher consults
   // (disabled by default — transfers queue without bound, as before).
   transfer::AdmissionOptions admission;
+  // Copy quantum for cold-tier migration/recall streams ("migrate" and
+  // "recall" scheduler classes).
+  std::int64_t hsm_block = 256 * 1024;
 };
 
 // Configuration for a JBOS-style native single-protocol server.
@@ -57,6 +62,30 @@ class SimNest {
   void add_file(const std::string& path, std::int64_t size, bool cached);
   void evict(const std::string& path);
   std::int64_t file_size(const std::string& path) const;
+
+  // --- cold tier (CASTOR-style HSM, docs/hsm.md) ---
+  // Attach a second SimStore built from `profile` (use
+  // PlatformProfile::tape2002()) as the cold tier.
+  void attach_cold_tier(const sim::PlatformProfile& profile);
+  // Register a file already resident on the cold tier.
+  void add_cold_file(const std::string& path, std::int64_t size);
+  bool is_cold(const std::string& path) const {
+    return cold_files_.count(path) != 0;
+  }
+  // Drain a hot file to the cold tier; blocks move through the service
+  // gate under the "migrate" class, so the stride scheduler paces the
+  // drain against live clients. false when already cold or unknown.
+  sim::Co<bool> migrate_file(std::string path);
+
+  struct HsmCounters {
+    std::int64_t migrations = 0;
+    std::int64_t recalls = 0;       // staged recall executions
+    std::int64_t recall_joins = 0;  // reads that joined an in-flight recall
+    std::int64_t bytes_migrated = 0;
+    std::int64_t bytes_recalled = 0;
+  };
+  const HsmCounters& hsm_counters() const { return hsm_; }
+  sim::SimStore* cold_store() { return cold_store_.get(); }
 
   // --- simulated clients ---
   // Whole-file retrieval via `proto`; returns when the client has all
@@ -134,6 +163,10 @@ class SimNest {
   Nanos model_setup_cost(transfer::ConcurrencyModel model) const;
   void report_completion(transfer::ConcurrencyModel model, Nanos latency,
                          std::int64_t bytes);
+  // Stage `path` back to the hot tier if cold; a read that arrives while
+  // another read's recall is in flight joins that flight (fan-in: one
+  // tape mount serves all of them).
+  sim::Co<void> ensure_hot(std::string path);
 
   SimHost& host_;
   SimNestConfig config_;
@@ -146,6 +179,14 @@ class SimNest {
   sim::Semaphore net_stage_;   // staged model: socket-I/O stage pool
   std::map<std::string, FileInfo> files_;
   std::uint64_t next_file_id_ = 1;
+
+  // Cold tier: a second OS storage stack with tape-like costs. Files in
+  // cold_files_ have their bytes there; a recall copies them back through
+  // the service gate under the "recall" class.
+  std::unique_ptr<sim::SimStore> cold_store_;
+  std::set<std::string> cold_files_;
+  std::map<std::string, std::unique_ptr<sim::SimEvent>> recall_flights_;
+  HsmCounters hsm_;
 };
 
 }  // namespace nest::simnest

@@ -17,12 +17,15 @@ enum class Tag : std::uint8_t {
   acl_put = 5,
   acl_clear = 6,
   quota_put = 7,
+  hsm_put = 8,
+  hsm_erase = 9,
 };
 
 // v2 added the per-lot replica policy to the lot record (cluster
-// federation). Journals are rewritten from a fresh snapshot on every
-// compaction, so no cross-version reader is kept.
-constexpr std::uint32_t kSnapshotVersion = 2;
+// federation); v3 added the lot pin flag and the HSM residency section.
+// Journals are rewritten from a fresh snapshot on every compaction, so no
+// cross-version reader is kept.
+constexpr std::uint32_t kSnapshotVersion = 3;
 
 void encode_lot(RecordWriter& w, const Lot& lot) {
   w.u64(lot.id);
@@ -34,6 +37,7 @@ void encode_lot(RecordWriter& w, const Lot& lot) {
   w.u8(lot.best_effort ? 1 : 0);
   w.i64(lot.last_use);
   w.i64(lot.replicas);
+  w.u8(lot.pinned ? 1 : 0);
   w.u32(static_cast<std::uint32_t>(lot.files.size()));
   for (const auto& [path, bytes] : lot.files) {
     w.str(path);
@@ -70,6 +74,9 @@ Result<Lot> decode_lot(RecordReader& r) {
   auto replicas = r.i64();
   if (!replicas.ok()) return replicas.error();
   lot.replicas = *replicas;
+  auto pinned = r.u8();
+  if (!pinned.ok()) return pinned.error();
+  lot.pinned = *pinned != 0;
   auto nfiles = r.u32();
   if (!nfiles.ok()) return nfiles.error();
   for (std::uint32_t i = 0; i < *nfiles; ++i) {
@@ -130,6 +137,21 @@ void MetaBatch::quota_put(const std::string& owner, std::int64_t limit,
   body_.str(owner);
   body_.i64(limit);
   body_.i64(used);
+  ++count_;
+}
+
+void MetaBatch::hsm_put(const std::string& path, std::int64_t size,
+                        const std::string& owner) {
+  body_.u8(static_cast<std::uint8_t>(Tag::hsm_put));
+  body_.str(path);
+  body_.i64(size);
+  body_.str(owner);
+  ++count_;
+}
+
+void MetaBatch::hsm_erase(const std::string& path) {
+  body_.u8(static_cast<std::uint8_t>(Tag::hsm_erase));
+  body_.str(path);
   ++count_;
 }
 
@@ -214,6 +236,26 @@ Result<Nanos> apply_meta_batch(std::string_view payload,
         state.quota.restore(*owner, *limit, *used);
         break;
       }
+      case Tag::hsm_put: {
+        auto path = r.str();
+        if (!path.ok()) return path.error();
+        auto size = r.i64();
+        if (!size.ok()) return size.error();
+        auto owner = r.str();
+        if (!owner.ok()) return owner.error();
+        if (state.residency != nullptr) {
+          state.residency->put(
+              *path, hsm::ColdEntry{hsm::Tier::cold, *size,
+                                    std::move(owner.value())});
+        }
+        break;
+      }
+      case Tag::hsm_erase: {
+        auto path = r.str();
+        if (!path.ok()) return path.error();
+        if (state.residency != nullptr) state.residency->erase(*path);
+        break;
+      }
       default:
         return Error{Errc::protocol_error, "unknown journal record tag"};
     }
@@ -241,6 +283,26 @@ std::string encode_meta_snapshot(Nanos now, const MetaState& state) {
     w.str(owner);
     w.i64(acct.limit);
     w.i64(acct.used);
+  }
+  if (state.residency != nullptr) {
+    // Snapshot only the stable entries: a snapshot taken mid-migration
+    // must resolve the same way a crash would (hot copy still
+    // authoritative until the commit record lands).
+    std::uint32_t ncold = 0;
+    for (const auto& [path, e] : state.residency->entries()) {
+      if (e.tier == hsm::Tier::cold || e.tier == hsm::Tier::recalling)
+        ++ncold;
+    }
+    w.u32(ncold);
+    for (const auto& [path, e] : state.residency->entries()) {
+      if (e.tier != hsm::Tier::cold && e.tier != hsm::Tier::recalling)
+        continue;
+      w.str(path);
+      w.i64(e.size);
+      w.str(e.owner);
+    }
+  } else {
+    w.u32(0);
   }
   return w.take();
 }
@@ -288,6 +350,21 @@ Result<Nanos> apply_meta_snapshot(std::string_view payload,
     auto used = r.i64();
     if (!used.ok()) return used.error();
     state.quota.restore(*owner, *limit, *used);
+  }
+  auto nhsm = r.u32();
+  if (!nhsm.ok()) return nhsm.error();
+  for (std::uint32_t i = 0; i < *nhsm; ++i) {
+    auto path = r.str();
+    if (!path.ok()) return path.error();
+    auto size = r.i64();
+    if (!size.ok()) return size.error();
+    auto owner = r.str();
+    if (!owner.ok()) return owner.error();
+    if (state.residency != nullptr) {
+      state.residency->put(*path,
+                           hsm::ColdEntry{hsm::Tier::cold, *size,
+                                          std::move(owner.value())});
+    }
   }
   return *ts;
 }

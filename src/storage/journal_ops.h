@@ -22,6 +22,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "hsm/residency.h"
 #include "journal/record.h"
 #include "storage/acl.h"
 #include "storage/lot.h"
@@ -40,6 +41,12 @@ class MetaBatch {
   void acl_clear(const std::string& dir, const std::string& principal);
   void quota_put(const std::string& owner, std::int64_t limit,
                  std::int64_t used);
+  // HSM residency transitions. Only the stable "authoritative copy is
+  // cold" state is journaled; migrating/recalling are in-memory and
+  // resolved by the recovery scrub.
+  void hsm_put(const std::string& path, std::int64_t size,
+               const std::string& owner);
+  void hsm_erase(const std::string& path);
 
   bool empty() const { return count_ == 0; }
   // Payload = timestamp | record count | records. Resets the builder.
@@ -55,6 +62,10 @@ struct MetaState {
   LotManager& lots;
   AccessControl& acl;
   QuotaLedger& quota;
+  // Optional: appliances without a cold tier pass nullptr and hsm
+  // records/sections are skipped (the aggregate default keeps the
+  // pre-HSM three-member initializer lists compiling).
+  hsm::ResidencyMap* residency = nullptr;
 };
 
 // Apply one sealed batch; returns its timestamp.

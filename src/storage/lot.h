@@ -44,6 +44,9 @@ struct Lot {
   // factor). Journaled with the rest of the lot state, so followers see
   // the same policy the primary enforces.
   std::int64_t replicas = 0;
+  // Pinned lots keep their files on the hot tier: the HSM migrator never
+  // drains a file while any charging lot is pinned, even after expiry.
+  bool pinned = false;
   // File -> bytes charged to this lot (a file may appear in several lots).
   std::map<std::string, std::int64_t> files;
 };

@@ -1,5 +1,7 @@
 #include "storage/storage_manager.h"
 
+#include <set>
+
 #include "common/log.h"
 #include "common/string_util.h"
 #include "fault/failpoint.h"
@@ -153,6 +155,21 @@ StorageManager::MetaSnapshot StorageManager::replica_snapshot() {
   return out;
 }
 
+Status StorageManager::materialize_parents_locked(VirtualFs& fs,
+                                                  const std::string& norm) {
+  std::vector<std::string> missing;
+  for (std::string dir = parent_path(norm); dir != "/" && !dir.empty();
+       dir = parent_path(dir)) {
+    auto st = fs.stat(dir);
+    if (st.ok()) break;
+    missing.push_back(dir);
+  }
+  for (auto it = missing.rbegin(); it != missing.rend(); ++it) {
+    if (auto s = fs.mkdir(*it); !s.ok() && s.code() != Errc::exists) return s;
+  }
+  return {};
+}
+
 Status StorageManager::install_replica_file(const std::string& path,
                                             std::string_view data) {
   MutexLock lock(mu_);
@@ -160,16 +177,7 @@ Status StorageManager::install_replica_file(const std::string& path,
   // Materialize missing parents: the content push can outrun the mkdir
   // that created the directory on the primary (directories are not
   // journaled metadata).
-  std::vector<std::string> missing;
-  for (std::string dir = parent_path(norm); dir != "/" && !dir.empty();
-       dir = parent_path(dir)) {
-    auto st = fs_->stat(dir);
-    if (st.ok()) break;
-    missing.push_back(dir);
-  }
-  for (auto it = missing.rbegin(); it != missing.rend(); ++it) {
-    if (auto s = fs_->mkdir(*it); !s.ok()) return s;
-  }
+  if (auto s = materialize_parents_locked(*fs_, norm); !s.ok()) return s;
   auto handle = fs_->create(norm);
   if (!handle.ok()) return Status{handle.error()};
   auto wrote =
@@ -188,6 +196,7 @@ Status StorageManager::install_replica_snapshot(std::string_view payload) {
   // imports them wholesale already.)
   lots_.clear();
   quota_.clear();
+  residency_.clear();
   auto ts = apply_meta_snapshot(payload, meta_state());
   if (!ts.ok()) return Status{ts.error()};
   batch_.clear();
@@ -258,6 +267,19 @@ Status StorageManager::remove(const Principal& who, const std::string& path) {
 Status StorageManager::remove_locked(const Principal& who,
                                      const std::string& path) {
   if (auto s = check(who, parent_path(path), Right::del); !s.ok()) return s;
+  if (const auto* e = residency_.find(normalize_path(path))) {
+    if (e->tier != hsm::Tier::cold)
+      return Status{Errc::busy, "tier transition in progress"};
+    const std::string norm = normalize_path(path);
+    (void)cold_fs_->remove(norm);
+    residency_.erase(norm);
+    batch_.hsm_erase(norm);
+    lots_.release_file(norm);
+    batch_.file_release(norm);
+    // No quota release: the owner's hot-quota charge was already dropped
+    // when the file migrated cold.
+    return {};
+  }
   auto st = fs_->stat(path);
   const Status s = fs_->remove(path);
   if (s.ok()) {
@@ -278,6 +300,16 @@ Result<FileStat> StorageManager::stat(const Principal& who,
   MutexLock lock(mu_);
   if (auto s = check(who, parent_path(path), Right::lookup); !s.ok())
     return s.error();
+  // Cold files keep their place in the namespace: stat answers from the
+  // residency map (the hot copy is gone; recalling entries still answer
+  // from the map because the hot copy is partial).
+  if (const auto* e = residency_.find(normalize_path(path));
+      e != nullptr && e->tier != hsm::Tier::migrating) {
+    FileStat st;
+    st.size = e->size;
+    st.owner = e->owner;
+    return st;
+  }
   return fs_->stat(path);
 }
 
@@ -286,7 +318,24 @@ Result<std::vector<DirEntry>> StorageManager::list(
   obs::Span span(obs::Layer::storage, "list");
   MutexLock lock(mu_);
   if (auto s = check(who, path, Right::lookup); !s.ok()) return s.error();
-  return fs_->list(path);
+  auto entries = fs_->list(path);
+  if (!entries.ok() || residency_.empty()) return entries;
+  // Merge in cold-resident children so migration does not make files
+  // vanish from directory listings. Transitioning entries still have a
+  // hot-side inode and are already listed.
+  const std::string dir = normalize_path(path);
+  std::set<std::string> present;
+  for (const auto& e : *entries) present.insert(e.name);
+  for (const auto& [cpath, ce] : residency_.entries()) {
+    if (ce.tier != hsm::Tier::cold || parent_path(cpath) != dir) continue;
+    const std::string name = cpath.substr(cpath.find_last_of('/') + 1);
+    if (present.count(name)) continue;
+    DirEntry de;
+    de.name = name;
+    de.size = ce.size;
+    entries->push_back(std::move(de));
+  }
+  return entries;
 }
 
 Status StorageManager::rename(const Principal& who, const std::string& from,
@@ -294,6 +343,8 @@ Status StorageManager::rename(const Principal& who, const std::string& from,
   obs::Span span(obs::Layer::storage, "rename");
   MutexLock lock(mu_);
   if (auto s = check(who, from, Right::del); !s.ok()) return s;
+  if (residency_.find(normalize_path(from)) != nullptr)
+    return Status{Errc::busy, "cold-resident file; recall before rename"};
   return fs_->rename(from, to);
 }
 
@@ -301,6 +352,11 @@ Result<FileHandlePtr> StorageManager::open_for_append(
     const Principal& who, const std::string& path) {
   obs::Span span(obs::Layer::storage, "open_for_append");
   MutexLock lock(mu_);
+  if (const auto* e = residency_.find(normalize_path(path))) {
+    if (e->tier == hsm::Tier::migrating)
+      return Error{Errc::busy, "tier transition in progress"};
+    return Error{Errc::staging, "file resident on cold tier"};
+  }
   auto handle = fs_->open(path);
   if (!handle.ok()) return handle.error();
   if (auto s = check(who, parent_path(path), Right::write); !s.ok())
@@ -324,6 +380,13 @@ Result<TransferTicket> StorageManager::approve_read(const Principal& who,
   MutexLock lock(mu_);
   if (auto s = check(who, parent_path(path), Right::read); !s.ok())
     return s.error();
+  // Cold data is never served directly: the read surfaces a retryable
+  // staging error and the dispatcher kicks an asynchronous recall. A file
+  // mid-migration still has a valid hot copy and reads normally.
+  if (const auto* e = residency_.find(normalize_path(path));
+      e != nullptr && e->tier != hsm::Tier::migrating) {
+    return Error{Errc::staging, "file resident on cold tier; recall pending"};
+  }
   auto handle = fs_->open(path);
   if (!handle.ok()) return handle.error();
   auto size = handle.value()->size();
@@ -353,6 +416,14 @@ Result<TransferTicket> StorageManager::approve_write_locked(
   const std::string norm = normalize_path(path);
   if (auto s = check(who, parent_path(norm), Right::insert); !s.ok())
     return s.error();
+  if (const auto* e = residency_.find(norm)) {
+    if (e->tier != hsm::Tier::cold)
+      return Error{Errc::busy, "tier transition in progress"};
+    // Overwriting a cold file supersedes the cold copy outright.
+    (void)cold_fs_->remove(norm);
+    residency_.erase(norm);
+    batch_.hsm_erase(norm);
+  }
   TransferTicket t;
   t.path = norm;
   t.user = who.name;
@@ -561,6 +632,300 @@ Status StorageManager::lot_set_replicas_locked(const Principal& who, LotId id,
   return {};
 }
 
+bool StorageManager::owns_lot_locked(const Principal& who,
+                                     const Lot& lot) const {
+  return who.name == lot.owner || who.name == options_.superuser ||
+         (lot.group_lot &&
+          std::find(who.groups.begin(), who.groups.end(), lot.owner) !=
+              who.groups.end());
+}
+
+Status StorageManager::lot_set_pin(const Principal& who, LotId id,
+                                   bool pinned) {
+  MutexLock lock(mu_);
+  const Status out = lot_set_pin_locked(who, id, pinned);
+  auto sealed = seal_batch_locked();
+  if (!sealed.ok()) return Status{sealed.error()};
+  lock.unlock();
+  if (auto b = barrier(*sealed); !b.ok()) return b;
+  return out;
+}
+
+Status StorageManager::lot_set_pin_locked(const Principal& who, LotId id,
+                                          bool pinned) {
+  auto lot = lots_.query(id);
+  if (!lot.ok()) return lot.error();
+  if (!owns_lot_locked(who, *lot))
+    return Status{Errc::permission_denied, "not lot owner"};
+  lot->pinned = pinned;
+  lots_.restore_lot(*lot);
+  record_lot_locked(id);
+  return {};
+}
+
+void StorageManager::attach_cold_tier(std::unique_ptr<VirtualFs> cold) {
+  MutexLock lock(mu_);
+  cold_fs_ = std::move(cold);
+}
+
+bool StorageManager::cold_tier_attached() const {
+  MutexLock lock(mu_);
+  return cold_fs_ != nullptr;
+}
+
+Result<StorageManager::HsmTicket> StorageManager::hsm_begin_migrate(
+    const Principal& who, const std::string& path) {
+  obs::Span span(obs::Layer::storage, "hsm_begin_migrate");
+  MutexLock lock(mu_);
+  if (!cold_fs_) return Error{Errc::invalid_argument, "no cold tier attached"};
+  const std::string norm = normalize_path(path);
+  if (residency_.find(norm) != nullptr)
+    return Error{Errc::busy, "already cold or tier transition in progress"};
+  auto st = fs_->stat(norm);
+  if (!st.ok()) return st.error();
+  if (st->is_dir) return Error{Errc::is_dir, "cannot migrate a directory"};
+  if (who.name != options_.superuser && who.name != st->owner)
+    return Error{Errc::permission_denied, "not file owner"};
+  for (const auto& lot : lots_.all_lots()) {
+    if (lot.files.count(norm) == 0) continue;
+    if (lot.pinned) return Error{Errc::busy, "charging lot is pinned"};
+    if (!lot.best_effort)
+      return Error{Errc::busy, "file charged to a live lot"};
+  }
+  auto src = fs_->open(norm);
+  if (!src.ok()) return src.error();
+  if (auto s = materialize_parents_locked(*cold_fs_, norm); !s.ok())
+    return s.error();
+  auto dst = cold_fs_->create(norm);
+  if (!dst.ok()) return dst.error();
+  cold_fs_->set_owner(norm, st->owner);
+  HsmTicket t;
+  t.path = norm;
+  t.size = st->size;
+  t.owner = st->owner;
+  t.src = std::move(src.value());
+  t.dst = std::move(dst.value());
+  residency_.put(norm, hsm::ColdEntry{hsm::Tier::migrating, t.size, t.owner});
+  return t;
+}
+
+Status StorageManager::hsm_commit_migrate(const HsmTicket& t) {
+  obs::Span span(obs::Layer::storage, "hsm_commit_migrate");
+  journal::Lsn lsn = 0;
+  {
+    MutexLock lock(mu_);
+    const auto* e = residency_.find(t.path);
+    if (e == nullptr || e->tier != hsm::Tier::migrating)
+      return Status{Errc::invalid_argument, "no migration in flight"};
+    residency_.set_tier(t.path, hsm::Tier::cold);
+    batch_.hsm_put(t.path, t.size, t.owner);
+    lots_.release_file(t.path);
+    batch_.file_release(t.path);
+    if (options_.enforcement == LotEnforcement::nest_managed) {
+      quota_.release(t.owner, t.size);
+      record_quota_locked(t.owner);
+    }
+    auto sealed = seal_batch_locked();
+    if (!sealed.ok()) return Status{sealed.error()};
+    lsn = *sealed;
+  }
+  if (auto b = barrier(lsn); !b.ok()) return b;
+  {
+    // The hot copy is deleted only after the residency record is durable:
+    // a crash in between leaves both copies (the caught-by-design double-
+    // residency window) and hsm_recover finishes the delete. Re-check the
+    // entry — an overwrite racing the barrier owns the path now.
+    MutexLock lock(mu_);
+    const auto* e = residency_.find(t.path);
+    if (e != nullptr && e->tier == hsm::Tier::cold) (void)fs_->remove(t.path);
+  }
+  return {};
+}
+
+void StorageManager::hsm_abort_migrate(const std::string& path) {
+  MutexLock lock(mu_);
+  const std::string norm = normalize_path(path);
+  const auto* e = residency_.find(norm);
+  if (e == nullptr || e->tier != hsm::Tier::migrating) return;
+  residency_.erase(norm);
+  if (cold_fs_) (void)cold_fs_->remove(norm);
+}
+
+Result<StorageManager::HsmTicket> StorageManager::hsm_begin_recall(
+    const Principal& who, const std::string& path) {
+  obs::Span span(obs::Layer::storage, "hsm_begin_recall");
+  MutexLock lock(mu_);
+  if (!cold_fs_) return Error{Errc::invalid_argument, "no cold tier attached"};
+  const std::string norm = normalize_path(path);
+  if (auto s = check(who, parent_path(norm), Right::read); !s.ok())
+    return s.error();
+  const auto* e = residency_.find(norm);
+  if (e == nullptr) return Error{Errc::not_found, "not cold-resident"};
+  if (e->tier == hsm::Tier::recalling)
+    return Error{Errc::busy, "recall in progress"};
+  if (e->tier != hsm::Tier::cold)
+    return Error{Errc::busy, "tier transition in progress"};
+  // Re-admission: the recalled bytes come back as a lot-less hot file, so
+  // they must fit the space not guaranteed to live lots and the owner's
+  // quota headroom (the charge itself lands at commit).
+  if (e->size > lots_.available_bytes())
+    return Error{Errc::no_space, "free space is guaranteed to live lots"};
+  if (options_.enforcement == LotEnforcement::nest_managed) {
+    const std::int64_t limit = quota_.limit(e->owner);
+    if (limit >= 0 && quota_.usage(e->owner) + e->size > limit)
+      return Error{Errc::no_space, "recall would exceed owner quota"};
+  }
+  auto src = cold_fs_->open(norm);
+  if (!src.ok()) return src.error();
+  if (auto s = materialize_parents_locked(*fs_, norm); !s.ok())
+    return s.error();
+  auto dst = fs_->create(norm);
+  if (!dst.ok()) return dst.error();
+  fs_->set_owner(norm, e->owner);
+  HsmTicket t;
+  t.path = norm;
+  t.size = e->size;
+  t.owner = e->owner;
+  t.src = std::move(src.value());
+  t.dst = std::move(dst.value());
+  residency_.set_tier(norm, hsm::Tier::recalling);
+  return t;
+}
+
+Status StorageManager::hsm_commit_recall(const HsmTicket& t) {
+  obs::Span span(obs::Layer::storage, "hsm_commit_recall");
+  journal::Lsn lsn = 0;
+  {
+    MutexLock lock(mu_);
+    const auto* e = residency_.find(t.path);
+    if (e == nullptr || e->tier != hsm::Tier::recalling)
+      return Status{Errc::invalid_argument, "no recall in flight"};
+    if (options_.enforcement == LotEnforcement::nest_managed) {
+      if (auto s = quota_.charge(t.owner, t.size); !s.ok()) return s;
+      record_quota_locked(t.owner);
+    }
+    residency_.erase(t.path);
+    batch_.hsm_erase(t.path);
+    auto sealed = seal_batch_locked();
+    if (!sealed.ok()) return Status{sealed.error()};
+    lsn = *sealed;
+  }
+  if (auto b = barrier(lsn); !b.ok()) return b;
+  {
+    // Mirror of the migrate commit: the cold copy outlives the barrier so
+    // a crash never leaves the bytes only in flight. Skip the delete if a
+    // new migration already reclaimed the cold path.
+    MutexLock lock(mu_);
+    if (residency_.find(t.path) == nullptr) (void)cold_fs_->remove(t.path);
+  }
+  return {};
+}
+
+void StorageManager::hsm_abort_recall(const std::string& path) {
+  MutexLock lock(mu_);
+  const std::string norm = normalize_path(path);
+  const auto* e = residency_.find(norm);
+  if (e == nullptr || e->tier != hsm::Tier::recalling) return;
+  residency_.set_tier(norm, hsm::Tier::cold);
+  (void)fs_->remove(norm);  // partial hot copy
+}
+
+Result<hsm::Tier> StorageManager::hsm_tier(const Principal& who,
+                                           const std::string& path) const {
+  MutexLock lock(mu_);
+  const std::string norm = normalize_path(path);
+  if (auto s = check(who, parent_path(norm), Right::lookup); !s.ok())
+    return s.error();
+  if (const auto* e = residency_.find(norm)) return e->tier;
+  auto st = fs_->stat(norm);
+  if (!st.ok()) return st.error();
+  return hsm::Tier::hot;
+}
+
+StorageManager::HsmStats StorageManager::hsm_stats() const {
+  MutexLock lock(mu_);
+  HsmStats out;
+  out.cold_files = static_cast<std::int64_t>(residency_.count(hsm::Tier::cold));
+  out.cold_bytes = residency_.cold_bytes();
+  out.migrating =
+      static_cast<std::int64_t>(residency_.count(hsm::Tier::migrating));
+  out.recalling =
+      static_cast<std::int64_t>(residency_.count(hsm::Tier::recalling));
+  return out;
+}
+
+std::vector<std::string> StorageManager::hsm_migration_candidates(
+    std::size_t max) const {
+  MutexLock lock(mu_);
+  if (!cold_fs_ || max == 0) return {};
+  // A file is drainable only if EVERY lot charging it is best-effort and
+  // none is pinned (a file may span lots).
+  std::map<std::string, bool> eligible;
+  for (const auto& lot : lots_.all_lots()) {
+    const bool drainable = lot.best_effort && !lot.pinned;
+    for (const auto& [path, bytes] : lot.files) {
+      auto [it, inserted] = eligible.try_emplace(path, drainable);
+      if (!inserted) it->second = it->second && drainable;
+    }
+  }
+  std::vector<std::string> out;
+  for (const auto& [path, ok] : eligible) {
+    if (!ok || residency_.find(path) != nullptr) continue;
+    auto st = fs_->stat(path);
+    if (!st.ok() || st->is_dir) continue;
+    out.push_back(path);
+    if (out.size() >= max) break;
+  }
+  return out;
+}
+
+Status StorageManager::hsm_recover() {
+  MutexLock lock(mu_);
+  if (!cold_fs_) return {};
+  // Every replayed entry is stable (only cold residency is journaled).
+  // Resolve each against the two filesystems: the cold copy is
+  // authoritative, a surviving hot copy is the unfinished tail of a
+  // migrate/recall commit (or a partial recall) and is deleted.
+  std::vector<std::string> paths;
+  paths.reserve(residency_.size());
+  for (const auto& [path, e] : residency_.entries()) paths.push_back(path);
+  for (const auto& path : paths) {
+    if (!cold_fs_->stat(path).ok()) {
+      // The protocol journals residency only after the cold copy is fully
+      // written, so a missing cold file means the cold device lost data.
+      // Fall back to a hot copy if one survives; otherwise the file is
+      // gone and the entry goes with it.
+      NEST_LOG_WARN("hsm", "cold copy of %s missing at recovery",
+                    path.c_str());
+      residency_.erase(path);
+      batch_.hsm_erase(path);
+      continue;
+    }
+    if (fs_->stat(path).ok()) (void)fs_->remove(path);
+  }
+  // GC cold files the journal does not know about: aborted migrations
+  // whose entries never committed.
+  std::vector<std::string> stack{"/"};
+  while (!stack.empty()) {
+    const std::string dir = stack.back();
+    stack.pop_back();
+    auto entries = cold_fs_->list(dir);
+    if (!entries.ok()) continue;
+    for (const auto& e : *entries) {
+      const std::string path = join_path(dir, e.name);
+      if (e.is_dir) {
+        stack.push_back(path);
+      } else if (residency_.find(path) == nullptr) {
+        (void)cold_fs_->remove(path);
+      }
+    }
+  }
+  auto sealed = seal_batch_locked();
+  if (!sealed.ok()) return Status{sealed.error()};
+  lock.unlock();
+  return barrier(*sealed);
+}
+
 std::int64_t StorageManager::replicas_for(const std::string& path) const {
   MutexLock lock(mu_);
   std::int64_t want = 0;
@@ -645,6 +1010,15 @@ classad::ClassAd StorageManager::resource_ad() const {
             classad::Value::integer(lots_.available_bytes()));
   ad.insert("ReclaimableSpace",
             classad::Value::integer(lots_.reclaimable_bytes()));
+  if (cold_fs_) {
+    ad.insert("ColdTotalSpace",
+              classad::Value::integer(cold_fs_->total_space()));
+    ad.insert("ColdUsedSpace", classad::Value::integer(cold_fs_->used_space()));
+    ad.insert("ColdFiles",
+              classad::Value::integer(static_cast<std::int64_t>(
+                  residency_.count(hsm::Tier::cold))));
+    ad.insert("ColdBytes", classad::Value::integer(residency_.cold_bytes()));
+  }
   auto protocols = std::make_shared<std::vector<classad::Value>>();
   for (const char* p : {"chirp", "http", "ftp", "gridftp", "nfs"})
     protocols->push_back(classad::Value::string(p));

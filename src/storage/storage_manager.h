@@ -149,6 +149,67 @@ class StorageManager {
   std::int64_t total_space() const;
   std::int64_t free_space() const;
 
+  // --- Hierarchical storage: CASTOR-style cold tier (docs/hsm.md) ---
+  // Attach a second VirtualFs holding the cold tier. Like attach_journal,
+  // this runs once before the server serves; most call sites pass a
+  // SlowFs-wrapped LocalFs (real mode) or a MemFs (tests/sim). HSM ops
+  // fail with invalid_argument until a cold tier is attached.
+  void attach_cold_tier(std::unique_ptr<VirtualFs> cold);
+  bool cold_tier_attached() const;
+  // Resolve the two filesystems against the replayed residency map after
+  // attach_journal: delete hot strays for journaled-cold entries (the
+  // deliberate double-residency window of an interrupted migrate/recall
+  // commit) and GC cold files the journal does not know about (aborted
+  // migrations). Server init calls this; meta-only recovery tests that
+  // recreate the managers over fresh filesystems skip it.
+  Status hsm_recover();
+
+  // Migration/recall run as begin -> copy-outside-the-lock -> commit/abort
+  // so the block copy can pace through the transfer scheduler without
+  // holding the metadata mutex. The ticket carries both tier handles.
+  struct HsmTicket {
+    std::string path;   // normalized
+    std::int64_t size = 0;
+    std::string owner;
+    FileHandlePtr src;  // read side (hot for migrate, cold for recall)
+    FileHandlePtr dst;  // write side (cold for migrate, hot for recall)
+  };
+  // Begin draining `path` to the cold tier. Requires superuser or file
+  // owner; refused while any charging lot is live or pinned, or while
+  // another transition is in flight.
+  Result<HsmTicket> hsm_begin_migrate(const Principal& who,
+                                      const std::string& path);
+  // The cold copy is fully written: journal residency=cold, release lot
+  // and quota charges, then (after the durability barrier) delete the hot
+  // copy. A crash between barrier and delete leaves both copies; the
+  // recovery scrub finishes the delete.
+  Status hsm_commit_migrate(const HsmTicket& t);
+  void hsm_abort_migrate(const std::string& path);
+  // Begin staging `path` back to the hot tier. Requires the read right;
+  // re-admits the bytes (raw-space check, quota re-charge at commit) so a
+  // recall cannot overcommit space guaranteed to live lots.
+  Result<HsmTicket> hsm_begin_recall(const Principal& who,
+                                     const std::string& path);
+  Status hsm_commit_recall(const HsmTicket& t);
+  void hsm_abort_recall(const std::string& path);
+  // Residency of a path: hot when no entry and the file exists.
+  Result<hsm::Tier> hsm_tier(const Principal& who,
+                             const std::string& path) const;
+  struct HsmStats {
+    std::int64_t cold_files = 0;
+    std::int64_t cold_bytes = 0;
+    std::int64_t migrating = 0;
+    std::int64_t recalling = 0;
+  };
+  HsmStats hsm_stats() const;
+  // Migration policy scan: files whose charging lots are ALL best-effort
+  // (expired/terminated) and none pinned, not already cold or in
+  // transition. The TierMigrator drains these.
+  std::vector<std::string> hsm_migration_candidates(std::size_t max) const;
+  // Pin/unpin a lot: pinned lots keep their files hot (owner/superuser,
+  // journaled like every other lot mutation).
+  Status lot_set_pin(const Principal& who, LotId id, bool pinned);
+
   // --- Transfer approval ---
   Result<TransferTicket> approve_read(const Principal& who,
                                       const std::string& path);
@@ -197,7 +258,7 @@ class StorageManager {
   Status check(const Principal& who, const std::string& path,
                Right needed) const REQUIRES(mu_);
   MetaState meta_state() REQUIRES(mu_) {
-    return MetaState{lots_, acl_, quota_};
+    return MetaState{lots_, acl_, quota_, &residency_};
   }
 
   // Journal the current lot state of `id` (erase record if it vanished).
@@ -229,16 +290,28 @@ class StorageManager {
   Status lot_terminate_locked(const Principal& who, LotId id) REQUIRES(mu_);
   Status lot_set_replicas_locked(const Principal& who, LotId id,
                                  std::int64_t replicas) REQUIRES(mu_);
+  Status lot_set_pin_locked(const Principal& who, LotId id, bool pinned)
+      REQUIRES(mu_);
+  // Owner/superuser/group-member check shared by the lot mutators.
+  bool owns_lot_locked(const Principal& who, const Lot& lot) const
+      REQUIRES(mu_);
+  // mkdir the missing ancestors of `norm` in `fs` (cold-tier mirror of
+  // install_replica_file's parent materialization).
+  Status materialize_parents_locked(VirtualFs& fs, const std::string& norm)
+      REQUIRES(mu_);
 
   Clock& clock_;
   // The VirtualFs object itself (MemFs node table, LocalFs dirfd state) is
   // externally serialized by mu_; only per-file payloads carry their own
   // lock (rank storage_file, acquired under mu_ by stat/list).
   std::unique_ptr<VirtualFs> fs_ PT_GUARDED_BY(mu_);
+  // Cold tier (may be null). Same serialization discipline as fs_.
+  std::unique_ptr<VirtualFs> cold_fs_ PT_GUARDED_BY(mu_);
   StorageOptions options_;
   AccessControl acl_ GUARDED_BY(mu_);
   LotManager lots_ GUARDED_BY(mu_);
   QuotaLedger quota_ GUARDED_BY(mu_);
+  hsm::ResidencyMap residency_ GUARDED_BY(mu_);
   // Set once by attach_journal() before the server accepts connections,
   // read-only afterwards; barrier() reads it outside mu_ by design (the
   // commit wait must not hold the metadata lock), so it stays unguarded.

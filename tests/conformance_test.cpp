@@ -507,6 +507,108 @@ TEST_F(ConformanceSmallServerTest, SpaceExhaustedIsNoSpaceEverywhere) {
   }
 }
 
+// ---------- Cold-tier staging codes (docs/hsm.md) ----------
+//
+// A read of cold data must surface each wire's NATIVE "media not online,
+// retry" vocabulary — Chirp 455, HTTP 503, FTP 450, NFS NFSERR_JUKEBOX
+// (10008) — and after a recall the same paths must serve the original
+// bytes on every wire.
+class ConformanceColdTierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server::NestServerOptions o;
+    o.capacity = 50'000'000;
+    o.tm.adaptive = false;
+    o.cold_backend = "mem";
+    // No background worker: staging stays pending until the test recalls
+    // explicitly, so the cold window is deterministic on every wire.
+    o.hsm_worker = false;
+    o.hsm_auto_migrate = false;
+    auto s = server::NestServer::start(std::move(o));
+    ASSERT_TRUE(s.ok()) << s.error().to_string();
+    server_ = std::move(*s);
+    server_->gsi().add_user("alice", "s");
+  }
+  void TearDown() override {
+    if (server_) server_->stop();
+  }
+  std::unique_ptr<server::NestServer> server_;
+};
+
+TEST_F(ConformanceColdTierTest, ColdReadIsNativeStagingCodeEverywhere) {
+  auto ctrl = ChirpClient::connect("127.0.0.1", server_->chirp_port(),
+                                   "alice", "s");
+  ASSERT_TRUE(ctrl.ok()) << ctrl.error().to_string();
+  const std::string payload = conf_payload();
+  ASSERT_TRUE(ctrl->mkdir("/arc").ok());
+  // Lotless write: no live-lot guarantee keeps the file hot, so an
+  // explicit owner migrate drains it immediately.
+  ASSERT_TRUE(ctrl->put("/arc/frozen.bin", payload).ok());
+  ASSERT_TRUE(ctrl->hsm_migrate("/arc/frozen.bin").ok());
+  auto tier = ctrl->hsm_status("/arc/frozen.bin");
+  ASSERT_TRUE(tier.ok());
+  EXPECT_EQ(*tier, "cold");
+
+  // Metadata stays first-class while the data is cold, on every wire.
+  auto st = ctrl->stat("/arc/frozen.bin");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, static_cast<std::int64_t>(payload.size()));
+
+  // Chirp: 455 "staging in progress" -> Errc::staging.
+  auto anon = ChirpClient::connect("127.0.0.1", server_->chirp_port());
+  ASSERT_TRUE(anon.ok());
+  auto cr = anon->get("/arc/frozen.bin");
+  ASSERT_FALSE(cr.ok());
+  EXPECT_EQ(cr.error().code, Errc::staging) << "chirp";
+
+  // HTTP: 503 Service Unavailable (retry after the recall).
+  HttpClient http("127.0.0.1", server_->http_port());
+  auto hr = http.get("/arc/frozen.bin");
+  ASSERT_TRUE(hr.ok());
+  EXPECT_EQ(hr->status, 503) << "http";
+
+  // FTP: 450 "file unavailable, try again" — the tape-era transient
+  // class, which the client maps to the retryable busy code.
+  auto ftp = FtpClient::connect("127.0.0.1", server_->ftp_port());
+  ASSERT_TRUE(ftp.ok());
+  auto fr = ftp->retr("/arc/frozen.bin");
+  ASSERT_FALSE(fr.ok());
+  EXPECT_EQ(fr.error().code, Errc::busy) << "ftp (wire code 450)";
+
+  // NFS: NFSERR_JUKEBOX, the protocol's own HSM "media being loaded"
+  // code -> Errc::staging.
+  auto nfs = NfsClient::connect("127.0.0.1", server_->nfs_port());
+  ASSERT_TRUE(nfs.ok());
+  auto root = nfs->mount("/arc");
+  ASSERT_TRUE(root.ok()) << root.error().to_string();
+  auto nr = nfs->read_file(*root, "frozen.bin");
+  ASSERT_FALSE(nr.ok());
+  EXPECT_EQ(nr.error().code, Errc::staging) << "nfs (NFSERR_JUKEBOX)";
+
+  // Stage the file back; every wire then serves the original bytes.
+  ASSERT_TRUE(ctrl->hsm_recall("/arc/frozen.bin").ok());
+  auto tier2 = ctrl->hsm_status("/arc/frozen.bin");
+  ASSERT_TRUE(tier2.ok());
+  EXPECT_EQ(*tier2, "hot");
+
+  auto cg = anon->get("/arc/frozen.bin");
+  ASSERT_TRUE(cg.ok()) << "chirp after recall";
+  EXPECT_TRUE(*cg == payload);
+
+  auto hg = http.get("/arc/frozen.bin");
+  ASSERT_TRUE(hg.ok());
+  EXPECT_EQ(hg->status, 200) << "http after recall";
+  EXPECT_TRUE(hg->body == payload);
+
+  auto fg = ftp->retr("/arc/frozen.bin");
+  ASSERT_TRUE(fg.ok()) << "ftp after recall";
+  EXPECT_TRUE(*fg == payload);
+
+  auto ng = nfs->read_file(*root, "frozen.bin");
+  ASSERT_TRUE(ng.ok()) << "nfs after recall";
+  EXPECT_TRUE(*ng == payload);
+}
+
 // Chirp-only corner of the matrix: a put that exceeds the caller's own
 // lot reservation fails with the same no_space class, not a new code.
 TEST_F(ConformanceSmallServerTest, LotExhaustionIsNoSpace) {

@@ -241,5 +241,59 @@ TEST_F(LockRankTest, SelectorThenMembershipAborts) {
       "rank inversion");
 }
 
+// --- cold-tier HSM edges ---
+// Canonical order: hsm_worker (19) < hsm_state (29) < storage_meta (30).
+// The recall executor election holds the in-flight table while
+// consulting residency, so storage calls under hsm_state are legal; the
+// inverse — storage calling back into the recall table under mu_ —
+// would deadlock a reader joining an in-flight recall and is forbidden.
+
+struct HsmLocks {
+  Mutex worker{Rank::hsm_worker, "test.hsm_worker"};
+  Mutex state{Rank::hsm_state, "test.hsm_state"};
+  Mutex meta{Rank::storage_meta, "test.meta"};
+};
+
+TEST_F(LockRankTest, HsmCanonicalOrderPassesThrough) {
+  HsmLocks l;
+  MutexLock w(l.worker);  // 19: worker wakeup/control
+  MutexLock s(l.state);   // 29: flight-table election
+  MutexLock m(l.meta);    // 30: begin_recall under storage mu_
+  EXPECT_EQ(lockrank::held_count(), 3);
+}
+
+TEST_F(LockRankTest, StorageMetaThenHsmStateAborts) {
+  // The forbidden callback direction: StorageManager must never enter
+  // the recall flight table while holding its metadata lock.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  HsmLocks l;
+  EXPECT_DEATH(
+      {
+        lockrank::set_enabled(true);
+        MutexLock m(l.meta);   // 30
+        MutexLock s(l.state);  // 29 while holding 30: inversion
+      },
+      "rank inversion");
+}
+
+TEST_F(LockRankTest, HsmStateThenWorkerAborts) {
+  // The worker drives recalls, never the reverse: completing a recall
+  // must not re-enter the worker control lock from under hsm_state.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  HsmLocks l;
+  EXPECT_DEATH(
+      {
+        lockrank::set_enabled(true);
+        MutexLock s(l.state);   // 29
+        MutexLock w(l.worker);  // 19 while holding 29: inversion
+      },
+      "rank inversion");
+}
+
+TEST_F(LockRankTest, HsmRankNamesCoverTheRegistry) {
+  EXPECT_STREQ(lockrank::rank_name(Rank::hsm_worker), "hsm_worker");
+  EXPECT_STREQ(lockrank::rank_name(Rank::hsm_state), "hsm_state");
+}
+
 }  // namespace
 }  // namespace nest
