@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Static-analysis gate: clang-tidy over compile_commands.json plus the
-# nest-lint grep rules. Exits non-zero on any finding. Tools that are not
-# installed are skipped with a notice (the annotations themselves are
-# no-ops under GCC, so a GCC-only box still builds and tests everything).
+# Static-analysis gate: the nest-lint checker binary (tools/nest-lint/,
+# rule catalog in docs/static-analysis.md) plus clang-tidy over
+# compile_commands.json. Exits non-zero on any finding. Tools that are
+# not installed are skipped with a notice (the thread-safety annotations
+# are no-ops under GCC, so a GCC-only box still builds and tests
+# everything) — but a *stale* compilation database is an error, not a
+# skip: linting against old flags is how gates silently rot.
 #
 #   scripts/lint.sh            # lint src/ with the default build dir
 #   BUILD_DIR=build-analyze scripts/lint.sh
@@ -13,61 +16,54 @@ BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc)}"
 fail=0
 
-# --- nest-lint rule 1: no naked standard locks outside the wrapper -------
-# Every mutex in src/ must be a nest::Mutex/SharedMutex so it carries a
-# lock rank and the thread-safety capability. (tests/ and bench/ may use
-# std primitives: they exercise the wrappers and measure raw baselines.)
-echo "== lint: naked std lock primitives in src/ =="
-naked=$(grep -rn --include='*.h' --include='*.cpp' \
-  -e 'std::mutex\b' -e 'std::shared_mutex\b' -e 'std::condition_variable\b' \
-  -e 'std::lock_guard\b' -e 'std::unique_lock\b' -e 'std::scoped_lock\b' \
-  -e 'std::shared_lock\b' \
-  src/ | grep -v '^src/common/mutex\.h:' | grep -v '^src/common/lockrank' \
-  | grep -v '^src/common/thread_annotations\.h:')
-if [[ -n "${naked}" ]]; then
-  echo "${naked}"
-  echo "error: use nest::Mutex / MutexLock (src/common/mutex.h) instead"
-  fail=1
-else
-  echo "   ok"
+# --- nest-lint: the repo-specific rules ----------------------------------
+# Prefer the binary the build tree already made; otherwise compile it
+# directly (standard library only, a few seconds) so the lint gate runs
+# before any cmake configure has happened.
+NEST_LINT="${NEST_LINT:-${BUILD_DIR}/tools/nest-lint/nest-lint}"
+if [[ ! -x "${NEST_LINT}" ]]; then
+  NEST_LINT="$(mktemp -d)/nest-lint"
+  echo "== lint: bootstrapping nest-lint (no built binary found) =="
+  if ! "${CXX:-c++}" -std=c++20 -O2 -o "${NEST_LINT}" tools/nest-lint/*.cpp; then
+    echo "error: could not compile tools/nest-lint"
+    exit 1
+  fi
 fi
 
-# --- nest-lint rule 2: errno read twice in one statement ------------------
-# strerror(errno) after another errno read in the same full expression has
-# unspecified evaluation order, and any intervening call may clobber errno.
-# Save errno to a local first (see src/net/socket.cpp for the pattern).
-echo "== lint: errno double-read in one statement =="
-dbl=$(grep -rnE --include='*.cpp' '\berrno\b.*\berrno\b' src/ || true)
-if [[ -n "${dbl}" ]]; then
-  echo "${dbl}"
-  echo "error: save errno to a const local before formatting the message"
-  fail=1
+echo "== lint: nest-lint rule catalog =="
+if [[ -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  "${NEST_LINT}" --root . \
+      --compile-commands "${BUILD_DIR}/compile_commands.json" || fail=1
 else
-  echo "   ok"
+  "${NEST_LINT}" --root . || fail=1
 fi
 
-# --- nest-lint rule 3: raw socket-data syscalls outside src/net/ ----------
-# All wire I/O goes through the net layer (docs/net.md) so the vectored and
-# zero-copy paths, failpoints, and fallback semantics stay in one place.
-# The leading-context class rejects qualified member names (Foo::send().
-echo "== lint: raw socket syscalls outside src/net/ =="
-raw=$(grep -rnE --include='*.h' --include='*.cpp' \
-  '(^|[^A-Za-z0-9_>])::(send|recv|sendto|recvfrom|sendfile|writev|sendmsg|recvmsg)[[:space:]]*\(' \
-  src/ | grep -v '^src/net/' || true)
-if [[ -n "${raw}" ]]; then
-  echo "${raw}"
-  echo "error: use net::TcpStream / net::UdpSocket (src/net/socket.h) instead"
-  fail=1
-else
-  echo "   ok"
+# --- compilation database staleness --------------------------------------
+# No build dir at all is fine (nest-lint walked the tree above, clang-tidy
+# skips below). A database older than any CMakeLists.txt is NOT fine: the
+# flags or file lists it records no longer describe the build.
+CDB="${BUILD_DIR}/compile_commands.json"
+if [[ -d "${BUILD_DIR}" ]]; then
+  if [[ ! -f "${CDB}" ]]; then
+    echo "error: ${BUILD_DIR}/ exists but has no compile_commands.json;"
+    echo "       re-run 'cmake --preset default' (CMAKE_EXPORT_COMPILE_COMMANDS is ON in every preset)"
+    fail=1
+  else
+    stale=$(find . -name CMakeLists.txt -not -path './build*' -newer "${CDB}" -print -quit)
+    if [[ -n "${stale}" ]]; then
+      echo "error: ${CDB} is older than ${stale};"
+      echo "       re-run 'cmake --preset default' so the lint pass sees current flags"
+      fail=1
+    fi
+  fi
 fi
 
 # --- clang-tidy over the compilation database ----------------------------
 echo "== lint: clang-tidy (.clang-tidy checks) =="
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "   clang-tidy not installed; skipping (annotations still gate under 'cmake --preset analyze')"
-elif [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
-  echo "   ${BUILD_DIR}/compile_commands.json missing; configure with a preset first (CMAKE_EXPORT_COMPILE_COMMANDS is ON in all of them)"
+elif [[ ! -f "${CDB}" ]]; then
+  echo "   ${CDB} missing; configure with a preset first (CMAKE_EXPORT_COMPILE_COMMANDS is ON in all of them)"
 else
   if command -v run-clang-tidy >/dev/null 2>&1; then
     run-clang-tidy -quiet -p "${BUILD_DIR}" -j "${JOBS}" 'src/.*\.cpp$' || fail=1

@@ -20,10 +20,11 @@ class ClassAd {
   ClassAd() = default;
 
   // Parse a full ad: "[ a = 1; b = other.x > 2; ]".
-  static Result<ClassAd> parse(std::string_view text);
+  NEST_NODISCARD static Result<ClassAd> parse(std::string_view text);
 
   void insert(const std::string& name, ExprPtr expr);
   void insert(const std::string& name, Value v);
+  NEST_NODISCARD
   Status insert_expr(const std::string& name, std::string_view expr_text);
 
   bool erase(const std::string& name);
@@ -71,6 +72,6 @@ bool match(const ClassAd& a, const ClassAd& b);
 double rank(const ClassAd& a, const ClassAd& b);
 
 // Parse a standalone expression.
-Result<ExprPtr> parse_expr(std::string_view text);
+NEST_NODISCARD Result<ExprPtr> parse_expr(std::string_view text);
 
 }  // namespace nest::classad

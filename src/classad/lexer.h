@@ -54,6 +54,6 @@ struct Token {
   std::size_t pos = 0;     // byte offset, for error messages
 };
 
-Result<std::vector<Token>> lex(std::string_view text);
+NEST_NODISCARD Result<std::vector<Token>> lex(std::string_view text);
 
 }  // namespace nest::classad

@@ -17,24 +17,25 @@ namespace nest::client {
 class ChirpClient {
  public:
   // Connect and authenticate. Empty user = anonymous.
+  NEST_NODISCARD
   static Result<ChirpClient> connect(const std::string& host, uint16_t port,
                                      const std::string& user = {},
                                      const std::string& secret = {});
 
-  Status mkdir(const std::string& path);
-  Status rmdir(const std::string& path);
-  Status unlink(const std::string& path);
-  Status rename(const std::string& from, const std::string& to);
+  NEST_NODISCARD Status mkdir(const std::string& path);
+  NEST_NODISCARD Status rmdir(const std::string& path);
+  NEST_NODISCARD Status unlink(const std::string& path);
+  NEST_NODISCARD Status rename(const std::string& from, const std::string& to);
 
   struct Stat {
     bool is_dir = false;
     std::int64_t size = 0;
     std::string owner;
   };
-  Result<Stat> stat(const std::string& path);
-  Result<std::vector<std::string>> list(const std::string& path);
+  NEST_NODISCARD Result<Stat> stat(const std::string& path);
+  NEST_NODISCARD Result<std::vector<std::string>> list(const std::string& path);
 
-  Result<std::string> get(const std::string& path);
+  NEST_NODISCARD Result<std::string> get(const std::string& path);
   // GET that surfaces a cluster redirect ("350 redirect <name> <host>
   // <port>") through `redirect` instead of failing: when it comes back
   // engaged the server does not hold the file and points at the replica
@@ -44,69 +45,77 @@ class ChirpClient {
     std::string host;
     std::uint16_t port = 0;
   };
+  NEST_NODISCARD
   Result<std::string> get(const std::string& path,
                           std::optional<Redirect>* redirect);
-  Status put(const std::string& path, const std::string& data);
+  NEST_NODISCARD Status put(const std::string& path, const std::string& data);
 
   // Three-party transfer: ask this server to push its file to another
   // NeST (the data never flows through this client).
+  NEST_NODISCARD
   Status third_put(const std::string& path, const std::string& host,
                    uint16_t port, const std::string& remote_path);
 
   // Lot management.
+  NEST_NODISCARD
   Result<std::uint64_t> lot_create(std::int64_t bytes, std::int64_t seconds,
                                    bool group = false);
-  Status lot_renew(std::uint64_t id, std::int64_t seconds);
-  Status lot_terminate(std::uint64_t id);
-  Result<std::string> lot_query(std::uint64_t id);
+  NEST_NODISCARD Status lot_renew(std::uint64_t id, std::int64_t seconds);
+  NEST_NODISCARD Status lot_terminate(std::uint64_t id);
+  NEST_NODISCARD Result<std::string> lot_query(std::uint64_t id);
   // One line per visible lot (all lots for the superuser, own otherwise).
-  Result<std::string> lot_list();
+  NEST_NODISCARD Result<std::string> lot_list();
   // Per-lot replication policy (cluster federation); 0 = cluster default.
+  NEST_NODISCARD
   Status lot_set_replicas(std::uint64_t id, std::int64_t replicas);
   // Pin the lot's files against cold-tier migration (owner/superuser).
-  Status lot_pin(std::uint64_t id, bool pinned);
+  NEST_NODISCARD Status lot_pin(std::uint64_t id, bool pinned);
 
   // Hierarchical storage: "hot"/"cold"/"migrating"/"recalling" per file,
   // synchronous recall (blocks until the file is hot again; joins an
   // in-flight recall if one exists), explicit migrate.
-  Result<std::string> hsm_status(const std::string& path);
-  Status hsm_recall(const std::string& path);
-  Status hsm_migrate(const std::string& path);
+  NEST_NODISCARD Result<std::string> hsm_status(const std::string& path);
+  NEST_NODISCARD Status hsm_recall(const std::string& path);
+  NEST_NODISCARD Status hsm_migrate(const std::string& path);
 
   // Cluster federation status: one "self ..." line plus one "peer ..."
   // line per configured peer (role, liveness, acked LSN lag, score).
-  Result<std::string> cluster_status();
+  NEST_NODISCARD Result<std::string> cluster_status();
   // Ranked replica candidates, best first (optionally for one path).
-  Result<std::string> replica_list(const std::string& path = {});
+  NEST_NODISCARD Result<std::string> replica_list(const std::string& path = {});
 
   // ACL management (entry is a ClassAd in text form).
+  NEST_NODISCARD
   Status acl_set(const std::string& dir, const std::string& entry);
   // Remove a principal's entries (e.g. "user:alice") from a directory ACL.
+  NEST_NODISCARD
   Status acl_clear(const std::string& dir, const std::string& principal);
-  Result<std::string> acl_get(const std::string& dir);
+  NEST_NODISCARD Result<std::string> acl_get(const std::string& dir);
 
   // The appliance's resource ClassAd.
-  Result<std::string> query_ad();
+  NEST_NODISCARD Result<std::string> query_ad();
 
   // Metadata journal statistics line (admin; fails if nestd runs without
   // a journal).
-  Result<std::string> journal_stat();
+  NEST_NODISCARD Result<std::string> journal_stat();
 
   // Live appliance statistics as a JSON document (request latency
   // histograms, throughput, load, storage and journal state).
-  Result<std::string> stats();
+  NEST_NODISCARD Result<std::string> stats();
 
   // Failpoint drills (superuser). Spec grammar: docs/fault-injection.md;
   // "off" disarms. fault_list returns one "<name> <spec> evals=N trips=N"
   // line per registered point.
+  NEST_NODISCARD
   Status fault_set(const std::string& point, const std::string& spec);
-  Result<std::string> fault_list();
+  NEST_NODISCARD Result<std::string> fault_list();
 
   // Receive timeout on the control connection (0 disables); lets chaos
   // harnesses bound how long any one op may wedge.
+  NEST_NODISCARD
   Status set_read_timeout(int millis) { return stream_.set_read_timeout(millis); }
 
-  Status quit();
+  NEST_NODISCARD Status quit();
 
  private:
   explicit ChirpClient(net::TcpStream stream) : stream_(std::move(stream)) {}
@@ -115,9 +124,9 @@ class ChirpClient {
     int code = 0;
     std::string text;
   };
-  Result<Response> command(const std::string& line);
-  Result<std::string> read_payload(const Response& r);
-  static Status to_status(const Response& r);
+  NEST_NODISCARD Result<Response> command(const std::string& line);
+  NEST_NODISCARD Result<std::string> read_payload(const Response& r);
+  NEST_NODISCARD static Status to_status(const Response& r);
 
   net::TcpStream stream_;
 };

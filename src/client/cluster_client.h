@@ -42,11 +42,11 @@ class ClusterClient {
         alpha_(ewma_alpha) {}
 
   // Fetch `path` from the best replica, failing over down the ranking.
-  Result<std::string> get(const std::string& path);
+  NEST_NODISCARD Result<std::string> get(const std::string& path);
 
   // Status surfaces, served by the first reachable contact.
-  Result<std::string> cluster_status();
-  Result<std::string> replica_list(const std::string& path = {});
+  NEST_NODISCARD Result<std::string> cluster_status();
+  NEST_NODISCARD Result<std::string> replica_list(const std::string& path = {});
 
   double measured_mbps(const std::string& name) const;
   // Candidate order the next get() would try (exposed for tests).

@@ -23,41 +23,44 @@ class FtpClient {
   };
 
   // Plain FTP: anonymous login. GridFTP: pass a GSI identity.
+  NEST_NODISCARD
   static Result<FtpClient> connect(const std::string& host, uint16_t port,
                                    std::optional<GsiIdentity> gsi = {});
 
-  Status cwd(const std::string& path);
-  Result<std::string> pwd();
-  Status mkd(const std::string& path);
-  Status rmd(const std::string& path);
-  Status dele(const std::string& path);
-  Result<std::int64_t> size(const std::string& path);
-  Result<std::string> list(const std::string& path = {});
+  NEST_NODISCARD Status cwd(const std::string& path);
+  NEST_NODISCARD Result<std::string> pwd();
+  NEST_NODISCARD Status mkd(const std::string& path);
+  NEST_NODISCARD Status rmd(const std::string& path);
+  NEST_NODISCARD Status dele(const std::string& path);
+  NEST_NODISCARD Result<std::int64_t> size(const std::string& path);
+  NEST_NODISCARD Result<std::string> list(const std::string& path = {});
 
-  Result<std::string> retr(const std::string& path);
+  NEST_NODISCARD Result<std::string> retr(const std::string& path);
   // Resume: fetch [offset, EOF) via REST + RETR.
+  NEST_NODISCARD
   Result<std::string> retr_from(const std::string& path,
                                 std::int64_t offset);
-  Status stor(const std::string& path, const std::string& data);
+  NEST_NODISCARD Status stor(const std::string& path, const std::string& data);
 
   // GridFTP extended block mode for subsequent transfers.
-  Status set_mode_e(bool on);
+  NEST_NODISCARD Status set_mode_e(bool on);
 
   // --- third-party plumbing ---
   // Ask this server to listen; returns (ip, port) from the 227 reply.
-  Result<std::pair<std::string, uint16_t>> pasv();
+  NEST_NODISCARD Result<std::pair<std::string, uint16_t>> pasv();
   // Tell this server to connect to addr for its next data transfer.
-  Status port(const std::string& ip, uint16_t p);
+  NEST_NODISCARD Status port(const std::string& ip, uint16_t p);
   // Issue RETR/STOR without opening a local data connection; returns after
   // the final transfer reply.
-  Status retr_remote(const std::string& path);
-  Status stor_remote(const std::string& path);
+  NEST_NODISCARD Status retr_remote(const std::string& path);
+  NEST_NODISCARD Status stor_remote(const std::string& path);
   // Fire the command and return immediately after the preliminary 150
   // (used to overlap both sides of a third-party transfer).
-  Status begin(const std::string& verb, const std::string& path);
+  NEST_NODISCARD Status begin(const std::string& verb, const std::string& path);
+  NEST_NODISCARD
   Status finish();  // wait for the 226/4xx completion reply
 
-  Status quit();
+  NEST_NODISCARD Status quit();
 
  private:
   explicit FtpClient(net::TcpStream stream) : control_(std::move(stream)) {}
@@ -66,8 +69,8 @@ class FtpClient {
     int code = 0;
     std::string text;
   };
-  Result<Response> command(const std::string& line);
-  Result<Response> read_response();
+  NEST_NODISCARD Result<Response> command(const std::string& line);
+  NEST_NODISCARD Result<Response> read_response();
 
   net::TcpStream control_;
   bool mode_e_ = false;

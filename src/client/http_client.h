@@ -20,15 +20,18 @@ class HttpClient {
     std::int64_t content_length = -1;
   };
 
-  Result<Response> get(const std::string& path);
+  NEST_NODISCARD Result<Response> get(const std::string& path);
   // Range request: bytes [first, last] inclusive (last = -1: to EOF).
+  NEST_NODISCARD
   Result<Response> get_range(const std::string& path, std::int64_t first,
                              std::int64_t last);
-  Result<Response> head(const std::string& path);
+  NEST_NODISCARD Result<Response> head(const std::string& path);
+  NEST_NODISCARD
   Result<Response> put(const std::string& path, const std::string& body);
-  Result<Response> del(const std::string& path);
+  NEST_NODISCARD Result<Response> del(const std::string& path);
 
  private:
+  NEST_NODISCARD
   Result<Response> request(const std::string& method, const std::string& path,
                            const std::string& body, bool want_body,
                            const std::string& extra_headers = {});

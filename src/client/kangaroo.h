@@ -45,11 +45,11 @@ class KangarooMover {
 
   // Spool a file for delivery; returns as soon as the bytes are queued
   // (the Kangaroo property). Fails only when the spool is full.
-  Status put(const std::string& remote_path, std::string data);
+  NEST_NODISCARD Status put(const std::string& remote_path, std::string data);
 
   // Block until every spooled file has been delivered (or permanently
   // failed). Returns the first permanent failure, if any.
-  Status flush();
+  NEST_NODISCARD Status flush();
 
   struct Stats {
     std::int64_t files_delivered = 0;

@@ -23,6 +23,7 @@ Status ChirpLink::ensure_connected() {
   if (stream_) return {};
   auto s = net::TcpStream::connect(addr_.host, addr_.chirp_port);
   if (!s.ok()) return Status{s.error()};
+  // Timeout setup is advisory: a stream without it still works.
   (void)s->set_read_timeout(io_timeout_ms_);
   auto banner = s->read_line();
   if (!banner.ok() || reply_code(*banner) != 220)

@@ -38,19 +38,24 @@ class ChirpLink final : public ReplicaLink {
         authenticate_(std::move(authenticate)),
         io_timeout_ms_(io_timeout_ms) {}
 
+  NEST_NODISCARD
   Result<journal::Lsn> handshake(const std::string& primary) override;
+  NEST_NODISCARD
   Status install_snapshot(journal::Lsn at,
                           const std::string& payload) override;
+  NEST_NODISCARD
   Result<journal::Lsn> ship(journal::Lsn lsn,
                             const std::string& payload) override;
+  NEST_NODISCARD
   Status push_file(const std::string& path,
                    const std::string& data) override;
-  Result<classad::ClassAd> fetch_ad() override;
+  NEST_NODISCARD Result<classad::ClassAd> fetch_ad() override;
 
  private:
-  Status ensure_connected();
+  NEST_NODISCARD Status ensure_connected();
   // Send "<cmd>\r\n" (+ optional payload in the same writev) and read the
   // one-line reply; drops the connection on transport errors.
+  NEST_NODISCARD
   Result<std::string> roundtrip(const std::string& cmd,
                                 const std::string* payload = nullptr);
 

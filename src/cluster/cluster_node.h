@@ -56,19 +56,23 @@ class ReplicaLink {
   virtual ~ReplicaLink() = default;
   // Announce this primary; returns the follower's applied-through LSN in
   // the PRIMARY's sequence (0 for a fresh or restarted follower).
+  NEST_NODISCARD
   virtual Result<journal::Lsn> handshake(const std::string& primary) = 0;
   // Re-seed the follower with a full snapshot covering LSN `at`.
+  NEST_NODISCARD
   virtual Status install_snapshot(journal::Lsn at,
                                   const std::string& payload) = 0;
   // Ship one sealed batch; returns the follower's new applied LSN.
   // An Errc::not_found error means "LSN gap — send a snapshot".
+  NEST_NODISCARD
   virtual Result<journal::Lsn> ship(journal::Lsn lsn,
                                     const std::string& payload) = 0;
   // Push replicated file content.
+  NEST_NODISCARD
   virtual Status push_file(const std::string& path,
                            const std::string& data) = 0;
   // Fetch the peer's discovery ad (heartbeat + load refresh).
-  virtual Result<classad::ClassAd> fetch_ad() = 0;
+  NEST_NODISCARD virtual Result<classad::ClassAd> fetch_ad() = 0;
 };
 
 class ClusterNode {
@@ -114,10 +118,13 @@ class ClusterNode {
   std::size_t pending_pushes() const;
 
   // --- Follower-side entry points (wire handler / loopback links).
-  Result<journal::Lsn> accept_hello(const std::string& primary);
+  NEST_NODISCARD Result<journal::Lsn> accept_hello(const std::string& primary);
+  NEST_NODISCARD
   Result<journal::Lsn> accept_ship(journal::Lsn lsn,
                                    std::string_view payload);
+  NEST_NODISCARD
   Status accept_snapshot(journal::Lsn lsn, std::string_view payload);
+  NEST_NODISCARD
   Status accept_file(const std::string& path, std::string_view data);
   // Applied-through LSN in the primary's sequence. Deliberately not
   // persisted: a restarted follower re-handshakes at 0 and the primary

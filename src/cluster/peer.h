@@ -26,7 +26,7 @@ enum class Role { standalone, primary, follower };
 
 const char* role_name(Role r) noexcept;
 // "standalone" | "primary" | "follower"; invalid_argument otherwise.
-Result<Role> role_by_name(const std::string& name);
+NEST_NODISCARD Result<Role> role_by_name(const std::string& name);
 
 // Static peer address from the `cluster_peers` config list:
 // "name@host:chirp_port".
@@ -37,7 +37,7 @@ struct PeerAddress {
 };
 
 // "name@host:port" -> PeerAddress; invalid_argument on malformed input.
-Result<PeerAddress> parse_peer_address(const std::string& text);
+NEST_NODISCARD Result<PeerAddress> parse_peer_address(const std::string& text);
 
 // Typed view of the load section of a discovery ad. from_ad/to_ad are an
 // exact round-trip for every field below (the satellite codec test covers

@@ -17,8 +17,8 @@ class Config {
  public:
   Config() = default;
 
-  static Result<Config> parse(std::string_view text);
-  static Result<Config> load_file(const std::string& path);
+  NEST_NODISCARD static Result<Config> parse(std::string_view text);
+  NEST_NODISCARD static Result<Config> load_file(const std::string& path);
 
   void set(std::string key, std::string value);
   bool has(const std::string& key) const;

@@ -49,6 +49,7 @@ int resolve_default() {
 
 void print_backtrace(void* const* frames, int n) {
   if (n <= 0) {
+    // nest-lint: allow(syscalls): signal-safe abort diagnostics to stderr.
     (void)!::write(STDERR_FILENO, "    (no backtrace)\n", 19);
     return;
   }

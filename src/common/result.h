@@ -10,6 +10,17 @@
 #include <utility>
 #include <variant>
 
+// Marks a function whose Errc/Status/Result return value is part of the
+// error-path contract: callers must consume it, and every preset builds
+// with -Werror=unused-result so a dropped return is a compile error. The
+// Result/Status class types are [[nodiscard]] themselves, but Errc is a
+// plain enum, and the per-function marker keeps the contract visible at
+// the declaration; nest-lint's `nodiscard` rule rejects any src/ header
+// function returning one of the three without it. Genuinely
+// fire-and-forget call sites use `(void)` with a same-line reason
+// comment (nest-lint's `voidcast` rule counts and caps those).
+#define NEST_NODISCARD [[nodiscard]]
+
 namespace nest {
 
 // Error categories shared by every NeST component. Protocol handlers map
@@ -93,7 +104,8 @@ class [[nodiscard]] Result {
 class [[nodiscard]] Status {
  public:
   Status() = default;  // success
-  Status(Error err) : err_(std::move(err)), fail_(true) {}  // NOLINT
+  Status(Error err)  // NOLINT(google-explicit-constructor)
+      : err_(std::move(err)), fail_(true) {}
   Status(Errc code, std::string msg = {})
       : err_{code, std::move(msg)}, fail_(code != Errc::ok) {}
 

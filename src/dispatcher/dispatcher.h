@@ -108,8 +108,10 @@ class Dispatcher {
 
   // Approve a transfer (ACL + lot admission) and register it with the
   // transfer manager. The handler then moves blocks via the gate.
+  NEST_NODISCARD
   Result<storage::TransferTicket> approve_get(
       const protocol::NestRequest& req);
+  NEST_NODISCARD
   Result<storage::TransferTicket> approve_put(
       const protocol::NestRequest& req);
 

@@ -49,7 +49,7 @@ struct Action {
 };
 
 // Parses the grammar above; invalid_argument on malformed specs.
-Result<Action> parse_action(const std::string& spec);
+NEST_NODISCARD Result<Action> parse_action(const std::string& spec);
 
 class FailPoint {
  public:
@@ -102,9 +102,9 @@ class Registry {
 
   // "off" (or "") disarms. Arming an unknown name creates the point — it
   // simply never fires until code references it.
-  Status arm(const std::string& name, const std::string& spec);
+  NEST_NODISCARD Status arm(const std::string& name, const std::string& spec);
   // "name=spec;name=spec" lists (';'-separated, blanks skipped).
-  Status arm_many(const std::string& specs);
+  NEST_NODISCARD Status arm_many(const std::string& specs);
   void disarm_all();
 
   std::vector<FailPointInfo> list() const;

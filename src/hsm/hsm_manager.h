@@ -31,9 +31,11 @@ class HsmManager {
   ~HsmManager();
 
   // Synchronous surfaces (Chirp ops, CLI, tests).
+  NEST_NODISCARD
   Status recall(const storage::Principal& who, const std::string& path) {
     return recalls_.recall(who, path);
   }
+  NEST_NODISCARD
   Status migrate(const storage::Principal& who, const std::string& path) {
     return migrator_.migrate(who, path);
   }

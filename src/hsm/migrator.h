@@ -33,6 +33,7 @@ class TierMigrator {
 
   // Drain one file. The storage layer enforces ownership, pin, and
   // live-lot rules; failures mid-copy abort and leave the file hot.
+  NEST_NODISCARD
   Status migrate(const storage::Principal& who, const std::string& path);
 
   // One policy pass as the superuser: drain up to `batch` candidates.
@@ -40,6 +41,7 @@ class TierMigrator {
   std::size_t run_pass();
 
  private:
+  NEST_NODISCARD
   Status copy_blocks(const storage::StorageManager::HsmTicket& t);
 
   Clock& clock_;

@@ -5,7 +5,7 @@
 
 #include "common/string_util.h"
 #include "fault/failpoint.h"
-#include "hsm/residency.h"
+#include "storage/residency.h"
 #include "obs/stats.h"
 
 namespace nest::hsm {

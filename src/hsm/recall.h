@@ -38,6 +38,7 @@ class RecallManager {
 
   // Stage `path` back to the hot tier; returns when the file is hot (or
   // staging failed). Joins any recall already in flight for the path.
+  NEST_NODISCARD
   Status recall(const storage::Principal& who, const std::string& path);
 
   // Queue an asynchronous recall (deduplicated against the queue and any
@@ -54,7 +55,9 @@ class RecallManager {
     Status status;
   };
 
+  NEST_NODISCARD
   Status execute(const storage::Principal& who, const std::string& path);
+  NEST_NODISCARD
   Status copy_blocks(const storage::StorageManager::HsmTicket& t);
 
   Clock& clock_;

@@ -25,20 +25,26 @@ class SlowFs final : public storage::VirtualFs {
  public:
   SlowFs(std::unique_ptr<storage::VirtualFs> inner, SlowFsOptions options);
 
-  Status mkdir(const std::string& path) override;
-  Status rmdir(const std::string& path) override;
-  Status remove(const std::string& path) override;
+  NEST_NODISCARD Status mkdir(const std::string& path) override;
+  NEST_NODISCARD Status rmdir(const std::string& path) override;
+  NEST_NODISCARD Status remove(const std::string& path) override;
+  NEST_NODISCARD
   Result<storage::FileStat> stat(const std::string& path) const override;
+  NEST_NODISCARD
   Result<std::vector<storage::DirEntry>> list(
       const std::string& path) const override;
+  NEST_NODISCARD
   Status rename(const std::string& from, const std::string& to) override;
+  NEST_NODISCARD
   Result<storage::FileHandlePtr> open(const std::string& path) override;
+  NEST_NODISCARD
   Result<storage::FileHandlePtr> create(const std::string& path) override;
   void set_owner(const std::string& path, const std::string& owner) override;
   std::int64_t total_space() const override;
   std::int64_t used_space() const override;
 
  private:
+  NEST_NODISCARD
   Result<storage::FileHandlePtr> wrap(
       Result<storage::FileHandlePtr> handle) const;
 

@@ -82,6 +82,7 @@ void MiniServer::accept_loop() {
   while (!stopping_) {
     auto stream = listener_->accept();
     if (!stream.ok()) return;
+    // Timeout setup is advisory: a stream without it still works.
     (void)stream->set_read_timeout(30'000);
     MutexLock lock(conn_mu_);
     const int fd = stream->fd();
@@ -131,6 +132,7 @@ void MiniHttpServer::serve(net::TcpStream& stream) {
     if (method == "get" || method == "head") {
       auto st = fs_.stat(path);
       if (!st.ok() || st->is_dir) {
+        // Best-effort reply: a dead peer is handled by connection teardown.
         (void)stream.write_all(std::string(
             "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n"));
         return;
@@ -145,10 +147,12 @@ void MiniHttpServer::serve(net::TcpStream& stream) {
     }
     if (method == "put" && writable_ && content_length >= 0) {
       if (!recv_to_file(fs_, path, stream, content_length).ok()) return;
+      // Best-effort reply: a dead peer is handled by connection teardown.
       (void)stream.write_all(std::string(
           "HTTP/1.0 201 Created\r\nContent-Length: 0\r\n\r\n"));
       return;
     }
+    // Best-effort reply: a dead peer is handled by connection teardown.
     (void)stream.write_all(std::string(
         "HTTP/1.0 405 Method Not Allowed\r\nContent-Length: 0\r\n\r\n"));
     return;

@@ -25,6 +25,7 @@ class MiniServer {
       : fs_(fs), writable_(writable) {}
   virtual ~MiniServer();
 
+  NEST_NODISCARD
   Status start(uint16_t port = 0);  // 0: ephemeral
   void stop();
   uint16_t port() const { return port_; }

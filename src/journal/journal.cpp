@@ -158,6 +158,7 @@ Journal::~Journal() {
   {
     MutexLock lock(mu_);
     stop_ = true;
+    // Shutdown flush is best-effort; on failure flush_locked goes dead.
     if (!dead_ && !pending_.empty()) (void)flush_locked();
   }
   committer_cv_.notify_all();
@@ -273,12 +274,14 @@ Status Journal::recover() {
                     seg.path.c_str(), good);
       if (good < kSegmentHeaderBytes) {
         // Not even a valid header: drop the segment file entirely.
+        // Best-effort: an undeleted segment is re-dropped next recovery.
         (void)::unlink(seg.path.c_str());
         keep_segments = std::min(keep_segments, si);
       } else {
         if (::truncate(seg.path.c_str(), static_cast<off_t>(good)) != 0) {
           return Status{Errc::io_error, "truncate " + seg.path};
         }
+        // Best-effort: an unsynced truncate is simply re-done next recovery.
         (void)fsync_path(seg.path);
         keep_segments = std::min(keep_segments, si + 1);
       }
@@ -287,6 +290,7 @@ Status Journal::recover() {
   for (std::size_t si = keep_segments; si < segments_.size(); ++si) {
     NEST_LOG_WARN("journal", "dropping unreachable segment %s",
                   segments_[si].path.c_str());
+    // Best-effort: an undeleted segment is re-dropped next recovery.
     (void)::unlink(segments_[si].path.c_str());
   }
   segments_.resize(keep_segments);
@@ -325,6 +329,8 @@ Status Journal::open_segment_locked(Lsn start_lsn) {
       return Status{Errc::io_error, "fsync " + seg_path_};
     ++fsyncs_;
     seg_durable_size_ = seg_size_;
+    // Best-effort: a lost directory entry reads as a missing tail segment,
+    // which recovery tolerates.
     (void)fsync_path(options_.dir);
   }
   // Re-creating a path already in the list (recovery truncated it to a
@@ -380,7 +386,9 @@ Status Journal::flush_locked() {
         seg_durable_size_ > 0
             ? seg_durable_size_
             : static_cast<std::int64_t>(kSegmentHeaderBytes);
+    // Already failing: shrinking back to the durable prefix is damage control.
     (void)::ftruncate(fd_, static_cast<off_t>(keep));
+    // Seek result is irrelevant once dead_ is set; nothing writes after.
     (void)::lseek(fd_, 0, SEEK_END);
     seg_size_ = keep;
     dead_ = true;
@@ -399,8 +407,12 @@ Status Journal::flush_locked() {
           seg_durable_size_ > 0
               ? seg_durable_size_
               : static_cast<std::int64_t>(kSegmentHeaderBytes);
+      // Emulated page-cache loss: errors cannot make the crash less crashed.
       (void)::ftruncate(fd_, static_cast<off_t>(keep));
+      // Seek result is irrelevant; the journal is dead after this block.
       (void)::lseek(fd_, 0, SEEK_END);
+      // The half-frame is deliberate tear bait; a short write tears just as
+      // well.
       (void)write_all_fd(fd_, frame.data(), frame.size() / 2);
       seg_size_ = keep + static_cast<std::int64_t>(frame.size() / 2);
       dead_ = true;
@@ -473,6 +485,7 @@ void Journal::committer_main() {
         lock, std::chrono::nanoseconds(options_.commit_interval),
         [&] { return stop_; });
     if (stop_) break;
+    // Flush failure marks the journal dead; the loop then idles until stop.
     if (!dead_ && !pending_.empty()) (void)flush_locked();
   }
 }
@@ -520,12 +533,14 @@ Status Journal::write_snapshot(const std::string& payload) {
       s = Status{Errc::io_error, "fsync " + tmp};
     ::close(fd);
     if (!s.ok()) {
+      // Best-effort cleanup of the half-written temp snapshot.
       (void)::unlink(tmp.c_str());
       return s;
     }
   }
   if (::rename(tmp.c_str(), path.c_str()) != 0)
     return Status{Errc::io_error, "rename " + tmp};
+  // Best-effort: an unsynced rename re-runs snapshotting after a crash.
   (void)fsync_path(options_.dir);
 
   const std::string old_snapshot = snapshot_path_;
@@ -538,12 +553,15 @@ Status Journal::write_snapshot(const std::string& payload) {
   // snapshot supersedes (all older segments and the previous snapshot).
   if (auto s = open_segment_locked(next_lsn_); !s.ok()) return s;
   while (segments_.size() > 1) {
+    // Best-effort: an undeleted old segment is re-compacted next time.
     (void)::unlink(segments_.front().path.c_str());
     segments_.erase(segments_.begin());
   }
   if (!old_snapshot.empty() && old_snapshot != path) {
+    // Best-effort: a leftover old snapshot is superseded, never replayed.
     (void)::unlink(old_snapshot.c_str());
   }
+  // Best-effort: deletions re-run on the next compaction if not durable.
   (void)fsync_path(options_.dir);
   return {};
 }

@@ -51,7 +51,7 @@ using Lsn = std::uint64_t;
 enum class SyncMode { none, group, always };
 
 // "none" | "group" | "always".
-Result<SyncMode> sync_mode_by_name(const std::string& name);
+NEST_NODISCARD Result<SyncMode> sync_mode_by_name(const std::string& name);
 
 struct JournalOptions {
   std::string dir;
@@ -87,6 +87,7 @@ class Journal {
   // Opens (creating the directory if needed) and recovers: loads the
   // newest valid snapshot, scans the segment tail, truncates at the
   // first torn/corrupt frame, and positions the append head.
+  NEST_NODISCARD
   static Result<std::unique_ptr<Journal>> open(Clock& clock,
                                                JournalOptions options);
   ~Journal();
@@ -95,13 +96,13 @@ class Journal {
 
   // Sequence a record. The record is buffered; it is durable only once
   // commit(lsn) returns ok.
-  Result<Lsn> append(std::string payload);
+  NEST_NODISCARD Result<Lsn> append(std::string payload);
 
   // Durability barrier for every record up to `upto`.
-  Status commit(Lsn upto);
+  NEST_NODISCARD Status commit(Lsn upto);
 
   // append + commit in one call.
-  Result<Lsn> append_commit(std::string payload);
+  NEST_NODISCARD Result<Lsn> append_commit(std::string payload);
 
   // --- Recovery artifacts (valid after open, before the first append) ---
   const std::optional<std::string>& snapshot_payload() const {
@@ -113,13 +114,14 @@ class Journal {
   }
   // Invoke `fn` for every recovered record with lsn > snapshot_lsn, in
   // LSN order. A failed callback aborts replay with its status.
+  NEST_NODISCARD
   Status replay(const std::function<Status(Lsn, std::string_view)>& fn);
   // Release the recovered tail buffer once the owner has replayed it.
   void drop_recovered_tail();
 
   // Write a full-state snapshot covering every appended record, roll to
   // a fresh segment, and delete segments and snapshots it supersedes.
-  Status write_snapshot(const std::string& payload);
+  NEST_NODISCARD Status write_snapshot(const std::string& payload);
 
   JournalStats stats() const;
   bool dead() const;

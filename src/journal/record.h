@@ -39,11 +39,11 @@ class RecordReader {
  public:
   explicit RecordReader(std::string_view buf) : buf_(buf) {}
 
-  Result<std::uint8_t> u8();
-  Result<std::uint32_t> u32();
-  Result<std::uint64_t> u64();
-  Result<std::int64_t> i64();
-  Result<std::string> str();
+  NEST_NODISCARD Result<std::uint8_t> u8();
+  NEST_NODISCARD Result<std::uint32_t> u32();
+  NEST_NODISCARD Result<std::uint64_t> u64();
+  NEST_NODISCARD Result<std::int64_t> i64();
+  NEST_NODISCARD Result<std::string> str();
 
   bool done() const { return pos_ >= buf_.size(); }
   std::size_t remaining() const { return buf_.size() - pos_; }

@@ -61,25 +61,27 @@ class TcpStream {
   TcpStream() = default;
   explicit TcpStream(Fd fd) : fd_(std::move(fd)) {}
 
+  NEST_NODISCARD
   static Result<TcpStream> connect(const std::string& host, uint16_t port);
 
   bool valid() const { return fd_.valid(); }
   int fd() const { return fd_.get(); }
 
   // Read up to buf.size() bytes; 0 means orderly close.
-  Result<std::int64_t> read_some(std::span<char> buf);
+  NEST_NODISCARD Result<std::int64_t> read_some(std::span<char> buf);
   // Read exactly buf.size() bytes (loops); connection_closed on EOF.
-  Status read_exact(std::span<char> buf);
+  NEST_NODISCARD Status read_exact(std::span<char> buf);
   // Write all bytes.
-  Status write_all(std::span<const char> data);
-  Status write_all(const std::string& s) {
+  NEST_NODISCARD Status write_all(std::span<const char> data);
+  NEST_NODISCARD Status write_all(const std::string& s) {
     return write_all(std::span<const char>(s.data(), s.size()));
   }
 
   // Write every byte of every buffer, coalesced with writev(2) so a small
   // header and its body leave in one syscall (and, with TCP_NODELAY, one
   // segment). Equivalent to write_all over the concatenation.
-  Status send_vecs(std::span<const std::span<const char>> vecs);
+  NEST_NODISCARD Status send_vecs(std::span<const std::span<const char>> vecs);
+  NEST_NODISCARD
   Status send_vecs(std::initializer_list<std::span<const char>> vecs) {
     return send_vecs(std::span<const std::span<const char>>(
         vecs.begin(), vecs.size()));
@@ -91,26 +93,27 @@ class TcpStream {
   // under us). Falls back to a pread+send loop when zero-copy is disabled
   // or the kernel refuses the pairing (EINVAL/ENOSYS); the fallback keeps
   // byte-for-byte and error semantics.
+  NEST_NODISCARD
   Result<std::int64_t> send_file(int fd, std::int64_t offset,
                                  std::int64_t len);
 
   // Read a '\n'-terminated line (strips "\r\n" or "\n"); buffered.
-  Result<std::string> read_line(std::size_t max_len = 64 * 1024);
+  NEST_NODISCARD Result<std::string> read_line(std::size_t max_len = 64 * 1024);
 
   // Drop up to `max_len` received bytes without copying them out of the
   // kernel (MSG_TRUNC counts and frees the payload in place). Consumes
   // line-reader readahead first. Returns bytes dropped; 0 means orderly
   // close. For drain-side measurement clients, where a copying reader
   // would itself become the bottleneck being measured.
-  Result<std::int64_t> discard(std::int64_t max_len);
+  NEST_NODISCARD Result<std::int64_t> discard(std::int64_t max_len);
 
   // SO_RCVLOWAT: park blocking reads until `bytes` are queued, batching
   // reader wake-ups. Only safe on close-delimited streams — a tail
   // shorter than the mark is released by the peer's close, nothing else.
-  Status set_receive_lowat(int bytes);
+  NEST_NODISCARD Status set_receive_lowat(int bytes);
 
   // Set a receive timeout (0 disables).
-  Status set_read_timeout(int millis);
+  NEST_NODISCARD Status set_read_timeout(int millis);
   void shutdown_send();
 
   // Local/peer address as "ip:port" (diagnostics + FTP PASV).
@@ -133,14 +136,15 @@ struct ListenOptions {
 class TcpListener {
  public:
   // Bind to 127.0.0.1:port; port 0 picks an ephemeral port.
-  static Result<TcpListener> bind(uint16_t port);
+  NEST_NODISCARD static Result<TcpListener> bind(uint16_t port);
+  NEST_NODISCARD
   static Result<TcpListener> bind(uint16_t port, const ListenOptions& opts);
 
   // Errors surface with code busy when transient (EMFILE/ENFILE/ENOBUFS/
   // ENOMEM — fd or buffer exhaustion that retry-with-backoff survives);
   // anything else means the listener itself is gone. ECONNABORTED (peer
   // vanished inside the handshake) is retried internally.
-  Result<TcpStream> accept();
+  NEST_NODISCARD Result<TcpStream> accept();
   uint16_t port() const { return port_; }
   int fd() const { return fd_.get(); }
   // Unblocks a pending accept (used for shutdown). Shuts the socket down
@@ -180,14 +184,17 @@ class AcceptBackoff {
 // Connected-UDP endpoint for the NFS/RPC transport.
 class UdpSocket {
  public:
+  NEST_NODISCARD
   static Result<UdpSocket> bind(uint16_t port);  // 0: ephemeral
 
   // Receive one datagram; returns sender address for reply.
+  NEST_NODISCARD
   Result<std::int64_t> recv_from(std::span<char> buf, std::string& from_ip,
                                  uint16_t& from_port);
+  NEST_NODISCARD
   Status send_to(std::span<const char> data, const std::string& ip,
                  uint16_t port);
-  Status set_read_timeout(int millis);
+  NEST_NODISCARD Status set_read_timeout(int millis);
   uint16_t port() const { return port_; }
   void close();
 

@@ -182,10 +182,12 @@ void ChirpHandler::serve(net::TcpStream& stream) {
       // Authenticate with the appliance identity (or anonymously).
       bool remote_ok = false;
       if (!ctx_.own_subject.empty()) {
+        // Errors surface on the challenge read below; no second check needed.
         (void)remote->write_all("AUTH " + ctx_.own_subject + "\r\n");
         std::string challenge_line;
         if (read_code(*remote, &challenge_line) == 334 &&
             challenge_line.size() > 4) {
+          // The 230 read below is the success check.
           (void)remote->write_all(
               "RESPONSE " +
               GsiRegistry::respond(ctx_.own_secret,
@@ -194,6 +196,7 @@ void ChirpHandler::serve(net::TcpStream& stream) {
           remote_ok = read_code(*remote) == 230;
         }
       } else {
+        // The 230 read below is the success check.
         (void)remote->write_all(std::string("AUTH anonymous\r\n"));
         remote_ok = read_code(*remote) == 230;
       }
@@ -201,6 +204,7 @@ void ChirpHandler::serve(net::TcpStream& stream) {
         reply(stream, "530 remote nest rejected our identity");
         continue;
       }
+      // The 150 read below is the success check.
       (void)remote->write_all("PUT " + words[4] + " " +
                               std::to_string(ticket->size) + "\r\n");
       if (read_code(*remote) != 150) {
@@ -213,6 +217,7 @@ void ChirpHandler::serve(net::TcpStream& stream) {
         reply(stream, "426 third-party transfer failed");
         continue;
       }
+      // Courtesy QUIT on an already-acked push; the reply is not read.
       (void)remote->write_all(std::string("QUIT\r\n"));
       reply(stream, "226 pushed " + std::to_string(ticket->size) +
                         " bytes to " + words[2]);

@@ -63,32 +63,38 @@ class TransferExecutor {
 
   // GET: stream the ticket's file to the socket. Byte count from the
   // ticket's size.
+  NEST_NODISCARD
   Status send_file(const std::string& protocol,
                    const storage::TransferTicket& ticket,
                    net::TcpStream& stream);
 
   // Partial GET (HTTP Range, FTP REST): stream `length` bytes starting at
   // `offset`.
+  NEST_NODISCARD
   Status send_file_range(const std::string& protocol,
                          const storage::TransferTicket& ticket,
                          net::TcpStream& stream, std::int64_t offset,
                          std::int64_t length);
 
   // PUT: receive exactly `size` bytes from the socket into the file.
+  NEST_NODISCARD
   Status recv_file(const std::string& protocol,
                    const storage::TransferTicket& ticket,
                    net::TcpStream& stream, std::int64_t size);
 
   // FTP STOR: receive until the peer closes its data connection; returns
   // the byte count (the caller settles lot/quota accounting afterwards).
+  NEST_NODISCARD
   Result<std::int64_t> recv_until_eof(const std::string& protocol,
                                       const storage::TransferTicket& ticket,
                                       net::TcpStream& stream);
 
   // Single-block operations (NFS): scheduled as one-quantum requests.
+  NEST_NODISCARD
   Result<std::int64_t> read_block(const std::string& protocol,
                                   const storage::TransferTicket& ticket,
                                   std::int64_t offset, std::span<char> buf);
+  NEST_NODISCARD
   Result<std::int64_t> write_block(const std::string& protocol,
                                    const storage::TransferTicket& ticket,
                                    std::int64_t offset,
@@ -97,10 +103,12 @@ class TransferExecutor {
   std::int64_t block_bytes() const { return block_bytes_; }
 
  private:
+  NEST_NODISCARD
   Status move_blocks(const std::string& protocol,
                      const storage::TransferTicket& ticket,
                      net::TcpStream& stream, std::int64_t size, bool send,
                      std::int64_t start_offset = 0);
+  NEST_NODISCARD
   Status run_block(transfer::ConcurrencyModel model,
                    const std::function<Status()>& work);
   // Request/error counters + latency histograms for one finished request.

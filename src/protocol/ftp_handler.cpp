@@ -147,10 +147,12 @@ void FtpHandler::serve(net::TcpStream& stream) {
     }
     if (cmd == "feat") {
       if (gridftp_) {
+        // Best-effort reply: a dead control channel fails the next read.
         (void)stream.write_all(
             std::string("211-Features:\r\n AUTH GSI\r\n"
                         " MODE E\r\n PARALLEL\r\n211 end\r\n"));
       } else {
+        // Best-effort reply: a dead control channel fails the next read.
         (void)stream.write_all(
             std::string("211-Features:\r\n PASV\r\n211 end\r\n"));
       }
@@ -344,6 +346,7 @@ void FtpHandler::serve(net::TcpStream& stream) {
         reply(stream, "425 cannot open data connection");
         continue;
       }
+      // Best-effort: a dead data channel reads client-side as a torn listing.
       (void)data->write_all(r.text);
       data->shutdown_send();
       reply(stream, "226 transfer complete");
@@ -456,6 +459,7 @@ void FtpHandler::serve(net::TcpStream& stream) {
       const Status charged = ctx_.dispatcher->storage().charge_written(
           who, req.path, *total);
       if (!charged.ok()) {
+        // Best-effort cleanup of the uncharged store; the 5xx reply matters.
         (void)ctx_.dispatcher->storage().remove(who, req.path);
         reply(stream, ftp_fail(charged));
         continue;

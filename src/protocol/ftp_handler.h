@@ -45,9 +45,11 @@ struct ModeEBlock {
   // larger instead of attempting the allocation. Well above any block
   // size a NeST peer emits (executor blocks are 64 KiB).
   static constexpr std::uint64_t kMaxBlockBytes = 16ull * 1024 * 1024;
+  NEST_NODISCARD
   static Status send(net::TcpStream& s, std::span<const char> data,
                      std::int64_t offset, bool eof);
   // Receives one block; returns false on the EOF block.
+  NEST_NODISCARD
   static Result<bool> recv(net::TcpStream& s, std::vector<char>& data,
                            std::int64_t& offset);
 };

@@ -27,6 +27,7 @@ class GsiRegistry {
   bool has_user(const std::string& name) const;
 
   // Server side: verify a challenge response.
+  NEST_NODISCARD
   Result<storage::Principal> verify(const std::string& name,
                                     const std::string& challenge,
                                     const std::string& response,

@@ -43,6 +43,7 @@ Status NfsService::start() {
   if (!sock.ok()) return Status{sock.error()};
   socket_ = std::make_unique<net::UdpSocket>(std::move(sock.value()));
   port_ = socket_->port();
+  // Timeout setup is advisory: a socket without it still works.
   (void)socket_->set_read_timeout(options_.idle_timeout_ms);
   worker_ = std::thread([this] { run(); });
   return {};
@@ -65,6 +66,7 @@ void NfsService::run() {
     const std::vector<char> reply =
         handle(std::span<const char>(buf.data(), static_cast<std::size_t>(*n)));
     if (!reply.empty()) {
+      // UDP reply send is fire-and-forget: NFS clients retransmit.
       (void)socket_->send_to(
           std::span<const char>(reply.data(), reply.size()), ip, port);
     }

@@ -84,7 +84,7 @@ class NfsService {
              Options options);
   ~NfsService();
 
-  Status start();
+  NEST_NODISCARD Status start();
   void stop();
   uint16_t port() const { return port_; }
 
@@ -99,7 +99,7 @@ class NfsService {
 
   // File-handle registry: u64 id <-> virtual path.
   std::uint64_t handle_for(const std::string& path);
-  Result<std::string> path_for(std::span<const char> fh);
+  NEST_NODISCARD Result<std::string> path_for(std::span<const char> fh);
   void encode_fh(xdr::Encoder& out, std::uint64_t id);
   void encode_fattr(xdr::Encoder& out, const std::string& path,
                     const storage::FileStat& st);

@@ -44,14 +44,15 @@ class Decoder {
  public:
   explicit Decoder(std::span<const char> data) : data_(data) {}
 
-  Result<std::uint32_t> get_u32();
-  Result<std::int32_t> get_i32();
-  Result<std::uint64_t> get_u64();
-  Result<bool> get_bool();
-  Result<std::string> get_string(std::size_t max_len = 1 << 20);
+  NEST_NODISCARD Result<std::uint32_t> get_u32();
+  NEST_NODISCARD Result<std::int32_t> get_i32();
+  NEST_NODISCARD Result<std::uint64_t> get_u64();
+  NEST_NODISCARD Result<bool> get_bool();
+  NEST_NODISCARD Result<std::string> get_string(std::size_t max_len = 1 << 20);
+  NEST_NODISCARD
   Result<std::vector<char>> get_opaque(std::size_t max_len = 1 << 20);
-  Result<std::vector<char>> get_fixed(std::size_t len);
-  Status skip(std::size_t bytes);
+  NEST_NODISCARD Result<std::vector<char>> get_fixed(std::size_t len);
+  NEST_NODISCARD Status skip(std::size_t bytes);
 
   std::size_t remaining() const { return data_.size() - pos_; }
 
@@ -87,7 +88,7 @@ struct RpcCall {
 
 // Decode the call header; on success the decoder is positioned at the
 // procedure arguments.
-Result<RpcCall> decode_call(Decoder& dec);
+NEST_NODISCARD Result<RpcCall> decode_call(Decoder& dec);
 
 // Encode a call envelope with AUTH_NONE (client side).
 void encode_call(Encoder& enc, std::uint32_t xid, std::uint32_t prog,
@@ -100,6 +101,7 @@ void encode_accepted_reply(Encoder& enc, std::uint32_t xid,
 
 // Decode a reply envelope (client side); on success the decoder is
 // positioned at the results. Fails unless accepted+success.
+NEST_NODISCARD
 Status decode_accepted_reply(Decoder& dec, std::uint32_t expect_xid);
 
 }  // namespace nest::protocol::xdr

@@ -42,7 +42,7 @@ struct NestdConfig {
 
 // Parse and validate; rejects unknown concurrency-model names and bad
 // scheduler kinds rather than starting a misconfigured appliance.
-Result<NestdConfig> options_from_config(const Config& cfg);
+NEST_NODISCARD Result<NestdConfig> options_from_config(const Config& cfg);
 
 // Apply users + tickets to a started server.
 void apply_runtime_config(const NestdConfig& cfg, NestServer& server);

@@ -316,6 +316,7 @@ void NestServer::accept_loop(net::TcpListener* listener,
       return;
     }
     backoff.reset();
+    // Timeout setup is advisory: a stream without it still works.
     (void)stream->set_read_timeout(options_.idle_timeout_ms);
     MutexLock lock(conn_mu_);
     const int fd = stream->fd();

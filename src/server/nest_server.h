@@ -115,6 +115,7 @@ struct NestServerOptions {
 
 class NestServer {
  public:
+  NEST_NODISCARD
   static Result<std::unique_ptr<NestServer>> start(NestServerOptions options);
   ~NestServer();
   NestServer(const NestServer&) = delete;
@@ -139,9 +140,11 @@ class NestServer {
 
  private:
   explicit NestServer(NestServerOptions options);
-  Status init();
+  NEST_NODISCARD Status init();
   // Binds the HTTP, FTP, and GridFTP endpoints (defined in endpoints.cpp).
+  NEST_NODISCARD
   Status make_extra_endpoints(const protocol::ServerContext& ctx);
+  NEST_NODISCARD
   Status bind_endpoint(int port,
                        std::unique_ptr<protocol::ProtocolHandler> handler,
                        uint16_t* out_port);

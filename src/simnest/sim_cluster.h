@@ -86,6 +86,7 @@ class SimCluster {
   // Fetch `path` through the replica ranking node `via` computes,
   // failing over (and re-selecting) past dead or partial replicas.
   // `attempts`, when given, records the serving-node order tried.
+  NEST_NODISCARD
   Result<std::string> client_get(const std::string& via,
                                  const std::string& path,
                                  const MidTransferHook& hook = {},
@@ -93,6 +94,7 @@ class SimCluster {
 
   // Write `data` as `user` on `name` (charging its lots) and queue it for
   // content replication when the node is a primary.
+  NEST_NODISCARD
   Status client_put(const std::string& name, const storage::Principal& user,
                     const std::string& path, const std::string& data);
 
@@ -110,6 +112,7 @@ class SimCluster {
   void build_node(Node& n);
   Node& require(const std::string& name);
   const Node& require(const std::string& name) const;
+  NEST_NODISCARD
   Result<std::string> read_via(const std::string& serving,
                                const std::string& path,
                                const MidTransferHook& hook);

@@ -37,7 +37,7 @@ using RightsMask = unsigned;
 constexpr RightsMask kAllRights = 0x3f;
 
 // Parse "rwlida" subset; unknown letters are rejected.
-Result<RightsMask> parse_rights(const std::string& letters);
+NEST_NODISCARD Result<RightsMask> parse_rights(const std::string& letters);
 std::string rights_to_string(RightsMask mask);
 
 // The authenticated identity attached to a connection.
@@ -66,8 +66,10 @@ class AccessControl {
 
   // Replace/set one entry on a directory (entry must carry Rights and
   // either Principal or Requirements).
+  NEST_NODISCARD
   Status set_entry(const std::string& dir_path, const classad::ClassAd& entry);
   // Remove all entries for `principal_spec` (e.g. "user:alice") on the dir.
+  NEST_NODISCARD
   Status clear_entries(const std::string& dir_path,
                        const std::string& principal_spec);
 
@@ -75,6 +77,7 @@ class AccessControl {
   RightsMask effective_rights(const Principal& who,
                               const std::string& path) const;
 
+  NEST_NODISCARD
   Status check(const Principal& who, const std::string& path,
                Right needed) const;
 

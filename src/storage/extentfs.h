@@ -32,20 +32,23 @@ class ExtentFs final : public VirtualFs {
 
   // Volume backed by a host file (the "raw partition"); created/truncated
   // to `volume_bytes`.
+  NEST_NODISCARD
   static Result<std::unique_ptr<ExtentFs>> open_volume(
       Clock& clock, const std::string& volume_path,
       std::int64_t volume_bytes);
 
   ~ExtentFs() override;
 
-  Status mkdir(const std::string& path) override;
-  Status rmdir(const std::string& path) override;
-  Status remove(const std::string& path) override;
-  Result<FileStat> stat(const std::string& path) const override;
+  NEST_NODISCARD Status mkdir(const std::string& path) override;
+  NEST_NODISCARD Status rmdir(const std::string& path) override;
+  NEST_NODISCARD Status remove(const std::string& path) override;
+  NEST_NODISCARD Result<FileStat> stat(const std::string& path) const override;
+  NEST_NODISCARD
   Result<std::vector<DirEntry>> list(const std::string& path) const override;
+  NEST_NODISCARD
   Status rename(const std::string& from, const std::string& to) override;
-  Result<FileHandlePtr> open(const std::string& path) override;
-  Result<FileHandlePtr> create(const std::string& path) override;
+  NEST_NODISCARD Result<FileHandlePtr> open(const std::string& path) override;
+  NEST_NODISCARD Result<FileHandlePtr> create(const std::string& path) override;
   void set_owner(const std::string& path, const std::string& owner) override;
 
   std::int64_t total_space() const override { return volume_bytes_; }
@@ -59,15 +62,18 @@ class ExtentFs final : public VirtualFs {
 
   // Shared read/write path for handles: exactly one of rbuf/wbuf is set.
   // (Public because the handle type lives in the implementation file.)
+  NEST_NODISCARD
   Result<std::int64_t> file_io(const std::string& path, std::int64_t offset,
                                char* rbuf, const char* wbuf,
                                std::int64_t len);
+  NEST_NODISCARD
   Status file_truncate(const std::string& path, std::int64_t new_size);
 
   // Zero-copy support: map a logical byte range of `path` onto volume-fd
   // segments (one per extent run, adjacent extents merged), clamped to the
   // inode size. Unsupported on memory-backed volumes — there is no fd to
   // lend, so callers fall back to buffered reads.
+  NEST_NODISCARD
   Result<std::vector<SendSegment>> map_for_send(const std::string& path,
                                                 std::int64_t offset,
                                                 std::int64_t len);
@@ -81,16 +87,18 @@ class ExtentFs final : public VirtualFs {
     std::string owner;
   };
 
-  Status check_parent(const std::string& path) const;
+  NEST_NODISCARD Status check_parent(const std::string& path) const;
   // Grow/shrink a file's extent chain to cover `new_size` bytes.
-  Status reserve(Inode& inode, std::int64_t new_size);
+  NEST_NODISCARD Status reserve(Inode& inode, std::int64_t new_size);
   void release_extents(Inode& inode);
 
   // Volume I/O at a (extent, offset-in-extent) location. On the fd-backed
   // volume these loop over EINTR and short counts; any residual failure is
   // a real device error and propagates (never silent truncation).
+  NEST_NODISCARD
   Status volume_read(std::int64_t extent, std::int64_t offset, char* out,
                      std::int64_t len) const;
+  NEST_NODISCARD
   Status volume_write(std::int64_t extent, std::int64_t offset,
                       const char* data, std::int64_t len);
 

@@ -22,7 +22,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
-#include "hsm/residency.h"
+#include "storage/residency.h"
 #include "journal/record.h"
 #include "storage/acl.h"
 #include "storage/lot.h"
@@ -69,11 +69,13 @@ struct MetaState {
 };
 
 // Apply one sealed batch; returns its timestamp.
+NEST_NODISCARD
 Result<Nanos> apply_meta_batch(std::string_view payload,
                                const MetaState& state);
 
 // Full-state snapshot payloads.
 std::string encode_meta_snapshot(Nanos now, const MetaState& state);
+NEST_NODISCARD
 Result<Nanos> apply_meta_snapshot(std::string_view payload,
                                   const MetaState& state);
 

@@ -16,17 +16,20 @@ class LocalFs final : public VirtualFs {
   // `root` must exist and be a directory. `capacity_bytes` is the advertised
   // capacity for lot accounting (a user-level appliance cannot resize its
   // host partition).
+  NEST_NODISCARD
   static Result<std::unique_ptr<LocalFs>> open_root(
       const std::string& root, std::int64_t capacity_bytes);
 
-  Status mkdir(const std::string& path) override;
-  Status rmdir(const std::string& path) override;
-  Status remove(const std::string& path) override;
-  Result<FileStat> stat(const std::string& path) const override;
+  NEST_NODISCARD Status mkdir(const std::string& path) override;
+  NEST_NODISCARD Status rmdir(const std::string& path) override;
+  NEST_NODISCARD Status remove(const std::string& path) override;
+  NEST_NODISCARD Result<FileStat> stat(const std::string& path) const override;
+  NEST_NODISCARD
   Result<std::vector<DirEntry>> list(const std::string& path) const override;
+  NEST_NODISCARD
   Status rename(const std::string& from, const std::string& to) override;
-  Result<FileHandlePtr> open(const std::string& path) override;
-  Result<FileHandlePtr> create(const std::string& path) override;
+  NEST_NODISCARD Result<FileHandlePtr> open(const std::string& path) override;
+  NEST_NODISCARD Result<FileHandlePtr> create(const std::string& path) override;
   void set_owner(const std::string& path, const std::string& owner) override;
 
   std::int64_t total_space() const override { return capacity_; }

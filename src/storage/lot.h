@@ -66,21 +66,23 @@ class LotManager {
 
   // Admission control: creating a lot may reclaim best-effort space but
   // never revokes a live guarantee.
+  NEST_NODISCARD
   Result<LotId> create(const std::string& owner, std::int64_t capacity,
                        Nanos duration, bool group_lot = false);
 
-  Status renew(LotId id, Nanos additional_duration);
+  NEST_NODISCARD Status renew(LotId id, Nanos additional_duration);
   // Files charged to the lot move to best-effort accounting (they are not
   // deleted; the paper's semantics keep data until space is needed).
-  Status terminate(LotId id);
+  NEST_NODISCARD Status terminate(LotId id);
 
-  Result<Lot> query(LotId id) const;
+  NEST_NODISCARD Result<Lot> query(LotId id) const;
   std::vector<Lot> lots_of(const std::string& owner) const;
   std::vector<Lot> all_lots() const;
 
   // Charge `bytes` for `path` against lots usable by `who` (owner match or
   // group-lot membership), spanning lots when necessary. Fails with
   // no_space if the user's usable lots cannot hold the bytes.
+  NEST_NODISCARD
   Result<std::vector<LotAllocation>> charge(
       const std::string& who, const std::vector<std::string>& groups,
       const std::string& path, std::int64_t bytes);

@@ -21,14 +21,16 @@ class MemFs final : public VirtualFs {
     nodes_["/"] = Node{.is_dir = true, .data = nullptr, .mtime = 0, .owner = {}};
   }
 
-  Status mkdir(const std::string& path) override;
-  Status rmdir(const std::string& path) override;
-  Status remove(const std::string& path) override;
-  Result<FileStat> stat(const std::string& path) const override;
+  NEST_NODISCARD Status mkdir(const std::string& path) override;
+  NEST_NODISCARD Status rmdir(const std::string& path) override;
+  NEST_NODISCARD Status remove(const std::string& path) override;
+  NEST_NODISCARD Result<FileStat> stat(const std::string& path) const override;
+  NEST_NODISCARD
   Result<std::vector<DirEntry>> list(const std::string& path) const override;
+  NEST_NODISCARD
   Status rename(const std::string& from, const std::string& to) override;
-  Result<FileHandlePtr> open(const std::string& path) override;
-  Result<FileHandlePtr> create(const std::string& path) override;
+  NEST_NODISCARD Result<FileHandlePtr> open(const std::string& path) override;
+  NEST_NODISCARD Result<FileHandlePtr> create(const std::string& path) override;
   void set_owner(const std::string& path, const std::string& owner) override;
 
   std::int64_t total_space() const override { return capacity_; }
@@ -53,7 +55,7 @@ class MemFs final : public VirtualFs {
     std::string owner;
   };
 
-  Status check_parent(const std::string& path) const;
+  NEST_NODISCARD Status check_parent(const std::string& path) const;
 
   Clock& clock_;
   std::int64_t capacity_;

@@ -24,7 +24,7 @@ class QuotaLedger {
 
   // Reserve bytes against the owner's quota; fails with no_space when the
   // limit would be exceeded. Owners without an explicit limit are unmetered.
-  Status charge(const std::string& owner, std::int64_t bytes);
+  NEST_NODISCARD Status charge(const std::string& owner, std::int64_t bytes);
   void release(const std::string& owner, std::int64_t bytes);
 
   struct Account {

@@ -1,4 +1,4 @@
-#include "hsm/residency.h"
+#include "storage/residency.h"
 
 namespace nest::hsm {
 

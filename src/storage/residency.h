@@ -1,5 +1,11 @@
 // Tier residency map: which files live on the cold tier (CASTOR-style HSM).
 //
+// Lives in src/storage (not src/hsm) because it is journaled storage
+// metadata embedded in the StorageManager: journal_ops serializes it, and
+// the include-layering DAG (tools/nest-lint) forbids storage -> hsm edges.
+// The nest::hsm namespace is kept — Tier/ColdEntry are HSM vocabulary used
+// across the migrate/recall machinery above.
+//
 // The map is owned by the StorageManager and guarded by its metadata mutex;
 // this type itself is unsynchronized, mirroring LotManager/QuotaLedger.
 // Only the STABLE state is journaled: an entry present in the journal means

@@ -271,6 +271,7 @@ Status StorageManager::remove_locked(const Principal& who,
     if (e->tier != hsm::Tier::cold)
       return Status{Errc::busy, "tier transition in progress"};
     const std::string norm = normalize_path(path);
+    // not_found is fine: the half-copy may never have been created.
     (void)cold_fs_->remove(norm);
     residency_.erase(norm);
     batch_.hsm_erase(norm);
@@ -737,6 +738,7 @@ Status StorageManager::hsm_commit_migrate(const HsmTicket& t) {
     // entry — an overwrite racing the barrier owns the path now.
     MutexLock lock(mu_);
     const auto* e = residency_.find(t.path);
+    // Hot-copy delete is best-effort: hsm_recover re-scrubs a survivor.
     if (e != nullptr && e->tier == hsm::Tier::cold) (void)fs_->remove(t.path);
   }
   return {};
@@ -748,6 +750,7 @@ void StorageManager::hsm_abort_migrate(const std::string& path) {
   const auto* e = residency_.find(norm);
   if (e == nullptr || e->tier != hsm::Tier::migrating) return;
   residency_.erase(norm);
+  // Abort cleanup is best-effort: the orphan is GC'd by hsm_recover.
   if (cold_fs_) (void)cold_fs_->remove(norm);
 }
 
@@ -816,6 +819,7 @@ Status StorageManager::hsm_commit_recall(const HsmTicket& t) {
     // a crash never leaves the bytes only in flight. Skip the delete if a
     // new migration already reclaimed the cold path.
     MutexLock lock(mu_);
+    // Cold-copy delete is best-effort: hsm_recover re-scrubs a survivor.
     if (residency_.find(t.path) == nullptr) (void)cold_fs_->remove(t.path);
   }
   return {};
@@ -901,6 +905,7 @@ Status StorageManager::hsm_recover() {
       batch_.hsm_erase(path);
       continue;
     }
+    // Stray-hot delete is best-effort: the next scrub retries it.
     if (fs_->stat(path).ok()) (void)fs_->remove(path);
   }
   // GC cold files the journal does not know about: aborted migrations
@@ -916,6 +921,7 @@ Status StorageManager::hsm_recover() {
       if (e.is_dir) {
         stack.push_back(path);
       } else if (residency_.find(path) == nullptr) {
+        // Best-effort GC: a surviving orphan is re-scrubbed next recovery.
         (void)cold_fs_->remove(path);
       }
     }

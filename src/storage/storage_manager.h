@@ -83,13 +83,14 @@ class StorageManager {
   // keep the remaining duration they had at the last journaled record
   // (downtime does not burn lease time); tests that compare raw state
   // across a simulated crash disable it.
+  NEST_NODISCARD
   Status attach_journal(journal::Journal& j, bool rebase_clock = true);
   // Stats of the attached journal (nullopt when none), for operators
   // (nest-cli journal-stat).
   std::optional<journal::JournalStats> journal_stats() const;
   // Force a snapshot + compaction now (admin/test hook; the manager also
   // snapshots automatically every journal_snapshot_every batches).
-  Status write_journal_snapshot();
+  NEST_NODISCARD Status write_journal_snapshot();
   // Serialized lot/ACL/quota state stamped with `at` (recovery tests
   // compare shadow and replayed state byte-for-byte; the cluster layer
   // ships it to re-seed followers).
@@ -109,11 +110,11 @@ class StorageManager {
   // verbatim to the local journal (the follower's own LSN sequence), then
   // wait out the durability barrier. Guarded by the cluster.apply
   // failpoint.
-  Status apply_replicated_batch(std::string_view payload);
+  NEST_NODISCARD Status apply_replicated_batch(std::string_view payload);
   // Follower side: replace the entire metadata state with a primary
   // snapshot (restart / lagging-follower catch-up), journaling it as the
   // local snapshot so the follower recovers from it too.
-  Status install_replica_snapshot(std::string_view payload);
+  NEST_NODISCARD Status install_replica_snapshot(std::string_view payload);
   // Primary side: full-state snapshot plus the journal LSN it covers,
   // captured atomically with respect to concurrent mutations (the pair is
   // what re-seeds a follower whose cursor fell behind the ship queue).
@@ -127,22 +128,27 @@ class StorageManager {
   // through the journal stream already; the bytes are the primary's push,
   // not a client write, so admitting them through the write path would
   // double-account every replicated file.
+  NEST_NODISCARD
   Status install_replica_file(const std::string& path, std::string_view data);
 
   // --- Non-transfer requests (synchronous; paper Section 2.1) ---
-  Status mkdir(const Principal& who, const std::string& path);
-  Status rmdir(const Principal& who, const std::string& path);
-  Status remove(const Principal& who, const std::string& path);
+  NEST_NODISCARD Status mkdir(const Principal& who, const std::string& path);
+  NEST_NODISCARD Status rmdir(const Principal& who, const std::string& path);
+  NEST_NODISCARD Status remove(const Principal& who, const std::string& path);
+  NEST_NODISCARD
   Result<FileStat> stat(const Principal& who, const std::string& path) const;
+  NEST_NODISCARD
   Result<std::vector<DirEntry>> list(const Principal& who,
                                      const std::string& path) const;
   // Rename = delete from old name + insert at new; the delete right on the
   // old path gates it (matching the historical dispatcher check).
+  NEST_NODISCARD
   Status rename(const Principal& who, const std::string& from,
                 const std::string& to);
   // Open an existing file for in-place block writes (NFS WRITE: no
   // truncate, no whole-file size). ACL-checked and mutex-protected like
   // every other path into the VirtualFs.
+  NEST_NODISCARD
   Result<FileHandlePtr> open_for_append(const Principal& who,
                                         const std::string& path);
   // Space totals under the metadata lock (NFS STATFS).
@@ -162,7 +168,7 @@ class StorageManager {
   // commit) and GC cold files the journal does not know about (aborted
   // migrations). Server init calls this; meta-only recovery tests that
   // recreate the managers over fresh filesystems skip it.
-  Status hsm_recover();
+  NEST_NODISCARD Status hsm_recover();
 
   // Migration/recall run as begin -> copy-outside-the-lock -> commit/abort
   // so the block copy can pace through the transfer scheduler without
@@ -177,22 +183,25 @@ class StorageManager {
   // Begin draining `path` to the cold tier. Requires superuser or file
   // owner; refused while any charging lot is live or pinned, or while
   // another transition is in flight.
+  NEST_NODISCARD
   Result<HsmTicket> hsm_begin_migrate(const Principal& who,
                                       const std::string& path);
   // The cold copy is fully written: journal residency=cold, release lot
   // and quota charges, then (after the durability barrier) delete the hot
   // copy. A crash between barrier and delete leaves both copies; the
   // recovery scrub finishes the delete.
-  Status hsm_commit_migrate(const HsmTicket& t);
+  NEST_NODISCARD Status hsm_commit_migrate(const HsmTicket& t);
   void hsm_abort_migrate(const std::string& path);
   // Begin staging `path` back to the hot tier. Requires the read right;
   // re-admits the bytes (raw-space check, quota re-charge at commit) so a
   // recall cannot overcommit space guaranteed to live lots.
+  NEST_NODISCARD
   Result<HsmTicket> hsm_begin_recall(const Principal& who,
                                      const std::string& path);
-  Status hsm_commit_recall(const HsmTicket& t);
+  NEST_NODISCARD Status hsm_commit_recall(const HsmTicket& t);
   void hsm_abort_recall(const std::string& path);
   // Residency of a path: hot when no entry and the file exists.
+  NEST_NODISCARD
   Result<hsm::Tier> hsm_tier(const Principal& who,
                              const std::string& path) const;
   struct HsmStats {
@@ -208,11 +217,14 @@ class StorageManager {
   std::vector<std::string> hsm_migration_candidates(std::size_t max) const;
   // Pin/unpin a lot: pinned lots keep their files hot (owner/superuser,
   // journaled like every other lot mutation).
+  NEST_NODISCARD
   Status lot_set_pin(const Principal& who, LotId id, bool pinned);
 
   // --- Transfer approval ---
+  NEST_NODISCARD
   Result<TransferTicket> approve_read(const Principal& who,
                                       const std::string& path);
+  NEST_NODISCARD
   Result<TransferTicket> approve_write(const Principal& who,
                                        const std::string& path,
                                        std::int64_t size);
@@ -220,32 +232,39 @@ class StorageManager {
   // Post-hoc accounting for stream protocols whose writes carry no length
   // up front (FTP STOR): re-charges lots/quota for the actual byte count.
   // On failure the caller should delete the partial file.
+  NEST_NODISCARD
   Status charge_written(const Principal& who, const std::string& path,
                         std::int64_t bytes);
 
   // --- Lot management (reached via Chirp; paper Section 5) ---
+  NEST_NODISCARD
   Result<LotId> lot_create(const Principal& who, std::int64_t capacity,
                            Nanos duration, bool group_lot = false);
+  NEST_NODISCARD
   Status lot_renew(const Principal& who, LotId id, Nanos duration);
-  Status lot_terminate(const Principal& who, LotId id);
+  NEST_NODISCARD Status lot_terminate(const Principal& who, LotId id);
   // Per-lot replication policy (cluster federation): how many replicas
   // files charged to this lot want (0 = cluster default). Owner or
   // superuser only; journaled like every other lot mutation.
+  NEST_NODISCARD
   Status lot_set_replicas(const Principal& who, LotId id,
                           std::int64_t replicas);
   // Effective replica policy for a path: the max `replicas` across lots
   // charging it (0 when no charging lot sets one).
   std::int64_t replicas_for(const std::string& path) const;
-  Result<Lot> lot_query(const Principal& who, LotId id) const;
+  NEST_NODISCARD Result<Lot> lot_query(const Principal& who, LotId id) const;
   std::vector<Lot> lots_of(const Principal& who) const;
   // Operator listing: the superuser sees every lot, others their own.
   std::vector<Lot> lot_list(const Principal& who) const;
 
   // --- ACL management ---
+  NEST_NODISCARD
   Status acl_set(const Principal& who, const std::string& dir,
                  const classad::ClassAd& entry);
+  NEST_NODISCARD
   Status acl_clear(const Principal& who, const std::string& dir,
                    const std::string& principal_spec);
+  NEST_NODISCARD
   Result<std::vector<std::string>> acl_get(const Principal& who,
                                            const std::string& dir) const;
 
@@ -255,6 +274,7 @@ class StorageManager {
   const StorageOptions& options() const { return options_; }
 
  private:
+  NEST_NODISCARD
   Status check(const Principal& who, const std::string& path,
                Right needed) const REQUIRES(mu_);
   MetaState meta_state() REQUIRES(mu_) {

@@ -45,12 +45,14 @@ struct SendSegment {
 class FileHandle {
  public:
   virtual ~FileHandle() = default;
+  NEST_NODISCARD
   virtual Result<std::int64_t> pread(std::span<char> buf,
                                      std::int64_t offset) = 0;
+  NEST_NODISCARD
   virtual Result<std::int64_t> pwrite(std::span<const char> buf,
                                       std::int64_t offset) = 0;
-  virtual Result<std::int64_t> size() const = 0;
-  virtual Status truncate(std::int64_t new_size) = 0;
+  NEST_NODISCARD virtual Result<std::int64_t> size() const = 0;
+  NEST_NODISCARD virtual Status truncate(std::int64_t new_size) = 0;
 
   // Map [offset, offset+len) of the file onto fd-backed segments for
   // zero-copy send, clamped to the current file size (a sum shorter than
@@ -58,6 +60,7 @@ class FileHandle {
   // with no kernel-visible fd (MemFs, memory-backed ExtentFs volumes)
   // return unsupported and callers take the buffered pread path — sim and
   // tests stay deterministic.
+  NEST_NODISCARD
   virtual Result<std::vector<SendSegment>> sendfile_map(std::int64_t offset,
                                                         std::int64_t len) {
     (void)offset;
@@ -72,18 +75,23 @@ class VirtualFs {
  public:
   virtual ~VirtualFs() = default;
 
-  virtual Status mkdir(const std::string& path) = 0;
+  NEST_NODISCARD virtual Status mkdir(const std::string& path) = 0;
   // Directory must be empty.
-  virtual Status rmdir(const std::string& path) = 0;
-  virtual Status remove(const std::string& path) = 0;
+  NEST_NODISCARD virtual Status rmdir(const std::string& path) = 0;
+  NEST_NODISCARD virtual Status remove(const std::string& path) = 0;
+  NEST_NODISCARD
   virtual Result<FileStat> stat(const std::string& path) const = 0;
+  NEST_NODISCARD
   virtual Result<std::vector<DirEntry>> list(const std::string& path)
       const = 0;
+  NEST_NODISCARD
   virtual Status rename(const std::string& from, const std::string& to) = 0;
 
   // Open an existing file for reading.
+  NEST_NODISCARD
   virtual Result<FileHandlePtr> open(const std::string& path) = 0;
   // Create (or truncate) a file for writing; parent must exist.
+  NEST_NODISCARD
   virtual Result<FileHandlePtr> create(const std::string& path) = 0;
 
   virtual void set_owner(const std::string& path, const std::string& owner) = 0;

@@ -22,7 +22,7 @@
 #include "common/clock.h"
 #include "fault/failpoint.h"
 #include "hsm/hsm_manager.h"
-#include "hsm/residency.h"
+#include "storage/residency.h"
 #include "journal/journal.h"
 #include "obs/stats.h"
 #include "sim/engine.h"

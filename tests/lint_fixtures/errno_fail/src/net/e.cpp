@@ -1,0 +1,5 @@
+#include <cerrno>
+#include <cstring>
+namespace nest::net {
+int f() { return errno == 0 ? 0 : errno; }
+}

@@ -1,0 +1,9 @@
+#include <cerrno>
+#include <cstring>
+namespace nest::net {
+const char* f() {
+  const int saved = errno;
+  return std::strerror(saved);
+}
+// A comment mentioning errno and errno again is not a double read.
+}

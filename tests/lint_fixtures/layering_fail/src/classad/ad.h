@@ -1,0 +1,3 @@
+#pragma once
+// classad (band 1) reaching up into storage (band 3): back-edge.
+#include "storage/fs.h"

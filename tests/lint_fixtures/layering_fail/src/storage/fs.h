@@ -1,0 +1,3 @@
+#pragma once
+// Production code pulling in the sim sandbox.
+#include "simnest/sim.h"

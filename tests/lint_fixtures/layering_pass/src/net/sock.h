@@ -1,0 +1,3 @@
+#pragma once
+#include "common/util.h"
+namespace nest::net { int sock(); }

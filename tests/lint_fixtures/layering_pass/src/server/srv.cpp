@@ -1,0 +1,3 @@
+#include "net/sock.h"
+#include "storage/fs.h"
+namespace nest { int srv() { return 0; } }

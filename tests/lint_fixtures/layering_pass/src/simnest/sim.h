@@ -1,0 +1,3 @@
+#pragma once
+// The sandbox may reach across the whole tree.
+#include "server/srv.h"

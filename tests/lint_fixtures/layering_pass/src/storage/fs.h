@@ -1,0 +1,2 @@
+#pragma once
+namespace nest::storage { int fs(); }

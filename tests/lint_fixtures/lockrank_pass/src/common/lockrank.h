@@ -1,0 +1,7 @@
+#pragma once
+namespace nest::lockrank {
+enum class Rank : int {
+  outer = 10,  // outermost
+  inner = 20,  // innermost
+};
+}

@@ -1,0 +1,7 @@
+#pragma once
+#define NEST_NODISCARD [[nodiscard]]
+namespace nest {
+enum class Errc { ok };
+class Status {};
+template <typename T> class Result {};
+}

@@ -1,0 +1,10 @@
+#pragma once
+#include "common/result.h"
+namespace nest::storage {
+Status flush();
+class Fs {
+ public:
+  virtual Result<int> read_block(int n) = 0;
+  Errc tick() noexcept;
+};
+}

@@ -1,0 +1,22 @@
+#pragma once
+#include "common/result.h"
+namespace nest::storage {
+NEST_NODISCARD Status flush();
+NEST_NODISCARD Result<int> read_block(int n);
+class Fs {
+ public:
+  NEST_NODISCARD virtual Status sync() const = 0;
+  NEST_NODISCARD Errc tick() noexcept;
+  NEST_NODISCARD
+  Result<long> size(const char* path,
+                    bool follow) const;
+  // Inside a body, Status names are expressions, not declarations.
+  int count() const {
+    Status st = Status();
+    (void)st;
+    return 0;
+  }
+};
+int plain_function(int x);
+void sink(Status s, Result<int> r);
+}

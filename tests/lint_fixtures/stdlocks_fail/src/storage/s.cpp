@@ -1,0 +1,5 @@
+#include <mutex>
+namespace nest::storage {
+std::mutex naked;
+void f() { std::lock_guard<std::mutex> lock(naked); }
+}

@@ -1,0 +1,4 @@
+#pragma once
+#include <mutex>
+// The wrapper itself may (must) touch std::mutex.
+namespace nest { class Mutex { std::mutex mu_; }; }

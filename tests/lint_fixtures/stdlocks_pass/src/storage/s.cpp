@@ -1,0 +1,2 @@
+#include "common/mutex.h"
+namespace nest::storage { Mutex mu; }

@@ -1,0 +1,9 @@
+namespace nest {
+int f(int x) { return x; }  // NOLINT
+// nest-lint: allow(no-such-rule): unknown rule name
+// nest-lint: allow(errno) missing the reason
+void g1() NO_THREAD_SAFETY_ANALYSIS {}
+void g2() NO_THREAD_SAFETY_ANALYSIS {}
+void g3() NO_THREAD_SAFETY_ANALYSIS {}
+void g4() NO_THREAD_SAFETY_ANALYSIS {}  // one past the budget
+}

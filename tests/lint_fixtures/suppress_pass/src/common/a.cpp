@@ -1,0 +1,4 @@
+namespace nest {
+int f(int x) { return x; }  // NOLINT(bugprone-branch-clone): fixture
+void g() NO_THREAD_SAFETY_ANALYSIS {}  // std::function blindness
+}

@@ -1,0 +1,3 @@
+namespace nest::net {
+long f(int fd, const void* b, unsigned long n) { return ::send(fd, b, n, 0); }
+}

@@ -1,0 +1,9 @@
+namespace nest::protocol {
+// A class member named like a syscall is not a raw syscall.
+struct S { int open(const char*); };
+int f(S& s) { return s.open("x"); }
+// ::open("spec", 0) in a comment or "::open(" in a string is ignored.
+const char* k = "::open(";
+// nest-lint: allow(syscalls): fixture proves the suppression syntax.
+int g() { return ::open("y", 0); }
+}

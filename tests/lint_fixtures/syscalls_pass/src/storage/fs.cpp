@@ -1,0 +1,4 @@
+namespace nest::storage {
+int f() { return ::open("x", 0); }
+void g(int fd) { (void)::fsync(fd); }  // best-effort
+}

@@ -1,0 +1,6 @@
+namespace nest::net {
+int g();
+void f() {
+  (void)g();
+}
+}

@@ -1,0 +1,11 @@
+namespace nest::net {
+int g();
+void f(int unused) {
+  (void)unused;  // bare parameter silencing needs no reason
+  // Best-effort: the fixture explains itself on the line above.
+  (void)g();
+  (void)g();  // or on the same line
+}
+int h(void);  // (void) parameter lists are not discards
+typedef int (*fp)(void);
+}

@@ -1,0 +1,178 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace nestlint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto push = [&](Tok kind, std::string text, int tok_line) {
+    out.push_back(Token{kind, std::move(text), tok_line});
+  };
+
+  while (i < n) {
+    char c = src[i];
+
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on the line; join continuations.
+    if (c == '#' && at_line_start) {
+      int start_line = line;
+      std::string text;
+      while (i < n) {
+        char d = src[i];
+        if (d == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          text += ' ';
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (d == '\n') break;
+        text += d;
+        ++i;
+      }
+      push(Tok::pp, std::move(text), start_line);
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      int start_line = line;
+      i += 2;
+      std::string text;
+      while (i < n && src[i] != '\n') text += src[i++];
+      push(Tok::comment, std::move(text), start_line);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      int start_line = line;
+      i += 2;
+      std::string text;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        text += src[i++];
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      push(Tok::comment, std::move(text), start_line);
+      continue;
+    }
+
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t d = i + 2;
+      std::string delim;
+      while (d < n && src[d] != '(' && delim.size() <= 16) delim += src[d++];
+      if (d < n && src[d] == '(') {
+        int start_line = line;
+        std::string close = ")" + delim + "\"";
+        std::size_t body = d + 1;
+        std::size_t end = src.find(close, body);
+        if (end == std::string_view::npos) end = n;
+        std::string text(src.substr(body, end - body));
+        for (char t : text)
+          if (t == '\n') ++line;
+        i = (end == n) ? n : end + close.size();
+        push(Tok::str, std::move(text), start_line);
+        continue;
+      }
+      // 'R' not followed by a raw string: fall through as identifier.
+    }
+
+    // String / char literals (with escape handling).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      int start_line = line;
+      std::string text;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          text += src[i];
+          text += src[i + 1];
+          if (src[i + 1] == '\n') ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') ++line;  // unterminated; keep line counts sane
+        text += src[i++];
+      }
+      if (i < n) ++i;  // closing quote
+      push(quote == '"' ? Tok::str : Tok::chr, std::move(text), start_line);
+      continue;
+    }
+
+    // Identifiers (string-literal prefixes like u8"..." land here first;
+    // the quote is picked up on the next loop iteration, which is fine
+    // for every rule this tool runs).
+    if (ident_start(c)) {
+      std::string text;
+      while (i < n && ident_char(src[i])) text += src[i++];
+      push(Tok::ident, std::move(text), line);
+      continue;
+    }
+
+    // pp-numbers (covers 0x1F, 1'000, 1.5e3; rules only parse integers).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text;
+      while (i < n && (ident_char(src[i]) || src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && !text.empty() &&
+                        (text.back() == 'e' || text.back() == 'E' ||
+                         text.back() == 'p' || text.back() == 'P')))) {
+        text += src[i++];
+      }
+      if (i < n && src[i] == '.') {  // keep floats one token
+        text += src[i++];
+        while (i < n && ident_char(src[i])) text += src[i++];
+      }
+      push(Tok::number, std::move(text), line);
+      continue;
+    }
+
+    // "::" is the one multi-char punctuator the rules care about.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      push(Tok::punct, "::", line);
+      i += 2;
+      continue;
+    }
+
+    push(Tok::punct, std::string(1, c), line);
+    ++i;
+  }
+  return out;
+}
+
+std::vector<Token> code_only(const std::vector<Token>& toks) {
+  std::vector<Token> out;
+  out.reserve(toks.size());
+  for (const auto& t : toks) {
+    if (t.kind != Tok::comment && t.kind != Tok::pp) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace nestlint

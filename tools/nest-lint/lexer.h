@@ -1,0 +1,40 @@
+// nest-lint's tokenizer: a single-pass C++ lexer good enough for the
+// rule engine — identifiers, punctuation, literals, comments, and whole
+// preprocessor directives, each tagged with its source line. It does not
+// build an AST; rules pattern-match over the token stream, which is what
+// lets the checker run with no libclang dependency while still seeing
+// through comments and string literals (the failure mode of the grep
+// rules this tool replaced).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nestlint {
+
+enum class Tok {
+  ident,    // identifiers and keywords
+  punct,    // single-char punctuation, plus "::" as one token
+  number,   // numeric literal (pp-number: good enough for rank values)
+  str,      // string literal, including raw strings; text excludes quotes
+  chr,      // character literal
+  comment,  // // or /* */ comment; text excludes the comment markers
+  pp,       // one full preprocessor directive (continuations joined)
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+// Tokenize a whole file. Never fails: unrecognized bytes become
+// single-char punct tokens, unterminated literals run to end of file.
+std::vector<Token> lex(std::string_view src);
+
+// The subset rules usually want: everything except comments and pp
+// directives (kept in the full stream for the rules that need them).
+std::vector<Token> code_only(const std::vector<Token>& toks);
+
+}  // namespace nestlint

@@ -1,0 +1,229 @@
+// nest-lint driver: file discovery, the suppression index, rule
+// dispatch, reporting. See nest_lint.h for the contract and
+// docs/static-analysis.md for the rule catalog.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nest_lint.h"
+
+namespace nestlint {
+namespace fs = std::filesystem;
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+namespace {
+
+bool source_ext(const fs::path& p) {
+  auto e = p.extension().string();
+  return e == ".h" || e == ".hpp" || e == ".cpp" || e == ".cc";
+}
+
+std::string rel_to(const fs::path& root, const fs::path& p) {
+  std::error_code ec;
+  auto rel = fs::proximate(p, root, ec);
+  return ec ? p.generic_string() : rel.generic_string();
+}
+
+// "src/storage/vfs.h" -> "storage"; "" when not under src/.
+std::string subdir_of(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return {};
+  auto second = rel.find('/', 4);
+  if (second == std::string::npos) return {};
+  return rel.substr(4, second - 4);
+}
+
+// Pull the "file" entries out of compile_commands.json. A full JSON
+// parser would be overkill: the compilation database is
+// machine-generated, one object per TU, and we only need the string
+// after each `"file":` key (escapes other than \\ and \" do not appear
+// in sane paths; both are handled).
+std::vector<std::string> compile_command_files(const std::string& json) {
+  std::vector<std::string> out;
+  const std::string key = "\"file\"";
+  for (auto pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + 1)) {
+    auto colon = json.find(':', pos + key.size());
+    if (colon == std::string::npos) continue;
+    auto q1 = json.find('"', colon + 1);
+    if (q1 == std::string::npos) continue;
+    std::string path;
+    for (auto i = q1 + 1; i < json.size() && json[i] != '"'; ++i) {
+      if (json[i] == '\\' && i + 1 < json.size()) {
+        path += json[++i];
+      } else {
+        path += json[i];
+      }
+    }
+    out.push_back(path);
+  }
+  return out;
+}
+
+void load_file(const fs::path& root, const fs::path& abs, Context& ctx) {
+  std::string text;
+  if (!read_file(abs, text)) {
+    std::fprintf(stderr, "nest-lint: cannot read %s\n",
+                 abs.generic_string().c_str());
+    return;
+  }
+  SourceFile f;
+  f.rel_path = rel_to(root, abs);
+  f.subdir = subdir_of(f.rel_path);
+  auto ext = abs.extension().string();
+  f.is_header = ext == ".h" || ext == ".hpp";
+  f.toks = lex(text);
+  // Index `nest-lint: allow(<rule>): <reason>` comments: the named rule
+  // is silenced on the comment's line and the next (NOLINTNEXTLINE
+  // style). Malformed allow comments are findings of the suppress rule.
+  for (const auto& t : f.toks) {
+    if (t.kind != Tok::comment) continue;
+    auto mark = t.text.find("nest-lint:");
+    if (mark == std::string::npos) continue;
+    auto open = t.text.find("allow(", mark);
+    if (open == std::string::npos) continue;
+    auto close = t.text.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string rule = t.text.substr(open + 6, close - open - 6);
+    ctx.allowed[f.rel_path][rule].insert(t.line);
+    ctx.allowed[f.rel_path][rule].insert(t.line + 1);
+  }
+  ctx.files.push_back(std::move(f));
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--root DIR] [--compile-commands FILE] [--rule NAME]...\n"
+      "       %s --list-rules\n"
+      "\n"
+      "Lints every C++ source under <root>/src with the NeST rule catalog\n"
+      "(docs/static-analysis.md). With --compile-commands, the TU list\n"
+      "comes from the compilation database (headers are still walked);\n"
+      "without one, the whole src/ tree is walked. --rule limits the run\n"
+      "to the named rules. Exit: 0 clean, 1 findings, 2 bad invocation.\n",
+      argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+}  // namespace nestlint
+
+int main(int argc, char** argv) {
+  using namespace nestlint;
+  fs::path root = ".";
+  fs::path compile_commands;
+  std::set<std::string> selected;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : all_rules()) {
+        std::printf("%-10s %s\n", r.name, r.summary);
+      }
+      return 0;
+    }
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--compile-commands" && i + 1 < argc) {
+      compile_commands = argv[++i];
+    } else if (arg == "--rule" && i + 1 < argc) {
+      std::string name = argv[++i];
+      bool known = false;
+      for (const auto& r : all_rules()) known = known || name == r.name;
+      if (!known) {
+        std::fprintf(stderr, "nest-lint: unknown rule '%s' (--list-rules)\n",
+                     name.c_str());
+        return 2;
+      }
+      selected.insert(name);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::error_code ec;
+  if (!fs::is_directory(root / "src", ec)) {
+    std::fprintf(stderr, "nest-lint: %s/src is not a directory\n",
+                 root.generic_string().c_str());
+    return 2;
+  }
+
+  Context ctx;
+  ctx.root = root;
+
+  // TU list from the compilation database when given; headers are never
+  // in it, so the walk below always adds them. Degrades to a plain walk
+  // when the database is missing or unreadable — the rules only need
+  // tokens, not flags.
+  std::set<std::string> seen;
+  if (!compile_commands.empty()) {
+    std::string json;
+    if (read_file(compile_commands, json)) {
+      for (const auto& file : compile_command_files(json)) {
+        fs::path p = file;
+        if (p.is_relative()) p = compile_commands.parent_path() / p;
+        p = fs::weakly_canonical(p, ec);
+        std::string rel = rel_to(root, p);
+        if (rel.rfind("src/", 0) != 0 || !source_ext(p)) continue;
+        if (!fs::exists(p, ec) || !seen.insert(rel).second) continue;
+        load_file(root, p, ctx);
+      }
+    } else {
+      std::fprintf(stderr,
+                   "nest-lint: cannot read %s; walking src/ instead\n",
+                   compile_commands.generic_string().c_str());
+    }
+  }
+  for (auto it = fs::recursive_directory_iterator(root / "src", ec);
+       !ec && it != fs::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file(ec) || !source_ext(it->path())) continue;
+    // With a compilation database, non-header TUs not listed in it are
+    // still linted: rules are per-file and a just-added file must not
+    // escape the gate because the build dir is stale.
+    std::string rel = rel_to(root, it->path());
+    if (!seen.insert(rel).second) continue;
+    load_file(root, it->path(), ctx);
+  }
+  std::sort(ctx.files.begin(), ctx.files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel_path < b.rel_path;
+            });
+
+  std::vector<Finding> findings;
+  for (const auto& r : all_rules()) {
+    if (!selected.empty() && selected.count(r.name) == 0) continue;
+    std::size_t before = findings.size();
+    r.fn(ctx, findings);
+    // Drop findings the suppression index allows (rules that check the
+    // index themselves just never emit; this catches the rest).
+    findings.erase(
+        std::remove_if(findings.begin() + static_cast<long>(before),
+                       findings.end(),
+                       [&](const Finding& f) {
+                         return ctx.line_allowed(f.file, f.rule, f.line);
+                       }),
+        findings.end());
+  }
+
+  for (const auto& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("nest-lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

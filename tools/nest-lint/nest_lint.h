@@ -1,0 +1,75 @@
+// nest-lint: NeST's repo-specific static checker (docs/static-analysis.md).
+//
+// The binary loads every source file under <root>/src — the file list
+// comes from compile_commands.json when one is supplied (plus all
+// headers, which have no compile command), or from a directory walk when
+// it is not (graceful degradation: the rules are per-TU token passes, so
+// nothing needs compiler flags) — tokenizes each once, and runs every
+// enabled rule over the token streams. Findings print as
+// `path:line: [rule] message`; exit status is 0 clean / 1 findings /
+// 2 usage or I/O error.
+//
+// Suppressions: a comment containing `nest-lint: allow(<rule>): <reason>`
+// silences that rule on its own line and the next. The reason is
+// mandatory; the suppress rule rejects malformed allow comments, so a
+// suppression can never silently rot into a blanket waiver.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace nestlint {
+
+struct Finding {
+  std::string file;  // repo-relative path
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// One loaded source file: repo-relative path, the src/ subdir it lives
+// in ("" when outside src/), and its token stream.
+struct SourceFile {
+  std::string rel_path;
+  std::string subdir;
+  bool is_header = false;
+  std::vector<Token> toks;
+};
+
+struct Context {
+  std::filesystem::path root;       // repo root (contains src/, docs/)
+  std::vector<SourceFile> files;    // every file under src/
+  // Lines granted per file by `nest-lint: allow(rule)` comments:
+  // rel_path -> rule -> set of allowed lines.
+  std::map<std::string, std::map<std::string, std::set<int>>> allowed;
+
+  bool line_allowed(const std::string& rel_path, const std::string& rule,
+                    int line) const {
+    auto f = allowed.find(rel_path);
+    if (f == allowed.end()) return false;
+    auto r = f->second.find(rule);
+    if (r == f->second.end()) return false;
+    return r->second.count(line) != 0;
+  }
+};
+
+using RuleFn = void (*)(const Context&, std::vector<Finding>&);
+
+struct Rule {
+  const char* name;
+  const char* summary;
+  RuleFn fn;
+};
+
+// The rule catalog, in the order rules run and print.
+const std::vector<Rule>& all_rules();
+
+// Shared helper: read a whole file; returns false on I/O error.
+bool read_file(const std::filesystem::path& p, std::string& out);
+
+}  // namespace nestlint
